@@ -1,0 +1,76 @@
+// Ablation: static Poll(t) vs Gwertzman-Seltzer adaptive TTL (paper
+// §2.2) vs the strongly consistent Delay algorithm.
+//
+// Prints the messages-vs-staleness frontier: each Poll row trades
+// messages against stale reads; the adaptive rows self-tune per object;
+// the Delay row shows what strong consistency costs instead. This
+// regenerates the comparison behind the paper's §6 argument against
+// weak consistency ("much of the apparent advantage of weak consistency
+// ... comes from clients reading stale data").
+//
+//   $ build/bench/ablation_adaptive_poll [--scale 0.1]
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "driver/report.h"
+#include "driver/simulation.h"
+#include "driver/workloads.h"
+#include "util/flags.h"
+
+using namespace vlease;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.addDouble("scale", 0.1, "workload scale");
+  flags.addInt("seed", 1998, "workload seed");
+  if (!flags.parse(argc, argv)) return 1;
+
+  driver::WorkloadOptions opts;
+  opts.scale = flags.getDouble("scale");
+  opts.seed = static_cast<std::uint64_t>(flags.getInt("seed"));
+  driver::Workload workload = driver::buildWorkload(opts);
+  std::printf("# ablation: static vs adaptive polling vs invalidation | "
+              "scale=%g\n", opts.scale);
+
+  driver::Table table(
+      {"algorithm", "messages", "stale reads", "stale %", "consistency"});
+  auto runRow = [&](const std::string& name, proto::ProtocolConfig config,
+                    const char* consistency) {
+    driver::Simulation sim(workload.catalog, config);
+    stats::Metrics& m = sim.run(workload.events);
+    table.addRow({name, driver::Table::num(m.totalMessages()),
+                  driver::Table::num(m.staleReads()),
+                  driver::Table::num(100.0 * m.staleFraction(), 3),
+                  consistency});
+  };
+
+  for (std::int64_t t : {std::int64_t{10'000}, std::int64_t{100'000},
+                         std::int64_t{1'000'000}, std::int64_t{10'000'000}}) {
+    proto::ProtocolConfig config;
+    config.algorithm = proto::Algorithm::kPoll;
+    config.objectTimeout = sec(t);
+    runRow("Poll(" + std::to_string(t) + ")", config, "weak");
+  }
+  for (double factor : {0.05, 0.2, 0.5, 1.0}) {
+    proto::ProtocolConfig config;
+    config.algorithm = proto::Algorithm::kPollAdaptive;
+    config.adaptiveFactor = factor;
+    std::string name = "Adaptive(" + driver::Table::num(factor, 2) + ")";
+    runRow(name, config, "weak");
+  }
+  {
+    proto::ProtocolConfig config;
+    config.algorithm = proto::Algorithm::kVolumeDelayedInval;
+    config.objectTimeout = sec(10'000'000);
+    config.volumeTimeout = sec(100);
+    runRow("Delay(100,1e7,inf)", config, "STRONG");
+  }
+  table.print(std::cout);
+  std::printf(
+      "\n# Adaptive TTL dominates same-message static Poll on staleness "
+      "(the Gwertzman-Seltzer\n# result); Delay removes staleness "
+      "entirely at a bounded message premium (the paper's\n# §6 "
+      "rebuttal).\n");
+  return 0;
+}

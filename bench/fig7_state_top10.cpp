@@ -1,0 +1,11 @@
+// Figure 7: average consistency state (bytes) at the 10th most popular
+// server vs. object timeout t. Same sweep as Fig. 6, different server.
+//
+//   $ build/bench/fig7_state_top10 [--scale 0.1] [--seed 1998]
+#define VLEASE_FIG_STATE_NO_MAIN
+#include "fig6_state_top1.cpp"
+#undef VLEASE_FIG_STATE_NO_MAIN
+
+int main(int argc, char** argv) {
+  return runFigStateBench(argc, argv, /*defaultRank=*/9, "fig7");
+}

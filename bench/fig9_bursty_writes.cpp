@@ -1,0 +1,13 @@
+// Figure 9: the Fig. 8 cumulative load histogram under the "bursty
+// write" workload -- every write drags k ~ Exp(mean 10) same-instant
+// writes to other objects of the same volume, inflating invalidation
+// bursts for Callback and Volume.
+//
+//   $ build/bench/fig9_bursty_writes [--scale 0.1] [--seed 1998]
+#define VLEASE_FIG_LOAD_NO_MAIN
+#include "fig8_load_bursts.cpp"
+#undef VLEASE_FIG_LOAD_NO_MAIN
+
+int main(int argc, char** argv) {
+  return runFigLoadBench(argc, argv, /*burstyDefault=*/true, "fig9");
+}

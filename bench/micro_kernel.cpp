@@ -1,0 +1,109 @@
+// google-benchmark micro benches for the simulation kernel and the
+// volume-lease hot paths: scheduler throughput, zero-latency round
+// trips, server write fan-out, and end-to-end trace replay rate.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "driver/simulation.h"
+#include "driver/workloads.h"
+#include "sim/scheduler.h"
+#include "trace/catalog.h"
+
+using namespace vlease;
+
+namespace {
+
+void BM_SchedulerScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Scheduler s;
+    for (int i = 0; i < n; ++i) {
+      s.scheduleAt(i, [] {});
+    }
+    benchmark::DoNotOptimize(s.run());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SchedulerScheduleRun)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_SchedulerSameTickFifo(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Scheduler s;
+    for (int i = 0; i < n; ++i) {
+      s.scheduleAt(7, [] {});
+    }
+    benchmark::DoNotOptimize(s.run());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SchedulerSameTickFifo)->Arg(1 << 14);
+
+/// One cache-miss read: volume + object lease round trips.
+void BM_VolumeLeaseColdRead(benchmark::State& state) {
+  trace::Catalog catalog(1, 1);
+  VolumeId vol = catalog.addVolume(catalog.serverNode(0));
+  std::vector<ObjectId> objs;
+  for (int i = 0; i < 4096; ++i) objs.push_back(catalog.addObject(vol, 1024));
+
+  proto::ProtocolConfig config;
+  config.algorithm = proto::Algorithm::kVolumeLease;
+  driver::Simulation sim(catalog, config);
+  const NodeId client = catalog.clientNode(0);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    sim.issueRead(client, objs[i++ % objs.size()], nullptr);
+    sim.scheduler().runUntil(sim.scheduler().now());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VolumeLeaseColdRead);
+
+/// Server write fan-out: invalidate N lease holders and collect acks.
+void BM_VolumeWriteFanout(benchmark::State& state) {
+  const auto numClients = static_cast<std::uint32_t>(state.range(0));
+  trace::Catalog catalog(1, numClients);
+  VolumeId vol = catalog.addVolume(catalog.serverNode(0));
+  ObjectId obj = catalog.addObject(vol, 1024);
+
+  proto::ProtocolConfig config;
+  config.algorithm = proto::Algorithm::kVolumeLease;
+  config.objectTimeout = hours(10);
+  config.volumeTimeout = hours(10);
+  driver::Simulation sim(catalog, config);
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (std::uint32_t c = 0; c < numClients; ++c) {
+      sim.issueRead(catalog.clientNode(c), obj, nullptr);
+    }
+    sim.scheduler().runUntil(sim.scheduler().now());
+    state.ResumeTiming();
+    sim.issueWrite(obj, nullptr);
+    sim.scheduler().runUntil(sim.scheduler().now());
+  }
+  state.SetItemsProcessed(state.iterations() * numClients);
+}
+BENCHMARK(BM_VolumeWriteFanout)->Arg(8)->Arg(64)->Arg(256);
+
+/// End-to-end replay throughput of the Fig. 5 workload (small scale).
+void BM_TraceReplay(benchmark::State& state) {
+  driver::WorkloadOptions opts;
+  opts.scale = 0.01;
+  driver::Workload workload = driver::buildWorkload(opts);
+  proto::ProtocolConfig config;
+  config.algorithm = proto::Algorithm::kVolumeDelayedInval;
+  config.objectTimeout = sec(100'000);
+  config.volumeTimeout = sec(100);
+  for (auto _ : state) {
+    driver::Simulation sim(workload.catalog, config);
+    benchmark::DoNotOptimize(sim.run(workload.events).totalMessages());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(workload.events.size()));
+}
+BENCHMARK(BM_TraceReplay);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,132 @@
+// disconnected_client: fault tolerance walkthrough.
+//
+// Demonstrates, with real network latency and an injected partition,
+// the three fault-tolerance properties the paper claims for volume
+// leases:
+//   1. a write blocked by an unreachable client proceeds after
+//      min(object lease, volume lease) -- here the 10 s volume lease,
+//      not the 1-hour object lease;
+//   2. the partitioned client can NEVER read stale data: its volume
+//      lease expired with the partition, so reads fail instead of
+//      returning the stale cached copy;
+//   3. when the partition heals, the client's first volume renewal runs
+//      the reconnection exchange (MUST_RENEW_ALL), which invalidates
+//      exactly the objects that changed while it was away and renews
+//      the rest.
+//
+// Also shows server crash recovery: after a reboot the epoch bump
+// forces every returning client through the same reconnection path.
+//
+//   $ build/examples/disconnected_client
+#include <cstdio>
+
+#include "core/volume_server.h"
+#include "driver/simulation.h"
+#include "trace/catalog.h"
+
+using namespace vlease;
+
+namespace {
+void banner(const char* text) { std::printf("\n== %s ==\n", text); }
+}  // namespace
+
+int main() {
+  trace::Catalog catalog(/*numServers=*/1, /*numClients=*/2);
+  const VolumeId vol = catalog.addVolume(catalog.serverNode(0));
+  const ObjectId doc = catalog.addObject(vol, 4096);
+  const ObjectId other = catalog.addObject(vol, 4096);
+
+  proto::ProtocolConfig config;
+  config.algorithm = proto::Algorithm::kVolumeLease;
+  config.objectTimeout = hours(1);  // long object lease
+  config.volumeTimeout = sec(10);   // short volume lease
+  config.msgTimeout = sec(2);
+
+  driver::Simulation sim(catalog, config);
+  sim.network().setLatency(msec(50));  // a real WAN this time
+  const NodeId alice = catalog.clientNode(0);
+  const NodeId bob = catalog.clientNode(1);
+
+  banner("Alice and Bob cache 'doc' (1h object lease, 10s volume lease)");
+  sim.issueRead(alice, doc, nullptr);
+  sim.issueRead(bob, doc, nullptr);
+  sim.issueRead(bob, other, nullptr);
+  sim.drainTo(sec(1));
+
+  banner("Partition: Alice drops off the network");
+  sim.network().failures().isolate(alice);
+
+  banner("The server writes 'doc' while Alice is unreachable");
+  const SimTime writeStart = sim.scheduler().now();
+  bool committed = false;
+  sim.issueWrite(doc, [&](const proto::WriteResult& w) {
+    committed = true;
+    std::printf(
+        "  write committed after %s (volume lease bound, NOT the 1h object "
+        "lease); version=%lld\n",
+        formatSimTime(sim.scheduler().now() - writeStart).c_str(),
+        static_cast<long long>(w.newVersion));
+  });
+  sim.drainTo(sec(5));
+  std::printf("  ... t=+4s: committed=%d (Bob acked; Alice's volume lease "
+              "still valid)\n", committed);
+  sim.drainTo(sec(15));
+  std::printf("  ... t=+14s: committed=%d\n", committed);
+
+  banner("Alice tries to read 'doc' while partitioned");
+  sim.issueRead(alice, doc, [](const proto::ReadResult& r) {
+    std::printf(
+        "  read ok=%d -- the stale cached copy is NOT served (volume lease "
+        "expired)\n",
+        r.ok);
+  });
+  sim.drainTo(sec(50));
+
+  banner("Partition heals; Alice reads again -> reconnection exchange");
+  sim.network().failures().deisolate(alice);
+  sim.issueRead(alice, doc, [&](const proto::ReadResult& r) {
+    std::printf(
+        "  read ok=%d usedNetwork=%d fetchedData=%d version=%lld (fresh "
+        "data, repaired leases)\n",
+        r.ok, r.usedNetwork, r.fetchedData,
+        static_cast<long long>(r.version));
+  });
+  sim.drainTo(sec(60));
+
+  auto* volumeServer =
+      dynamic_cast<core::VolumeServer*>(&sim.protocol().serverFor(catalog, doc));
+  std::printf("  server: alice unreachable=%d epoch=%lld\n",
+              volumeServer->isUnreachable(alice, vol),
+              static_cast<long long>(volumeServer->volumeEpoch(vol)));
+
+  banner("Server crash: epoch bump forces reconnection for everyone");
+  volumeServer->crashAndReboot();
+  std::printf("  epoch now %lld; writes delayed until %s (lease drain)\n",
+              static_cast<long long>(volumeServer->volumeEpoch(vol)),
+              formatSimTime(volumeServer->recoveryUntil()).c_str());
+  sim.issueWrite(other, [&](const proto::WriteResult&) {
+    std::printf("  post-crash write to 'other' committed at %s\n",
+                formatSimTime(sim.scheduler().now()).c_str());
+  });
+  sim.drainTo(sec(120));
+  sim.issueRead(bob, other, [&](const proto::ReadResult& r) {
+    std::printf(
+        "  bob reads 'other': ok=%d fetchedData=%d (stale epoch detected -> "
+        "MUST_RENEW_ALL -> fresh copy)\n",
+        r.ok, r.fetchedData);
+  });
+  sim.drainTo(sec(130));
+
+  sim.finish();
+  banner("Totals");
+  std::printf("  messages=%lld stale-reads=%lld failed-reads=%lld "
+              "max-write-wait=%.1fs\n",
+              static_cast<long long>(sim.metrics().totalMessages()),
+              static_cast<long long>(sim.metrics().staleReads()),
+              static_cast<long long>(sim.metrics().failedReads()),
+              sim.metrics().writeDelay().max());
+  std::printf("\nStrong consistency survives partitions and crashes; write "
+              "availability is\nbounded by the short volume lease. That is "
+              "the paper's contribution.\n");
+  return 0;
+}

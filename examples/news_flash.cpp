@@ -1,0 +1,117 @@
+// news_flash: the paper's motivating burst scenario.
+//
+// A news site ("volume") serves a breaking-news page to a crowd of
+// clients. The page is then updated repeatedly (a developing story).
+// We run the same scenario under Callback, Volume Leases, and Volume
+// Leases with Delayed Invalidations and compare:
+//   * how many invalidation messages each update costs the server,
+//   * the server's peak per-second message load,
+//   * how fast the writer can publish (ack-wait delay).
+//
+// This is Figs. 8-9 in miniature: Callback must notify everyone who
+// EVER read the page; Volume only valid lease holders; Delay only the
+// clients actively reading right now.
+//
+//   $ build/examples/news_flash
+#include <cstdio>
+#include <vector>
+
+#include "driver/simulation.h"
+#include "trace/catalog.h"
+
+using namespace vlease;
+
+namespace {
+
+struct Outcome {
+  std::int64_t invalidations = 0;
+  std::int64_t totalMessages = 0;
+  std::int64_t peakLoad = 0;
+  double maxWriteDelay = 0;
+};
+
+Outcome runScenario(proto::Algorithm algorithm, const char* name) {
+  constexpr std::uint32_t kClients = 200;
+  trace::Catalog catalog(1, kClients);
+  const VolumeId vol = catalog.addVolume(catalog.serverNode(0));
+  const ObjectId frontPage = catalog.addObject(vol, 32 * 1024);
+  const ObjectId storyPage = catalog.addObject(vol, 16 * 1024);
+
+  proto::ProtocolConfig config;
+  config.algorithm = algorithm;
+  config.objectTimeout = sec(1800);  // 30-minute object leases
+  config.volumeTimeout = sec(60);    // 1-minute volume leases
+
+  driver::SimOptions simOpts;
+  simOpts.trackServerLoad = true;
+  driver::Simulation sim(catalog, config, simOpts);
+
+  std::vector<trace::TraceEvent> events;
+  // Minute 0-10: the whole crowd reads the front page and the story,
+  // then wanders off. By the time the updates land (minute 70+) their
+  // object leases have expired -- but Callback still remembers them.
+  for (std::uint32_t c = 0; c < kClients; ++c) {
+    const SimTime at = sec(3 * c);  // readers trickle in over 10 minutes
+    events.push_back(
+        {at, trace::EventKind::kRead, catalog.clientNode(c), frontPage});
+    events.push_back({at + msec(400), trace::EventKind::kRead,
+                      catalog.clientNode(c), storyPage});
+  }
+  // Minute 65-70: a quarter of the crowd comes back and keeps
+  // refreshing; these hold fresh object AND volume leases.
+  for (std::uint32_t c = 0; c < kClients / 4; ++c) {
+    for (int r = 0; r < 10; ++r) {
+      events.push_back({sec(3900 + 30 * r) + msec(c), trace::EventKind::kRead,
+                        catalog.clientNode(c), storyPage});
+    }
+  }
+  // Minute 70-74: the story is updated five times.
+  for (int w = 0; w < 5; ++w) {
+    events.push_back(
+        {sec(4200 + 60 * w), trace::EventKind::kWrite, {}, storyPage});
+  }
+  trace::sortEvents(events);
+  stats::Metrics& m = sim.run(events);
+
+  std::size_t invalIdx = 0;
+  for (std::size_t i = 0; i < net::kNumPayloadTypes; ++i) {
+    if (std::string(net::payloadTypeName(i)) == "INVALIDATE") invalIdx = i;
+  }
+  Outcome out;
+  out.invalidations = m.messagesOfType(invalIdx);
+  out.totalMessages = m.totalMessages();
+  out.peakLoad = m.loadSeries(catalog.serverNode(0)).maxValue();
+  out.maxWriteDelay = m.writeDelay().max();
+  std::printf(
+      "  %-22s invalidations=%-5lld total-messages=%-6lld peak-load=%-4lld "
+      "max-write-wait=%.1fs stale-reads=%lld\n",
+      name, static_cast<long long>(out.invalidations),
+      static_cast<long long>(out.totalMessages),
+      static_cast<long long>(out.peakLoad), out.maxWriteDelay,
+      static_cast<long long>(m.staleReads()));
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Breaking-news scenario: 200 readers load a story, 50 keep "
+      "refreshing,\nthe editor publishes 5 updates.\n\n");
+  Outcome callback = runScenario(proto::Algorithm::kCallback, "Callback");
+  Outcome volume = runScenario(proto::Algorithm::kVolumeLease, "VolumeLease");
+  Outcome delay =
+      runScenario(proto::Algorithm::kVolumeDelayedInval, "Delay(d=inf)");
+
+  std::printf(
+      "\nEach update under Callback notifies every client that EVER read "
+      "the story;\nVolume Leases notifies only clients whose object leases "
+      "are still valid;\nDelayed Invalidations contacts only the ~50 "
+      "clients with live volume leases\nand queues the rest "
+      "(%.0f%% fewer invalidations than Callback, with the same\n"
+      "strong consistency).\n",
+      100.0 * (1.0 - static_cast<double>(delay.invalidations) /
+                         static_cast<double>(callback.invalidations)));
+  (void)volume;
+  return 0;
+}

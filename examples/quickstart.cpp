@@ -1,0 +1,105 @@
+// Quickstart: a five-minute tour of the volume-lease library.
+//
+// Builds a toy universe (one server, one volume, three objects, two
+// clients), runs the Volume Leases protocol by hand -- reads, a write
+// with server-driven invalidation, lease expiry -- and narrates what
+// happens at each step.
+//
+//   $ build/examples/quickstart
+#include <cstdio>
+
+#include "driver/simulation.h"
+#include "trace/catalog.h"
+
+using namespace vlease;
+
+namespace {
+
+void banner(const char* text) { std::printf("\n== %s ==\n", text); }
+
+void showRead(const char* who, const proto::ReadResult& r) {
+  std::printf("  %s: ok=%d usedNetwork=%d fetchedData=%d version=%lld\n", who,
+              r.ok, r.usedNetwork, r.fetchedData,
+              static_cast<long long>(r.version));
+}
+
+}  // namespace
+
+int main() {
+  // 1. Describe the universe: servers, clients, volumes, objects.
+  trace::Catalog catalog(/*numServers=*/1, /*numClients=*/2);
+  const VolumeId vol = catalog.addVolume(catalog.serverNode(0));
+  const ObjectId news = catalog.addObject(vol, /*sizeBytes=*/4096);
+  const ObjectId logo = catalog.addObject(vol, 1024);
+  catalog.addObject(vol, 2048);  // a third object, unused here
+
+  // 2. Pick the algorithm: Volume Leases with a 10 s volume lease and a
+  //    long (1000 s) object lease -- the paper's sweet spot: writes are
+  //    never delayed more than 10 s, reads rarely renew.
+  proto::ProtocolConfig config;
+  config.algorithm = proto::Algorithm::kVolumeLease;
+  config.volumeTimeout = sec(10);
+  config.objectTimeout = sec(1000);
+
+  driver::Simulation sim(catalog, config);
+  const NodeId alice = catalog.clientNode(0);
+  const NodeId bob = catalog.clientNode(1);
+
+  banner("First read: Alice fetches 'news' (volume + object lease)");
+  sim.issueRead(alice, news,
+                [](const proto::ReadResult& r) { showRead("alice", r); });
+  sim.drainTo(sim.scheduler().now());
+  std::printf("  messages so far: %lld\n",
+              static_cast<long long>(sim.metrics().totalMessages()));
+
+  banner("Second read 5s later: both leases still valid -> zero messages");
+  sim.drainTo(sec(5));
+  sim.issueRead(alice, news,
+                [](const proto::ReadResult& r) { showRead("alice", r); });
+  sim.drainTo(sec(5));
+  std::printf("  messages so far: %lld\n",
+              static_cast<long long>(sim.metrics().totalMessages()));
+
+  banner("Bob reads 'logo' too; the server now tracks two clients");
+  sim.issueRead(bob, logo,
+                [](const proto::ReadResult& r) { showRead("bob  ", r); });
+  sim.issueRead(bob, news,
+                [](const proto::ReadResult& r) { showRead("bob  ", r); });
+  sim.drainTo(sec(5));
+
+  banner("The server writes 'news': both caches are invalidated first");
+  sim.issueWrite(news, [](const proto::WriteResult& w) {
+    std::printf("  write committed: version=%lld waited=%s\n",
+                static_cast<long long>(w.newVersion),
+                formatSimTime(w.delay).c_str());
+  });
+  sim.drainTo(sec(5));
+
+  banner("Alice re-reads 'news': object lease gone -> renewal + new data");
+  sim.issueRead(alice, news,
+                [](const proto::ReadResult& r) { showRead("alice", r); });
+  sim.drainTo(sec(5));
+
+  banner("30s later the volume lease has expired; one volume renewal");
+  sim.drainTo(sec(35));
+  sim.issueRead(alice, news,
+                [](const proto::ReadResult& r) { showRead("alice", r); });
+  sim.drainTo(sec(35));
+
+  sim.finish();
+  banner("Run summary");
+  std::printf(
+      "  reads=%lld (cache-local %lld)  writes=%lld  messages=%lld  "
+      "bytes=%lld  stale=%lld\n",
+      static_cast<long long>(sim.metrics().reads()),
+      static_cast<long long>(sim.metrics().cacheLocalReads()),
+      static_cast<long long>(sim.metrics().writes()),
+      static_cast<long long>(sim.metrics().totalMessages()),
+      static_cast<long long>(sim.metrics().totalBytes()),
+      static_cast<long long>(sim.metrics().staleReads()));
+  std::printf(
+      "\nStrong consistency, bounded write delays, and cheap reads -- the\n"
+      "volume-lease trade the paper demonstrates. See examples/*.cpp for\n"
+      "WAN-scale scenarios.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// tcp_pair: the library outside the simulator.
+//
+// Runs a volume-lease server and client as two real event-loop threads
+// exchanging length-prefixed frames over TCP on localhost -- the exact
+// same state machines the simulator drives, bound to rt::TcpTransport
+// and wall-clock time. Narrates a lease acquisition, a cache hit, a
+// server-driven invalidation, and a volume-lease expiry.
+//
+//   $ build/examples/tcp_pair
+#include <cstdio>
+#include <future>
+#include <thread>
+
+#include "core/volume_client.h"
+#include "core/volume_server.h"
+#include "rt/tcp_transport.h"
+#include "trace/catalog.h"
+
+using namespace vlease;
+
+int main() {
+  trace::Catalog catalog(/*numServers=*/1, /*numClients=*/1);
+  const VolumeId vol = catalog.addVolume(catalog.serverNode(0));
+  const ObjectId page = catalog.addObject(vol, 16 * 1024);
+  (void)vol;
+
+  proto::ProtocolConfig config;
+  config.algorithm = proto::Algorithm::kVolumeLease;
+  config.objectTimeout = sec(10);    // object lease: 10 s
+  config.volumeTimeout = msec(800);  // volume lease: 0.8 s
+  config.msgTimeout = msec(300);
+  config.readTimeout = sec(2);
+
+  // Server side: its own loop, transport, and endpoint.
+  rt::RealTimeDriver serverDriver;
+  stats::Metrics serverMetrics;
+  rt::TcpTransport serverTransport(serverDriver, serverMetrics, /*port=*/0);
+  // Client side likewise.
+  rt::RealTimeDriver clientDriver;
+  stats::Metrics clientMetrics;
+  rt::TcpTransport clientTransport(clientDriver, clientMetrics, /*port=*/0);
+
+  std::printf("server listening on 127.0.0.1:%u, client on 127.0.0.1:%u\n",
+              serverTransport.listenPort(), clientTransport.listenPort());
+  serverTransport.addPeer(catalog.clientNode(0), "127.0.0.1",
+                          clientTransport.listenPort());
+  clientTransport.addPeer(catalog.serverNode(0), "127.0.0.1",
+                          serverTransport.listenPort());
+
+  proto::ProtocolContext serverCtx{serverDriver.scheduler(), serverTransport,
+                                   serverMetrics, catalog};
+  proto::ProtocolContext clientCtx{clientDriver.scheduler(), clientTransport,
+                                   clientMetrics, catalog};
+  core::VolumeServer server(serverCtx, catalog.serverNode(0), config,
+                            core::InvalidationMode::kImmediate);
+  core::VolumeClient client(clientCtx, catalog.clientNode(0), config);
+
+  std::thread serverThread([&] { serverDriver.run(); });
+  std::thread clientThread([&] { clientDriver.run(); });
+
+  auto read = [&](const char* label) {
+    std::promise<proto::ReadResult> p;
+    auto f = p.get_future();
+    clientDriver.post([&] {
+      client.read(page, [&p](const proto::ReadResult& r) { p.set_value(r); });
+    });
+    proto::ReadResult r = f.get();
+    std::printf("%-38s ok=%d network=%d fetched=%d version=%lld\n", label,
+                r.ok, r.usedNetwork, r.fetchedData,
+                static_cast<long long>(r.version));
+    return r;
+  };
+
+  read("cold read (2 lease round trips):");
+  read("warm read (pure cache hit):");
+
+  std::promise<proto::WriteResult> wp;
+  auto wf = wp.get_future();
+  serverDriver.post([&] {
+    server.write(page, [&wp](const proto::WriteResult& w) { wp.set_value(w); });
+  });
+  proto::WriteResult w = wf.get();
+  std::printf("%-38s version=%lld waited=%.3fs\n",
+              "server write (invalidation over TCP):",
+              static_cast<long long>(w.newVersion), toSeconds(w.delay));
+
+  read("read after write (fetches v2):");
+
+  std::printf("... letting the 0.8s volume lease lapse ...\n");
+  std::this_thread::sleep_for(std::chrono::milliseconds(1000));
+  read("read after volume expiry (renewal):");
+
+  std::printf("\nframes: client sent %lld / received %lld; server sent %lld\n",
+              static_cast<long long>(clientTransport.framesSent()),
+              static_cast<long long>(clientTransport.framesReceived()),
+              static_cast<long long>(serverTransport.framesSent()));
+
+  clientDriver.stop();
+  serverDriver.stop();
+  clientThread.join();
+  serverThread.join();
+  std::printf("\nSame protocol objects as the simulator, real sockets, real "
+              "clocks.\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# One-command reproduction: build, test, and regenerate every table and
+# figure from the paper plus the ablations.
+#
+#   scripts/reproduce.sh [scale]
+#
+# scale defaults to 0.1 (seconds per figure); pass 1 to run the full
+# paper-sized trace (~1M reads; a few minutes per figure).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-0.1}"
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+echo
+echo "== regenerating paper tables/figures at scale ${SCALE} =="
+for b in table1_costs fig5_messages fig6_state_top1 fig7_state_top10 \
+         fig8_load_bursts fig9_bursty_writes fig5_bytes_cpu; do
+  echo; echo "===================== ${b} ====================="
+  if [ "$b" = table1_costs ]; then
+    "build/bench/${b}"
+  else
+    "build/bench/${b}" --scale "${SCALE}"
+  fi
+done
+
+echo
+echo "== ablations =="
+for b in ablation_piggyback ablation_delay_d ablation_write_policy \
+         ablation_volume_granularity ablation_adaptive_poll \
+         ablation_cache_size; do
+  echo; echo "===================== ${b} ====================="
+  "build/bench/${b}" --scale "${SCALE}"
+done
+
+echo
+echo "Done. Compare against EXPERIMENTS.md (scale 0.1, seed 1998)."

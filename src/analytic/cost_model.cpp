@@ -1,0 +1,88 @@
+#include "analytic/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vlease::analytic {
+
+namespace {
+
+/// min(1 / (R * t), 1): fraction of reads that fall outside the renewal
+/// window. Degenerates to 1 (every read pays) when t == 0.
+double renewalFraction(double readRate, double timeout) {
+  if (timeout <= 0 || readRate <= 0) return 1.0;
+  return std::min(1.0, 1.0 / (readRate * timeout));
+}
+
+}  // namespace
+
+CostRow costOf(proto::Algorithm algorithm, const CostParams& p) {
+  CostRow row;
+  switch (algorithm) {
+    case proto::Algorithm::kPollEachRead:
+      row.readCost = 1.0;
+      break;
+
+    case proto::Algorithm::kPoll:
+      row.expectedStaleSeconds = p.objectTimeout / 2.0;
+      row.worstStaleSeconds = p.objectTimeout;
+      row.readCost = renewalFraction(p.readRate, p.objectTimeout);
+      break;
+
+    case proto::Algorithm::kPollAdaptive:
+      // Approximated as Poll with the object's mean adaptive window
+      // (objectTimeout stands in for it); the window varies per object.
+      row.expectedStaleSeconds = p.objectTimeout / 2.0;
+      row.worstStaleSeconds = p.objectTimeout;
+      row.readCost = renewalFraction(p.readRate, p.objectTimeout);
+      break;
+
+    case proto::Algorithm::kCallback:
+      row.writeCost = p.clientsTotal;
+      row.ackWaitSeconds = kInfiniteWait;
+      row.serverStateBytes = p.bytesPerClient * p.clientsTotal;
+      break;
+
+    case proto::Algorithm::kLease:
+      row.readCost = renewalFraction(p.readRate, p.objectTimeout);
+      row.writeCost = p.clientsObjectLease;
+      row.ackWaitSeconds = p.objectTimeout;
+      row.serverStateBytes = p.bytesPerClient * p.clientsObjectLease;
+      break;
+
+    case proto::Algorithm::kBestEffortLease:
+      // Our interpretation of the conclusion's Best Effort Lease: writes
+      // never wait; a lost invalidation leaves staleness bounded by the
+      // object lease.
+      row.worstStaleSeconds = p.objectTimeout;
+      row.readCost = renewalFraction(p.readRate, p.objectTimeout);
+      row.writeCost = p.clientsObjectLease;
+      row.ackWaitSeconds = 0;
+      row.serverStateBytes = p.bytesPerClient * p.clientsObjectLease;
+      break;
+
+    case proto::Algorithm::kVolumeLease:
+      row.readCost = renewalFraction(p.volumeReadRate, p.volumeTimeout) +
+                     renewalFraction(p.readRate, p.objectTimeout);
+      row.writeCost = p.clientsObjectLease;
+      row.ackWaitSeconds = std::min(p.objectTimeout, p.volumeTimeout);
+      row.serverStateBytes = p.bytesPerClient * p.clientsObjectLease;
+      break;
+
+    case proto::Algorithm::kVolumeDelayedInval:
+      row.readCost = renewalFraction(p.volumeReadRate, p.volumeTimeout) +
+                     renewalFraction(p.readRate, p.objectTimeout);
+      row.writeCost = p.clientsVolumeLease;
+      row.ackWaitSeconds = std::min(p.objectTimeout, p.volumeTimeout);
+      row.serverStateBytes = p.bytesPerClient * p.clientsRecentlyExpired;
+      break;
+  }
+  return row;
+}
+
+double expectedRenewals(double reads, double readRate, double timeout) {
+  if (reads <= 0) return 0;
+  return std::max(1.0, reads * renewalFraction(readRate, timeout));
+}
+
+}  // namespace vlease::analytic

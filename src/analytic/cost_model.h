@@ -1,0 +1,69 @@
+// Closed-form cost model: the paper's Table 1.
+//
+// For each algorithm it gives, per object o:
+//   * expected / worst-case stale time a client can observe,
+//   * read cost (expected fraction of reads needing a message),
+//   * write cost (invalidation messages per write),
+//   * ack-wait delay bound when a client is unreachable,
+//   * server consistency state in bytes.
+//
+// The same formulas back the validation tests, which check the simulator
+// against the model on controlled workloads (the paper validated its
+// simulator the same way, §4.1).
+#pragma once
+
+#include <limits>
+
+#include "proto/protocol.h"
+
+namespace vlease::analytic {
+
+struct CostParams {
+  /// R: reads/second of object o (by one client, as in the paper's
+  /// per-client amortization argument).
+  double readRate = 0.01;
+  /// t: object-lease / poll timeout, seconds.
+  double objectTimeout = 100'000;
+  /// t_v: volume-lease timeout, seconds.
+  double volumeTimeout = 100;
+  /// sum over objects o' in o's volume of R_o': aggregate read rate that
+  /// amortizes volume renewals.
+  double volumeReadRate = 0.1;
+  /// C_tot: clients that ever cached o.
+  double clientsTotal = 100;
+  /// C_o: clients holding valid object leases on o.
+  double clientsObjectLease = 10;
+  /// C_v: clients holding valid volume leases on o's volume.
+  double clientsVolumeLease = 3;
+  /// C_d: clients whose volume lease expired < d seconds ago (Delayed
+  /// Invalidations' pending-list population).
+  double clientsRecentlyExpired = 5;
+  /// size(x): bytes of server state per tracked client.
+  double bytesPerClient = 16;
+};
+
+struct CostRow {
+  double expectedStaleSeconds = 0;
+  double worstStaleSeconds = 0;
+  /// Messages per read (expected fraction of reads that need one
+  /// round trip; we count round trips, matching the paper's table).
+  double readCost = 0;
+  /// Invalidation messages per write.
+  double writeCost = 0;
+  /// Upper bound on how long a write waits when a client is unreachable
+  /// (infinity for Callback).
+  double ackWaitSeconds = 0;
+  /// Server state bytes attributable to o's consistency metadata.
+  double serverStateBytes = 0;
+};
+
+inline constexpr double kInfiniteWait = std::numeric_limits<double>::infinity();
+
+CostRow costOf(proto::Algorithm algorithm, const CostParams& params);
+
+/// Expected messages for `reads` reads spread uniformly at `readRate`
+/// (helper for the validation tests): reads * readCost, with the renewal
+/// count never below 1 when reads > 0.
+double expectedRenewals(double reads, double readRate, double timeout);
+
+}  // namespace vlease::analytic

@@ -1,0 +1,16 @@
+// Wires up a full protocol deployment (one server endpoint per catalog
+// server, one client endpoint per catalog client) for any of the seven
+// algorithms in Table 1.
+#pragma once
+
+#include "proto/protocol.h"
+
+namespace vlease::core {
+
+/// Builds endpoints and attaches them to the context's transport.
+/// The returned instance owns them; it must not outlive `ctx`'s
+/// scheduler/transport/metrics/catalog.
+proto::ProtocolInstance makeProtocol(const proto::ProtocolConfig& config,
+                                     proto::ProtocolContext& ctx);
+
+}  // namespace vlease::core

@@ -1,0 +1,240 @@
+#include "core/volume_client.h"
+
+#include "util/check.h"
+
+namespace vlease::core {
+
+using proto::CacheEntry;
+using proto::ReadCallback;
+using proto::ReadResult;
+
+bool VolumeClient::volumeValid(VolumeId vol, SimTime now) const {
+  auto it = volumes_.find(vol);
+  return it != volumes_.end() && it->second.expire > now;
+}
+
+bool VolumeClient::hasValidVolumeLease(VolumeId vol) const {
+  return volumeValid(vol, ctx_.scheduler.now());
+}
+
+bool VolumeClient::hasValidObjectLease(ObjectId obj) const {
+  const CacheEntry* e = cache_.find(obj);
+  return e != nullptr && e->valid(ctx_.scheduler.now());
+}
+
+Epoch VolumeClient::knownEpoch(VolumeId vol) const {
+  auto it = volumes_.find(vol);
+  return it == volumes_.end() ? 0 : it->second.epoch;
+}
+
+void VolumeClient::dropCache() {
+  cache_.clear();
+  volumes_.clear();
+  // Outstanding request markers refer to replies that may still arrive;
+  // clearing them lets the restarted client issue fresh requests.
+  volReqOutstanding_.clear();
+  objReqOutstanding_.clear();
+  lastGrantCarriedData_.clear();
+}
+
+// ---------------------------------------------------------------------
+// read path (paper Fig. 4 "Client reads object o")
+// ---------------------------------------------------------------------
+
+void VolumeClient::read(ObjectId obj, ReadCallback cb) {
+  const SimTime now = ctx_.scheduler.now();
+  const VolumeId vol = ctx_.catalog.object(obj).volume;
+  const CacheEntry* entry = cache_.find(obj);
+  if (volumeValid(vol, now) && entry != nullptr && entry->valid(now)) {
+    cache_.touch(obj);
+    ReadResult result;
+    result.ok = true;
+    result.usedNetwork = false;
+    result.fetchedData = false;
+    result.version = entry->version;
+    cb(result);
+    return;
+  }
+  lastGrantCarriedData_.erase(obj);  // track fetches for this op only
+  pending_.add(obj, config_.readTimeout, std::move(cb));
+  pendingByVol_[vol].insert(obj);
+  pump(obj);
+}
+
+void VolumeClient::pump(ObjectId obj) {
+  const SimTime now = ctx_.scheduler.now();
+  const VolumeId vol = ctx_.catalog.object(obj).volume;
+  const CacheEntry* entry = cache_.find(obj);
+  const bool volOk = volumeValid(vol, now);
+  const bool objOk = entry != nullptr && entry->valid(now);
+
+  if (volOk && objOk) {
+    ReadResult result;
+    result.ok = true;
+    result.usedNetwork = true;
+    result.fetchedData = lastGrantCarriedData_.count(obj) > 0 &&
+                         lastGrantCarriedData_[obj];
+    result.version = entry->version;
+    pending_.resolveAll(obj, result);
+    auto byVolIt = pendingByVol_.find(vol);
+    if (byVolIt != pendingByVol_.end()) {
+      byVolIt->second.erase(obj);
+      if (byVolIt->second.empty()) pendingByVol_.erase(byVolIt);
+    }
+    return;
+  }
+  if (!pending_.waitingOn(obj)) return;  // nothing to drive
+  if (!volOk) ensureVolume(vol);
+  if (!objOk) ensureObject(obj);
+}
+
+void VolumeClient::pumpVolume(VolumeId vol) {
+  auto it = pendingByVol_.find(vol);
+  if (it == pendingByVol_.end()) return;
+  // pump() mutates the set; iterate a snapshot.
+  std::vector<ObjectId> objs(it->second.begin(), it->second.end());
+  for (ObjectId obj : objs) pump(obj);
+}
+
+void VolumeClient::ensureVolume(VolumeId vol) {
+  const SimTime now = ctx_.scheduler.now();
+  auto outIt = volReqOutstanding_.find(vol);
+  if (outIt != volReqOutstanding_.end() &&
+      now < addSat(outIt->second, config_.msgTimeout)) {
+    return;  // a request is in flight
+  }
+  if (config_.piggybackVolumeLease) {
+    // The object request carries the volume renewal; only send a bare
+    // volume request if no object request is going out (pure volume
+    // refresh, e.g. during reconnection retry).
+    const auto it = pendingByVol_.find(vol);
+    if (it != pendingByVol_.end()) {
+      for (ObjectId obj : it->second) {
+        const CacheEntry* e = cache_.find(obj);
+        if (e == nullptr || !e->valid(ctx_.scheduler.now())) return;
+      }
+    }
+  }
+  volReqOutstanding_[vol] = now;
+  ctx_.transport.send(
+      net::Message{id(), ctx_.catalog.volume(vol).server,
+                   net::ReqVolLease{vol, knownEpoch(vol)}});
+}
+
+void VolumeClient::ensureObject(ObjectId obj) {
+  const SimTime now = ctx_.scheduler.now();
+  auto outIt = objReqOutstanding_.find(obj);
+  if (outIt != objReqOutstanding_.end() &&
+      now < addSat(outIt->second, config_.msgTimeout)) {
+    return;  // a request is in flight
+  }
+  objReqOutstanding_[obj] = now;
+  const CacheEntry* entry = cache_.find(obj);
+  net::ReqObjLease req{};
+  req.obj = obj;
+  req.haveVersion =
+      entry != nullptr && entry->hasData ? entry->version : kNoVersion;
+  if (config_.piggybackVolumeLease) {
+    req.wantVolume = true;
+    req.haveEpoch = knownEpoch(ctx_.catalog.object(obj).volume);
+  }
+  ctx_.transport.send(
+      net::Message{id(), ctx_.catalog.object(obj).server, req});
+}
+
+// ---------------------------------------------------------------------
+// message handling
+// ---------------------------------------------------------------------
+
+void VolumeClient::deliver(const net::Message& msg) {
+  if (std::holds_alternative<net::VolLeaseGrant>(msg.payload)) {
+    handleVolGrant(msg);
+  } else if (std::holds_alternative<net::ObjLeaseGrant>(msg.payload)) {
+    handleObjGrant(msg);
+  } else if (std::holds_alternative<net::Invalidate>(msg.payload)) {
+    handleInvalidate(msg);
+  } else if (std::holds_alternative<net::MustRenewAll>(msg.payload)) {
+    handleMustRenewAll(msg);
+  } else if (std::holds_alternative<net::BatchInvalRenew>(msg.payload)) {
+    handleBatch(msg);
+  } else {
+    VL_CHECK_MSG(false, "VolumeClient: unexpected message type");
+  }
+}
+
+void VolumeClient::handleVolGrant(const net::Message& msg) {
+  const auto& grant = std::get<net::VolLeaseGrant>(msg.payload);
+  VolLease& lease = volumes_[grant.vol];
+  lease.expire = grant.expire;
+  lease.epoch = grant.epoch;
+  volReqOutstanding_.erase(grant.vol);
+  pumpVolume(grant.vol);
+}
+
+void VolumeClient::handleObjGrant(const net::Message& msg) {
+  const auto& grant = std::get<net::ObjLeaseGrant>(msg.payload);
+  CacheEntry& entry = cache_.entry(grant.obj);
+  entry.version = grant.version;
+  if (grant.carriesData) entry.hasData = true;
+  entry.validUntil = grant.expire;
+  entry.lastValidated = ctx_.scheduler.now();
+  lastGrantCarriedData_[grant.obj] = grant.carriesData;
+  objReqOutstanding_.erase(grant.obj);
+  if (grant.grantsVolume) {
+    const VolumeId vol = ctx_.catalog.object(grant.obj).volume;
+    VolLease& lease = volumes_[vol];
+    lease.expire = grant.volExpire;
+    lease.epoch = grant.epoch;
+    volReqOutstanding_.erase(vol);
+    pumpVolume(vol);
+  } else {
+    pump(grant.obj);
+  }
+}
+
+void VolumeClient::handleInvalidate(const net::Message& msg) {
+  const auto& inval = std::get<net::Invalidate>(msg.payload);
+  cache_.entry(inval.obj).invalidate();
+  ctx_.transport.send(
+      net::Message{id(), msg.from, net::AckInvalidate{inval.obj}});
+  // A read that was waiting on this object must now re-fetch it.
+  pump(inval.obj);
+}
+
+void VolumeClient::handleMustRenewAll(const net::Message& msg) {
+  const auto& mra = std::get<net::MustRenewAll>(msg.payload);
+  net::RenewObjLeases renew{};
+  renew.vol = mra.vol;
+  // Paper §3.1.1 (prose): the client reports every cached object of the
+  // volume with its version number so the server can renew the
+  // unmodified ones and invalidate the rest. (Fig. 4's pseudocode says
+  // "expired leases only", which contradicts the prose and the safety
+  // argument; see DESIGN.md §6.)
+  cache_.forEach([&](ObjectId obj, const CacheEntry& entry) {
+    if (!entry.hasData) return;
+    if (ctx_.catalog.object(obj).volume != mra.vol) return;
+    renew.leases.push_back(net::RenewObjLeases::Entry{obj, entry.version});
+  });
+  ctx_.transport.send(net::Message{id(), msg.from, std::move(renew)});
+}
+
+void VolumeClient::handleBatch(const net::Message& msg) {
+  const auto& batch = std::get<net::BatchInvalRenew>(msg.payload);
+  for (ObjectId obj : batch.invalidate) {
+    cache_.entry(obj).invalidate();
+  }
+  const SimTime now = ctx_.scheduler.now();
+  for (const auto& renewal : batch.renew) {
+    CacheEntry& entry = cache_.entry(renewal.obj);
+    VL_DCHECK(entry.version == renewal.version);
+    entry.validUntil = renewal.expire;
+    entry.lastValidated = now;
+  }
+  ctx_.transport.send(net::Message{id(), msg.from, net::AckBatch{batch.vol}});
+  // Reads blocked on invalidated objects must re-request them; the
+  // volume grant (arriving next) pumps the rest.
+  for (ObjectId obj : batch.invalidate) pump(obj);
+  for (const auto& renewal : batch.renew) pump(renewal.obj);
+}
+
+}  // namespace vlease::core

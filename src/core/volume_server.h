@@ -1,0 +1,175 @@
+// Volume-lease server (paper §3, Figs. 2-3): the paper's primary
+// contribution.
+//
+// The server grants long leases on objects and short leases on volumes;
+// a write may proceed as soon as EITHER lease has expired for every
+// non-acknowledging client. Two modes:
+//
+//   * kImmediate (paper's "Volume Leases"): writes invalidate every
+//     valid object-lease holder (cost C_o) and wait for acks until
+//     min(volume-expiry, object-expiry), with a msgTimeout floor;
+//     non-ackers join the volume's Unreachable set.
+//
+//   * kDelayed ("Volume Leases with Delayed Invalidations"): holders
+//     whose volume lease has expired are not contacted (cost C_v).
+//     Their invalidations queue on a per-client Pending list; the batch
+//     is delivered -- and acknowledged -- when the client next renews
+//     the volume. After d seconds of inactivity the client moves to
+//     Unreachable and its pending list is discarded.
+//
+// Fault tolerance follows the paper exactly:
+//   * Unreachable clients renewing a volume run the reconnection
+//     exchange (MUST_RENEW_ALL -> RENEW_OBJ_LEASES -> batch
+//     invalidate/renew -> ack -> volume grant) that repairs their
+//     object-lease state (§3.1.1);
+//   * crashAndReboot() bumps every volume's epoch, discards all lease
+//     state, and delays writes until the longest granted volume lease
+//     has drained ("stable storage" keeps only that high-water mark and
+//     the epoch counters, §3.1.2); clients presenting a stale epoch are
+//     treated as unreachable.
+//
+// Consistency guards beyond the pseudocode (needed once messages have
+// real latency; no-ops in the paper's zero-latency sequential model):
+//   * while a write is in flight, object-lease requests for that object
+//     and all volume-lease traffic for its volume are deferred until
+//     commit, so no lease is granted on a version about to change;
+//   * a client mid-flush (pending-list delivery) counts as an immediate
+//     invalidation target for concurrent writes.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "proto/protocol.h"
+
+namespace vlease::core {
+
+enum class InvalidationMode { kImmediate, kDelayed };
+
+class VolumeServer final : public proto::ServerNode {
+ public:
+  VolumeServer(proto::ProtocolContext& ctx, NodeId id,
+               const proto::ProtocolConfig& config, InvalidationMode mode)
+      : ServerNode(ctx, id), config_(config), mode_(mode) {}
+
+  void write(ObjectId obj, proto::WriteCallback cb) override;
+  Version currentVersion(ObjectId obj) const override;
+  void deliver(const net::Message& msg) override;
+  void crashAndReboot() override;
+  void finalizeAccounting(SimTime now) override;
+
+  // ---- introspection hooks for tests ----
+  bool isUnreachable(NodeId client, VolumeId vol) const;
+  bool isInactive(NodeId client, VolumeId vol) const;
+  std::size_t pendingMessageCount(NodeId client, VolumeId vol) const;
+  Epoch volumeEpoch(VolumeId vol) const;
+  std::size_t validObjectHolders(ObjectId obj) const;
+  std::size_t validVolumeHolders(VolumeId vol) const;
+  SimTime recoveryUntil() const { return recoveryUntil_; }
+
+ private:
+  struct LeaseRecord {
+    SimTime expire = kSimTimeMin;
+    SimTime lastAccounted = 0;
+  };
+  struct PendingMsg {
+    ObjectId obj;
+    SimTime lastAccounted;
+    SimTime discardAt;  // volExpiredAt + d (kNever when d = inf)
+  };
+  struct InactiveClient {
+    SimTime volExpiredAt;
+    std::vector<PendingMsg> pending;
+  };
+  struct VolState {
+    Epoch epoch = 1;
+    SimTime expire = kSimTimeMin;  // aggregate lease horizon
+    std::unordered_map<NodeId, LeaseRecord> holders;
+    std::unordered_set<NodeId> unreachable;
+    std::unordered_map<NodeId, InactiveClient> inactive;
+    /// Writes currently in flight on objects of this volume; volume
+    /// grant / reconnection traffic defers while > 0.
+    int pendingWrites = 0;
+    std::deque<std::function<void()>> deferred;
+  };
+  struct ObjState {
+    Version version = 1;
+    SimTime expire = kSimTimeMin;  // aggregate lease horizon
+    std::unordered_map<NodeId, LeaseRecord> holders;
+  };
+  struct PendingWrite {
+    proto::WriteCallback cb;
+    SimTime requestedAt = 0;
+    std::unordered_set<NodeId> waiting;
+    sim::TimerHandle timer;
+    std::deque<net::Message> deferredObjRequests;
+    std::deque<proto::WriteCallback> queuedWrites;
+    /// Invalidate-by-waiting (writeByLeaseExpiry): no messages were
+    /// sent; at commit, holders whose object leases are still valid owe
+    /// an invalidation via the pending-list / Unreachable machinery.
+    bool byExpiry = false;
+  };
+  /// In-flight multi-step exchange with one client on one volume:
+  /// reconnection (after MUST_RENEW_ALL) or pending-list flush.
+  struct Session {
+    enum class Kind { kReconnect, kFlush } kind;
+    bool awaitingAck = false;  // batch sent, ack not yet received
+    sim::TimerHandle timer;
+  };
+
+  VolState& vol(VolumeId id) { return volumes_[id]; }
+  ObjState& objState(ObjectId id) { return objects_[id]; }
+  VolumeId volumeOf(ObjectId obj) const {
+    return ctx_.catalog.object(obj).volume;
+  }
+
+  // message handlers
+  void handleReqVolLease(const net::Message& msg);
+  void handleReqObjLease(const net::Message& msg);
+  void handleRenewObjLeases(const net::Message& msg);
+  void handleAckInvalidate(const net::Message& msg);
+  void handleAckBatch(const net::Message& msg);
+
+  /// Re-validates (unreachable? pending flush? write in flight?) and
+  /// then grants, reconnects, or flushes as appropriate.
+  void maybeGrantVolume(NodeId client, VolumeId volId);
+  void grantVolume(NodeId client, VolumeId volId);
+  void grantObject(const net::Message& msg);
+  void startReconnect(NodeId client, VolumeId volId);
+  void startFlush(NodeId client, VolumeId volId);
+  void endSession(NodeId client, VolumeId volId);
+  Session* findSession(NodeId client, VolumeId volId);
+
+  void writeInternal(ObjectId obj, proto::WriteCallback cb,
+                     SimTime requestedAt);
+  void startWrite(ObjectId obj, proto::WriteCallback cb, SimTime requestedAt);
+  void commitWrite(ObjectId obj);
+  void drainVolumeDeferred(VolumeId volId);
+
+  void removeObjHolder(ObjState& st, NodeId client);
+  void removeVolHolder(VolState& st, NodeId client);
+  void discardPending(VolState& st, NodeId client);
+  /// Move an inactive-past-d client to Unreachable (lazy d enforcement).
+  void demoteIfExpired(VolState& st, NodeId client, SimTime now);
+
+  const proto::ProtocolConfig config_;
+  const InvalidationMode mode_;
+
+  std::unordered_map<VolumeId, VolState> volumes_;
+  std::unordered_map<ObjectId, ObjState> objects_;
+  std::unordered_map<ObjectId, PendingWrite> pendingWrites_;
+  std::map<std::pair<NodeId, VolumeId>, Session> sessions_;
+
+  /// "Stable storage" (survives crashAndReboot): the high-water mark of
+  /// granted volume leases, used to bound the recovery wait. Versions
+  /// and epochs live with the data and also survive; only lease state
+  /// is lost on a crash.
+  SimTime maxVolExpireGranted_ = kSimTimeMin;
+  SimTime recoveryUntil_ = kSimTimeMin;
+};
+
+}  // namespace vlease::core

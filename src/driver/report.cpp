@@ -1,0 +1,61 @@
+#include "driver/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace vlease::driver {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::addRow(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i)
+    widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << row[i];
+      if (i + 1 < row.size())
+        os << std::string(widths[i] - row[i].size() + 2, ' ');
+    }
+    os << "\n";
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+  for (const auto& row : rows_) emit(row);
+}
+
+void Table::printCsv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << row[i];
+      if (i + 1 < row.size()) os << ",";
+    }
+    os << "\n";
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string Table::num(double v, int precision) {
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::num(std::int64_t v) { return std::to_string(v); }
+
+}  // namespace vlease::driver

@@ -1,0 +1,27 @@
+// Fixed-width table / CSV emitters for the bench binaries.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vlease::driver {
+
+/// Accumulates rows of strings and prints an aligned table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void addRow(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+  void printCsv(std::ostream& os) const;
+
+  static std::string num(double v, int precision = 3);
+  static std::string num(std::int64_t v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vlease::driver

@@ -1,0 +1,53 @@
+#include "driver/workloads.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace vlease::driver {
+
+Workload buildWorkload(const WorkloadOptions& options) {
+  trace::BuLikeConfig readConfig;
+  readConfig.seed = options.seed;
+  readConfig.scale = options.scale;
+  readConfig.numClients = options.numClients;
+  readConfig.numServers = options.numServers;
+  readConfig.duration = options.duration;
+  trace::BuLikeTrace trace = trace::generateBuLikeTrace(readConfig);
+
+  trace::WriteModelConfig writeConfig;
+  writeConfig.seed = options.seed ^ 0x9e3779b97f4a7c15ull;
+  writeConfig.duration = options.duration;
+  trace::WriteWorkload writes =
+      trace::synthesizeWrites(trace.catalog, trace.readsPerObject, writeConfig);
+
+  std::vector<trace::TraceEvent> writeEvents = std::move(writes.writes);
+  if (options.burstyWrites) {
+    trace::BurstyWriteConfig bursty;
+    bursty.seed = options.seed ^ 0x5bf03635ull;
+    writeEvents = trace::makeWritesBursty(trace.catalog, writeEvents, bursty);
+  }
+
+  Workload out{std::move(trace.catalog), {}, 0, 0, {}};
+  out.readCount = static_cast<std::int64_t>(trace.reads.size());
+  out.writeCount = static_cast<std::int64_t>(writeEvents.size());
+  out.readsPerServer = std::move(trace.readsPerServer);
+  out.events =
+      trace::mergeEvents(std::move(trace.reads), std::move(writeEvents));
+  return out;
+}
+
+std::uint32_t nthBusiestServer(const Workload& workload, std::size_t k) {
+  VL_CHECK(k < workload.readsPerServer.size());
+  std::vector<std::uint32_t> order(workload.readsPerServer.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    if (workload.readsPerServer[a] != workload.readsPerServer[b])
+      return workload.readsPerServer[a] > workload.readsPerServer[b];
+    return a < b;
+  });
+  return order[k];
+}
+
+}  // namespace vlease::driver

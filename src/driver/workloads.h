@@ -1,0 +1,43 @@
+// Canonical experiment workloads: the BU-like read trace plus the
+// paper's synthetic write model, merged into the single stream every
+// figure runs on. All benches and integration tests share these so the
+// algorithms are compared on identical inputs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/catalog.h"
+#include "trace/events.h"
+#include "trace/generator.h"
+#include "trace/write_synth.h"
+
+namespace vlease::driver {
+
+struct WorkloadOptions {
+  std::uint64_t seed = 1998;
+  /// Scales object and read counts; 1.0 reproduces the paper's volumes
+  /// (~69k objects, ~1.03M reads, ~210k writes over 120 days).
+  double scale = 1.0;
+  std::uint32_t numClients = 33;
+  std::uint32_t numServers = 1000;
+  SimDuration duration = days(120);
+  /// Fig. 9: each write drags k ~ Exp(10) same-volume writes.
+  bool burstyWrites = false;
+};
+
+struct Workload {
+  trace::Catalog catalog;
+  std::vector<trace::TraceEvent> events;  // reads + writes, merged
+  std::int64_t readCount = 0;
+  std::int64_t writeCount = 0;
+  std::vector<std::int64_t> readsPerServer;  // by server index
+};
+
+Workload buildWorkload(const WorkloadOptions& options);
+
+/// Index (into catalog server numbering) of the k-th busiest server by
+/// read count (k = 0 is the most popular).
+std::uint32_t nthBusiestServer(const Workload& workload, std::size_t k);
+
+}  // namespace vlease::driver

@@ -1,0 +1,69 @@
+// Failure injection: node crashes, bidirectional link partitions, and
+// probabilistic message loss. The simulated network consults this on
+// every send.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <utility>
+
+#include "util/ids.h"
+#include "util/rng.h"
+
+namespace vlease::net {
+
+class FailureModel {
+ public:
+  /// A crashed node neither sends nor receives; messages to it vanish.
+  void crash(NodeId node) { crashed_.insert(node); }
+  void recover(NodeId node) { crashed_.erase(node); }
+  bool isCrashed(NodeId node) const { return crashed_.count(node) > 0; }
+
+  /// Cut / heal the (bidirectional) link between two nodes.
+  void partition(NodeId a, NodeId b) { cutLinks_.insert(key(a, b)); }
+  void heal(NodeId a, NodeId b) { cutLinks_.erase(key(a, b)); }
+  bool isPartitioned(NodeId a, NodeId b) const {
+    return cutLinks_.count(key(a, b)) > 0;
+  }
+
+  /// Isolate a node from everyone (convenience wrapper used in tests:
+  /// models an unreachable-but-alive client).
+  void isolate(NodeId node) { isolated_.insert(node); }
+  void deisolate(NodeId node) { isolated_.erase(node); }
+  bool isIsolated(NodeId node) const { return isolated_.count(node) > 0; }
+
+  /// Independent per-message drop probability (0 = reliable).
+  void setLossProbability(double p) { lossProb_ = p; }
+  double lossProbability() const { return lossProb_; }
+
+  /// Would a message from `a` reach `b` (ignoring random loss)?
+  bool isReachable(NodeId a, NodeId b) const {
+    return !isCrashed(a) && !isCrashed(b) && !isIsolated(a) &&
+           !isIsolated(b) && !isPartitioned(a, b);
+  }
+
+  /// Full verdict for one message, including a loss coin-flip.
+  bool allowsDelivery(NodeId a, NodeId b, Rng& rng) const {
+    if (!isReachable(a, b)) return false;
+    return lossProb_ <= 0.0 || !rng.nextBool(lossProb_);
+  }
+
+  bool anyFailures() const {
+    return !crashed_.empty() || !cutLinks_.empty() || !isolated_.empty() ||
+           lossProb_ > 0.0;
+  }
+
+ private:
+  static std::uint64_t key(NodeId a, NodeId b) {
+    std::uint32_t lo = raw(a), hi = raw(b);
+    if (lo > hi) std::swap(lo, hi);
+    return (static_cast<std::uint64_t>(hi) << 32) | lo;
+  }
+
+  std::unordered_set<NodeId> crashed_;
+  std::unordered_set<NodeId> isolated_;
+  std::unordered_set<std::uint64_t> cutLinks_;
+  double lossProb_ = 0.0;
+};
+
+}  // namespace vlease::net

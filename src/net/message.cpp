@@ -1,0 +1,67 @@
+#include "net/message.h"
+
+namespace vlease::net {
+
+namespace {
+
+struct WireBytesVisitor {
+  std::int64_t operator()(const ReqObjLease& m) const {
+    return kHeaderBytes + 2 * kFieldBytes + (m.wantVolume ? kFieldBytes : 0);
+  }
+  std::int64_t operator()(const ReqVolLease&) const {
+    return kHeaderBytes + 2 * kFieldBytes;
+  }
+  std::int64_t operator()(const RenewObjLeases& m) const {
+    return kHeaderBytes + kFieldBytes +
+           static_cast<std::int64_t>(m.leases.size()) * 2 * kFieldBytes;
+  }
+  std::int64_t operator()(const AckInvalidate&) const {
+    return kHeaderBytes + kFieldBytes;
+  }
+  std::int64_t operator()(const AckBatch&) const {
+    return kHeaderBytes + kFieldBytes;
+  }
+  std::int64_t operator()(const PollRequest&) const {
+    return kHeaderBytes + 2 * kFieldBytes;
+  }
+  std::int64_t operator()(const ObjLeaseGrant& m) const {
+    return kHeaderBytes + 3 * kFieldBytes + (m.carriesData ? m.dataBytes : 0) +
+           (m.grantsVolume ? 2 * kFieldBytes : 0);
+  }
+  std::int64_t operator()(const VolLeaseGrant&) const {
+    return kHeaderBytes + 3 * kFieldBytes;
+  }
+  std::int64_t operator()(const Invalidate&) const {
+    return kHeaderBytes + kFieldBytes;
+  }
+  std::int64_t operator()(const MustRenewAll&) const {
+    return kHeaderBytes + kFieldBytes;
+  }
+  std::int64_t operator()(const BatchInvalRenew& m) const {
+    return kHeaderBytes + kFieldBytes +
+           static_cast<std::int64_t>(m.invalidate.size()) * kFieldBytes +
+           static_cast<std::int64_t>(m.renew.size()) * 3 * kFieldBytes;
+  }
+  std::int64_t operator()(const PollReply& m) const {
+    return kHeaderBytes + 3 * kFieldBytes + (m.carriesData ? m.dataBytes : 0);
+  }
+};
+
+constexpr const char* kTypeNames[] = {
+    "REQ_OBJ_LEASE", "REQ_VOL_LEASE", "RENEW_OBJ_LEASES", "ACK_INVALIDATE",
+    "ACK_BATCH",     "POLL_REQUEST",  "OBJ_LEASE",        "VOL_LEASE",
+    "INVALIDATE",    "MUST_RENEW_ALL", "BATCH_INVAL_RENEW", "POLL_REPLY"};
+static_assert(sizeof(kTypeNames) / sizeof(kTypeNames[0]) == kNumPayloadTypes,
+              "type-name table out of sync with Payload variant");
+
+}  // namespace
+
+const char* payloadTypeName(std::size_t index) {
+  return index < kNumPayloadTypes ? kTypeNames[index] : "?";
+}
+
+std::int64_t wireBytes(const Payload& p) {
+  return std::visit(WireBytesVisitor{}, p);
+}
+
+}  // namespace vlease::net

@@ -1,0 +1,158 @@
+// Typed protocol messages.
+//
+// One message vocabulary covers every algorithm in the paper:
+//   * Poll / Poll Each Read use PollRequest / PollReply
+//     (if-modified-since semantics);
+//   * Callback and Lease use the object-lease pair (Callback is the
+//     degenerate case of a never-expiring lease);
+//   * Volume Leases adds the volume-lease pair, invalidations and the
+//     reconnection exchange (MUST_RENEW_ALL / RENEW_OBJ_LEASES /
+//     BatchInvalRenew / AckBatch) from the paper's Figs. 3-4;
+//   * Delayed Invalidations reuses BatchInvalRenew to flush a client's
+//     pending list when it renews a volume.
+//
+// Wire sizes are modeled, not serialized: wireBytes() charges a fixed
+// header plus 8 bytes per field/element plus the object payload when data
+// rides along. The byte totals feed the "network bytes" metric the paper
+// discusses alongside Fig. 5.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "util/ids.h"
+#include "util/time.h"
+
+namespace vlease::net {
+
+/// Fixed per-message overhead (transport headers etc.).
+inline constexpr std::int64_t kHeaderBytes = 40;
+/// Modeled size of one id / version / timestamp field on the wire.
+inline constexpr std::int64_t kFieldBytes = 8;
+
+// ---- client -> server ----
+
+/// Paper: REQ_OBJ_LEASE(objId, version). haveVersion == kNoVersion means
+/// the client holds no copy; the grant then piggybacks the data.
+/// wantVolume/haveEpoch implement the piggyback ablation (one round trip
+/// renews both leases); the paper's protocol leaves them off.
+struct ReqObjLease {
+  ObjectId obj;
+  Version haveVersion;
+  bool wantVolume = false;
+  Epoch haveEpoch = 0;
+};
+
+/// Paper: REQ_VOL_LEASE(volId, volEpoch).
+struct ReqVolLease {
+  VolumeId vol;
+  Epoch haveEpoch;
+};
+
+/// Paper: RENEW_OBJ_LEASES(volId, leaseSet) -- the reconnection reply
+/// listing the client's cached objects of this volume with versions.
+struct RenewObjLeases {
+  VolumeId vol;
+  struct Entry {
+    ObjectId obj;
+    Version version;
+  };
+  std::vector<Entry> leases;
+};
+
+/// Paper: ACK_INVALIDATE(objId) for a single-object invalidation.
+struct AckInvalidate {
+  ObjectId obj;
+};
+
+/// Ack for a BatchInvalRenew (paper: ACK_INVALIDATE(volId)).
+struct AckBatch {
+  VolumeId vol;
+};
+
+/// If-modified-since validation request (Poll family; also the plain
+/// fetch path of Callback).
+struct PollRequest {
+  ObjectId obj;
+  Version haveVersion;
+};
+
+// ---- server -> client ----
+
+/// Paper: OBJ_LEASE(objId, version, expire [, data]).
+/// grantsVolume/volExpire/epoch carry the piggybacked volume lease when
+/// the piggyback ablation is enabled.
+struct ObjLeaseGrant {
+  ObjectId obj;
+  Version version;
+  SimTime expire;     // kNever encodes a Callback registration
+  bool carriesData;   // true when the client's copy was stale/absent
+  std::int64_t dataBytes;
+  bool grantsVolume = false;
+  SimTime volExpire = 0;
+  Epoch epoch = 0;
+};
+
+/// Paper: VOL_LEASE(volId, expire, epoch).
+struct VolLeaseGrant {
+  VolumeId vol;
+  SimTime expire;
+  Epoch epoch;
+};
+
+/// Paper: INVALIDATE(objId).
+struct Invalidate {
+  ObjectId obj;
+};
+
+/// Paper: MUST_RENEW_ALL(volId) -- start of the reconnection exchange.
+struct MustRenewAll {
+  VolumeId vol;
+};
+
+/// Paper: the combined "INVALIDATE(invalList), RENEW(renewList)" reply of
+/// the reconnection protocol; also delivers Delayed Invalidations'
+/// pending lists on volume renewal.
+struct BatchInvalRenew {
+  VolumeId vol;
+  std::vector<ObjectId> invalidate;
+  struct Renewal {
+    ObjectId obj;
+    Version version;
+    SimTime expire;
+  };
+  std::vector<Renewal> renew;
+};
+
+/// Reply to PollRequest: current version; data when the client was
+/// stale. modifiedAt (the object's last-write time) feeds the adaptive-
+/// TTL Poll variant, mirroring HTTP's Last-Modified header.
+struct PollReply {
+  ObjectId obj;
+  Version version;
+  bool carriesData;
+  std::int64_t dataBytes;
+  SimTime modifiedAt = 0;
+};
+
+using Payload =
+    std::variant<ReqObjLease, ReqVolLease, RenewObjLeases, AckInvalidate,
+                 AckBatch, PollRequest, ObjLeaseGrant, VolLeaseGrant,
+                 Invalidate, MustRenewAll, BatchInvalRenew, PollReply>;
+
+/// Stable index of a payload alternative (metrics breakdown key).
+inline std::size_t payloadTypeIndex(const Payload& p) { return p.index(); }
+const char* payloadTypeName(std::size_t index);
+constexpr std::size_t kNumPayloadTypes = std::variant_size_v<Payload>;
+
+/// Modeled wire size of a payload (header + fields + piggybacked data).
+std::int64_t wireBytes(const Payload& p);
+
+struct Message {
+  NodeId from;
+  NodeId to;
+  Payload payload;
+};
+
+}  // namespace vlease::net

@@ -1,0 +1,42 @@
+#include "net/sim_network.h"
+
+#include "util/check.h"
+#include "util/log.h"
+
+namespace vlease::net {
+
+void SimNetwork::attach(NodeId node, MessageSink* sink) {
+  VL_CHECK(sink != nullptr);
+  sinks_[node] = sink;
+}
+
+void SimNetwork::detach(NodeId node) { sinks_.erase(node); }
+
+void SimNetwork::send(Message msg) {
+  ++sent_;
+  const std::int64_t bytes = wireBytes(msg.payload);
+  const bool deliverable =
+      failures_.allowsDelivery(msg.from, msg.to, lossRng_) &&
+      sinks_.count(msg.to) > 0;
+  metrics_.onMessage(msg.from, msg.to, payloadTypeIndex(msg.payload), bytes,
+                     scheduler_.now(), deliverable);
+  VL_LOG_DEBUG << "[" << formatSimTime(scheduler_.now()) << "] "
+               << (deliverable ? "send " : "DROP ")
+               << payloadTypeName(payloadTypeIndex(msg.payload)) << " "
+               << raw(msg.from) << "->" << raw(msg.to);
+  if (!deliverable) return;
+  const SimDuration delay = latency_ ? latency_(msg.from, msg.to) : 0;
+  VL_CHECK(delay >= 0);
+  scheduler_.scheduleAfter(delay, [this, m = std::move(msg)]() {
+    // Re-check at delivery time: the destination may have crashed or
+    // detached while the message was in flight (only possible with
+    // nonzero latency).
+    if (failures_.isCrashed(m.to)) return;
+    auto it = sinks_.find(m.to);
+    if (it == sinks_.end()) return;
+    ++delivered_;
+    it->second->deliver(m);
+  });
+}
+
+}  // namespace vlease::net

@@ -1,0 +1,34 @@
+// Transport abstraction the protocol endpoints are written against.
+//
+// Endpoints never talk to the simulator directly for messaging; they see
+// only this interface, so the same client/server state machines could be
+// bound to a real socket transport. net::SimNetwork is the simulation
+// binding.
+#pragma once
+
+#include "net/message.h"
+
+namespace vlease::net {
+
+/// Receiving side of a node.
+class MessageSink {
+ public:
+  virtual ~MessageSink() = default;
+  virtual void deliver(const Message& msg) = 0;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Register the sink for a node id. A node must be attached before any
+  /// message addressed to it is delivered.
+  virtual void attach(NodeId node, MessageSink* sink) = 0;
+  virtual void detach(NodeId node) = 0;
+
+  /// Fire-and-forget send. Delivery is asynchronous and may silently
+  /// fail (loss, partition, crashed peer) -- protocols must tolerate it.
+  virtual void send(Message msg) = 0;
+};
+
+}  // namespace vlease::net

@@ -1,0 +1,75 @@
+// Binary wire format for protocol messages.
+//
+// The simulator never serializes (payloads move as C++ objects and only
+// their modeled size is charged), but the TCP transport binding sends
+// real bytes. Encoding: little-endian fixed-width integers, length-
+// prefixed lists, one type byte selecting the Payload alternative:
+//
+//   [u32 from][u32 to][u8 typeIndex][fields...]
+//
+// Piggybacked object data is represented by its byte count only (the
+// simulator's object "contents" are synthetic); a production deployment
+// would append the blob after the header.
+//
+// decodeMessage() is safe on untrusted input: every read is bounds-
+// checked and list lengths are validated against the remaining buffer.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/message.h"
+
+namespace vlease::net {
+
+/// Append-only little-endian encoder.
+class WireWriter {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Bounds-checked little-endian decoder. After any failed read, ok()
+/// turns false and every subsequent read returns zero.
+class WireReader {
+ public:
+  WireReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  bool boolean() { return u8() != 0; }
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return size_ - pos_; }
+
+ private:
+  bool need(std::size_t n);
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Serialize a message (header + payload).
+std::vector<std::uint8_t> encodeMessage(const Message& msg);
+
+/// Parse; nullopt on any malformed input (truncation, bad type byte,
+/// oversized list).
+std::optional<Message> decodeMessage(const std::uint8_t* data,
+                                     std::size_t size);
+
+}  // namespace vlease::net

@@ -1,0 +1,90 @@
+#include "proto/client_cache.h"
+
+#include <algorithm>
+
+namespace vlease::proto {
+
+void ClientCache::moveToFront(Slot& slot, ObjectId obj) {
+  lru_.erase(slot.lruIt);
+  lru_.push_front(obj);
+  slot.lruIt = lru_.begin();
+}
+
+CacheEntry& ClientCache::entry(ObjectId obj) {
+  auto it = map_.find(obj);
+  if (it != map_.end()) {
+    moveToFront(it->second, obj);
+    return it->second.entry;
+  }
+  lru_.push_front(obj);
+  auto [newIt, inserted] = map_.emplace(obj, Slot{CacheEntry{}, lru_.begin()});
+  VL_DCHECK(inserted);
+  if (capacity_ > 0 && map_.size() > capacity_) {
+    // Evict the least recently used entry (never the one just added:
+    // it sits at the front and capacity_ >= 1).
+    const ObjectId victim = lru_.back();
+    lru_.pop_back();
+    map_.erase(victim);
+    ++evictions_;
+  }
+  return newIt->second.entry;
+}
+
+void ClientCache::touch(ObjectId obj) {
+  auto it = map_.find(obj);
+  if (it != map_.end()) moveToFront(it->second, obj);
+}
+
+PendingReads::Token PendingReads::add(ObjectId obj, SimDuration timeout,
+                                      ReadCallback onResolve) {
+  Token token = nextToken_++;
+  Op op;
+  op.obj = obj;
+  op.cb = std::move(onResolve);
+  op.timer = scheduler_.scheduleAfter(timeout, [this, token]() {
+    ReadResult failed;
+    failed.ok = false;
+    resolveOne(token, failed);
+  });
+  ops_.emplace(token, std::move(op));
+  byObject_[obj].push_back(token);
+  return token;
+}
+
+void PendingReads::resolveAll(ObjectId obj, const ReadResult& result) {
+  auto it = byObject_.find(obj);
+  if (it == byObject_.end()) return;
+  // Detach first: callbacks may issue new reads on the same object.
+  std::vector<Token> tokens = std::move(it->second);
+  byObject_.erase(it);
+  for (Token token : tokens) {
+    auto opIt = ops_.find(token);
+    if (opIt == ops_.end()) continue;
+    Op op = std::move(opIt->second);
+    ops_.erase(opIt);
+    op.timer.cancel();
+    op.cb(result);
+  }
+}
+
+std::vector<PendingReads::Token> PendingReads::tokensFor(ObjectId obj) const {
+  auto it = byObject_.find(obj);
+  return it == byObject_.end() ? std::vector<Token>{} : it->second;
+}
+
+void PendingReads::resolveOne(Token token, const ReadResult& result) {
+  auto opIt = ops_.find(token);
+  if (opIt == ops_.end()) return;
+  Op op = std::move(opIt->second);
+  ops_.erase(opIt);
+  auto listIt = byObject_.find(op.obj);
+  if (listIt != byObject_.end()) {
+    auto& list = listIt->second;
+    list.erase(std::remove(list.begin(), list.end(), token), list.end());
+    if (list.empty()) byObject_.erase(listIt);
+  }
+  op.timer.cancel();
+  op.cb(result);
+}
+
+}  // namespace vlease::proto

@@ -1,0 +1,131 @@
+// Client-side cache bookkeeping shared by all algorithms, plus the
+// pending-read table that matches asynchronous replies (and timeouts)
+// back to outstanding read() calls.
+//
+// The paper assumes infinitely large client caches (§4.1); we do the
+// same -- entries are only removed by invalidation or dropCache().
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "proto/protocol.h"
+#include "sim/scheduler.h"
+#include "util/ids.h"
+#include "util/time.h"
+
+namespace vlease::proto {
+
+struct CacheEntry {
+  Version version = kNoVersion;  // kNoVersion: no copy cached
+  bool hasData = false;
+  /// Lease/validity horizon: object lease expiry (lease algorithms),
+  /// lastValidated + t (Poll), kNever (Callback registration).
+  SimTime validUntil = kSimTimeMin;
+  /// When the entry was last validated against the server.
+  SimTime lastValidated = kSimTimeMin;
+
+  bool valid(SimTime now) const { return hasData && validUntil > now; }
+
+  void invalidate() {
+    hasData = false;
+    version = kNoVersion;
+    validUntil = kSimTimeMin;
+  }
+};
+
+/// Per-client object cache. capacity == 0 reproduces the paper's
+/// infinitely large caches (§4.1); a nonzero capacity bounds the number
+/// of entries with LRU eviction -- entry() and touch() refresh recency,
+/// and inserting beyond capacity evicts the least recently used entry
+/// (leases on evicted objects are simply forgotten; the server's record
+/// expires or is acked away on the next invalidation).
+class ClientCache {
+ public:
+  explicit ClientCache(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  CacheEntry& entry(ObjectId obj);
+
+  const CacheEntry* find(ObjectId obj) const {
+    auto it = map_.find(obj);
+    return it == map_.end() ? nullptr : &it->second.entry;
+  }
+
+  /// Refresh LRU recency (cache-hit path).
+  void touch(ObjectId obj);
+
+  void clear() {
+    map_.clear();
+    lru_.clear();
+  }
+
+  std::size_t size() const { return map_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::int64_t evictions() const { return evictions_; }
+
+  /// Visit every (id, entry) pair (reconnection enumerates the cache).
+  template <typename Fn>
+  void forEach(Fn&& fn) const {
+    for (const auto& [obj, slot] : map_) fn(obj, slot.entry);
+  }
+
+ private:
+  struct Slot {
+    CacheEntry entry;
+    std::list<ObjectId>::iterator lruIt;
+  };
+  void moveToFront(Slot& slot, ObjectId obj);
+
+  std::size_t capacity_;
+  std::int64_t evictions_ = 0;
+  std::unordered_map<ObjectId, Slot> map_;
+  std::list<ObjectId> lru_;  // front = most recently used
+};
+
+/// Table of outstanding read() operations. Replies resolve every op
+/// waiting on the object; a per-op timer resolves stragglers as failed.
+/// Reentrancy-safe: callbacks may issue new reads.
+class PendingReads {
+ public:
+  using Token = std::uint64_t;
+
+  explicit PendingReads(sim::Scheduler& scheduler) : scheduler_(scheduler) {}
+
+  /// Register an op waiting on `obj`; fails it after `timeout`.
+  /// `onResolve(result)` runs exactly once.
+  Token add(ObjectId obj, SimDuration timeout, ReadCallback onResolve);
+
+  /// Is anything waiting on this object?
+  bool waitingOn(ObjectId obj) const {
+    auto it = byObject_.find(obj);
+    return it != byObject_.end() && !it->second.empty();
+  }
+
+  /// Resolve every op waiting on `obj` with `result`.
+  void resolveAll(ObjectId obj, const ReadResult& result);
+
+  /// Tokens waiting on `obj` (for callers that must re-examine each op
+  /// individually, e.g. the volume client's two-lease pump).
+  std::vector<Token> tokensFor(ObjectId obj) const;
+
+  /// Resolve a specific op (no-op if already resolved).
+  void resolveOne(Token token, const ReadResult& result);
+
+  std::size_t size() const { return ops_.size(); }
+
+ private:
+  struct Op {
+    ObjectId obj;
+    ReadCallback cb;
+    sim::TimerHandle timer;
+  };
+
+  sim::Scheduler& scheduler_;
+  Token nextToken_ = 1;
+  std::unordered_map<Token, Op> ops_;
+  std::unordered_map<ObjectId, std::vector<Token>> byObject_;
+};
+
+}  // namespace vlease::proto

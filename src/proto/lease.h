@@ -1,0 +1,120 @@
+// Server-driven baselines (paper §2.3-2.4): Callback, Lease, and the
+// conclusion's Best Effort Lease, as one parameterized implementation.
+//
+//   * Lease(t): clients hold object leases of length t; before writing,
+//     the server invalidates every valid lease holder and waits for acks
+//     or lease expiry (Gray & Cheriton).
+//   * Callback: the degenerate never-expiring lease. Writes want to wait
+//     indefinitely for unreachable clients; the simulator force-commits
+//     after msgTimeout and flags the write as blocked (see
+//     WriteResult::blocked) so traces can continue.
+//   * BestEffortLease(t): invalidations are fire-and-forget -- writes
+//     never wait and clients do not ack. An unreachable client can read
+//     stale data until its lease expires (staleness bounded by t).
+//
+// Grant requests arriving while a write to the same object is in flight
+// are deferred until the write commits, so a lease is never granted on a
+// version about to be replaced.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "proto/client_cache.h"
+#include "proto/protocol.h"
+
+namespace vlease::proto {
+
+enum class LeaseMode { kLease, kCallback, kBestEffort };
+
+class LeaseServer final : public ServerNode {
+ public:
+  LeaseServer(ProtocolContext& ctx, NodeId id, const ProtocolConfig& config,
+              LeaseMode mode)
+      : ServerNode(ctx, id), config_(config), mode_(mode) {}
+
+  void write(ObjectId obj, WriteCallback cb) override;
+  Version currentVersion(ObjectId obj) const override;
+  void deliver(const net::Message& msg) override;
+  void crashAndReboot() override;
+  void finalizeAccounting(SimTime now) override;
+
+  /// Valid lease holders right now (test hook).
+  std::size_t validHolderCount(ObjectId obj) const;
+
+ private:
+  struct LeaseRecord {
+    SimTime expire;
+    SimTime lastAccounted;
+  };
+  struct ObjState {
+    Version version = 1;
+    /// Aggregate "time by which all current leases will have expired".
+    SimTime expire = kSimTimeMin;
+    std::unordered_map<NodeId, LeaseRecord> holders;
+  };
+  struct PendingWrite {
+    WriteCallback cb;
+    SimTime startedAt = 0;
+    std::unordered_set<NodeId> waiting;
+    sim::TimerHandle timer;
+    std::deque<net::Message> deferredRequests;
+    std::deque<WriteCallback> queuedWrites;
+  };
+
+  ObjState& state(ObjectId obj);
+  SimTime leaseLength() const {
+    return mode_ == LeaseMode::kCallback ? kNever : config_.objectTimeout;
+  }
+  void handleLeaseRequest(const net::Message& msg);
+  void writeInternal(ObjectId obj, WriteCallback cb, SimTime requestedAt);
+  void startWrite(ObjectId obj, WriteCallback cb, SimTime requestedAt);
+  void commitWrite(ObjectId obj, bool viaTimeout);
+  void removeHolder(ObjState& st, NodeId client);
+
+  /// Liu-Cao retransmission state (BestEffort with retries): one entry
+  /// per unacknowledged invalidation.
+  struct RetryState {
+    int remaining;
+    sim::TimerHandle timer;
+  };
+  void scheduleRetry(ObjectId obj, NodeId client, int remaining);
+
+  const ProtocolConfig config_;
+  const LeaseMode mode_;
+  std::unordered_map<ObjectId, ObjState> objects_;
+  std::unordered_map<ObjectId, PendingWrite> pendingWrites_;
+  std::map<std::pair<ObjectId, NodeId>, RetryState> retries_;
+  /// Gray & Cheriton's recovery rule: after a reboot (lease state lost)
+  /// the server must not write until every lease it could have granted
+  /// has expired. Callback has no such bound -- a crash genuinely breaks
+  /// its consistency, which the paper counts against it.
+  SimTime recoveryUntil_ = kSimTimeMin;
+};
+
+class LeaseClient final : public ClientNode {
+ public:
+  LeaseClient(ProtocolContext& ctx, NodeId id, const ProtocolConfig& config,
+              LeaseMode mode)
+      : ClientNode(ctx, id),
+        config_(config),
+        mode_(mode),
+        cache_(config.clientCacheCapacity),
+        pending_(ctx.scheduler) {}
+
+  void read(ObjectId obj, ReadCallback cb) override;
+  void dropCache() override { cache_.clear(); }
+  void deliver(const net::Message& msg) override;
+
+  const ClientCache& cache() const { return cache_; }
+
+ private:
+  const ProtocolConfig config_;
+  const LeaseMode mode_;
+  ClientCache cache_;
+  PendingReads pending_;
+};
+
+}  // namespace vlease::proto

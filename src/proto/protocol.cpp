@@ -1,0 +1,27 @@
+#include "proto/protocol.h"
+
+namespace vlease::proto {
+
+const char* algorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kPollEachRead:
+      return "PollEachRead";
+    case Algorithm::kPoll:
+      return "Poll";
+    case Algorithm::kPollAdaptive:
+      return "PollAdaptive";
+    case Algorithm::kCallback:
+      return "Callback";
+    case Algorithm::kLease:
+      return "Lease";
+    case Algorithm::kBestEffortLease:
+      return "BestEffortLease";
+    case Algorithm::kVolumeLease:
+      return "VolumeLease";
+    case Algorithm::kVolumeDelayedInval:
+      return "VolumeDelayedInval";
+  }
+  return "?";
+}
+
+}  // namespace vlease::proto

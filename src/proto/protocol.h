@@ -1,0 +1,219 @@
+// Consistency-protocol framework: the interfaces every algorithm
+// implements, the shared configuration, and the result types the driver
+// consumes.
+//
+// An algorithm is a (ClientNode, ServerNode) pair of message-driven state
+// machines. They communicate only through net::Transport and take time
+// only from sim::Scheduler, so the same code runs under the trace driver,
+// the failure tests, and the examples.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/transport.h"
+#include "sim/scheduler.h"
+#include "stats/metrics.h"
+#include "trace/catalog.h"
+#include "util/ids.h"
+#include "util/time.h"
+
+namespace vlease::proto {
+
+/// Everything an endpoint needs from its environment.
+struct ProtocolContext {
+  sim::Scheduler& scheduler;
+  net::Transport& transport;
+  stats::Metrics& metrics;
+  const trace::Catalog& catalog;
+};
+
+/// Outcome of a client read.
+struct ReadResult {
+  /// False when the server was unreachable and the read could not be
+  /// served with its consistency guarantee. The paper leaves the
+  /// reaction application-specific (error, or stale data + warning); we
+  /// surface the failure and let callers decide.
+  bool ok = false;
+  /// True when satisfying the read required at least one message (the
+  /// "read cost" figure of merit in Table 1 is the fraction of reads
+  /// with usedNetwork == true).
+  bool usedNetwork = false;
+  /// True when the read pulled a fresh copy of the data (as opposed to
+  /// validating or reusing the cached copy).
+  bool fetchedData = false;
+  /// The version the client believes it read; the driver compares this
+  /// against the server's authoritative version to count stale reads.
+  Version version = kNoVersion;
+};
+using ReadCallback = std::function<void(const ReadResult&)>;
+
+/// Outcome of a server write.
+struct WriteResult {
+  /// Time the write spent waiting for invalidation acks or lease expiry
+  /// (the "ack wait delay" column of Table 1).
+  SimDuration delay = 0;
+  /// Callback only: the write wanted to wait indefinitely for an
+  /// unreachable client. The simulator force-completes it after the
+  /// ack-wait bound so the trace can continue, but flags the violation.
+  bool blocked = false;
+  Version newVersion = kNoVersion;
+};
+using WriteCallback = std::function<void(const WriteResult&)>;
+
+/// Algorithm selector (Table 1 rows).
+enum class Algorithm {
+  kPollEachRead,
+  kPoll,
+  kPollAdaptive,
+  kCallback,
+  kLease,
+  kBestEffortLease,
+  kVolumeLease,
+  kVolumeDelayedInval,
+};
+
+const char* algorithmName(Algorithm algorithm);
+
+struct ProtocolConfig {
+  Algorithm algorithm = Algorithm::kVolumeLease;
+
+  /// Object-lease length t (Poll reuses it as the poll timeout).
+  SimDuration objectTimeout = sec(100'000);
+  /// Volume-lease length t_v (volume algorithms only).
+  SimDuration volumeTimeout = sec(100);
+  /// Delayed Invalidations' d: how long a client may stay Inactive
+  /// (pending list retained) before being moved to Unreachable and its
+  /// pending list discarded. kNever = keep forever (the paper's d = inf).
+  SimDuration inactiveDiscard = kNever;
+
+  /// Floor on how long a server waits for invalidation acks before
+  /// declaring a client unreachable (paper's msgTimeout).
+  SimDuration msgTimeout = sec(10);
+  /// Client-side give-up bound on a read whose server never answers.
+  SimDuration readTimeout = sec(30);
+
+  /// Client cache capacity in objects; 0 = infinite (the paper's §4.1
+  /// simplifying assumption). Nonzero enables LRU eviction, which adds
+  /// capacity misses and re-fetches the paper's setup factors out.
+  std::size_t clientCacheCapacity = 0;
+
+  /// Adaptive Poll (Gwertzman-Seltzer's adaptive TTL, paper §2.2): the
+  /// validity window is adaptiveFactor x (object age at validation),
+  /// clamped to [adaptiveMinTtl, adaptiveMaxTtl]. Stable objects are
+  /// polled rarely, fresh ones often.
+  double adaptiveFactor = 0.2;
+  SimDuration adaptiveMinTtl = sec(10);
+  SimDuration adaptiveMaxTtl = days(7);
+
+  /// Ablation: when true, an object-lease request implicitly renews the
+  /// volume lease and the grant carries both (single round trip). The
+  /// paper's protocol uses separate volume/object messages.
+  bool piggybackVolumeLease = false;
+
+  /// Liu & Cao's retransmission scheme (paper §6): BestEffortLease only.
+  /// When bestEffortRetries > 0, clients acknowledge invalidations and
+  /// the server retransmits unacknowledged ones every retryInterval, up
+  /// to the retry budget. Writes still never wait -- retransmission
+  /// shrinks the staleness window but (as the paper notes of Liu & Cao)
+  /// cannot guarantee strong consistency under partitions.
+  int bestEffortRetries = 0;
+  SimDuration retryInterval = sec(30);
+
+  /// Extension (paper §2.4's unexplored option): instead of sending
+  /// invalidation messages, the server simply waits for all outstanding
+  /// leases on the object (and, for volume algorithms, the volume) to
+  /// expire before writing. Zero invalidation traffic, but every write
+  /// to a leased object waits out the full remaining lease. Honored by
+  /// Lease and the volume algorithms; Callback has no lease to wait out
+  /// and BestEffort's point is not waiting, so both ignore it.
+  bool writeByLeaseExpiry = false;
+};
+
+/// Server endpoint: owns the authoritative copies of the objects in its
+/// volumes and drives invalidations.
+class ServerNode : public net::MessageSink {
+ public:
+  ServerNode(ProtocolContext& ctx, NodeId id) : ctx_(ctx), id_(id) {
+    ctx_.transport.attach(id_, this);
+  }
+  ~ServerNode() override { ctx_.transport.detach(id_); }
+
+  ServerNode(const ServerNode&) = delete;
+  ServerNode& operator=(const ServerNode&) = delete;
+
+  NodeId id() const { return id_; }
+
+  /// Apply a write to an object this server owns. `cb` fires when the
+  /// write commits (possibly after waiting for acks / lease expiry);
+  /// it may fire synchronously. cb may be null.
+  virtual void write(ObjectId obj, WriteCallback cb) = 0;
+
+  /// Authoritative current version (the staleness oracle; not a message).
+  virtual Version currentVersion(ObjectId obj) const = 0;
+
+  /// Simulate a crash+reboot losing all in-memory consistency state.
+  /// Volume servers implement the paper's epoch-based recovery; the
+  /// default (for baselines that keep no recoverable guarantee) clears
+  /// nothing and is overridden per algorithm as appropriate.
+  virtual void crashAndReboot() {}
+
+  /// Flush time-weighted state accounting up to `now` (end of run).
+  virtual void finalizeAccounting(SimTime now) { (void)now; }
+
+ protected:
+  ProtocolContext& ctx_;
+
+ private:
+  NodeId id_;
+};
+
+/// Client endpoint: per-client cache plus the algorithm's validation /
+/// lease logic.
+class ClientNode : public net::MessageSink {
+ public:
+  ClientNode(ProtocolContext& ctx, NodeId id) : ctx_(ctx), id_(id) {
+    ctx_.transport.attach(id_, this);
+  }
+  ~ClientNode() override { ctx_.transport.detach(id_); }
+
+  ClientNode(const ClientNode&) = delete;
+  ClientNode& operator=(const ClientNode&) = delete;
+
+  NodeId id() const { return id_; }
+
+  /// Read an object with the algorithm's consistency guarantee. `cb`
+  /// may fire synchronously (cache hit / zero-latency exchange).
+  virtual void read(ObjectId obj, ReadCallback cb) = 0;
+
+  /// Drop all cached data and leases (simulates a client restart).
+  virtual void dropCache() = 0;
+
+ protected:
+  ProtocolContext& ctx_;
+
+ private:
+  NodeId id_;
+};
+
+/// A fully wired protocol deployment: one server endpoint per catalog
+/// server, one client endpoint per catalog client.
+struct ProtocolInstance {
+  ProtocolConfig config;
+  std::vector<std::unique_ptr<ServerNode>> servers;  // by server index
+  std::vector<std::unique_ptr<ClientNode>> clients;  // by client index
+
+  ServerNode& serverFor(const trace::Catalog& catalog, ObjectId obj) {
+    return *servers[raw(catalog.object(obj).server)];
+  }
+  ClientNode& client(const trace::Catalog& catalog, NodeId node) {
+    return *clients[raw(node) - catalog.numServers()];
+  }
+
+  void finalizeAccounting(SimTime now) {
+    for (auto& s : servers) s->finalizeAccounting(now);
+  }
+};
+
+}  // namespace vlease::proto

@@ -1,0 +1,86 @@
+#include "rt/real_time.h"
+
+#include <poll.h>
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace vlease::rt {
+
+RealTimeDriver::RealTimeDriver()
+    : start_(std::chrono::steady_clock::now()) {}
+
+SimTime RealTimeDriver::elapsed() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+void RealTimeDriver::watchFd(int fd, FdHandler onReadable) {
+  VL_CHECK(fd >= 0);
+  fds_.emplace_back(fd, std::move(onReadable));
+}
+
+void RealTimeDriver::unwatchFd(int fd) {
+  fds_.erase(std::remove_if(fds_.begin(), fds_.end(),
+                            [fd](const auto& p) { return p.first == fd; }),
+             fds_.end());
+}
+
+void RealTimeDriver::post(std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(postMutex_);
+  posts_.push_back(std::move(fn));
+}
+
+void RealTimeDriver::drainPosts() {
+  std::vector<std::function<void()>> batch;
+  {
+    std::lock_guard<std::mutex> lock(postMutex_);
+    batch.swap(posts_);
+  }
+  for (auto& fn : batch) fn();
+}
+
+void RealTimeDriver::step(int pollTimeoutMs) {
+  drainPosts();
+  scheduler_.runUntil(elapsed());
+
+  std::vector<pollfd> pfds;
+  pfds.reserve(fds_.size());
+  for (const auto& [fd, handler] : fds_) {
+    pfds.push_back(pollfd{fd, POLLIN, 0});
+  }
+  if (pfds.empty()) {
+    // Nothing to poll; sleep out the timeout so the loop does not spin.
+    ::poll(nullptr, 0, pollTimeoutMs);
+  } else {
+    int ready = ::poll(pfds.data(), pfds.size(), pollTimeoutMs);
+    if (ready > 0) {
+      // Handlers may mutate fds_ (accept adds, close removes): snapshot
+      // the handlers for fds that are actually ready first.
+      std::vector<FdHandler> toRun;
+      for (const pollfd& p : pfds) {
+        if ((p.revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+        for (const auto& [fd, handler] : fds_) {
+          if (fd == p.fd) {
+            toRun.push_back(handler);
+            break;
+          }
+        }
+      }
+      for (auto& handler : toRun) handler();
+    }
+  }
+  scheduler_.runUntil(elapsed());
+}
+
+void RealTimeDriver::run(SimDuration forMicros) {
+  stopped_.store(false);
+  const SimTime deadline = forMicros > 0 ? elapsed() + forMicros : kNever;
+  while (!stopped_.load() && elapsed() < deadline) {
+    step();
+  }
+}
+
+}  // namespace vlease::rt

@@ -1,0 +1,67 @@
+// Real-time binding of the simulation kernel.
+//
+// Protocol endpoints take their timers from sim::Scheduler, whose
+// virtual clock the simulator drives from trace timestamps. To run the
+// SAME endpoint code against a real network, RealTimeDriver drives that
+// virtual clock from the wall clock instead: each loop iteration
+//   1. advances the scheduler to "microseconds since start" (firing any
+//      due lease-expiry / ack-wait timers),
+//   2. polls the registered file descriptors (the TCP transport's
+//      sockets) with a short timeout,
+//   3. drains the thread-safe post() queue (how other threads inject
+//      reads/writes into the loop thread).
+//
+// One RealTimeDriver == one protocol node's event loop thread. Nothing
+// in the endpoint code knows whether time is virtual or real.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "sim/scheduler.h"
+
+namespace vlease::rt {
+
+/// Callback invoked when a watched fd is readable.
+using FdHandler = std::function<void()>;
+
+class RealTimeDriver {
+ public:
+  RealTimeDriver();
+
+  sim::Scheduler& scheduler() { return scheduler_; }
+
+  /// Microseconds of wall time since the driver was constructed (the
+  /// value the scheduler's virtual clock tracks).
+  SimTime elapsed() const;
+
+  /// Watch a file descriptor for readability.
+  void watchFd(int fd, FdHandler onReadable);
+  void unwatchFd(int fd);
+
+  /// Thread-safe: run `fn` on the loop thread at the next iteration.
+  void post(std::function<void()> fn);
+
+  /// Run the loop until stop() is called (from any thread) or
+  /// `forMicros` of wall time elapse (0 = no bound).
+  void run(SimDuration forMicros = 0);
+  void stop() { stopped_.store(true); }
+
+  /// Single iteration (poll + timers + posts); exposed for tests.
+  void step(int pollTimeoutMs = 1);
+
+ private:
+  void drainPosts();
+
+  std::chrono::steady_clock::time_point start_;
+  sim::Scheduler scheduler_;
+  std::vector<std::pair<int, FdHandler>> fds_;
+  std::mutex postMutex_;
+  std::vector<std::function<void()>> posts_;
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace vlease::rt

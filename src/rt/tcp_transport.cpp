@@ -1,0 +1,239 @@
+#include "rt/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "net/wire.h"
+#include "util/check.h"
+#include "util/log.h"
+
+namespace vlease::rt {
+
+namespace {
+
+void setNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void setNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+std::vector<std::uint8_t> frameOf(const net::Message& msg) {
+  std::vector<std::uint8_t> payload = net::encodeMessage(msg);
+  std::vector<std::uint8_t> frame;
+  frame.reserve(4 + payload.size());
+  auto len = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) frame.push_back((len >> (8 * i)) & 0xff);
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(RealTimeDriver& driver, stats::Metrics& metrics,
+                           std::uint16_t port)
+    : driver_(driver), metrics_(metrics) {
+  listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  VL_CHECK_MSG(listenFd_ >= 0, "socket() failed");
+  int one = 1;
+  ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  VL_CHECK_MSG(::bind(listenFd_, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)) == 0,
+               "bind() failed");
+  VL_CHECK_MSG(::listen(listenFd_, 16) == 0, "listen() failed");
+  setNonBlocking(listenFd_);
+
+  socklen_t len = sizeof(addr);
+  VL_CHECK(::getsockname(listenFd_, reinterpret_cast<sockaddr*>(&addr),
+                         &len) == 0);
+  listenPort_ = ntohs(addr.sin_port);
+
+  driver_.watchFd(listenFd_, [this]() { acceptReady(); });
+}
+
+TcpTransport::~TcpTransport() {
+  for (auto& [fd, conn] : connections_) {
+    driver_.unwatchFd(fd);
+    ::close(fd);
+  }
+  for (auto& [node, peer] : peers_) {
+    if (peer.fd >= 0 && connections_.count(peer.fd) == 0) ::close(peer.fd);
+  }
+  if (listenFd_ >= 0) {
+    driver_.unwatchFd(listenFd_);
+    ::close(listenFd_);
+  }
+}
+
+void TcpTransport::addPeer(NodeId node, const std::string& host,
+                           std::uint16_t port) {
+  peers_[node] = Peer{host, port, -1};
+}
+
+void TcpTransport::attach(NodeId node, net::MessageSink* sink) {
+  VL_CHECK(sink != nullptr);
+  sinks_[node] = sink;
+}
+
+void TcpTransport::detach(NodeId node) { sinks_.erase(node); }
+
+void TcpTransport::acceptReady() {
+  for (;;) {
+    int fd = ::accept(listenFd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN etc.: drained (listen fd is nonblocking)
+    setNoDelay(fd);
+    setNonBlocking(fd);
+    connections_.emplace(fd, Connection{fd, {}});
+    driver_.watchFd(fd, [this, fd]() { readReady(fd); });
+  }
+}
+
+void TcpTransport::closeConnection(int fd) {
+  driver_.unwatchFd(fd);
+  connections_.erase(fd);
+  for (auto& [node, peer] : peers_) {
+    if (peer.fd == fd) peer.fd = -1;
+  }
+  ::close(fd);
+}
+
+void TcpTransport::readReady(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  Connection& conn = it->second;
+
+  std::uint8_t chunk[4096];
+  ssize_t n = ::recv(fd, chunk, sizeof(chunk), MSG_DONTWAIT);
+  if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK)) {
+    closeConnection(fd);
+    return;
+  }
+  if (n < 0) return;
+  conn.buffer.insert(conn.buffer.end(), chunk, chunk + n);
+
+  // Peel complete frames off the front.
+  std::size_t offset = 0;
+  while (conn.buffer.size() - offset >= 4) {
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<std::uint32_t>(conn.buffer[offset + i]) << (8 * i);
+    }
+    if (len > (1u << 24)) {  // corrupt length: drop the connection
+      closeConnection(fd);
+      return;
+    }
+    if (conn.buffer.size() - offset - 4 < len) break;  // incomplete
+    auto msg = net::decodeMessage(conn.buffer.data() + offset + 4, len);
+    offset += 4 + len;
+    if (!msg.has_value()) {
+      VL_LOG_WARN << "tcp: undecodable frame dropped";
+      continue;
+    }
+    ++framesReceived_;
+    deliverLocal(*msg);
+  }
+  conn.buffer.erase(conn.buffer.begin(),
+                    conn.buffer.begin() + static_cast<std::ptrdiff_t>(offset));
+}
+
+void TcpTransport::deliverLocal(const net::Message& msg) {
+  auto it = sinks_.find(msg.to);
+  if (it == sinks_.end()) {
+    VL_LOG_WARN << "tcp: frame for unknown node " << raw(msg.to);
+    return;
+  }
+  metrics_.onMessage(msg.from, msg.to, net::payloadTypeIndex(msg.payload),
+                     net::wireBytes(msg.payload), driver_.elapsed(),
+                     /*delivered=*/true);
+  it->second->deliver(msg);
+}
+
+int TcpTransport::connectPeer(Peer& peer) {
+  if (peer.fd >= 0) return peer.fd;
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(peer.port);
+  if (::inet_pton(AF_INET, peer.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  setNoDelay(fd);
+  setNonBlocking(fd);  // connect() completed while still blocking
+  peer.fd = fd;
+  // Watch for replies arriving on the outbound connection too.
+  connections_.emplace(fd, Connection{fd, {}});
+  driver_.watchFd(fd, [this, fd]() { readReady(fd); });
+  return fd;
+}
+
+bool TcpTransport::writeFrame(int fd, const std::vector<std::uint8_t>& frame) {
+  std::size_t written = 0;
+  while (written < frame.size()) {
+    ssize_t n = ::send(fd, frame.data() + written, frame.size() - written,
+                       MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Nonblocking socket with a full buffer: wait briefly for space.
+      // Frames are small (tens of bytes to a few KB) and peers drain
+      // continuously, so a bounded wait suffices; on timeout the frame
+      // is dropped (Transport is best-effort).
+      pollfd p{fd, POLLOUT, 0};
+      if (::poll(&p, 1, /*timeout_ms=*/100) <= 0) return false;
+      continue;
+    }
+    if (n <= 0) return false;
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void TcpTransport::send(net::Message msg) {
+  // Local recipient: bypass the socket but keep asynchrony (scheduler
+  // hop) so delivery order matches the simulator's semantics.
+  if (sinks_.count(msg.to) > 0) {
+    driver_.scheduler().scheduleAfter(0, [this, m = std::move(msg)]() {
+      deliverLocal(m);
+    });
+    return;
+  }
+  auto peerIt = peers_.find(msg.to);
+  if (peerIt == peers_.end()) {
+    ++sendFailures_;
+    VL_LOG_WARN << "tcp: no route to node " << raw(msg.to);
+    return;
+  }
+  metrics_.onMessage(msg.from, msg.to, net::payloadTypeIndex(msg.payload),
+                     net::wireBytes(msg.payload), driver_.elapsed(),
+                     /*delivered=*/true);
+  int fd = connectPeer(peerIt->second);
+  if (fd < 0 || !writeFrame(fd, frameOf(msg))) {
+    ++sendFailures_;
+    if (fd >= 0) closeConnection(fd);
+    return;
+  }
+  ++framesSent_;
+}
+
+}  // namespace vlease::rt

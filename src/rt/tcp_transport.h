@@ -1,0 +1,88 @@
+// TCP binding of net::Transport: the same client/server state machines
+// that run under the simulator exchange real length-prefixed frames over
+// real sockets.
+//
+// Deployment model: one TcpTransport per process/event-loop, hosting the
+// local node(s). Remote nodes are registered with addPeer(); outbound
+// connections are opened lazily on first send and kept alive. Inbound
+// connections are accepted on the listen port; frames carry the sender
+// and recipient node ids, so one socket can serve any node pair.
+//
+// Framing: [u32 length][encodeMessage() bytes]. Partial reads are
+// buffered per connection; writes loop until complete (sockets stay
+// blocking for writes -- messages are small and peers drain promptly;
+// reads are level-triggered through the driver's poll loop).
+//
+// Failure semantics match Transport's contract: best effort. A peer
+// that cannot be reached (connect/write failure) drops the message; the
+// protocols already tolerate loss (leases expire, reads time out, the
+// reconnection path repairs state).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/transport.h"
+#include "rt/real_time.h"
+#include "stats/metrics.h"
+
+namespace vlease::rt {
+
+class TcpTransport final : public net::Transport {
+ public:
+  /// Listens on 127.0.0.1:`port` (port 0 picks a free port; see
+  /// listenPort()). Registers with the driver's poll loop.
+  TcpTransport(RealTimeDriver& driver, stats::Metrics& metrics,
+               std::uint16_t port);
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  std::uint16_t listenPort() const { return listenPort_; }
+
+  /// Declare where a remote node lives.
+  void addPeer(NodeId node, const std::string& host, std::uint16_t port);
+
+  // net::Transport
+  void attach(NodeId node, net::MessageSink* sink) override;
+  void detach(NodeId node) override;
+  void send(net::Message msg) override;
+
+  std::int64_t framesSent() const { return framesSent_; }
+  std::int64_t framesReceived() const { return framesReceived_; }
+  std::int64_t sendFailures() const { return sendFailures_; }
+
+ private:
+  struct Peer {
+    std::string host;
+    std::uint16_t port = 0;
+    int fd = -1;
+  };
+  struct Connection {
+    int fd;
+    std::vector<std::uint8_t> buffer;  // partial-frame accumulator
+  };
+
+  void acceptReady();
+  void readReady(int fd);
+  void closeConnection(int fd);
+  bool writeFrame(int fd, const std::vector<std::uint8_t>& frame);
+  int connectPeer(Peer& peer);
+  void deliverLocal(const net::Message& msg);
+
+  RealTimeDriver& driver_;
+  stats::Metrics& metrics_;
+  int listenFd_ = -1;
+  std::uint16_t listenPort_ = 0;
+  std::unordered_map<NodeId, net::MessageSink*> sinks_;
+  std::unordered_map<NodeId, Peer> peers_;
+  std::unordered_map<int, Connection> connections_;
+  std::int64_t framesSent_ = 0;
+  std::int64_t framesReceived_ = 0;
+  std::int64_t sendFailures_ = 0;
+};
+
+}  // namespace vlease::rt

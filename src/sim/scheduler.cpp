@@ -1,0 +1,75 @@
+#include "sim/scheduler.h"
+
+namespace vlease::sim {
+
+TimerHandle Scheduler::scheduleAt(SimTime at, Action action) {
+  VL_CHECK_MSG(at >= now_, "cannot schedule in the past");
+  auto state = std::make_shared<detail::EventState>();
+  state->liveCount = liveCount_;
+  queue_.push(Entry{at, nextSeq_++, std::move(action), state});
+  ++(*liveCount_);
+  return TimerHandle(std::move(state));
+}
+
+bool Scheduler::popLive(Entry& out) {
+  while (!queue_.empty()) {
+    // priority_queue::top() is const; move out via const_cast, which is
+    // safe because we pop immediately after.
+    Entry e = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    if (e.state->alive) {
+      out = std::move(e);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::int64_t Scheduler::run() {
+  std::int64_t n = 0;
+  Entry e;
+  while (popLive(e)) {
+    now_ = e.at;
+    e.state->alive = false;
+    --(*liveCount_);
+    e.action();
+    ++n;
+    ++fired_;
+  }
+  return n;
+}
+
+std::int64_t Scheduler::runUntil(SimTime until) {
+  std::int64_t n = 0;
+  while (!queue_.empty()) {
+    const Entry& top = queue_.top();
+    if (!top.state->alive) {
+      queue_.pop();
+      continue;
+    }
+    if (top.at > until) break;
+    Entry e;
+    if (!popLive(e)) break;
+    now_ = e.at;
+    e.state->alive = false;
+    --(*liveCount_);
+    e.action();
+    ++n;
+    ++fired_;
+  }
+  if (now_ < until) now_ = until;
+  return n;
+}
+
+bool Scheduler::step() {
+  Entry e;
+  if (!popLive(e)) return false;
+  now_ = e.at;
+  e.state->alive = false;
+  --(*liveCount_);
+  e.action();
+  ++fired_;
+  return true;
+}
+
+}  // namespace vlease::sim

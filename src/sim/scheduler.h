@@ -1,0 +1,117 @@
+// Discrete-event simulation kernel: a virtual clock plus a priority queue
+// of (time, sequence, closure) events.
+//
+// Ordering guarantees:
+//   * events fire in nondecreasing virtual time;
+//   * events scheduled for the same instant fire in FIFO order (the
+//     sequence number breaks ties). This makes the zero-latency network
+//     deterministic: a request scheduled "now" is handled before anything
+//     scheduled later within the same instant, so a whole request/response
+//     exchange completes inside one virtual instant -- exactly the paper's
+//     sequential trace-processing model.
+//
+// Timers are cancellable via TimerHandle (lazy deletion: the heap entry
+// stays but fires as a no-op).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "util/check.h"
+#include "util/time.h"
+
+namespace vlease::sim {
+
+namespace detail {
+struct EventState {
+  bool alive = true;
+  // Owned by the scheduler; shared so that cancelling after the scheduler
+  // is gone is still safe.
+  std::shared_ptr<std::size_t> liveCount;
+};
+}  // namespace detail
+
+/// Cancellation token for a scheduled event. Default-constructed handles
+/// are inert; cancel() after the event fired is a harmless no-op.
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+
+  void cancel() {
+    if (state_ && state_->alive) {
+      state_->alive = false;
+      --(*state_->liveCount);
+    }
+  }
+  bool pending() const { return state_ && state_->alive; }
+
+ private:
+  friend class Scheduler;
+  explicit TimerHandle(std::shared_ptr<detail::EventState> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<detail::EventState> state_;
+};
+
+class Scheduler {
+ public:
+  using Action = std::function<void()>;
+
+  Scheduler() : liveCount_(std::make_shared<std::size_t>(0)) {}
+
+  SimTime now() const { return now_; }
+
+  /// Schedule `action` at absolute virtual time `at` (>= now).
+  TimerHandle scheduleAt(SimTime at, Action action);
+
+  /// Schedule `action` after `delay` (>= 0).
+  TimerHandle scheduleAfter(SimDuration delay, Action action) {
+    VL_CHECK(delay >= 0);
+    return scheduleAt(addSat(now_, delay), std::move(action));
+  }
+
+  /// Run until the queue drains. Returns the number of events fired
+  /// (cancelled entries not counted).
+  std::int64_t run();
+
+  /// Run events with time <= `until`; afterwards now() == max(now, until).
+  /// Events scheduled exactly at `until` do fire.
+  std::int64_t runUntil(SimTime until);
+
+  /// Fire exactly one pending event (skipping cancelled ones).
+  /// Returns false if the queue is empty.
+  bool step();
+
+  bool empty() const { return *liveCount_ == 0; }
+  std::size_t pendingCount() const { return *liveCount_; }
+
+  /// Total events fired over the scheduler's lifetime.
+  std::int64_t firedCount() const { return fired_; }
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    Action action;
+    std::shared_ptr<detail::EventState> state;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pop the next live entry, or return false.
+  bool popLive(Entry& out);
+
+  SimTime now_ = 0;
+  std::uint64_t nextSeq_ = 0;
+  std::int64_t fired_ = 0;
+  std::shared_ptr<std::size_t> liveCount_;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+};
+
+}  // namespace vlease::sim

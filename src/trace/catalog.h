@@ -1,0 +1,92 @@
+// The object universe a trace runs against: which objects exist, their
+// sizes, and how they group into volumes and home servers.
+//
+// The paper groups files into 1000 volumes corresponding to the 1000
+// most-accessed servers (one volume per server). The catalog supports
+// several volumes per server, but the generators follow the paper and
+// create exactly one.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+#include "util/ids.h"
+
+namespace vlease::trace {
+
+struct ObjectInfo {
+  ObjectId id;
+  VolumeId volume;
+  NodeId server;
+  std::int64_t sizeBytes;
+};
+
+struct VolumeInfo {
+  VolumeId id;
+  NodeId server;
+};
+
+/// Node-id layout: servers occupy [0, numServers), clients occupy
+/// [numServers, numServers + numClients).
+class Catalog {
+ public:
+  Catalog(std::uint32_t numServers, std::uint32_t numClients)
+      : numServers_(numServers), numClients_(numClients) {}
+
+  std::uint32_t numServers() const { return numServers_; }
+  std::uint32_t numClients() const { return numClients_; }
+  std::uint32_t numNodes() const { return numServers_ + numClients_; }
+
+  NodeId serverNode(std::uint32_t serverIndex) const {
+    VL_DCHECK(serverIndex < numServers_);
+    return makeNodeId(serverIndex);
+  }
+  NodeId clientNode(std::uint32_t clientIndex) const {
+    VL_DCHECK(clientIndex < numClients_);
+    return makeNodeId(numServers_ + clientIndex);
+  }
+  bool isServer(NodeId node) const { return raw(node) < numServers_; }
+  bool isClient(NodeId node) const {
+    return raw(node) >= numServers_ && raw(node) < numNodes();
+  }
+
+  /// Register a volume hosted by `server`; returns its id.
+  VolumeId addVolume(NodeId server) {
+    VL_CHECK(isServer(server));
+    VolumeId id = makeVolumeId(volumes_.size());
+    volumes_.push_back(VolumeInfo{id, server});
+    return id;
+  }
+
+  /// Register an object in `volume`; returns its id.
+  ObjectId addObject(VolumeId volume, std::int64_t sizeBytes) {
+    VL_CHECK(raw(volume) < volumes_.size());
+    ObjectId id = makeObjectId(objects_.size());
+    objects_.push_back(
+        ObjectInfo{id, volume, volumes_[raw(volume)].server, sizeBytes});
+    return id;
+  }
+
+  std::size_t numObjects() const { return objects_.size(); }
+  std::size_t numVolumes() const { return volumes_.size(); }
+
+  const ObjectInfo& object(ObjectId id) const {
+    VL_DCHECK(raw(id) < objects_.size());
+    return objects_[raw(id)];
+  }
+  const VolumeInfo& volume(VolumeId id) const {
+    VL_DCHECK(raw(id) < volumes_.size());
+    return volumes_[raw(id)];
+  }
+  const std::vector<ObjectInfo>& objects() const { return objects_; }
+  const std::vector<VolumeInfo>& volumes() const { return volumes_; }
+
+ private:
+  std::uint32_t numServers_;
+  std::uint32_t numClients_;
+  std::vector<ObjectInfo> objects_;
+  std::vector<VolumeInfo> volumes_;
+};
+
+}  // namespace vlease::trace

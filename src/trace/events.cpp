@@ -1,0 +1,35 @@
+#include "trace/events.h"
+
+#include <algorithm>
+
+namespace vlease::trace {
+
+bool eventBefore(const TraceEvent& a, const TraceEvent& b) {
+  if (a.at != b.at) return a.at < b.at;
+  // Reads sort before writes at the same instant; this mirrors the
+  // paper's sequential model where a read concurrent with a write sees
+  // the pre-write value.
+  return a.kind == EventKind::kRead && b.kind == EventKind::kWrite;
+}
+
+std::vector<TraceEvent> mergeEvents(std::vector<TraceEvent> reads,
+                                    std::vector<TraceEvent> writes) {
+  std::vector<TraceEvent> out;
+  out.reserve(reads.size() + writes.size());
+  std::merge(reads.begin(), reads.end(), writes.begin(), writes.end(),
+             std::back_inserter(out), eventBefore);
+  return out;
+}
+
+void sortEvents(std::vector<TraceEvent>& events) {
+  std::stable_sort(events.begin(), events.end(), eventBefore);
+}
+
+bool isSorted(const std::vector<TraceEvent>& events) {
+  return std::is_sorted(events.begin(), events.end(),
+                        [](const TraceEvent& a, const TraceEvent& b) {
+                          return eventBefore(a, b);
+                        });
+}
+
+}  // namespace vlease::trace

@@ -1,0 +1,40 @@
+// Trace events: timestamped client reads and server writes, plus the
+// merge step that produces the single time-ordered stream the simulator
+// consumes (the paper's simulator "accepts timestamped read and modify
+// events from input files").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/ids.h"
+#include "util/time.h"
+
+namespace vlease::trace {
+
+enum class EventKind : std::uint8_t { kRead, kWrite };
+
+struct TraceEvent {
+  SimTime at;
+  EventKind kind;
+  /// Reader for kRead; ignored for kWrite (writes happen at the object's
+  /// home server).
+  NodeId client;
+  ObjectId obj;
+};
+
+/// Stable comparison: by time, then reads before writes, preserving
+/// input order within a group (the merge below is stable).
+bool eventBefore(const TraceEvent& a, const TraceEvent& b);
+
+/// Merge two time-sorted streams into one time-sorted stream.
+std::vector<TraceEvent> mergeEvents(std::vector<TraceEvent> reads,
+                                    std::vector<TraceEvent> writes);
+
+/// Sort a stream in place (stable).
+void sortEvents(std::vector<TraceEvent>& events);
+
+/// True if time-sorted.
+bool isSorted(const std::vector<TraceEvent>& events);
+
+}  // namespace vlease::trace

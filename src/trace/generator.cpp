@@ -1,0 +1,210 @@
+#include "trace/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace vlease::trace {
+
+namespace {
+
+/// Geometric with support {1, 2, ...} and the given mean (>= 1).
+std::int64_t geometricAtLeastOne(Rng& rng, double mean) {
+  if (mean <= 1.0) return 1;
+  const double p = 1.0 / mean;  // success probability
+  double u;
+  do {
+    u = rng.nextDouble();
+  } while (u <= 0.0);
+  auto n = static_cast<std::int64_t>(std::floor(std::log(u) / std::log1p(-p)));
+  return 1 + std::max<std::int64_t>(0, n);
+}
+
+/// Geometric with support {0, 1, ...} and the given mean (>= 0).
+std::int64_t geometricAtLeastZero(Rng& rng, double mean) {
+  if (mean <= 0.0) return 0;
+  return geometricAtLeastOne(rng, mean + 1.0) - 1;
+}
+
+/// Per-server page structure: which objects are container pages, and
+/// which embedded objects each page pulls in.
+struct ServerSite {
+  std::vector<ObjectId> pages;
+  std::vector<std::vector<ObjectId>> embedsOfPage;  // parallel to pages
+};
+
+}  // namespace
+
+BuLikeTrace generateBuLikeTrace(const BuLikeConfig& config) {
+  VL_CHECK(config.numClients > 0);
+  VL_CHECK(config.numServers > 0);
+  VL_CHECK(config.scale > 0);
+  VL_CHECK(config.duration > 0);
+
+  const auto totalObjects = std::max<std::size_t>(
+      config.numServers * 2,
+      static_cast<std::size_t>(config.totalObjects * config.scale));
+  const auto totalReads = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(config.totalReads * config.scale));
+
+  Rng rootRng(config.seed);
+  Rng catalogRng = rootRng.fork();
+  Rng clientSeeder = rootRng.fork();
+
+  BuLikeTrace out{Catalog(config.numServers, config.numClients), {}, {}, {}};
+  Catalog& catalog = out.catalog;
+
+  // ---- catalog: one volume per server; object counts follow server
+  // popularity so popular servers also host more files ----
+  ZipfSampler serverPop(config.numServers, config.serverZipf);
+  std::vector<std::size_t> objectsPerServer(config.numServers, 2);
+  std::size_t assigned = 2 * config.numServers;  // page + embed minimum
+  for (std::uint32_t s = 0; s < config.numServers; ++s) {
+    auto extra = static_cast<std::size_t>(
+        serverPop.pmf(s) * static_cast<double>(totalObjects));
+    objectsPerServer[s] += extra;
+    assigned += extra;
+  }
+  for (std::uint32_t s = 0; assigned < totalObjects; ++s) {
+    objectsPerServer[s % config.numServers] += 1;
+    ++assigned;
+  }
+
+  const double sizeMu = std::log(config.medianObjectBytes);
+  std::vector<ServerSite> sites(config.numServers);
+  for (std::uint32_t s = 0; s < config.numServers; ++s) {
+    VolumeId vol = catalog.addVolume(catalog.serverNode(s));
+    const std::size_t n = objectsPerServer[s];
+    auto numPages = std::max<std::size_t>(
+        1, static_cast<std::size_t>(config.pageFraction *
+                                    static_cast<double>(n)));
+    numPages = std::min(numPages, n - 1);  // keep at least one embeddable
+
+    std::vector<ObjectId> all;
+    all.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto size = static_cast<std::int64_t>(std::max(
+          64.0, catalogRng.nextLogNormal(sizeMu, config.objectSizeSigma)));
+      all.push_back(catalog.addObject(vol, size));
+    }
+
+    ServerSite& site = sites[s];
+    site.pages.assign(all.begin(),
+                      all.begin() + static_cast<std::ptrdiff_t>(numPages));
+    const std::size_t numEmbeddable = n - numPages;
+    // Embedded-object popularity is Zipf: a site's logo/stylesheet is on
+    // every page, obscure images on few.
+    ZipfSampler embedPop(numEmbeddable, config.objectZipf);
+    site.embedsOfPage.resize(numPages);
+    for (std::size_t p = 0; p < numPages; ++p) {
+      const std::int64_t k =
+          geometricAtLeastZero(catalogRng, config.meanEmbedsPerPage);
+      std::unordered_set<std::uint64_t> used;
+      for (std::int64_t e = 0; e < k && used.size() < numEmbeddable; ++e) {
+        ObjectId obj = all[numPages + embedPop(catalogRng)];
+        if (used.insert(raw(obj)).second) {
+          site.embedsOfPage[p].push_back(obj);
+        }
+      }
+    }
+  }
+
+  // Per-server page-popularity samplers.
+  std::vector<ZipfSampler> pagePop;
+  pagePop.reserve(config.numServers);
+  for (std::uint32_t s = 0; s < config.numServers; ++s) {
+    pagePop.emplace_back(sites[s].pages.size(), config.objectZipf);
+  }
+
+  // ---- client read generation ----
+  out.readsPerObject.assign(catalog.numObjects(), 0);
+  out.readsPerServer.assign(config.numServers, 0);
+
+  const double readsPerVisit = 1.0 + config.meanEmbedsPerPage * 0.8;
+  const double readsPerClient =
+      static_cast<double>(totalReads) / config.numClients;
+  const double sessionsPerClient = std::max(
+      1.0, readsPerClient / (config.meanPagesPerSession * readsPerVisit));
+
+  std::vector<TraceEvent> reads;
+  reads.reserve(static_cast<std::size_t>(totalReads) + 1024);
+
+  for (std::uint32_t c = 0; c < config.numClients; ++c) {
+    Rng rng(clientSeeder.next());
+    const NodeId client = catalog.clientNode(c);
+
+    // Favorite servers: popularity-biased, deduplicated.
+    std::vector<std::uint32_t> favorites;
+    {
+      std::unordered_set<std::uint32_t> seen;
+      std::size_t want =
+          std::min<std::size_t>(config.affinityServers, config.numServers);
+      while (favorites.size() < want) {
+        auto s = static_cast<std::uint32_t>(serverPop(rng));
+        if (seen.insert(s).second) favorites.push_back(s);
+      }
+    }
+
+    // Recently visited pages, per server (page index), kept across
+    // sessions: revisiting them yields hours-to-days re-read gaps.
+    std::vector<std::deque<std::size_t>> history(config.numServers);
+
+    auto numSessions =
+        std::max<std::int64_t>(1, rng.nextPoisson(sessionsPerClient));
+    for (std::int64_t sess = 0; sess < numSessions; ++sess) {
+      // Session start: uniform over the trace (a homogeneous Poisson
+      // process conditioned on its count has iid-uniform event times).
+      SimTime t = static_cast<SimTime>(
+          rng.nextDouble() * static_cast<double>(config.duration));
+
+      std::uint32_t server;
+      if (!favorites.empty() && rng.nextBool(config.affinityProb)) {
+        server = favorites[rng.nextBelow(favorites.size())];
+      } else {
+        server = static_cast<std::uint32_t>(serverPop(rng));
+      }
+      const ServerSite& site = sites[server];
+      auto& hist = history[server];
+
+      const std::int64_t pages =
+          geometricAtLeastOne(rng, config.meanPagesPerSession);
+      for (std::int64_t p = 0; p < pages && t < config.duration; ++p) {
+        std::size_t pageIdx;
+        if (!hist.empty() && rng.nextBool(config.revisitProb)) {
+          pageIdx = hist[rng.nextBelow(hist.size())];
+        } else {
+          pageIdx = pagePop[server](rng);
+        }
+        hist.push_back(pageIdx);
+        if (hist.size() > config.historyCapacity) hist.pop_front();
+
+        auto emit = [&](ObjectId obj) {
+          reads.push_back(TraceEvent{t, EventKind::kRead, client, obj});
+          out.readsPerObject[raw(obj)] += 1;
+          out.readsPerServer[server] += 1;
+        };
+        // Container page, then its embedded objects in a sub-second
+        // burst -- the paper's "client accesses multiple objects from
+        // the same volume in a short amount of time".
+        emit(site.pages[pageIdx]);
+        for (ObjectId embed : site.embedsOfPage[pageIdx]) {
+          t = addSat(t, static_cast<SimDuration>(rng.nextExponential(
+                            static_cast<double>(config.meanEmbedGap))));
+          if (t >= config.duration) break;
+          emit(embed);
+        }
+        t = addSat(t, static_cast<SimDuration>(rng.nextExponential(
+                          static_cast<double>(config.meanThinkTime))));
+      }
+    }
+  }
+
+  sortEvents(reads);
+  out.reads = std::move(reads);
+  return out;
+}
+
+}  // namespace vlease::trace

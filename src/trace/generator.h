@@ -1,0 +1,90 @@
+// Synthetic read-trace generator standing in for the Boston University
+// Mosaic traces (Cunha et al. 1995) used by the paper, which are not
+// redistributable here. See DESIGN.md §5 for the substitution argument.
+//
+// The generator reproduces the aggregate statistics the paper's effects
+// depend on:
+//   * ~33 clients issuing ~10^6 reads over ~4 months against the 1000
+//     most popular servers (one volume per server);
+//   * heavy-tailed (Zipf) server and per-server object popularity;
+//   * browser-like structure: a session is a sequence of PAGE VISITS to
+//     one server; each visit reads a container page plus its embedded
+//     objects with sub-second gaps (the volume-level spatial locality
+//     volume leases amortize renewals over), with tens of seconds of
+//     think time between pages;
+//   * stable page composition: a page embeds the same objects on every
+//     visit, so re-reads are frequent;
+//   * object re-reads whose gaps range from sub-second (within a page)
+//     to minutes (within a session) to hours or days (favorite servers
+//     revisited across sessions), matching the paper's observation that
+//     repeated accesses spread over minutes or more.
+//
+// Everything is deterministic in the seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/catalog.h"
+#include "trace/events.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace vlease::trace {
+
+struct BuLikeConfig {
+  std::uint64_t seed = 1998;
+
+  std::uint32_t numClients = 33;
+  std::uint32_t numServers = 1000;
+  std::size_t totalObjects = 68'665;
+  std::int64_t totalReads = 1'034'077;
+  SimDuration duration = days(120);
+
+  /// Popularity skew across servers / across objects within a server.
+  double serverZipf = 0.95;
+  double objectZipf = 1.0;
+
+  /// Page structure: fraction of a server's objects that are container
+  /// pages (the rest are embeddable images/includes), and the mean
+  /// number of embedded objects per page (geometric, support >= 0).
+  double pageFraction = 0.30;
+  double meanEmbedsPerPage = 4.0;
+
+  /// Session shape: page visits per session (geometric, support >= 1),
+  /// think time between pages (exponential), and the gap between the
+  /// container read and each embedded read (exponential, sub-second).
+  double meanPagesPerSession = 6.0;
+  SimDuration meanThinkTime = sec(30);
+  SimDuration meanEmbedGap = msec(300);
+
+  /// Chance a page visit revisits a page from the client's recent
+  /// history for this server (drives medium/long-gap re-reads).
+  double revisitProb = 0.4;
+  std::size_t historyCapacity = 32;
+
+  /// Per-client server affinity: sessions mostly go to a small pool of
+  /// favorite servers (drives cross-session re-reads, hours-to-days
+  /// revisit gaps).
+  std::size_t affinityServers = 12;
+  double affinityProb = 0.7;
+
+  /// Object sizes: lognormal with this median, in bytes.
+  double medianObjectBytes = 8 * 1024;
+  double objectSizeSigma = 1.2;
+
+  /// Uniform scale knob: multiplies totalObjects and totalReads. Tests
+  /// and quick bench runs use scale < 1; results keep their shape.
+  double scale = 1.0;
+};
+
+struct BuLikeTrace {
+  Catalog catalog;
+  std::vector<TraceEvent> reads;             // time-sorted
+  std::vector<std::int64_t> readsPerObject;  // indexed by raw ObjectId
+  std::vector<std::int64_t> readsPerServer;  // indexed by server index
+};
+
+BuLikeTrace generateBuLikeTrace(const BuLikeConfig& config);
+
+}  // namespace vlease::trace

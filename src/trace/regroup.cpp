@@ -1,0 +1,53 @@
+#include "trace/regroup.h"
+
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace vlease::trace {
+
+Catalog regroupVolumes(const Catalog& catalog, std::uint32_t volumesPerServer,
+                       GroupingStrategy strategy, std::uint64_t seed) {
+  VL_CHECK(volumesPerServer >= 1);
+  Rng rng(seed);
+
+  Catalog out(catalog.numServers(), catalog.numClients());
+
+  // Create k volumes per server; volumeOf[s][j] is the new id.
+  std::vector<std::vector<VolumeId>> volumeOf(catalog.numServers());
+  for (std::uint32_t s = 0; s < catalog.numServers(); ++s) {
+    for (std::uint32_t j = 0; j < volumesPerServer; ++j) {
+      volumeOf[s].push_back(out.addVolume(out.serverNode(s)));
+    }
+  }
+
+  // Per-server object counts, for the contiguous split.
+  std::vector<std::size_t> objectsOnServer(catalog.numServers(), 0);
+  for (const ObjectInfo& info : catalog.objects()) {
+    objectsOnServer[raw(info.server)] += 1;
+  }
+  std::vector<std::size_t> seenOnServer(catalog.numServers(), 0);
+
+  // Objects must be re-added in id order so ids are preserved.
+  for (const ObjectInfo& info : catalog.objects()) {
+    const auto s = raw(info.server);
+    std::uint32_t j = 0;
+    if (strategy == GroupingStrategy::kRandom) {
+      j = static_cast<std::uint32_t>(rng.nextBelow(volumesPerServer));
+    } else {
+      // Contiguous runs of ceil(n/k) objects per volume.
+      const std::size_t n = objectsOnServer[s];
+      const std::size_t run = (n + volumesPerServer - 1) / volumesPerServer;
+      j = static_cast<std::uint32_t>(seenOnServer[s] / std::max<std::size_t>(
+                                                           1, run));
+      j = std::min(j, volumesPerServer - 1);
+      seenOnServer[s] += 1;
+    }
+    ObjectId id = out.addObject(volumeOf[s][j], info.sizeBytes);
+    VL_CHECK(id == info.id);  // replayability depends on stable ids
+  }
+  return out;
+}
+
+}  // namespace vlease::trace

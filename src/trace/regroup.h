@@ -1,0 +1,30 @@
+// Volume grouping strategies (the paper's explicit future work: "We
+// leave more sophisticated grouping as future work", §4.2).
+//
+// The paper uses exactly one volume per server. These transformers
+// rebuild a catalog with the same servers, clients, and objects (object
+// ids preserved, so existing traces replay unchanged) but a different
+// object -> volume assignment, enabling ablations over volume
+// granularity:
+//   * kRandom: objects spread uniformly over k volumes per server --
+//     destroys intra-volume locality; the adversarial case;
+//   * kContiguous: objects split into k runs in catalog order -- since
+//     the generator lays out each site's pages/embeds contiguously,
+//     this roughly keeps co-accessed objects together; the friendly
+//     case.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/catalog.h"
+
+namespace vlease::trace {
+
+enum class GroupingStrategy { kRandom, kContiguous };
+
+/// Rebuild `catalog` with `volumesPerServer` volumes on each server.
+/// Object ids, sizes, and home servers are unchanged.
+Catalog regroupVolumes(const Catalog& catalog, std::uint32_t volumesPerServer,
+                       GroupingStrategy strategy, std::uint64_t seed = 7);
+
+}  // namespace vlease::trace

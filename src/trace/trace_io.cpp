@@ -1,0 +1,136 @@
+#include "trace/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace vlease::trace {
+
+void writeTrace(std::ostream& os, const Catalog& catalog,
+                const std::vector<TraceEvent>& events) {
+  os << "VLTRACE 1\n";
+  os << "nodes " << catalog.numServers() << " " << catalog.numClients()
+     << "\n";
+  for (const VolumeInfo& v : catalog.volumes()) {
+    os << "volume " << raw(v.server) << "\n";
+  }
+  for (const ObjectInfo& o : catalog.objects()) {
+    os << "object " << raw(o.volume) << " " << o.sizeBytes << "\n";
+  }
+  for (const TraceEvent& e : events) {
+    if (e.kind == EventKind::kRead) {
+      os << "read " << e.at << " " << (raw(e.client) - catalog.numServers())
+         << " " << raw(e.obj) << "\n";
+    } else {
+      os << "write " << e.at << " " << raw(e.obj) << "\n";
+    }
+  }
+  os << "end\n";
+}
+
+bool writeTraceToFile(const std::string& path, const Catalog& catalog,
+                      const std::vector<TraceEvent>& events) {
+  std::ofstream os(path);
+  if (!os) return false;
+  writeTrace(os, catalog, events);
+  return static_cast<bool>(os);
+}
+
+namespace {
+std::optional<TraceFile> fail(std::string* error, const std::string& msg,
+                              int line) {
+  if (error) {
+    std::ostringstream os;
+    os << "trace parse error at line " << line << ": " << msg;
+    *error = os.str();
+  }
+  return std::nullopt;
+}
+}  // namespace
+
+std::optional<TraceFile> readTrace(std::istream& is, std::string* error) {
+  std::string line;
+  int lineNo = 0;
+
+  auto nextLine = [&](std::string& out) -> bool {
+    while (std::getline(is, line)) {
+      ++lineNo;
+      if (line.empty() || line[0] == '#') continue;
+      out = line;
+      return true;
+    }
+    return false;
+  };
+
+  std::string cur;
+  if (!nextLine(cur) || cur != "VLTRACE 1")
+    return fail(error, "missing 'VLTRACE 1' header", lineNo);
+  if (!nextLine(cur)) return fail(error, "missing 'nodes' line", lineNo);
+
+  std::uint32_t numServers = 0, numClients = 0;
+  {
+    std::istringstream ss(cur);
+    std::string tag;
+    if (!(ss >> tag >> numServers >> numClients) || tag != "nodes" ||
+        numServers == 0 || numClients == 0)
+      return fail(error, "bad 'nodes' line", lineNo);
+  }
+
+  TraceFile out{Catalog(numServers, numClients), {}};
+  bool sawEnd = false;
+
+  while (nextLine(cur)) {
+    std::istringstream ss(cur);
+    std::string tag;
+    ss >> tag;
+    if (tag == "volume") {
+      std::uint32_t server;
+      if (!(ss >> server) || server >= numServers)
+        return fail(error, "bad 'volume' line", lineNo);
+      out.catalog.addVolume(makeNodeId(server));
+    } else if (tag == "object") {
+      std::uint64_t vol;
+      std::int64_t size;
+      if (!(ss >> vol >> size) || vol >= out.catalog.numVolumes())
+        return fail(error, "bad 'object' line", lineNo);
+      out.catalog.addObject(makeVolumeId(vol), size);
+    } else if (tag == "read") {
+      std::int64_t t;
+      std::uint32_t client;
+      std::uint64_t obj;
+      if (!(ss >> t >> client >> obj) || client >= numClients ||
+          obj >= out.catalog.numObjects())
+        return fail(error, "bad 'read' line", lineNo);
+      out.events.push_back(TraceEvent{t, EventKind::kRead,
+                                      out.catalog.clientNode(client),
+                                      makeObjectId(obj)});
+    } else if (tag == "write") {
+      std::int64_t t;
+      std::uint64_t obj;
+      if (!(ss >> t >> obj) || obj >= out.catalog.numObjects())
+        return fail(error, "bad 'write' line", lineNo);
+      out.events.push_back(
+          TraceEvent{t, EventKind::kWrite, makeNodeId(0), makeObjectId(obj)});
+    } else if (tag == "end") {
+      sawEnd = true;
+      break;
+    } else {
+      return fail(error, "unknown record '" + tag + "'", lineNo);
+    }
+  }
+  if (!sawEnd) return fail(error, "missing 'end'", lineNo);
+  if (!isSorted(out.events))
+    return fail(error, "events are not time-sorted", lineNo);
+  return out;
+}
+
+std::optional<TraceFile> readTraceFromFile(const std::string& path,
+                                           std::string* error) {
+  std::ifstream is(path);
+  if (!is) {
+    if (error) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  return readTrace(is, error);
+}
+
+}  // namespace vlease::trace

@@ -1,0 +1,41 @@
+// Plain-text trace format, so generated workloads can be saved, diffed,
+// and re-run (and external traces converted in).
+//
+//   VLTRACE 1
+//   nodes <numServers> <numClients>
+//   volume <serverIndex>                 # volume ids assigned in order
+//   object <volumeId> <sizeBytes>        # object ids assigned in order
+//   read <timeUs> <clientIndex> <objectId>
+//   write <timeUs> <objectId>
+//   end
+//
+// Lines starting with '#' are comments. Events must be time-sorted (the
+// writer guarantees it; the loader verifies).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/catalog.h"
+#include "trace/events.h"
+
+namespace vlease::trace {
+
+struct TraceFile {
+  Catalog catalog;
+  std::vector<TraceEvent> events;  // merged, time-sorted
+};
+
+void writeTrace(std::ostream& os, const Catalog& catalog,
+                const std::vector<TraceEvent>& events);
+bool writeTraceToFile(const std::string& path, const Catalog& catalog,
+                      const std::vector<TraceEvent>& events);
+
+/// Returns nullopt and sets `error` on malformed input.
+std::optional<TraceFile> readTrace(std::istream& is, std::string* error);
+std::optional<TraceFile> readTraceFromFile(const std::string& path,
+                                           std::string* error);
+
+}  // namespace vlease::trace

@@ -1,0 +1,125 @@
+#include "trace/write_synth.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace vlease::trace {
+
+namespace {
+
+double writesPerDay(MutabilityClass klass, const WriteModelConfig& config) {
+  switch (klass) {
+    case MutabilityClass::kPopular:
+      return config.popularWritesPerDay;
+    case MutabilityClass::kVeryMutable:
+      return config.veryMutableWritesPerDay;
+    case MutabilityClass::kMutable:
+      return config.mutableWritesPerDay;
+    case MutabilityClass::kNormal:
+      return config.normalWritesPerDay;
+  }
+  return 0;
+}
+
+}  // namespace
+
+WriteWorkload synthesizeWrites(const Catalog& catalog,
+                               const std::vector<std::int64_t>& readsPerObject,
+                               const WriteModelConfig& config) {
+  const std::size_t n = catalog.numObjects();
+  VL_CHECK(readsPerObject.size() == n);
+  Rng rng(config.seed);
+
+  WriteWorkload out;
+  out.classOf.assign(n, MutabilityClass::kNormal);
+  out.writesPerObject.assign(n, 0);
+
+  // Rank objects by read count (descending; id breaks ties) and mark the
+  // top popularFraction as kPopular.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (readsPerObject[a] != readsPerObject[b])
+      return readsPerObject[a] > readsPerObject[b];
+    return a < b;
+  });
+  const auto numPopular =
+      static_cast<std::size_t>(config.popularFraction * static_cast<double>(n));
+  for (std::size_t i = 0; i < numPopular && i < n; ++i) {
+    out.classOf[order[i]] = MutabilityClass::kPopular;
+  }
+
+  // Split the remaining files. The paper's fractions are of ALL files, so
+  // conditioned on not-popular the probabilities are f / (1 - popular).
+  const double rest = std::max(1e-9, 1.0 - config.popularFraction);
+  const double pVery = config.veryMutableFraction / rest;
+  const double pMut = config.mutableFraction / rest;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (out.classOf[i] == MutabilityClass::kPopular) continue;
+    double u = rng.nextDouble();
+    if (u < pVery) {
+      out.classOf[i] = MutabilityClass::kVeryMutable;
+    } else if (u < pVery + pMut) {
+      out.classOf[i] = MutabilityClass::kMutable;
+    }  // else stays kNormal
+  }
+
+  // Poisson writes per object; conditioned on the count, event times of a
+  // homogeneous Poisson process are iid uniform over the window.
+  const double traceDays = toSeconds(config.duration) / 86400.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double mean = writesPerDay(out.classOf[i], config) * traceDays;
+    const std::int64_t k = rng.nextPoisson(mean);
+    out.writesPerObject[i] = k;
+    for (std::int64_t j = 0; j < k; ++j) {
+      auto t = static_cast<SimTime>(rng.nextDouble() *
+                                    static_cast<double>(config.duration));
+      out.writes.push_back(TraceEvent{t, EventKind::kWrite,
+                                      makeNodeId(0) /* unused for writes */,
+                                      makeObjectId(i)});
+    }
+  }
+  sortEvents(out.writes);
+  return out;
+}
+
+std::vector<TraceEvent> makeWritesBursty(const Catalog& catalog,
+                                         const std::vector<TraceEvent>& writes,
+                                         const BurstyWriteConfig& config) {
+  Rng rng(config.seed);
+
+  // Volume -> member objects, for picking burst companions.
+  std::vector<std::vector<ObjectId>> members(catalog.numVolumes());
+  for (const ObjectInfo& info : catalog.objects()) {
+    members[raw(info.volume)].push_back(info.id);
+  }
+
+  std::vector<TraceEvent> out;
+  out.reserve(writes.size() * 2);
+  for (const TraceEvent& w : writes) {
+    VL_DCHECK(w.kind == EventKind::kWrite);
+    out.push_back(w);
+    const auto& pool = members[raw(catalog.object(w.obj).volume)];
+    if (pool.size() <= 1) continue;
+    auto k = static_cast<std::int64_t>(
+        rng.nextExponential(config.meanBurstSize));
+    k = std::min<std::int64_t>(k, static_cast<std::int64_t>(pool.size()) - 1);
+    std::unordered_set<std::uint64_t> used{raw(w.obj)};
+    for (std::int64_t i = 0; i < k; ++i) {
+      // Rejection-sample a distinct companion; pool is always larger
+      // than `used` because k < pool.size().
+      ObjectId other;
+      do {
+        other = pool[rng.nextBelow(pool.size())];
+      } while (!used.insert(raw(other)).second);
+      out.push_back(TraceEvent{w.at, EventKind::kWrite, w.client, other});
+    }
+  }
+  sortEvents(out);
+  return out;
+}
+
+}  // namespace vlease::trace

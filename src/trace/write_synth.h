@@ -1,0 +1,70 @@
+// Synthetic write workload, exactly the paper's model (§4.2):
+//
+//   * the 10% most-referenced files get Poisson writes at 0.005/day
+//     (popular files rarely change -- Bestavros '96, Gwertzman-Seltzer
+//     '96);
+//   * the remaining 90% are split randomly: 3% of ALL files are "very
+//     mutable" (0.2 writes/day), 10% "mutable" (0.05/day), the remaining
+//     77% get 0.02/day.
+//
+// Also provides the Fig. 9 "bursty write" transformer: each base write
+// drags k ~ Exp(mean 10) additional same-instant writes to other objects
+// of the same volume.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/catalog.h"
+#include "trace/events.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace vlease::trace {
+
+enum class MutabilityClass : std::uint8_t {
+  kPopular,      // top 10% by reads: 0.005 writes/day
+  kVeryMutable,  // 3% of all files: 0.2 writes/day
+  kMutable,      // 10% of all files: 0.05 writes/day
+  kNormal,       // remaining 77%: 0.02 writes/day
+};
+
+struct WriteModelConfig {
+  std::uint64_t seed = 2024;
+  SimDuration duration = days(120);
+
+  double popularFraction = 0.10;
+  double popularWritesPerDay = 0.005;
+  double veryMutableFraction = 0.03;  // fraction of ALL files
+  double veryMutableWritesPerDay = 0.2;
+  double mutableFraction = 0.10;  // fraction of ALL files
+  double mutableWritesPerDay = 0.05;
+  double normalWritesPerDay = 0.02;
+};
+
+struct WriteWorkload {
+  std::vector<TraceEvent> writes;                 // time-sorted
+  std::vector<MutabilityClass> classOf;           // per object
+  std::vector<std::int64_t> writesPerObject;      // per object
+};
+
+/// `readsPerObject` ranks objects for the popular class (ties broken by
+/// object id for determinism).
+WriteWorkload synthesizeWrites(const Catalog& catalog,
+                               const std::vector<std::int64_t>& readsPerObject,
+                               const WriteModelConfig& config);
+
+struct BurstyWriteConfig {
+  std::uint64_t seed = 777;
+  /// Mean of the exponential burst size k (paper: 10).
+  double meanBurstSize = 10.0;
+};
+
+/// Fig. 9 transformer: for every base write, add k ~ Exp(meanBurstSize)
+/// same-instant writes to other (distinct, randomly chosen) objects of
+/// the same volume.
+std::vector<TraceEvent> makeWritesBursty(const Catalog& catalog,
+                                         const std::vector<TraceEvent>& writes,
+                                         const BurstyWriteConfig& config);
+
+}  // namespace vlease::trace

@@ -1,0 +1,40 @@
+// Lightweight runtime checks used across the library.
+//
+// VL_CHECK is always on (it guards protocol invariants whose violation
+// would silently corrupt results); VL_DCHECK compiles out in NDEBUG
+// builds and is for hot-path sanity checks.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace vlease::detail {
+
+[[noreturn]] inline void checkFailed(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "VL_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? " -- " : "", msg);
+  std::abort();
+}
+
+}  // namespace vlease::detail
+
+#define VL_CHECK(expr)                                                \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::vlease::detail::checkFailed(#expr, __FILE__, __LINE__, "");   \
+  } while (0)
+
+#define VL_CHECK_MSG(expr, msg)                                       \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::vlease::detail::checkFailed(#expr, __FILE__, __LINE__, msg);  \
+  } while (0)
+
+#ifdef NDEBUG
+#define VL_DCHECK(expr) \
+  do {                  \
+  } while (0)
+#else
+#define VL_DCHECK(expr) VL_CHECK(expr)
+#endif

@@ -1,0 +1,105 @@
+#include "util/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace vlease {
+
+void Flags::addString(const std::string& name, std::string defaultValue,
+                      const std::string& help) {
+  specs_[name] = Spec{Type::kString, std::move(defaultValue), help};
+}
+
+void Flags::addInt(const std::string& name, std::int64_t defaultValue,
+                   const std::string& help) {
+  specs_[name] = Spec{Type::kInt, std::to_string(defaultValue), help};
+}
+
+void Flags::addDouble(const std::string& name, double defaultValue,
+                      const std::string& help) {
+  std::ostringstream os;
+  os << defaultValue;
+  specs_[name] = Spec{Type::kDouble, os.str(), help};
+}
+
+void Flags::addBool(const std::string& name, bool defaultValue,
+                    const std::string& help) {
+  specs_[name] = Spec{Type::kBool, defaultValue ? "true" : "false", help};
+}
+
+bool Flags::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string name, value;
+    bool haveValue = false;
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(2, eq - 2);
+      value = arg.substr(eq + 1);
+      haveValue = true;
+    } else {
+      name = arg.substr(2);
+    }
+    auto it = specs_.find(name);
+    if (it == specs_.end()) {
+      std::fprintf(stderr, "unknown flag --%s\n%s", name.c_str(),
+                   usage(argv[0]).c_str());
+      return false;
+    }
+    if (!haveValue) {
+      if (it->second.type == Type::kBool) {
+        value = "true";
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        std::fprintf(stderr, "flag --%s requires a value\n", name.c_str());
+        return false;
+      }
+    }
+    it->second.value = value;
+  }
+  return true;
+}
+
+const Flags::Spec* Flags::find(const std::string& name, Type type) const {
+  auto it = specs_.find(name);
+  VL_CHECK_MSG(it != specs_.end(), name.c_str());
+  VL_CHECK_MSG(it->second.type == type, "flag accessed with wrong type");
+  return &it->second;
+}
+
+std::string Flags::getString(const std::string& name) const {
+  return find(name, Type::kString)->value;
+}
+
+std::int64_t Flags::getInt(const std::string& name) const {
+  return std::strtoll(find(name, Type::kInt)->value.c_str(), nullptr, 10);
+}
+
+double Flags::getDouble(const std::string& name) const {
+  return std::strtod(find(name, Type::kDouble)->value.c_str(), nullptr);
+}
+
+bool Flags::getBool(const std::string& name) const {
+  const std::string& v = find(name, Type::kBool)->value;
+  return v == "true" || v == "1" || v == "yes";
+}
+
+std::string Flags::usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [flags]\n";
+  for (const auto& [name, spec] : specs_) {
+    os << "  --" << name << " (default: " << spec.value << ")  " << spec.help
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace vlease

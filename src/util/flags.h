@@ -1,0 +1,52 @@
+// Minimal command-line flag parser for the bench and example binaries.
+//
+// Supports "--name=value", "--name value", and bare "--name" for booleans.
+// Unknown flags are an error (catches typos in experiment scripts).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vlease {
+
+class Flags {
+ public:
+  /// Parse argv. On error prints a message + usage to stderr and returns
+  /// false. Registered flags must be declared before parse().
+  bool parse(int argc, char** argv);
+
+  void addString(const std::string& name, std::string defaultValue,
+                 const std::string& help);
+  void addInt(const std::string& name, std::int64_t defaultValue,
+              const std::string& help);
+  void addDouble(const std::string& name, double defaultValue,
+                 const std::string& help);
+  void addBool(const std::string& name, bool defaultValue,
+               const std::string& help);
+
+  std::string getString(const std::string& name) const;
+  std::int64_t getInt(const std::string& name) const;
+  double getDouble(const std::string& name) const;
+  bool getBool(const std::string& name) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  std::string usage(const std::string& program) const;
+
+ private:
+  enum class Type { kString, kInt, kDouble, kBool };
+  struct Spec {
+    Type type;
+    std::string value;  // canonical text form
+    std::string help;
+  };
+  const Spec* find(const std::string& name, Type type) const;
+
+  std::map<std::string, Spec> specs_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace vlease

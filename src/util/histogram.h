@@ -1,0 +1,60 @@
+// Histogram utilities used by the metrics layer and the figure benches.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vlease {
+
+/// Sparse integer-keyed counter: maps a bucket index (e.g. a whole-second
+/// timestamp) to a count. Used for the per-second server-load series
+/// behind Figs. 8 and 9 -- traces span ~10^7 seconds but most buckets are
+/// empty, so a dense array would be wasteful.
+class SparseCounter {
+ public:
+  void add(std::int64_t bucket, std::int64_t n = 1) { counts_[bucket] += n; }
+
+  std::int64_t at(std::int64_t bucket) const;
+  std::int64_t totalCount() const;
+  std::size_t nonEmptyBuckets() const { return counts_.size(); }
+  std::int64_t maxValue() const;
+
+  const std::map<std::int64_t, std::int64_t>& buckets() const {
+    return counts_;
+  }
+
+  /// Cumulative histogram in the paper's Fig. 8 form: for each load level
+  /// x in [1, maxValue], how many buckets held a value >= x. Returned as
+  /// result[x-1] = #buckets with value >= x.
+  std::vector<std::int64_t> cumulativeAtLeast() const;
+
+  void merge(const SparseCounter& other);
+  void clear() { counts_.clear(); }
+
+ private:
+  std::map<std::int64_t, std::int64_t> counts_;
+};
+
+/// Simple streaming summary: count / mean / min / max / sum.
+class Summary {
+ public:
+  void add(double x);
+
+  std::int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0; }
+  double min() const { return count_ ? min_ : 0; }
+  double max() const { return count_ ? max_ : 0; }
+
+  void merge(const Summary& other);
+
+ private:
+  std::int64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+}  // namespace vlease

@@ -1,0 +1,89 @@
+// Strongly-typed identifiers shared across the protocol stack.
+//
+// Clients and servers live in one NodeId space (a node is "whoever can
+// send and receive messages"); the convention -- enforced by
+// proto::Directory -- is servers first, then clients. Objects and volumes
+// are global identifiers; the directory maps each object to its volume
+// and home server.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace vlease {
+
+enum class NodeId : std::uint32_t {};
+enum class ObjectId : std::uint64_t {};
+enum class VolumeId : std::uint64_t {};
+
+inline constexpr std::uint32_t raw(NodeId id) {
+  return static_cast<std::uint32_t>(id);
+}
+inline constexpr std::uint64_t raw(ObjectId id) {
+  return static_cast<std::uint64_t>(id);
+}
+inline constexpr std::uint64_t raw(VolumeId id) {
+  return static_cast<std::uint64_t>(id);
+}
+
+inline constexpr NodeId makeNodeId(std::uint32_t v) {
+  return static_cast<NodeId>(v);
+}
+inline constexpr ObjectId makeObjectId(std::uint64_t v) {
+  return static_cast<ObjectId>(v);
+}
+inline constexpr VolumeId makeVolumeId(std::uint64_t v) {
+  return static_cast<VolumeId>(v);
+}
+
+inline constexpr bool operator==(NodeId a, NodeId b) { return raw(a) == raw(b); }
+inline constexpr bool operator!=(NodeId a, NodeId b) { return raw(a) != raw(b); }
+inline constexpr bool operator<(NodeId a, NodeId b) { return raw(a) < raw(b); }
+inline constexpr bool operator==(ObjectId a, ObjectId b) {
+  return raw(a) == raw(b);
+}
+inline constexpr bool operator!=(ObjectId a, ObjectId b) {
+  return raw(a) != raw(b);
+}
+inline constexpr bool operator<(ObjectId a, ObjectId b) {
+  return raw(a) < raw(b);
+}
+inline constexpr bool operator==(VolumeId a, VolumeId b) {
+  return raw(a) == raw(b);
+}
+inline constexpr bool operator!=(VolumeId a, VolumeId b) {
+  return raw(a) != raw(b);
+}
+inline constexpr bool operator<(VolumeId a, VolumeId b) {
+  return raw(a) < raw(b);
+}
+
+/// Object version numbers; -1 means "client has no copy" (paper's vnum).
+using Version = std::int64_t;
+inline constexpr Version kNoVersion = -1;
+
+/// Volume epoch numbers; bumped on server reboot (paper's epoch).
+using Epoch = std::int64_t;
+
+}  // namespace vlease
+
+namespace std {
+template <>
+struct hash<vlease::NodeId> {
+  size_t operator()(vlease::NodeId id) const noexcept {
+    return std::hash<std::uint32_t>()(vlease::raw(id));
+  }
+};
+template <>
+struct hash<vlease::ObjectId> {
+  size_t operator()(vlease::ObjectId id) const noexcept {
+    return std::hash<std::uint64_t>()(vlease::raw(id));
+  }
+};
+template <>
+struct hash<vlease::VolumeId> {
+  size_t operator()(vlease::VolumeId id) const noexcept {
+    return std::hash<std::uint64_t>()(vlease::raw(id));
+  }
+};
+}  // namespace std

@@ -1,0 +1,33 @@
+#include "util/log.h"
+
+#include <cstdio>
+
+namespace vlease {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void setLogLevel(LogLevel level) { g_level = level; }
+LogLevel logLevel() { return g_level; }
+
+namespace detail {
+void logLine(LogLevel level, const std::string& msg) {
+  std::fprintf(stderr, "[%s] %s\n", levelName(level), msg.c_str());
+}
+}  // namespace detail
+
+}  // namespace vlease

@@ -1,0 +1,47 @@
+// Leveled logging. Off by default above kWarn so simulation hot paths
+// stay quiet; examples turn on kInfo to narrate protocol activity.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace vlease {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are discarded.
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+namespace detail {
+void logLine(LogLevel level, const std::string& msg);
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, bool enabled) : level_(level), enabled_(enabled) {}
+  ~LogMessage() {
+    if (enabled_) logLine(level_, stream_.str());
+  }
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+inline detail::LogMessage logAt(LogLevel level) {
+  return detail::LogMessage(level, level >= logLevel());
+}
+
+#define VL_LOG_DEBUG ::vlease::logAt(::vlease::LogLevel::kDebug)
+#define VL_LOG_INFO ::vlease::logAt(::vlease::LogLevel::kInfo)
+#define VL_LOG_WARN ::vlease::logAt(::vlease::LogLevel::kWarn)
+#define VL_LOG_ERROR ::vlease::logAt(::vlease::LogLevel::kError)
+
+}  // namespace vlease

@@ -1,0 +1,136 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace vlease {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // xoshiro must not be seeded with all zeros; splitmix64 guarantees a
+  // well-mixed nonzero state for any seed.
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::nextBelow(std::uint64_t n) {
+  VL_DCHECK(n > 0);
+  // Lemire-style rejection to avoid modulo bias.
+  std::uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    std::uint64_t r = next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+std::int64_t Rng::nextInt(std::int64_t lo, std::int64_t hi) {
+  VL_DCHECK(lo <= hi);
+  return lo + static_cast<std::int64_t>(
+                  nextBelow(static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+double Rng::nextDouble() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::nextBool(double pTrue) { return nextDouble() < pTrue; }
+
+double Rng::nextExponential(double mean) {
+  VL_DCHECK(mean > 0);
+  double u;
+  do {
+    u = nextDouble();
+  } while (u <= 0.0);  // nextDouble() can return exactly 0
+  return -mean * std::log(u);
+}
+
+std::int64_t Rng::nextPoisson(double mean) {
+  VL_DCHECK(mean >= 0);
+  if (mean == 0) return 0;
+  if (mean < 30.0) {
+    // Knuth inversion.
+    const double limit = std::exp(-mean);
+    double prod = nextDouble();
+    std::int64_t n = 0;
+    while (prod > limit) {
+      ++n;
+      prod *= nextDouble();
+    }
+    return n;
+  }
+  // For large means a normal approximation with continuity correction is
+  // accurate to far better than our workload model needs (means here
+  // rarely exceed a few thousand).
+  double x;
+  do {
+    x = mean + std::sqrt(mean) * nextNormal() + 0.5;
+  } while (x < 0.0);
+  return static_cast<std::int64_t>(x);
+}
+
+double Rng::nextLogNormal(double mu, double sigma) {
+  return std::exp(mu + sigma * nextNormal());
+}
+
+double Rng::nextNormal() {
+  double u1;
+  do {
+    u1 = nextDouble();
+  } while (u1 <= 0.0);
+  double u2 = nextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+Rng Rng::fork() { return Rng(next()); }
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+  VL_CHECK(n > 0);
+  cdf_.resize(n);
+  double sum = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    sum += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = sum;
+  }
+  for (auto& v : cdf_) v /= sum;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::size_t ZipfSampler::operator()(Rng& rng) const {
+  double u = rng.nextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::pmf(std::size_t k) const {
+  VL_CHECK(k < cdf_.size());
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+}  // namespace vlease

@@ -1,0 +1,77 @@
+// Deterministic random-number generation and the samplers the workload
+// generators need (uniform, exponential, Poisson, bounded Zipf,
+// log-normal).
+//
+// We use xoshiro256** seeded through splitmix64: fast, high quality, and
+// -- unlike std::mt19937 + std::*_distribution -- bit-for-bit reproducible
+// across standard libraries, which keeps traces and experiments stable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace vlease {
+
+/// splitmix64 step; used for seeding and for cheap hash mixing.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** PRNG. Copyable; copies diverge independently.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Uniform 64-bit word.
+  std::uint64_t next();
+
+  /// Uniform in [0, n). n must be > 0. Unbiased (rejection sampling).
+  std::uint64_t nextBelow(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t nextInt(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double nextDouble();
+
+  /// Bernoulli trial.
+  bool nextBool(double pTrue);
+
+  /// Exponential with the given mean (mean = 1/lambda). mean must be > 0.
+  double nextExponential(double mean);
+
+  /// Poisson with the given mean. Uses inversion for small means and
+  /// the PTRS transformed-rejection method for large means.
+  std::int64_t nextPoisson(double mean);
+
+  /// Log-normal: exp(N(mu, sigma^2)).
+  double nextLogNormal(double mu, double sigma);
+
+  /// Standard normal via Box-Muller (no cached spare: keeps state simple).
+  double nextNormal();
+
+  /// Derive an independent child generator (stable given call order).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Bounded Zipf(s) sampler over ranks {0, 1, ..., n-1}: P(rank k) is
+/// proportional to 1/(k+1)^s. Precomputes the CDF once (O(n)) and samples
+/// by binary search (O(log n)); n in this project is at most a few
+/// hundred thousand, so the table is cheap and exact.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s);
+
+  std::size_t operator()(Rng& rng) const;
+
+  std::size_t size() const { return cdf_.size(); }
+
+  /// P(rank k), exposed for statistical tests.
+  double pmf(std::size_t k) const;
+
+ private:
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k)
+};
+
+}  // namespace vlease

@@ -1,0 +1,21 @@
+#include "util/time.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace vlease {
+
+std::string formatSimTime(SimTime t) {
+  if (t == kNever) return "never";
+  char buf[48];
+  std::int64_t whole = t / 1'000'000;
+  std::int64_t frac = t % 1'000'000;
+  if (frac < 0) {
+    frac += 1'000'000;
+    whole -= 1;
+  }
+  std::snprintf(buf, sizeof(buf), "%" PRId64 ".%06" PRId64 "s", whole, frac);
+  return buf;
+}
+
+}  // namespace vlease

@@ -1,0 +1,60 @@
+// Virtual-time representation shared by the simulator and the protocols.
+//
+// The paper works in whole seconds (trace timestamps, lease timeouts,
+// 1-second load buckets). We keep virtual time in integer microseconds so
+// that (a) sub-second network latencies are representable in failure
+// experiments and (b) arithmetic is exact -- no floating-point drift in
+// lease-expiry comparisons.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace vlease {
+
+/// Virtual time in microseconds since the start of a run.
+using SimTime = std::int64_t;
+
+/// Durations share the representation of time points.
+using SimDuration = std::int64_t;
+
+inline constexpr SimTime kSimTimeMax = std::numeric_limits<SimTime>::max();
+inline constexpr SimTime kSimTimeMin = std::numeric_limits<SimTime>::min();
+
+/// A sentinel for "never expires" / "not set".
+inline constexpr SimTime kNever = kSimTimeMax;
+
+inline constexpr SimDuration usec(std::int64_t n) { return n; }
+inline constexpr SimDuration msec(std::int64_t n) { return n * 1'000; }
+inline constexpr SimDuration sec(std::int64_t n) { return n * 1'000'000; }
+inline constexpr SimDuration minutes(std::int64_t n) { return sec(n * 60); }
+inline constexpr SimDuration hours(std::int64_t n) { return sec(n * 3600); }
+inline constexpr SimDuration days(std::int64_t n) { return sec(n * 86400); }
+
+/// Fractional-second helper used by workload generators.
+inline constexpr SimDuration secondsToSim(double s) {
+  return static_cast<SimDuration>(s * 1e6);
+}
+
+inline constexpr double toSeconds(SimDuration d) {
+  return static_cast<double>(d) / 1e6;
+}
+
+/// Whole-second bucket index (used by the per-second load histograms).
+inline constexpr std::int64_t secondBucket(SimTime t) { return t / 1'000'000; }
+
+/// Saturating addition: adding any duration to kNever stays kNever, and
+/// overflow clamps instead of wrapping. Lease code adds timeouts to "now"
+/// and compares against kNever-initialized expiries, so this must be safe.
+inline constexpr SimTime addSat(SimTime t, SimDuration d) {
+  if (t == kNever) return kNever;
+  if (d > 0 && t > kSimTimeMax - d) return kSimTimeMax;
+  if (d < 0 && t < kSimTimeMin - d) return kSimTimeMin;
+  return t + d;
+}
+
+/// Render a time as "NNNN.NNNNNNs" for logs and reports.
+std::string formatSimTime(SimTime t);
+
+}  // namespace vlease

@@ -1,0 +1,117 @@
+// Tests for the Table 1 analytic cost model.
+#include "analytic/cost_model.h"
+
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+namespace vlease::analytic {
+namespace {
+
+using proto::Algorithm;
+
+CostParams paperPoint() {
+  CostParams p;
+  p.readRate = 0.01;
+  p.objectTimeout = 10'000;
+  p.volumeTimeout = 100;
+  p.volumeReadRate = 0.2;
+  p.clientsTotal = 100;
+  p.clientsObjectLease = 10;
+  p.clientsVolumeLease = 3;
+  p.clientsRecentlyExpired = 5;
+  return p;
+}
+
+TEST(CostModelTest, PollEachReadRow) {
+  CostRow row = costOf(Algorithm::kPollEachRead, paperPoint());
+  EXPECT_EQ(row.expectedStaleSeconds, 0);
+  EXPECT_EQ(row.worstStaleSeconds, 0);
+  EXPECT_EQ(row.readCost, 1.0);
+  EXPECT_EQ(row.writeCost, 0);
+  EXPECT_EQ(row.ackWaitSeconds, 0);
+  EXPECT_EQ(row.serverStateBytes, 0);
+}
+
+TEST(CostModelTest, PollRow) {
+  CostRow row = costOf(Algorithm::kPoll, paperPoint());
+  EXPECT_DOUBLE_EQ(row.expectedStaleSeconds, 5000.0);  // t/2
+  EXPECT_DOUBLE_EQ(row.worstStaleSeconds, 10'000.0);   // t
+  EXPECT_DOUBLE_EQ(row.readCost, 0.01);                // 1/(R t)
+  EXPECT_EQ(row.writeCost, 0);
+  EXPECT_EQ(row.serverStateBytes, 0);
+}
+
+TEST(CostModelTest, CallbackRow) {
+  CostRow row = costOf(Algorithm::kCallback, paperPoint());
+  EXPECT_EQ(row.expectedStaleSeconds, 0);
+  EXPECT_EQ(row.readCost, 0);
+  EXPECT_DOUBLE_EQ(row.writeCost, 100);               // C_tot
+  EXPECT_TRUE(std::isinf(row.ackWaitSeconds));
+  EXPECT_DOUBLE_EQ(row.serverStateBytes, 1600);       // 16 * C_tot
+}
+
+TEST(CostModelTest, LeaseRow) {
+  CostRow row = costOf(Algorithm::kLease, paperPoint());
+  EXPECT_DOUBLE_EQ(row.readCost, 0.01);
+  EXPECT_DOUBLE_EQ(row.writeCost, 10);        // C_o
+  EXPECT_DOUBLE_EQ(row.ackWaitSeconds, 10'000);  // t
+  EXPECT_DOUBLE_EQ(row.serverStateBytes, 160);
+  EXPECT_EQ(row.worstStaleSeconds, 0);
+}
+
+TEST(CostModelTest, VolumeLeaseRow) {
+  CostRow row = costOf(Algorithm::kVolumeLease, paperPoint());
+  // 1/(sumR * t_v) + 1/(R * t) = 1/20 + 1/100.
+  EXPECT_NEAR(row.readCost, 0.05 + 0.01, 1e-12);
+  EXPECT_DOUBLE_EQ(row.writeCost, 10);                 // C_o
+  EXPECT_DOUBLE_EQ(row.ackWaitSeconds, 100);           // min(t, t_v)
+  EXPECT_DOUBLE_EQ(row.serverStateBytes, 160);
+}
+
+TEST(CostModelTest, DelayedInvalRow) {
+  CostRow row = costOf(Algorithm::kVolumeDelayedInval, paperPoint());
+  EXPECT_NEAR(row.readCost, 0.06, 1e-12);
+  EXPECT_DOUBLE_EQ(row.writeCost, 3);                  // C_v
+  EXPECT_DOUBLE_EQ(row.ackWaitSeconds, 100);
+  EXPECT_DOUBLE_EQ(row.serverStateBytes, 80);          // 16 * C_d
+}
+
+TEST(CostModelTest, BestEffortRow) {
+  CostRow row = costOf(Algorithm::kBestEffortLease, paperPoint());
+  EXPECT_EQ(row.ackWaitSeconds, 0);
+  EXPECT_DOUBLE_EQ(row.worstStaleSeconds, 10'000);  // bounded by t
+  EXPECT_DOUBLE_EQ(row.writeCost, 10);
+}
+
+TEST(CostModelTest, ReadCostCapsAtOne) {
+  CostParams p = paperPoint();
+  p.objectTimeout = 1;  // R*t = 0.01: every read renews
+  EXPECT_DOUBLE_EQ(costOf(Algorithm::kLease, p).readCost, 1.0);
+  EXPECT_DOUBLE_EQ(costOf(Algorithm::kPoll, p).readCost, 1.0);
+  p.volumeTimeout = 0.1;
+  EXPECT_DOUBLE_EQ(costOf(Algorithm::kVolumeLease, p).readCost, 2.0);
+}
+
+TEST(CostModelTest, ZeroTimeoutDegeneratesToPollEachRead) {
+  CostParams p = paperPoint();
+  p.objectTimeout = 0;
+  EXPECT_DOUBLE_EQ(costOf(Algorithm::kPoll, p).readCost, 1.0);
+  EXPECT_DOUBLE_EQ(costOf(Algorithm::kPoll, p).expectedStaleSeconds, 0.0);
+}
+
+TEST(CostModelTest, AckWaitUsesMinOfLeases) {
+  CostParams p = paperPoint();
+  p.objectTimeout = 50;  // shorter than t_v = 100
+  EXPECT_DOUBLE_EQ(costOf(Algorithm::kVolumeLease, p).ackWaitSeconds, 50);
+}
+
+TEST(ExpectedRenewalsTest, Basics) {
+  EXPECT_DOUBLE_EQ(expectedRenewals(0, 0.01, 1000), 0);
+  EXPECT_DOUBLE_EQ(expectedRenewals(500, 0.01, 10'000), 5.0);
+  // At least one round trip for any nonzero read count.
+  EXPECT_DOUBLE_EQ(expectedRenewals(3, 1.0, 1e9), 1.0);
+}
+
+}  // namespace
+}  // namespace vlease::analytic

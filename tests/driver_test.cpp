@@ -1,0 +1,222 @@
+// Tests for the experiment driver: the Simulation binder, the canonical
+// workload builder, and the report printers.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "driver/report.h"
+#include "driver/simulation.h"
+#include "driver/workloads.h"
+
+namespace vlease::driver {
+namespace {
+
+trace::Catalog tinyCatalog() {
+  trace::Catalog catalog(2, 2);
+  for (std::uint32_t s = 0; s < 2; ++s) {
+    VolumeId vol = catalog.addVolume(catalog.serverNode(s));
+    catalog.addObject(vol, 128);
+    catalog.addObject(vol, 128);
+  }
+  return catalog;
+}
+
+proto::ProtocolConfig volumeCfg() {
+  proto::ProtocolConfig config;
+  config.algorithm = proto::Algorithm::kVolumeLease;
+  config.objectTimeout = sec(1000);
+  config.volumeTimeout = sec(10);
+  return config;
+}
+
+// ---- Simulation ----
+
+TEST(SimulationTest, RunProcessesAllEvents) {
+  auto catalog = tinyCatalog();
+  Simulation sim(catalog, volumeCfg());
+  std::vector<trace::TraceEvent> events = {
+      {sec(1), trace::EventKind::kRead, catalog.clientNode(0), makeObjectId(0)},
+      {sec(2), trace::EventKind::kWrite, {}, makeObjectId(0)},
+      {sec(3), trace::EventKind::kRead, catalog.clientNode(1), makeObjectId(2)},
+  };
+  auto& m = sim.run(events);
+  EXPECT_EQ(m.reads(), 2);
+  EXPECT_EQ(m.writes(), 1);
+  EXPECT_EQ(m.staleReads(), 0);
+  EXPECT_EQ(m.horizon(), sec(3));
+}
+
+TEST(SimulationTest, SameInstantReadThenWriteSeesOldVersion) {
+  // The paper's sequential model: a read and write with the same
+  // timestamp process read-first, and the read completes (consistently)
+  // before the write begins.
+  auto catalog = tinyCatalog();
+  Simulation sim(catalog, volumeCfg());
+  std::vector<trace::TraceEvent> events = {
+      {sec(1), trace::EventKind::kRead, catalog.clientNode(0), makeObjectId(0)},
+      {sec(1), trace::EventKind::kWrite, {}, makeObjectId(0)},
+  };
+  auto& m = sim.run(events);
+  EXPECT_EQ(m.staleReads(), 0);
+  EXPECT_EQ(m.reads(), 1);
+}
+
+TEST(SimulationTest, HorizonOverride) {
+  auto catalog = tinyCatalog();
+  SimOptions options;
+  options.horizon = sec(100);
+  Simulation sim(catalog, volumeCfg(), options);
+  sim.issueRead(catalog.clientNode(0), makeObjectId(0), nullptr);
+  sim.finish();
+  EXPECT_EQ(sim.metrics().horizon(), sec(100));
+  // One object lease (capped at horizon: 100 s of 1000) + one volume
+  // lease (10 s): (16*100 + 16*10) / 100 = 17.6 bytes.
+  EXPECT_NEAR(sim.metrics().avgStateBytes(catalog.serverNode(0)), 17.6, 0.1);
+}
+
+TEST(SimulationTest, TrackServerLoadRecordsAllServers) {
+  auto catalog = tinyCatalog();
+  SimOptions options;
+  options.trackServerLoad = true;
+  Simulation sim(catalog, volumeCfg(), options);
+  sim.issueRead(catalog.clientNode(0), makeObjectId(0), nullptr);
+  sim.issueRead(catalog.clientNode(0), makeObjectId(2), nullptr);
+  sim.drainTo(0);
+  EXPECT_TRUE(sim.metrics().hasLoadSeries(catalog.serverNode(0)));
+  EXPECT_TRUE(sim.metrics().hasLoadSeries(catalog.serverNode(1)));
+  EXPECT_EQ(sim.metrics().loadSeries(catalog.serverNode(0)).at(0), 4);
+}
+
+TEST(SimulationTest, FinishDrainsPendingWrites) {
+  auto catalog = tinyCatalog();
+  proto::ProtocolConfig config = volumeCfg();
+  config.msgTimeout = sec(5);
+  Simulation sim(catalog, config);
+  sim.network().setLatency(msec(10));
+  sim.issueRead(catalog.clientNode(0), makeObjectId(0), nullptr);
+  sim.drainTo(sec(1));
+  sim.network().failures().isolate(catalog.clientNode(0));
+  bool committed = false;
+  sim.issueWrite(makeObjectId(0),
+                 [&](const proto::WriteResult&) { committed = true; });
+  sim.finish();  // must run the ack-wait timer out
+  EXPECT_TRUE(committed);
+  EXPECT_EQ(sim.metrics().writes(), 1);
+}
+
+TEST(SimulationTest, OracleCountsStaleAgainstCurrentVersion) {
+  auto catalog = tinyCatalog();
+  proto::ProtocolConfig config;
+  config.algorithm = proto::Algorithm::kPoll;
+  config.objectTimeout = sec(1000);
+  Simulation sim(catalog, config);
+  std::vector<trace::TraceEvent> events = {
+      {sec(1), trace::EventKind::kRead, catalog.clientNode(0), makeObjectId(0)},
+      {sec(2), trace::EventKind::kWrite, {}, makeObjectId(0)},
+      {sec(3), trace::EventKind::kWrite, {}, makeObjectId(0)},
+      {sec(4), trace::EventKind::kRead, catalog.clientNode(0), makeObjectId(0)},
+      {sec(5), trace::EventKind::kRead, catalog.clientNode(0), makeObjectId(1)},
+  };
+  auto& m = sim.run(events);
+  EXPECT_EQ(m.staleReads(), 1);  // only the poll-window read of object 0
+}
+
+// ---- workloads ----
+
+TEST(WorkloadsTest, BuildsPaperShapedWorkload) {
+  WorkloadOptions options;
+  options.scale = 0.01;
+  options.numServers = 100;
+  Workload workload = buildWorkload(options);
+  EXPECT_EQ(workload.catalog.numServers(), 100u);
+  EXPECT_EQ(workload.catalog.numClients(), 33u);
+  EXPECT_EQ(workload.catalog.numVolumes(), 100u);
+  EXPECT_TRUE(trace::isSorted(workload.events));
+  EXPECT_EQ(static_cast<std::int64_t>(workload.events.size()),
+            workload.readCount + workload.writeCount);
+  EXPECT_GT(workload.readCount, 0);
+  EXPECT_GT(workload.writeCount, 0);
+  // Read/write ratio within a factor ~2 of the paper's 4.9.
+  const double ratio = static_cast<double>(workload.readCount) /
+                       static_cast<double>(workload.writeCount);
+  EXPECT_GT(ratio, 2.0);
+  EXPECT_LT(ratio, 10.0);
+}
+
+TEST(WorkloadsTest, DeterministicForSeed) {
+  WorkloadOptions options;
+  options.scale = 0.005;
+  options.numServers = 50;
+  Workload a = buildWorkload(options);
+  Workload b = buildWorkload(options);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); i += 101) {
+    EXPECT_EQ(a.events[i].at, b.events[i].at);
+    EXPECT_EQ(a.events[i].obj, b.events[i].obj);
+  }
+}
+
+TEST(WorkloadsTest, BurstyOptionInflatesWrites) {
+  WorkloadOptions options;
+  options.scale = 0.005;
+  options.numServers = 50;
+  Workload plain = buildWorkload(options);
+  options.burstyWrites = true;
+  Workload bursty = buildWorkload(options);
+  EXPECT_GT(bursty.writeCount, 3 * plain.writeCount);
+  EXPECT_EQ(bursty.readCount, plain.readCount);
+}
+
+TEST(WorkloadsTest, NthBusiestServerOrdering) {
+  WorkloadOptions options;
+  options.scale = 0.005;
+  options.numServers = 50;
+  Workload workload = buildWorkload(options);
+  const auto top = nthBusiestServer(workload, 0);
+  const auto second = nthBusiestServer(workload, 1);
+  EXPECT_GE(workload.readsPerServer[top], workload.readsPerServer[second]);
+  for (std::uint32_t s = 0; s < 50; ++s) {
+    EXPECT_LE(workload.readsPerServer[s], workload.readsPerServer[top]);
+  }
+}
+
+// ---- report ----
+
+TEST(ReportTest, AlignedTable) {
+  Table table({"name", "value"});
+  table.addRow({"alpha", "1"});
+  table.addRow({"b", "22222"});
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  // Columns align: "value" and "22222" start at the same offset.
+  const auto header = out.substr(0, out.find('\n'));
+  EXPECT_EQ(header.find("value"), out.find("22222") - out.rfind('\n', out.find("22222")) - 1);
+}
+
+TEST(ReportTest, CsvOutput) {
+  Table table({"a", "b"});
+  table.addRow({"1", "2"});
+  std::ostringstream os;
+  table.printCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(ReportTest, ShortRowsPadded) {
+  Table table({"a", "b", "c"});
+  table.addRow({"only"});
+  std::ostringstream os;
+  table.printCsv(os);
+  EXPECT_EQ(os.str(), "a,b,c\nonly,,\n");
+}
+
+TEST(ReportTest, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(std::int64_t{42}), "42");
+  EXPECT_EQ(Table::num(std::numeric_limits<double>::infinity(), 1), "inf");
+}
+
+}  // namespace
+}  // namespace vlease::driver

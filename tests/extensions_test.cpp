@@ -1,0 +1,402 @@
+// Tests for the extensions beyond the paper's core evaluation:
+//   * invalidate-by-waiting writes (paper §2.4's unexplored option),
+//   * adaptive-TTL Poll (Gwertzman-Seltzer, §2.2),
+//   * volume regrouping (the paper's future work),
+//   * the CPU-load metric (§5.1's third metric),
+//   * the real-time driver underpinning the TCP binding.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include "core/volume_server.h"
+#include "driver/simulation.h"
+#include "driver/workloads.h"
+#include "proto_fixture.h"
+#include "rt/real_time.h"
+#include "trace/regroup.h"
+#include "util/rng.h"
+
+namespace vlease {
+namespace {
+
+using proto::Algorithm;
+using proto::ProtocolConfig;
+using testing::ProtoHarness;
+
+// ---------------------------------------------------------------------
+// invalidate-by-waiting
+// ---------------------------------------------------------------------
+
+ProtocolConfig byExpiryConfig(Algorithm algorithm, SimDuration t,
+                              SimDuration tv = sec(10)) {
+  ProtocolConfig config;
+  config.algorithm = algorithm;
+  config.objectTimeout = t;
+  config.volumeTimeout = tv;
+  config.writeByLeaseExpiry = true;
+  return config;
+}
+
+TEST(WriteByExpiryTest, LeaseWriteSendsNothingAndWaitsOutTheLease) {
+  ProtoHarness h(byExpiryConfig(Algorithm::kLease, sec(100)));
+  h.read(0, 0);
+  h.advanceTo(sec(30));
+  const std::int64_t before = h.metrics().totalMessages();
+  auto w = h.write(0);
+  EXPECT_EQ(h.metrics().totalMessages(), before);  // zero invalidations
+  EXPECT_NEAR(toSeconds(w.delay), 70.0, 0.01);     // lease remainder
+  EXPECT_EQ(h.scheduler().now(), sec(100));
+}
+
+TEST(WriteByExpiryTest, LeaseClientNeverReadsStale) {
+  ProtoHarness h(byExpiryConfig(Algorithm::kLease, sec(100)));
+  h.read(0, 0);
+  h.advanceTo(sec(30));
+  h.writeAsync(0);  // pending until t=100
+  // Reads inside the lease window are LOCAL and CORRECT: the write has
+  // not committed yet, so version 1 is the current version.
+  h.advanceTo(sec(50));
+  auto mid = h.read(0, 0);
+  EXPECT_FALSE(mid.usedNetwork);
+  EXPECT_EQ(mid.version, 1);
+  // After expiry the commit has happened; the renewal fetches v2.
+  h.advanceTo(sec(150));
+  auto after = h.read(0, 0);
+  EXPECT_EQ(after.version, 2);
+  h.sim->finish();
+  EXPECT_EQ(h.metrics().staleReads(), 0);
+}
+
+TEST(WriteByExpiryTest, LeaseWriteInstantWhenNoValidLeases) {
+  ProtoHarness h(byExpiryConfig(Algorithm::kLease, sec(100)));
+  h.read(0, 0);
+  h.advanceTo(sec(200));  // lease drained
+  auto w = h.write(0);
+  EXPECT_EQ(w.delay, 0);
+}
+
+TEST(WriteByExpiryTest, VolumeWriteWaitsMinOfLeases) {
+  // Object lease 10'000 s, volume lease 10 s: the write commits when
+  // the VOLUME lease drains, preserving the paper's min(t, t_v) bound.
+  ProtoHarness h(byExpiryConfig(Algorithm::kVolumeLease, sec(10'000)));
+  h.read(0, 0);
+  const std::int64_t before = h.metrics().totalMessages();
+  auto w = h.write(0);
+  EXPECT_EQ(h.metrics().totalMessages(), before);
+  EXPECT_NEAR(toSeconds(w.delay), 10.0, 0.01);
+}
+
+TEST(WriteByExpiryTest, VolumeClientRepairedThroughReconnection) {
+  ProtoHarness h(byExpiryConfig(Algorithm::kVolumeLease, sec(10'000)));
+  h.read(0, 0);
+  h.write(0);  // commits at volume expiry; client 0 -> Unreachable
+  auto& server = dynamic_cast<core::VolumeServer&>(h.serverNode(0));
+  EXPECT_TRUE(server.isUnreachable(h.client(0), makeVolumeId(0)));
+  auto r = h.read(0, 0);  // reconnection invalidates + refetches
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.version, 2);
+  h.sim->finish();
+  EXPECT_EQ(h.metrics().staleReads(), 0);
+}
+
+TEST(WriteByExpiryTest, DelayedModeQueuesPendingInsteadOfReconnect) {
+  ProtoHarness h(byExpiryConfig(Algorithm::kVolumeDelayedInval, sec(10'000)));
+  h.read(0, 0);
+  h.write(0);  // commits at volume expiry; invalidation queued
+  auto& server = dynamic_cast<core::VolumeServer&>(h.serverNode(0));
+  EXPECT_FALSE(server.isUnreachable(h.client(0), makeVolumeId(0)));
+  EXPECT_EQ(server.pendingMessageCount(h.client(0), makeVolumeId(0)), 1u);
+  auto r = h.read(0, 0);  // flush batch invalidates, then refetch
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.version, 2);
+  h.sim->finish();
+  EXPECT_EQ(h.metrics().staleReads(), 0);
+}
+
+TEST(WriteByExpiryTest, RandomMixStaysConsistent) {
+  for (Algorithm algorithm :
+       {Algorithm::kLease, Algorithm::kVolumeLease,
+        Algorithm::kVolumeDelayedInval}) {
+    ProtoHarness h(byExpiryConfig(algorithm, sec(300), sec(20)));
+    Rng rng(5 + static_cast<std::uint64_t>(algorithm));
+    SimTime t = 0;
+    for (int op = 0; op < 300; ++op) {
+      t += static_cast<SimDuration>(
+          rng.nextExponential(static_cast<double>(sec(7))));
+      h.sim->drainTo(t);
+      const auto obj = makeObjectId(rng.nextBelow(3));
+      if (rng.nextBool(0.3)) {
+        h.sim->issueWrite(obj);
+      } else {
+        h.sim->issueRead(
+            h.client(static_cast<std::uint32_t>(rng.nextBelow(2))), obj);
+      }
+    }
+    h.sim->finish();
+    EXPECT_EQ(h.metrics().staleReads(), 0)
+        << proto::algorithmName(algorithm);
+    // The whole point: not one invalidation message on the wire.
+    std::size_t invalIdx = 8;  // INVALIDATE (checked in net_test)
+    EXPECT_EQ(h.metrics().messagesOfType(invalIdx), 0)
+        << proto::algorithmName(algorithm);
+  }
+}
+
+// ---------------------------------------------------------------------
+// adaptive poll
+// ---------------------------------------------------------------------
+
+ProtocolConfig adaptiveConfig() {
+  ProtocolConfig config;
+  config.algorithm = Algorithm::kPollAdaptive;
+  config.adaptiveFactor = 0.5;
+  config.adaptiveMinTtl = sec(10);
+  config.adaptiveMaxTtl = sec(100'000);
+  return config;
+}
+
+TEST(AdaptivePollTest, WindowGrowsWithObjectAge) {
+  ProtoHarness h(adaptiveConfig());
+  // Object never written: age at t=1000 is 1000 -> TTL 500.
+  h.advanceTo(sec(1000));
+  EXPECT_TRUE(h.read(0, 0).usedNetwork);
+  h.advanceTo(sec(1400));
+  EXPECT_FALSE(h.read(0, 0).usedNetwork);  // within 500 s window
+  h.advanceTo(sec(1600));
+  EXPECT_TRUE(h.read(0, 0).usedNetwork);  // window (500 s) expired
+}
+
+TEST(AdaptivePollTest, FreshlyModifiedObjectsPolledOften) {
+  ProtoHarness h(adaptiveConfig());
+  h.advanceTo(sec(1000));
+  h.write(0);  // modifiedAt = 1000
+  h.advanceTo(sec(1020));
+  EXPECT_TRUE(h.read(0, 0).usedNetwork);  // age 20 -> TTL max(10, 10) = 10
+  h.advanceTo(sec(1025));
+  EXPECT_FALSE(h.read(0, 0).usedNetwork);  // inside the 10 s floor
+  h.advanceTo(sec(1040));
+  EXPECT_TRUE(h.read(0, 0).usedNetwork);
+}
+
+TEST(AdaptivePollTest, StalenessBoundedByWindow) {
+  ProtoHarness h(adaptiveConfig());
+  h.advanceTo(sec(10'000));
+  h.read(0, 0);  // age 10'000 -> TTL 5'000
+  h.advanceTo(sec(11'000));
+  h.write(0);
+  auto r = h.read(0, 0);  // stale: inside the adaptive window
+  EXPECT_EQ(r.version, 1);
+  EXPECT_EQ(h.metrics().staleReads(), 1);
+  h.advanceTo(sec(16'000));  // window expired
+  EXPECT_EQ(h.read(0, 0).version, 2);
+}
+
+TEST(AdaptivePollTest, FewerMessagesThanStaticPollAtComparableStaleness) {
+  // The Gwertzman-Seltzer observation the paper cites: adaptive TTL
+  // beats static timeouts on the messages-vs-staleness frontier for
+  // web-like workloads. Compare message counts at similar stale rates.
+  driver::WorkloadOptions opts;
+  opts.scale = 0.02;
+  opts.numServers = 100;
+  driver::Workload workload = driver::buildWorkload(opts);
+
+  proto::ProtocolConfig adaptive;
+  adaptive.algorithm = Algorithm::kPollAdaptive;
+  adaptive.adaptiveFactor = 0.2;
+  driver::Simulation simA(workload.catalog, adaptive);
+  auto& ma = simA.run(workload.events);
+
+  proto::ProtocolConfig fixed;
+  fixed.algorithm = Algorithm::kPoll;
+  fixed.objectTimeout = sec(100'000);
+  driver::Simulation simF(workload.catalog, fixed);
+  auto& mf = simF.run(workload.events);
+
+  // Not a tuned comparison -- just sanity: adaptive achieves a message
+  // count in the same regime while adapting per object.
+  EXPECT_LT(ma.totalMessages(), 2 * mf.totalMessages());
+  EXPECT_GT(ma.reads(), 0);
+}
+
+// ---------------------------------------------------------------------
+// volume regrouping
+// ---------------------------------------------------------------------
+
+TEST(RegroupTest, PreservesObjectsAndServers) {
+  driver::WorkloadOptions opts;
+  opts.scale = 0.005;
+  opts.numServers = 20;
+  driver::Workload workload = driver::buildWorkload(opts);
+  trace::Catalog regrouped = trace::regroupVolumes(
+      workload.catalog, 4, trace::GroupingStrategy::kRandom);
+
+  EXPECT_EQ(regrouped.numObjects(), workload.catalog.numObjects());
+  EXPECT_EQ(regrouped.numVolumes(), 20u * 4u);
+  for (std::size_t i = 0; i < regrouped.numObjects(); i += 7) {
+    const auto& a = workload.catalog.object(makeObjectId(i));
+    const auto& b = regrouped.object(makeObjectId(i));
+    EXPECT_EQ(a.server, b.server);
+    EXPECT_EQ(a.sizeBytes, b.sizeBytes);
+  }
+}
+
+TEST(RegroupTest, OneVolumePerServerIsIdentityForTraffic) {
+  driver::WorkloadOptions opts;
+  opts.scale = 0.005;
+  opts.numServers = 20;
+  driver::Workload workload = driver::buildWorkload(opts);
+  trace::Catalog regrouped = trace::regroupVolumes(
+      workload.catalog, 1, trace::GroupingStrategy::kRandom);
+
+  proto::ProtocolConfig config;
+  config.algorithm = Algorithm::kVolumeLease;
+  config.objectTimeout = sec(100'000);
+  config.volumeTimeout = sec(100);
+  driver::Simulation a(workload.catalog, config);
+  driver::Simulation b(regrouped, config);
+  EXPECT_EQ(a.run(workload.events).totalMessages(),
+            b.run(workload.events).totalMessages());
+}
+
+TEST(RegroupTest, FinerVolumesCostMoreRenewals) {
+  driver::WorkloadOptions opts;
+  opts.scale = 0.01;
+  opts.numServers = 20;
+  driver::Workload workload = driver::buildWorkload(opts);
+
+  proto::ProtocolConfig config;
+  config.algorithm = Algorithm::kVolumeLease;
+  config.objectTimeout = sec(100'000);
+  config.volumeTimeout = sec(100);
+
+  std::int64_t prev = -1;
+  for (std::uint32_t k : {1u, 4u, 16u}) {
+    trace::Catalog regrouped = trace::regroupVolumes(
+        workload.catalog, k, trace::GroupingStrategy::kRandom);
+    driver::Simulation sim(regrouped, config);
+    const std::int64_t messages = sim.run(workload.events).totalMessages();
+    if (prev >= 0) {
+      EXPECT_GE(messages, prev) << "k=" << k;
+    }
+    prev = messages;
+  }
+}
+
+TEST(RegroupTest, ContiguousGroupingBeatsRandom) {
+  // Keeping co-accessed objects in one volume preserves amortization.
+  driver::WorkloadOptions opts;
+  opts.scale = 0.01;
+  opts.numServers = 20;
+  driver::Workload workload = driver::buildWorkload(opts);
+  proto::ProtocolConfig config;
+  config.algorithm = Algorithm::kVolumeLease;
+  config.objectTimeout = sec(100'000);
+  config.volumeTimeout = sec(100);
+
+  trace::Catalog random = trace::regroupVolumes(
+      workload.catalog, 8, trace::GroupingStrategy::kRandom);
+  trace::Catalog contiguous = trace::regroupVolumes(
+      workload.catalog, 8, trace::GroupingStrategy::kContiguous);
+  driver::Simulation a(random, config);
+  driver::Simulation b(contiguous, config);
+  EXPECT_LT(b.run(workload.events).totalMessages(),
+            a.run(workload.events).totalMessages());
+}
+
+// ---------------------------------------------------------------------
+// CPU metric
+// ---------------------------------------------------------------------
+
+TEST(CpuMetricTest, ChargesBothEndsPerMessage) {
+  stats::Metrics m;
+  m.onMessage(makeNodeId(0), makeNodeId(1), 0, 1024, 0, true);
+  const double expected = stats::kCpuPerMessage + stats::kCpuPerKilobyte;
+  EXPECT_NEAR(m.node(makeNodeId(0)).cpuUnits, expected, 1e-9);
+  EXPECT_NEAR(m.node(makeNodeId(1)).cpuUnits, expected, 1e-9);
+  EXPECT_NEAR(m.totalCpuUnits(), 2 * expected, 1e-9);
+}
+
+TEST(CpuMetricTest, DroppedMessageChargesSenderOnly) {
+  stats::Metrics m;
+  m.onMessage(makeNodeId(0), makeNodeId(1), 0, 0, 0, false);
+  EXPECT_GT(m.node(makeNodeId(0)).cpuUnits, 0);
+  EXPECT_EQ(m.node(makeNodeId(1)).cpuUnits, 0);
+}
+
+TEST(CpuMetricTest, CpuDifferencesCompressedVsMessages) {
+  // Paper §5.1: by the CPU metric the algorithms differ less than by
+  // raw message count (big data transfers dominate processing cost).
+  driver::WorkloadOptions opts;
+  opts.scale = 0.01;
+  opts.numServers = 50;
+  driver::Workload workload = driver::buildWorkload(opts);
+  auto run = [&](Algorithm a, std::int64_t t, std::int64_t tv) {
+    proto::ProtocolConfig config;
+    config.algorithm = a;
+    config.objectTimeout = sec(t);
+    config.volumeTimeout = sec(tv);
+    driver::Simulation sim(workload.catalog, config);
+    auto& m = sim.run(workload.events);
+    return std::pair<double, double>(static_cast<double>(m.totalMessages()),
+                                     m.totalCpuUnits());
+  };
+  auto [lm, lc] = run(Algorithm::kLease, 10, 0);
+  auto [vm, vc] = run(Algorithm::kVolumeLease, 100'000, 10);
+  const double msgRatio = vm / lm;
+  const double cpuRatio = vc / lc;
+  EXPECT_GT(std::abs(1 - cpuRatio), 0.0);
+  EXPECT_LT(std::abs(1 - cpuRatio), std::abs(1 - msgRatio));
+}
+
+// ---------------------------------------------------------------------
+// real-time driver
+// ---------------------------------------------------------------------
+
+TEST(RealTimeDriverTest, TimersFireAgainstWallClock) {
+  rt::RealTimeDriver driver;
+  bool fired = false;
+  driver.scheduler().scheduleAfter(msec(30), [&] { fired = true; });
+  driver.run(msec(15));
+  EXPECT_FALSE(fired);
+  driver.run(msec(60));
+  EXPECT_TRUE(fired);
+}
+
+TEST(RealTimeDriverTest, PostRunsOnLoop) {
+  rt::RealTimeDriver driver;
+  bool ran = false;
+  driver.post([&] { ran = true; });
+  driver.step(0);
+  EXPECT_TRUE(ran);
+}
+
+TEST(RealTimeDriverTest, WatchFdDeliversReadableEvents) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  rt::RealTimeDriver driver;
+  int events = 0;
+  driver.watchFd(fds[0], [&] {
+    char buf[16];
+    events += static_cast<int>(::read(fds[0], buf, sizeof(buf)));
+  });
+  ASSERT_EQ(::write(fds[1], "abc", 3), 3);
+  driver.step(10);
+  EXPECT_EQ(events, 3);
+  driver.unwatchFd(fds[0]);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(RealTimeDriverTest, StopEndsRun) {
+  rt::RealTimeDriver driver;
+  driver.scheduler().scheduleAfter(msec(5), [&] { driver.stop(); });
+  const auto t0 = std::chrono::steady_clock::now();
+  driver.run(sec(10));  // must exit LONG before the 10 s bound
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  EXPECT_LT(elapsed, 2000);
+}
+
+}  // namespace
+}  // namespace vlease

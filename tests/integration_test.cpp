@@ -1,0 +1,274 @@
+// End-to-end integration tests: run the full (scaled) BU-like workload
+// under every algorithm and assert the SHAPES the paper's evaluation
+// reports -- these are the claims of Figs. 5-9 turned into regression
+// tests, so a refactor that silently breaks an experimental result
+// fails CI rather than producing a wrong EXPERIMENTS.md.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "driver/simulation.h"
+#include "driver/workloads.h"
+
+namespace vlease {
+namespace {
+
+proto::ProtocolConfig configOf(proto::Algorithm algorithm, std::int64_t tSec,
+                               std::int64_t tvSec = 100) {
+  proto::ProtocolConfig config;
+  config.algorithm = algorithm;
+  config.objectTimeout = sec(tSec);
+  config.volumeTimeout = sec(tvSec);
+  return config;
+}
+
+/// Shared workload across the whole suite (building it once keeps the
+/// suite fast); scale 0.03 preserves every ordering asserted below.
+const driver::Workload& sharedWorkload(bool bursty = false) {
+  static const driver::Workload* plain = [] {
+    driver::WorkloadOptions opts;
+    opts.scale = 0.03;
+    return new driver::Workload(driver::buildWorkload(opts));
+  }();
+  static const driver::Workload* burstyW = [] {
+    driver::WorkloadOptions opts;
+    opts.scale = 0.03;
+    opts.burstyWrites = true;
+    return new driver::Workload(driver::buildWorkload(opts));
+  }();
+  return bursty ? *burstyW : *plain;
+}
+
+std::int64_t messagesFor(const proto::ProtocolConfig& config,
+                         bool bursty = false) {
+  const driver::Workload& workload = sharedWorkload(bursty);
+  driver::Simulation sim(workload.catalog, config);
+  return sim.run(workload.events).totalMessages();
+}
+
+// ---- Fig. 5 shapes ----
+
+TEST(Fig5Shape, CallbackIsFlatInT) {
+  const std::int64_t a =
+      messagesFor(configOf(proto::Algorithm::kCallback, 10));
+  const std::int64_t b =
+      messagesFor(configOf(proto::Algorithm::kCallback, 1'000'000));
+  EXPECT_EQ(a, b);
+}
+
+TEST(Fig5Shape, LeaseDecreasesThenFlattens) {
+  const std::int64_t t10 = messagesFor(configOf(proto::Algorithm::kLease, 10));
+  const std::int64_t t1e4 =
+      messagesFor(configOf(proto::Algorithm::kLease, 10'000));
+  const std::int64_t t1e7 =
+      messagesFor(configOf(proto::Algorithm::kLease, 10'000'000));
+  EXPECT_GT(t10, 2 * t1e4);  // renewals dominate at small t
+  EXPECT_GE(t1e7, t1e4);     // invalidations push the tail back up
+}
+
+TEST(Fig5Shape, LeaseApproachesCallbackAtLargeT) {
+  const std::int64_t lease =
+      messagesFor(configOf(proto::Algorithm::kLease, 10'000'000));
+  const std::int64_t callback =
+      messagesFor(configOf(proto::Algorithm::kCallback, 10));
+  EXPECT_NEAR(static_cast<double>(lease), static_cast<double>(callback),
+              0.05 * static_cast<double>(callback));
+}
+
+TEST(Fig5Shape, DelayedInvalidationsDecreaseMonotonically) {
+  std::int64_t prev = std::numeric_limits<std::int64_t>::max();
+  for (std::int64_t t : {100, 10'000, 1'000'000, 10'000'000}) {
+    const std::int64_t m =
+        messagesFor(configOf(proto::Algorithm::kVolumeDelayedInval, t, 100));
+    EXPECT_LE(m, prev) << "t=" << t;
+    prev = m;
+  }
+}
+
+TEST(Fig5Shape, PollDecreasesMonotonically) {
+  std::int64_t prev = std::numeric_limits<std::int64_t>::max();
+  for (std::int64_t t : {100, 10'000, 1'000'000, 10'000'000}) {
+    const std::int64_t m = messagesFor(configOf(proto::Algorithm::kPoll, t));
+    EXPECT_LE(m, prev) << "t=" << t;
+    prev = m;
+  }
+}
+
+TEST(Fig5Shape, ShorterVolumeLeasesSitHigher) {
+  const std::int64_t tv10 =
+      messagesFor(configOf(proto::Algorithm::kVolumeLease, 100'000, 10));
+  const std::int64_t tv100 =
+      messagesFor(configOf(proto::Algorithm::kVolumeLease, 100'000, 100));
+  const std::int64_t lease =
+      messagesFor(configOf(proto::Algorithm::kLease, 100'000));
+  EXPECT_GT(tv10, tv100);   // Volume(10,t) above Volume(100,t)
+  EXPECT_GT(tv100, lease);  // both above Lease (infinite t_v limit)
+}
+
+TEST(Fig5Shape, HeadlineResultVolumeBeatsLeaseUnderDelayBound) {
+  // The paper's triangles/squares: with the write-delay bound fixed at
+  // t_v, the volume algorithms beat Lease(bound) by a wide margin.
+  for (std::int64_t bound : {10, 100}) {
+    const auto lease = static_cast<double>(
+        messagesFor(configOf(proto::Algorithm::kLease, bound)));
+    const auto volume = static_cast<double>(messagesFor(
+        configOf(proto::Algorithm::kVolumeLease, 100'000, bound)));
+    const auto delay = static_cast<double>(messagesFor(
+        configOf(proto::Algorithm::kVolumeDelayedInval, 100'000, bound)));
+    // The margin grows with workload scale (bench runs at scale 0.1 show
+    // ~27-39% savings); at this test's scale 0.03 it is smaller but the
+    // ordering is stable for the fixed seed.
+    EXPECT_LT(volume, 0.90 * lease) << "bound " << bound;  // paper: ~30-32%
+    EXPECT_LT(delay, volume) << "bound " << bound;         // paper: ~39-40%
+  }
+}
+
+TEST(Fig5Shape, PollStaleFractionGrowsWithTimeout) {
+  const driver::Workload& workload = sharedWorkload();
+  double prev = -1;
+  std::map<std::int64_t, double> staleAt;
+  for (std::int64_t t : {10'000, 1'000'000, 10'000'000}) {
+    driver::Simulation sim(workload.catalog,
+                           configOf(proto::Algorithm::kPoll, t));
+    const double stale = sim.run(workload.events).staleFraction();
+    EXPECT_GE(stale, prev) << "t=" << t;
+    prev = stale;
+    staleAt[t] = stale;
+  }
+  EXPECT_GT(staleAt[10'000'000], 0.05);  // paper: >35% at 10^7; ours >5%
+  EXPECT_LT(staleAt[10'000], 0.005);
+}
+
+// ---- Fig. 6/7 shapes (server state) ----
+
+TEST(Fig6Shape, LeaseFamilyUsesLessStateThanCallbackAtShortT) {
+  const driver::Workload& workload = sharedWorkload();
+  const NodeId top =
+      workload.catalog.serverNode(driver::nthBusiestServer(workload, 0));
+  auto stateOf = [&](proto::ProtocolConfig config) {
+    driver::Simulation sim(workload.catalog, config);
+    return sim.run(workload.events).avgStateBytes(top);
+  };
+  const double callback = stateOf(configOf(proto::Algorithm::kCallback, 0));
+  const double lease = stateOf(configOf(proto::Algorithm::kLease, 1000));
+  const double volume =
+      stateOf(configOf(proto::Algorithm::kVolumeLease, 1000, 100));
+  EXPECT_LT(lease, 0.05 * callback);
+  EXPECT_LT(volume, 0.05 * callback);
+  // Volume state is only slightly above Lease (short volume leases).
+  EXPECT_LT(volume, 1.5 * lease + 32);
+  EXPECT_GE(volume, lease);
+}
+
+TEST(Fig6Shape, DelayInfHoardsPendingStateAtLargeT) {
+  const driver::Workload& workload = sharedWorkload();
+  const NodeId top =
+      workload.catalog.serverNode(driver::nthBusiestServer(workload, 0));
+  auto stateOf = [&](proto::Algorithm a, SimDuration d) {
+    proto::ProtocolConfig config = configOf(a, 10'000'000, 100);
+    config.inactiveDiscard = d;
+    driver::Simulation sim(workload.catalog, config);
+    return sim.run(workload.events).avgStateBytes(top);
+  };
+  const double volume = stateOf(proto::Algorithm::kVolumeLease, kNever);
+  const double delayInf =
+      stateOf(proto::Algorithm::kVolumeDelayedInval, kNever);
+  const double delayShort =
+      stateOf(proto::Algorithm::kVolumeDelayedInval, sec(1000));
+  EXPECT_GT(delayInf, volume);        // pending lists pile up
+  EXPECT_LT(delayShort, delayInf);    // d caps them
+}
+
+// ---- Fig. 8/9 shapes (load bursts) ----
+
+TEST(Fig8Shape, DelaySuppressesPeakLoad) {
+  const driver::Workload& workload = sharedWorkload();
+  auto peakOf = [&](proto::ProtocolConfig config) {
+    driver::SimOptions opts;
+    opts.trackServerLoad = true;
+    driver::Simulation sim(workload.catalog, config, opts);
+    auto& m = sim.run(workload.events);
+    std::int64_t peak = 0;
+    for (std::uint32_t s = 0; s < workload.catalog.numServers(); ++s) {
+      peak = std::max(peak,
+                      m.loadSeries(workload.catalog.serverNode(s)).maxValue());
+    }
+    return peak;
+  };
+  const std::int64_t callback = peakOf(configOf(proto::Algorithm::kCallback, 0));
+  const std::int64_t delay =
+      peakOf(configOf(proto::Algorithm::kVolumeDelayedInval, 100'000, 100));
+  EXPECT_LE(delay, callback);
+}
+
+TEST(Fig9Shape, BurstyWritesInflateInvalidationPeaks) {
+  // Under the bursty-write workload, Callback/Volume peaks grow much
+  // more than Delay's (the paper's Fig. 8 -> Fig. 9 transition).
+  auto peakOf = [&](proto::ProtocolConfig config, bool bursty) {
+    const driver::Workload& workload = sharedWorkload(bursty);
+    driver::SimOptions opts;
+    opts.trackServerLoad = true;
+    driver::Simulation sim(workload.catalog, config, opts);
+    auto& m = sim.run(workload.events);
+    std::int64_t peak = 0;
+    for (std::uint32_t s = 0; s < workload.catalog.numServers(); ++s) {
+      peak = std::max(peak,
+                      m.loadSeries(workload.catalog.serverNode(s)).maxValue());
+    }
+    return peak;
+  };
+  const auto volumePlain =
+      peakOf(configOf(proto::Algorithm::kVolumeLease, 100'000, 100), false);
+  const auto volumeBursty =
+      peakOf(configOf(proto::Algorithm::kVolumeLease, 100'000, 100), true);
+  EXPECT_GT(volumeBursty, volumePlain);
+
+  const auto callbackPlain =
+      peakOf(configOf(proto::Algorithm::kCallback, 0), false);
+  const auto callbackBursty =
+      peakOf(configOf(proto::Algorithm::kCallback, 0), true);
+  EXPECT_GT(callbackBursty, callbackPlain);
+}
+
+// ---- cross-metric sanity on the full workload ----
+
+TEST(IntegrationSanity, BytesTrackMessagesLoosely) {
+  // The paper notes the byte metric shows smaller relative differences
+  // than the message metric (data dominates bytes). Check the ordering
+  // still holds but compressed.
+  const driver::Workload& workload = sharedWorkload();
+  auto run = [&](proto::ProtocolConfig config) {
+    driver::Simulation sim(workload.catalog, config);
+    auto& m = sim.run(workload.events);
+    return std::pair<std::int64_t, std::int64_t>(m.totalMessages(),
+                                                 m.totalBytes());
+  };
+  auto [lm, lb] = run(configOf(proto::Algorithm::kLease, 10));
+  auto [vm, vb] = run(configOf(proto::Algorithm::kVolumeLease, 100'000, 10));
+  const double msgRatio = static_cast<double>(vm) / static_cast<double>(lm);
+  const double byteRatio = static_cast<double>(vb) / static_cast<double>(lb);
+  EXPECT_LT(msgRatio, 1.0);
+  EXPECT_LT(byteRatio, 1.0);
+  EXPECT_GT(byteRatio, msgRatio);  // compressed difference
+}
+
+TEST(IntegrationSanity, EveryAlgorithmProcessesTheWholeTrace) {
+  const driver::Workload& workload = sharedWorkload();
+  for (proto::Algorithm algorithm :
+       {proto::Algorithm::kPollEachRead, proto::Algorithm::kPoll,
+        proto::Algorithm::kCallback, proto::Algorithm::kLease,
+        proto::Algorithm::kBestEffortLease, proto::Algorithm::kVolumeLease,
+        proto::Algorithm::kVolumeDelayedInval}) {
+    driver::Simulation sim(workload.catalog, configOf(algorithm, 10'000));
+    auto& m = sim.run(workload.events);
+    EXPECT_EQ(m.reads() + m.failedReads(), workload.readCount)
+        << proto::algorithmName(algorithm);
+    EXPECT_EQ(m.writes(), workload.writeCount)
+        << proto::algorithmName(algorithm);
+    EXPECT_EQ(m.failedReads(), 0) << proto::algorithmName(algorithm);
+    EXPECT_EQ(m.blockedWrites(), 0) << proto::algorithmName(algorithm);
+  }
+}
+
+}  // namespace
+}  // namespace vlease

@@ -1,0 +1,145 @@
+// Parameterized simulator-vs-model grid (TEST_P): deterministic periodic
+// workloads across a grid of (read gap, object timeout, volume timeout),
+// asserting that measured renewal round trips land exactly on the
+// closed-form count. This is the dense version of the paper's §4.1
+// validation ("simple synthetic workloads for which we could
+// analytically compute the expected results").
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "driver/simulation.h"
+#include "trace/catalog.h"
+
+namespace vlease {
+namespace {
+
+struct GridPoint {
+  std::int64_t gapSec;   // read period
+  std::int64_t tSec;     // object timeout
+  std::int64_t tvSec;    // volume timeout
+  int reps;              // number of reads
+};
+
+std::string gridName(const ::testing::TestParamInfo<GridPoint>& info) {
+  return "gap" + std::to_string(info.param.gapSec) + "_t" +
+         std::to_string(info.param.tSec) + "_tv" +
+         std::to_string(info.param.tvSec);
+}
+
+/// Deterministic periodic reads: renewal happens on the first read at or
+/// after the previous renewal + timeout. With reads at k*gap and timeout
+/// T, renewals occur every ceil(T/gap) reads.
+std::int64_t expectedRenewals(std::int64_t gapSec, std::int64_t timeoutSec,
+                              int reps) {
+  if (timeoutSec <= 0) return reps;
+  const std::int64_t stride = (timeoutSec + gapSec - 1) / gapSec;
+  // Renewals at read indices 0, stride, 2*stride, ...
+  return (reps + stride - 1) / stride;
+}
+
+class ModelGridTest : public ::testing::TestWithParam<GridPoint> {};
+
+TEST_P(ModelGridTest, RenewalCountsMatchClosedForm) {
+  const GridPoint& p = GetParam();
+  trace::Catalog catalog(1, 1);
+  VolumeId vol = catalog.addVolume(catalog.serverNode(0));
+  ObjectId obj = catalog.addObject(vol, 100);
+  (void)vol;
+
+  std::vector<trace::TraceEvent> events;
+  for (int i = 0; i < p.reps; ++i) {
+    events.push_back(trace::TraceEvent{sec(p.gapSec) * i,
+                                       trace::EventKind::kRead,
+                                       catalog.clientNode(0), obj});
+  }
+
+  // Lease: object renewals only.
+  {
+    proto::ProtocolConfig config;
+    config.algorithm = proto::Algorithm::kLease;
+    config.objectTimeout = sec(p.tSec);
+    driver::Simulation sim(catalog, config);
+    auto& m = sim.run(events);
+    EXPECT_EQ(m.totalMessages(),
+              2 * expectedRenewals(p.gapSec, p.tSec, p.reps))
+        << "Lease";
+  }
+  // Volume: object + volume renewals, independent clocks.
+  {
+    proto::ProtocolConfig config;
+    config.algorithm = proto::Algorithm::kVolumeLease;
+    config.objectTimeout = sec(p.tSec);
+    config.volumeTimeout = sec(p.tvSec);
+    driver::Simulation sim(catalog, config);
+    auto& m = sim.run(events);
+    EXPECT_EQ(m.totalMessages(),
+              2 * expectedRenewals(p.gapSec, p.tSec, p.reps) +
+                  2 * expectedRenewals(p.gapSec, p.tvSec, p.reps))
+        << "Volume";
+  }
+  // Poll: identical renewal count to Lease on a read-only workload.
+  {
+    proto::ProtocolConfig config;
+    config.algorithm = proto::Algorithm::kPoll;
+    config.objectTimeout = sec(p.tSec);
+    driver::Simulation sim(catalog, config);
+    auto& m = sim.run(events);
+    EXPECT_EQ(m.totalMessages(),
+              2 * expectedRenewals(p.gapSec, p.tSec, p.reps))
+        << "Poll";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ModelGridTest,
+    ::testing::Values(GridPoint{100, 10'000, 100, 400},   // paper's point
+                      GridPoint{100, 100, 100, 400},      // t == gap == tv
+                      GridPoint{100, 1000, 10, 400},      // t_v < gap
+                      GridPoint{30, 90, 300, 300},        // t_v > t
+                      GridPoint{7, 100, 50, 500},         // non-divisible
+                      GridPoint{1, 3, 2, 100},            // tiny everything
+                      GridPoint{500, 100, 100, 200},      // gap > both
+                      GridPoint{60, 86'400, 600, 500}),   // day-long leases
+    gridName);
+
+/// Write-side grid: C_o clients with valid object leases at write time.
+class WriteFanoutGridTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WriteFanoutGridTest, InvalidationCountEqualsValidHolders) {
+  const int validHolders = GetParam();
+  constexpr int kTotalClients = 12;
+  trace::Catalog catalog(1, kTotalClients);
+  VolumeId vol = catalog.addVolume(catalog.serverNode(0));
+  ObjectId obj = catalog.addObject(vol, 100);
+  (void)vol;
+
+  proto::ProtocolConfig config;
+  config.algorithm = proto::Algorithm::kLease;
+  config.objectTimeout = sec(1000);
+  driver::Simulation sim(catalog, config);
+
+  std::vector<trace::TraceEvent> events;
+  // Stale clients read at t=0 (leases die at 1000).
+  for (int c = validHolders; c < kTotalClients; ++c) {
+    events.push_back({sec(c), trace::EventKind::kRead,
+                      catalog.clientNode(static_cast<std::uint32_t>(c)), obj});
+  }
+  // Valid holders read shortly before the write.
+  for (int c = 0; c < validHolders; ++c) {
+    events.push_back({sec(5000 + c), trace::EventKind::kRead,
+                      catalog.clientNode(static_cast<std::uint32_t>(c)), obj});
+  }
+  events.push_back({sec(5500), trace::EventKind::kWrite, {}, obj});
+  trace::sortEvents(events);
+  auto& m = sim.run(events);
+  // Fetches: 2 per read; write: 2 per valid holder.
+  EXPECT_EQ(m.totalMessages(), 2 * kTotalClients + 2 * validHolders);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanout, WriteFanoutGridTest,
+                         ::testing::Values(0, 1, 3, 7, 12));
+
+}  // namespace
+}  // namespace vlease

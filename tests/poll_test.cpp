@@ -1,0 +1,165 @@
+// Tests for the client-driven baselines: Poll Each Read and Poll(t).
+#include <gtest/gtest.h>
+
+#include "proto_fixture.h"
+
+namespace vlease::proto {
+namespace {
+
+using testing::ProtoHarness;
+
+ProtocolConfig pollConfig(SimDuration timeout) {
+  ProtocolConfig config;
+  config.algorithm =
+      timeout == 0 ? Algorithm::kPollEachRead : Algorithm::kPoll;
+  config.objectTimeout = timeout;
+  return config;
+}
+
+TEST(PollEachReadTest, EveryReadContactsTheServer) {
+  ProtoHarness h(pollConfig(0));
+  for (int i = 0; i < 5; ++i) {
+    auto r = h.read(0, 0);
+    EXPECT_TRUE(r.ok);
+    EXPECT_TRUE(r.usedNetwork);
+  }
+  // 5 request/reply pairs.
+  EXPECT_EQ(h.metrics().totalMessages(), 10);
+  EXPECT_EQ(h.metrics().cacheLocalReads(), 0);
+}
+
+TEST(PollEachReadTest, DataSentOnlyWhenChanged) {
+  ProtoHarness h(pollConfig(0));
+  auto first = h.read(0, 0);
+  EXPECT_TRUE(first.fetchedData);
+  auto second = h.read(0, 0);
+  EXPECT_FALSE(second.fetchedData);  // revalidated, not re-fetched
+  h.write(0);
+  auto third = h.read(0, 0);
+  EXPECT_TRUE(third.fetchedData);
+  EXPECT_EQ(third.version, 2);
+}
+
+TEST(PollEachReadTest, NeverStale) {
+  ProtoHarness h(pollConfig(0));
+  h.read(0, 0);
+  h.write(0);
+  h.read(0, 0);
+  h.write(0);
+  h.write(0);
+  h.read(0, 0);
+  EXPECT_EQ(h.metrics().staleReads(), 0);
+}
+
+TEST(PollTest, WithinWindowServesLocally) {
+  ProtoHarness h(pollConfig(sec(100)));
+  h.read(0, 0);
+  h.advanceTo(sec(50));
+  auto r = h.read(0, 0);
+  EXPECT_TRUE(r.ok);
+  EXPECT_FALSE(r.usedNetwork);
+  EXPECT_EQ(h.metrics().cacheLocalReads(), 1);
+  EXPECT_EQ(h.metrics().totalMessages(), 2);
+}
+
+TEST(PollTest, RevalidatesAfterWindow) {
+  ProtoHarness h(pollConfig(sec(100)));
+  h.read(0, 0);
+  h.advanceTo(sec(101));
+  auto r = h.read(0, 0);
+  EXPECT_TRUE(r.usedNetwork);
+  EXPECT_EQ(h.metrics().totalMessages(), 4);
+}
+
+TEST(PollTest, ServesStaleWithinWindow) {
+  // The weak-consistency failure mode the paper quantifies: a write
+  // lands inside the client's timeout window and the client keeps
+  // reading the old copy.
+  ProtoHarness h(pollConfig(sec(100)));
+  h.read(0, 0);
+  h.advanceTo(sec(10));
+  h.write(0);
+  auto r = h.read(0, 0);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.version, 1);  // old version
+  EXPECT_EQ(h.metrics().staleReads(), 1);
+
+  // After the window the client revalidates and sees version 2.
+  h.advanceTo(sec(101));
+  auto fresh = h.read(0, 0);
+  EXPECT_EQ(fresh.version, 2);
+  EXPECT_EQ(h.metrics().staleReads(), 1);
+}
+
+TEST(PollTest, WritesAreFreeAndInstant) {
+  ProtoHarness h(pollConfig(sec(100)));
+  h.read(0, 0);
+  h.read(1, 0);
+  const std::int64_t before = h.metrics().totalMessages();
+  auto w = h.write(0);
+  EXPECT_EQ(w.delay, 0);
+  EXPECT_FALSE(w.blocked);
+  EXPECT_EQ(h.metrics().totalMessages(), before);  // no invalidations
+  EXPECT_EQ(h.metrics().writes(), 1);
+}
+
+TEST(PollTest, ServerKeepsNoState) {
+  ProtoHarness h(pollConfig(sec(100)));
+  h.read(0, 0);
+  h.read(1, 0);
+  h.read(0, 1);
+  h.sim->finish();
+  EXPECT_EQ(h.metrics().avgStateBytes(h.server()), 0.0);
+}
+
+TEST(PollTest, UnreachableServerFailsTheRead) {
+  ProtoHarness h(pollConfig(sec(100)));
+  h.read(0, 0);
+  h.advanceTo(sec(200));  // window expired
+  h.network().failures().isolate(h.client(0));
+  auto r = h.read(0, 0);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(h.metrics().failedReads(), 1);
+  // The read that failed is not counted as stale or as a read.
+  EXPECT_EQ(h.metrics().staleReads(), 0);
+}
+
+TEST(PollTest, CachedReadsFineWhilePartitionedInsideWindow) {
+  ProtoHarness h(pollConfig(sec(100)));
+  h.read(0, 0);
+  h.network().failures().isolate(h.client(0));
+  h.advanceTo(sec(50));
+  auto r = h.read(0, 0);  // still in window: no network needed
+  EXPECT_TRUE(r.ok);
+}
+
+TEST(PollTest, IndependentTimeoutsPerObject) {
+  ProtoHarness h(pollConfig(sec(100)));
+  h.read(0, 0);
+  h.advanceTo(sec(80));
+  h.read(0, 1);  // validates object 1 at t=80
+  h.advanceTo(sec(120));
+  EXPECT_TRUE(h.read(0, 0).usedNetwork);    // window from t=0 expired
+  EXPECT_FALSE(h.read(0, 1).usedNetwork);   // window from t=80 still open
+}
+
+TEST(PollTest, VersionsAdvancePerWrite) {
+  ProtoHarness h(pollConfig(0));
+  EXPECT_EQ(h.serverNode().currentVersion(makeObjectId(0)), 1);
+  h.write(0);
+  h.write(0);
+  EXPECT_EQ(h.serverNode().currentVersion(makeObjectId(0)), 3);
+  EXPECT_EQ(h.serverNode().currentVersion(makeObjectId(1)), 1);
+}
+
+TEST(PollTest, DropCacheForcesRefetch) {
+  ProtoHarness h(pollConfig(sec(100)));
+  h.read(0, 0);
+  h.clientNode(0).dropCache();
+  auto r = h.read(0, 0);
+  EXPECT_TRUE(r.usedNetwork);
+  EXPECT_TRUE(r.fetchedData);
+}
+
+}  // namespace
+}  // namespace vlease::proto

@@ -1,0 +1,175 @@
+// Tests for the deterministic RNG and the workload samplers.
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace vlease {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.next() == b.next();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.nextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBelowCoversAllValues) {
+  Rng rng(7);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 10'000; ++i) seen[rng.nextBelow(10)] += 1;
+  for (int count : seen) EXPECT_GT(count, 700);  // ~1000 each
+}
+
+TEST(RngTest, NextIntInclusiveBounds) {
+  Rng rng(3);
+  bool sawLo = false, sawHi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    std::int64_t v = rng.nextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    sawLo |= v == -3;
+    sawHi |= v == 3;
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    double v = rng.nextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 100'000, 0.5, 0.01);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 100'000; ++i) hits += rng.nextBool(0.3);
+  EXPECT_NEAR(hits / 100'000.0, 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += rng.nextExponential(25.0);
+  EXPECT_NEAR(sum / n, 25.0, 0.5);
+}
+
+TEST(RngTest, PoissonSmallMean) {
+  Rng rng(19);
+  double sum = 0, sumSq = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    auto v = static_cast<double>(rng.nextPoisson(3.5));
+    sum += v;
+    sumSq += v * v;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 3.5, 0.05);
+  EXPECT_NEAR(sumSq / n - mean * mean, 3.5, 0.15);  // variance == mean
+}
+
+TEST(RngTest, PoissonLargeMeanUsesNormalApprox) {
+  Rng rng(23);
+  double sum = 0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.nextPoisson(500));
+  EXPECT_NEAR(sum / n, 500.0, 2.0);
+}
+
+TEST(RngTest, PoissonZeroMeanIsZero) {
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.nextPoisson(0.0), 0);
+}
+
+TEST(RngTest, LogNormalMedian) {
+  Rng rng(31);
+  const int n = 100'001;
+  std::vector<double> vals(n);
+  for (auto& v : vals) v = rng.nextLogNormal(std::log(8192.0), 1.0);
+  std::nth_element(vals.begin(), vals.begin() + n / 2, vals.end());
+  EXPECT_NEAR(vals[n / 2], 8192.0, 300.0);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(37);
+  double sum = 0, sumSq = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.nextNormal();
+    sum += v;
+    sumSq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sumSq / n, 1.0, 0.02);
+}
+
+TEST(RngTest, ForkDivergesFromParent) {
+  Rng parent(5);
+  Rng child = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += parent.next() == child.next();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(ZipfSamplerTest, PmfSumsToOne) {
+  ZipfSampler zipf(1000, 1.0);
+  double sum = 0;
+  for (std::size_t k = 0; k < zipf.size(); ++k) sum += zipf.pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfSamplerTest, RankZeroMostLikely) {
+  ZipfSampler zipf(100, 1.2);
+  for (std::size_t k = 1; k < 100; ++k) {
+    EXPECT_GT(zipf.pmf(0), zipf.pmf(k));
+  }
+}
+
+TEST(ZipfSamplerTest, EmpiricalMatchesPmf) {
+  ZipfSampler zipf(50, 0.9);
+  Rng rng(41);
+  std::vector<int> counts(50, 0);
+  const int n = 500'000;
+  for (int i = 0; i < n; ++i) counts[zipf(rng)] += 1;
+  for (std::size_t k : {std::size_t{0}, std::size_t{1}, std::size_t{10},
+                        std::size_t{49}}) {
+    EXPECT_NEAR(counts[k] / static_cast<double>(n), zipf.pmf(k),
+                5e-3 + 0.1 * zipf.pmf(k));
+  }
+}
+
+TEST(ZipfSamplerTest, SingleElement) {
+  ZipfSampler zipf(1, 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf(rng), 0u);
+}
+
+TEST(ZipfSamplerTest, ZeroExponentIsUniform) {
+  ZipfSampler zipf(10, 0.0);
+  for (std::size_t k = 0; k < 10; ++k) EXPECT_NEAR(zipf.pmf(k), 0.1, 1e-9);
+}
+
+}  // namespace
+}  // namespace vlease

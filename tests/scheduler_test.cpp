@@ -1,0 +1,162 @@
+// Unit tests for the discrete-event scheduler: ordering, FIFO ties,
+// cancellation, runUntil semantics, and reentrant scheduling.
+#include "sim/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace vlease::sim {
+namespace {
+
+TEST(SchedulerTest, StartsAtTimeZeroEmpty) {
+  Scheduler s;
+  EXPECT_EQ(s.now(), 0);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.pendingCount(), 0u);
+  EXPECT_EQ(s.run(), 0);
+}
+
+TEST(SchedulerTest, FiresInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.scheduleAt(30, [&] { order.push_back(3); });
+  s.scheduleAt(10, [&] { order.push_back(1); });
+  s.scheduleAt(20, [&] { order.push_back(2); });
+  EXPECT_EQ(s.run(), 3);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30);
+}
+
+TEST(SchedulerTest, SameInstantIsFifo) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    s.scheduleAt(5, [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SchedulerTest, ClockAdvancesToEventTime) {
+  Scheduler s;
+  SimTime seen = -1;
+  s.scheduleAt(42, [&] { seen = s.now(); });
+  s.run();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(SchedulerTest, ScheduleAfterUsesNow) {
+  Scheduler s;
+  SimTime seen = -1;
+  s.scheduleAt(10, [&] {
+    s.scheduleAfter(5, [&] { seen = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(seen, 15);
+}
+
+TEST(SchedulerTest, ReentrantSchedulingSameTickRunsBeforeLaterTick) {
+  Scheduler s;
+  std::vector<int> order;
+  s.scheduleAt(10, [&] {
+    order.push_back(1);
+    // Same-instant chain: must run before the event at t=11.
+    s.scheduleAt(10, [&] { order.push_back(2); });
+  });
+  s.scheduleAt(11, [&] { order.push_back(3); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SchedulerTest, CancelPreventsFiring) {
+  Scheduler s;
+  bool fired = false;
+  TimerHandle h = s.scheduleAt(10, [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  EXPECT_EQ(s.run(), 0);
+  EXPECT_FALSE(fired);
+}
+
+TEST(SchedulerTest, CancelAfterFiringIsNoop) {
+  Scheduler s;
+  TimerHandle h = s.scheduleAt(10, [] {});
+  s.run();
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // must not crash or corrupt counters
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SchedulerTest, PendingCountTracksCancellation) {
+  Scheduler s;
+  TimerHandle a = s.scheduleAt(1, [] {});
+  TimerHandle b = s.scheduleAt(2, [] {});
+  EXPECT_EQ(s.pendingCount(), 2u);
+  a.cancel();
+  EXPECT_EQ(s.pendingCount(), 1u);
+  s.run();
+  EXPECT_EQ(s.pendingCount(), 0u);
+  (void)b;
+}
+
+TEST(SchedulerTest, RunUntilStopsAtBoundaryInclusive) {
+  Scheduler s;
+  std::vector<SimTime> fired;
+  for (SimTime t : {5, 10, 15, 20}) {
+    s.scheduleAt(t, [&fired, t] { fired.push_back(t); });
+  }
+  s.runUntil(10);
+  EXPECT_EQ(fired, (std::vector<SimTime>{5, 10}));
+  EXPECT_EQ(s.now(), 10);
+  s.runUntil(100);
+  EXPECT_EQ(fired.size(), 4u);
+  EXPECT_EQ(s.now(), 100);  // advances even past the last event
+}
+
+TEST(SchedulerTest, RunUntilAdvancesClockWithNoEvents) {
+  Scheduler s;
+  s.runUntil(1234);
+  EXPECT_EQ(s.now(), 1234);
+}
+
+TEST(SchedulerTest, StepFiresExactlyOne) {
+  Scheduler s;
+  int count = 0;
+  s.scheduleAt(1, [&] { ++count; });
+  s.scheduleAt(2, [&] { ++count; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(s.step());
+}
+
+TEST(SchedulerTest, FiredCountAccumulates) {
+  Scheduler s;
+  for (int i = 0; i < 7; ++i) s.scheduleAt(i, [] {});
+  s.run();
+  EXPECT_EQ(s.firedCount(), 7);
+}
+
+TEST(SchedulerTest, CancelledEventsSkippedByStep) {
+  Scheduler s;
+  bool ran = false;
+  TimerHandle h = s.scheduleAt(1, [&] { ran = true; });
+  s.scheduleAt(2, [] {});
+  h.cancel();
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(s.now(), 2);
+}
+
+TEST(SchedulerDeathTest, SchedulingInPastAborts) {
+  Scheduler s;
+  s.scheduleAt(10, [] {});
+  s.run();
+  EXPECT_DEATH(s.scheduleAt(5, [] {}), "cannot schedule in the past");
+}
+
+}  // namespace
+}  // namespace vlease::sim

@@ -1,0 +1,110 @@
+// End-to-end smoke tests of the CLI tools: vltracegen writes a valid
+// VLTRACE file; vlsim consumes it (and generated workloads) and reports
+// consistent numbers. Exercises the real binaries via std::system.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "trace/trace_io.h"
+
+namespace vlease {
+namespace {
+
+std::string toolPath(const std::string& name) {
+  // ctest may run from the build root or from build/tests; probe both.
+  for (const char* prefix : {"./tools/", "../tools/", "../../tools/"}) {
+    std::string candidate = std::string(prefix) + name;
+    if (std::ifstream(candidate).good()) return candidate;
+  }
+  return "";
+}
+
+bool toolsAvailable() { return !toolPath("vlsim").empty(); }
+
+int runTool(const std::string& cmd, std::string* output) {
+  const std::string file = ::testing::TempDir() + "/tool_out.txt";
+  const int rc = std::system((cmd + " > " + file + " 2>&1").c_str());
+  std::ifstream in(file);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  *output = ss.str();
+  return rc;
+}
+
+TEST(ToolsTest, TracegenProducesLoadableTrace) {
+  if (!toolsAvailable()) GTEST_SKIP() << "tools not in ./tools";
+  const std::string path = ::testing::TempDir() + "/smoke.vlt";
+  std::string out;
+  ASSERT_EQ(runTool(toolPath("vltracegen") + " --out " + path +
+                        " --scale 0.003 --servers 50 --clients 5 --days 30",
+                    &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("wrote"), std::string::npos);
+
+  std::string error;
+  auto loaded = trace::readTraceFromFile(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->catalog.numServers(), 50u);
+  EXPECT_EQ(loaded->catalog.numClients(), 5u);
+  EXPECT_GT(loaded->events.size(), 100u);
+}
+
+TEST(ToolsTest, SimConsumesTraceFile) {
+  if (!toolsAvailable()) GTEST_SKIP() << "tools not in ./tools";
+  const std::string path = ::testing::TempDir() + "/smoke2.vlt";
+  std::string out;
+  ASSERT_EQ(runTool(toolPath("vltracegen") + " --out " + path +
+                        " --scale 0.003 --servers 50 --clients 5 --days 30",
+                    &out),
+            0);
+  ASSERT_EQ(runTool(toolPath("vlsim") + " --trace " + path +
+                        " --algorithm delay --t 100000 --tv 100",
+                    &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("VolumeDelayedInval"), std::string::npos);
+  EXPECT_NE(out.find("stale"), std::string::npos);
+  EXPECT_NE(out.find("busiest servers"), std::string::npos);
+  // Strong consistency on the tool path too.
+  EXPECT_NE(out.find("0 stale"), std::string::npos);
+}
+
+TEST(ToolsTest, SimCsvOutputParses) {
+  if (!toolsAvailable()) GTEST_SKIP() << "tools not in ./tools";
+  std::string out;
+  ASSERT_EQ(runTool(toolPath("vlsim") +
+                        " --algorithm lease --t 100 --scale 0.003 --csv",
+                    &out),
+            0)
+      << out;
+  // Header line + one data row.
+  std::istringstream ss(out);
+  std::string header, row;
+  ASSERT_TRUE(std::getline(ss, header));
+  ASSERT_TRUE(std::getline(ss, row));
+  EXPECT_NE(header.find("algorithm,t,tv,messages"), std::string::npos);
+  EXPECT_EQ(row.rfind("Lease,100,", 0), 0u);
+}
+
+TEST(ToolsTest, SimRejectsUnknownAlgorithm) {
+  if (!toolsAvailable()) GTEST_SKIP() << "tools not in ./tools";
+  std::string out;
+  EXPECT_NE(runTool(toolPath("vlsim") + " --algorithm bogus", &out), 0);
+  EXPECT_NE(out.find("unknown algorithm"), std::string::npos);
+}
+
+TEST(ToolsTest, SimRejectsMissingTraceFile) {
+  if (!toolsAvailable()) GTEST_SKIP() << "tools not in ./tools";
+  std::string out;
+  EXPECT_NE(runTool(toolPath("vlsim") + " --trace /nonexistent.vlt", &out),
+            0);
+  EXPECT_NE(out.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vlease

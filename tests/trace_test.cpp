@@ -1,0 +1,369 @@
+// Tests for trace events, the catalog, the BU-like generator, the write
+// synthesizer, the bursty transformer, and trace file IO.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "trace/catalog.h"
+#include "trace/events.h"
+#include "trace/generator.h"
+#include "trace/trace_io.h"
+#include "trace/write_synth.h"
+
+namespace vlease::trace {
+namespace {
+
+// ---- events ----
+
+TEST(EventsTest, ReadsSortBeforeWritesAtSameInstant) {
+  TraceEvent r{sec(5), EventKind::kRead, makeNodeId(1), makeObjectId(0)};
+  TraceEvent w{sec(5), EventKind::kWrite, makeNodeId(0), makeObjectId(0)};
+  EXPECT_TRUE(eventBefore(r, w));
+  EXPECT_FALSE(eventBefore(w, r));
+  EXPECT_FALSE(eventBefore(r, r));
+}
+
+TEST(EventsTest, MergePreservesOrder) {
+  std::vector<TraceEvent> reads = {
+      {sec(1), EventKind::kRead, makeNodeId(1), makeObjectId(0)},
+      {sec(3), EventKind::kRead, makeNodeId(1), makeObjectId(1)},
+  };
+  std::vector<TraceEvent> writes = {
+      {sec(2), EventKind::kWrite, makeNodeId(0), makeObjectId(0)},
+      {sec(3), EventKind::kWrite, makeNodeId(0), makeObjectId(1)},
+  };
+  auto merged = mergeEvents(reads, writes);
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_TRUE(isSorted(merged));
+  EXPECT_EQ(merged[0].at, sec(1));
+  EXPECT_EQ(merged[2].kind, EventKind::kRead);   // read at t=3 first
+  EXPECT_EQ(merged[3].kind, EventKind::kWrite);  // then write at t=3
+}
+
+TEST(EventsTest, SortIsStable) {
+  std::vector<TraceEvent> events = {
+      {sec(2), EventKind::kRead, makeNodeId(1), makeObjectId(10)},
+      {sec(1), EventKind::kRead, makeNodeId(1), makeObjectId(11)},
+      {sec(2), EventKind::kRead, makeNodeId(1), makeObjectId(12)},
+  };
+  sortEvents(events);
+  EXPECT_EQ(raw(events[0].obj), 11u);
+  EXPECT_EQ(raw(events[1].obj), 10u);  // stable: 10 before 12
+  EXPECT_EQ(raw(events[2].obj), 12u);
+}
+
+// ---- catalog ----
+
+TEST(CatalogTest, NodeLayout) {
+  Catalog catalog(3, 2);
+  EXPECT_EQ(catalog.numNodes(), 5u);
+  EXPECT_TRUE(catalog.isServer(makeNodeId(0)));
+  EXPECT_TRUE(catalog.isServer(makeNodeId(2)));
+  EXPECT_FALSE(catalog.isServer(makeNodeId(3)));
+  EXPECT_TRUE(catalog.isClient(makeNodeId(3)));
+  EXPECT_TRUE(catalog.isClient(makeNodeId(4)));
+  EXPECT_FALSE(catalog.isClient(makeNodeId(5)));
+  EXPECT_EQ(catalog.clientNode(0), makeNodeId(3));
+}
+
+TEST(CatalogTest, ObjectsBindToVolumesAndServers) {
+  Catalog catalog(2, 1);
+  VolumeId v0 = catalog.addVolume(catalog.serverNode(0));
+  VolumeId v1 = catalog.addVolume(catalog.serverNode(1));
+  ObjectId a = catalog.addObject(v0, 100);
+  ObjectId b = catalog.addObject(v1, 200);
+  EXPECT_EQ(catalog.object(a).server, catalog.serverNode(0));
+  EXPECT_EQ(catalog.object(b).server, catalog.serverNode(1));
+  EXPECT_EQ(catalog.object(b).sizeBytes, 200);
+  EXPECT_EQ(catalog.volume(v1).server, catalog.serverNode(1));
+  EXPECT_EQ(catalog.numObjects(), 2u);
+  EXPECT_EQ(catalog.numVolumes(), 2u);
+}
+
+// ---- generator ----
+
+BuLikeConfig smallConfig() {
+  BuLikeConfig config;
+  config.numServers = 50;
+  config.numClients = 10;
+  config.scale = 0.02;  // ~1373 objects, ~20k reads
+  return config;
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  auto a = generateBuLikeTrace(smallConfig());
+  auto b = generateBuLikeTrace(smallConfig());
+  ASSERT_EQ(a.reads.size(), b.reads.size());
+  for (std::size_t i = 0; i < a.reads.size(); i += 97) {
+    EXPECT_EQ(a.reads[i].at, b.reads[i].at);
+    EXPECT_EQ(a.reads[i].obj, b.reads[i].obj);
+    EXPECT_EQ(a.reads[i].client, b.reads[i].client);
+  }
+}
+
+TEST(GeneratorTest, SeedChangesTrace) {
+  auto a = generateBuLikeTrace(smallConfig());
+  BuLikeConfig other = smallConfig();
+  other.seed += 1;
+  auto b = generateBuLikeTrace(other);
+  bool differs = a.reads.size() != b.reads.size();
+  for (std::size_t i = 0; !differs && i < a.reads.size(); ++i) {
+    differs = !(a.reads[i].obj == b.reads[i].obj);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(GeneratorTest, VolumeAndCountInvariants) {
+  BuLikeConfig config = smallConfig();
+  auto trace = generateBuLikeTrace(config);
+  EXPECT_EQ(trace.catalog.numVolumes(), config.numServers);
+  EXPECT_GE(trace.catalog.numObjects(),
+            static_cast<std::size_t>(config.totalObjects * config.scale));
+  EXPECT_TRUE(isSorted(trace.reads));
+  // Read count lands near the target (page granularity allows slack).
+  const auto target =
+      static_cast<double>(config.totalReads) * config.scale;
+  EXPECT_GT(static_cast<double>(trace.reads.size()), 0.5 * target);
+  EXPECT_LT(static_cast<double>(trace.reads.size()), 2.0 * target);
+}
+
+TEST(GeneratorTest, CountersMatchEvents) {
+  auto trace = generateBuLikeTrace(smallConfig());
+  std::vector<std::int64_t> perObject(trace.catalog.numObjects(), 0);
+  std::vector<std::int64_t> perServer(trace.catalog.numServers(), 0);
+  for (const TraceEvent& e : trace.reads) {
+    ASSERT_EQ(e.kind, EventKind::kRead);
+    ASSERT_TRUE(trace.catalog.isClient(e.client));
+    perObject[raw(e.obj)] += 1;
+    perServer[raw(trace.catalog.object(e.obj).server)] += 1;
+  }
+  EXPECT_EQ(perObject, trace.readsPerObject);
+  EXPECT_EQ(perServer, trace.readsPerServer);
+}
+
+TEST(GeneratorTest, EventsWithinDuration) {
+  BuLikeConfig config = smallConfig();
+  auto trace = generateBuLikeTrace(config);
+  for (const TraceEvent& e : trace.reads) {
+    EXPECT_GE(e.at, 0);
+    EXPECT_LT(e.at, config.duration);
+  }
+}
+
+TEST(GeneratorTest, ServerPopularityIsSkewed) {
+  auto trace = generateBuLikeTrace(smallConfig());
+  auto perServer = trace.readsPerServer;
+  std::sort(perServer.begin(), perServer.end(), std::greater<>());
+  const auto total =
+      std::accumulate(perServer.begin(), perServer.end(), std::int64_t{0});
+  // Top 10% of 50 servers should carry far more than 10% of reads.
+  std::int64_t top5 = 0;
+  for (int i = 0; i < 5; ++i) top5 += perServer[static_cast<size_t>(i)];
+  EXPECT_GT(static_cast<double>(top5) / static_cast<double>(total), 0.3);
+}
+
+TEST(GeneratorTest, SessionsShowVolumeLocality) {
+  // Consecutive reads by the same client should mostly hit the same
+  // server (page bursts + sessions) -- the property volume leases need.
+  auto trace = generateBuLikeTrace(smallConfig());
+  std::unordered_map<std::uint32_t, NodeId> lastServer;
+  std::int64_t same = 0, transitions = 0;
+  for (const TraceEvent& e : trace.reads) {
+    const NodeId server = trace.catalog.object(e.obj).server;
+    auto it = lastServer.find(raw(e.client));
+    if (it != lastServer.end()) {
+      ++transitions;
+      if (it->second == server) ++same;
+    }
+    lastServer[raw(e.client)] = server;
+  }
+  EXPECT_GT(static_cast<double>(same) / static_cast<double>(transitions),
+            0.7);
+}
+
+TEST(GeneratorTest, ReReadsSpanSecondsToDays) {
+  auto trace = generateBuLikeTrace(smallConfig());
+  // Gap distribution between successive reads of the same (client, obj).
+  std::unordered_map<std::uint64_t, SimTime> lastRead;
+  std::int64_t subMinute = 0, overHour = 0, reReads = 0;
+  for (const TraceEvent& e : trace.reads) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(raw(e.client)) << 40) ^ raw(e.obj);
+    auto it = lastRead.find(key);
+    if (it != lastRead.end()) {
+      const SimTime gap = e.at - it->second;
+      ++reReads;
+      if (gap < minutes(1)) ++subMinute;
+      if (gap > hours(1)) ++overHour;
+    }
+    lastRead[key] = e.at;
+  }
+  EXPECT_GT(reReads, 1000);
+  EXPECT_GT(subMinute, 100);  // within-session re-reads
+  EXPECT_GT(overHour, 100);   // cross-session revisits
+}
+
+// ---- write synthesizer ----
+
+TEST(WriteSynthTest, ClassFractionsMatchPaper) {
+  auto trace = generateBuLikeTrace(smallConfig());
+  WriteModelConfig config;
+  auto writes = synthesizeWrites(trace.catalog, trace.readsPerObject, config);
+
+  const auto n = static_cast<double>(trace.catalog.numObjects());
+  std::size_t popular = 0, very = 0, mut = 0, normal = 0;
+  for (auto klass : writes.classOf) {
+    switch (klass) {
+      case MutabilityClass::kPopular: ++popular; break;
+      case MutabilityClass::kVeryMutable: ++very; break;
+      case MutabilityClass::kMutable: ++mut; break;
+      case MutabilityClass::kNormal: ++normal; break;
+    }
+  }
+  EXPECT_NEAR(popular / n, 0.10, 0.01);
+  EXPECT_NEAR(very / n, 0.03, 0.015);
+  EXPECT_NEAR(mut / n, 0.10, 0.03);
+  EXPECT_NEAR(normal / n, 0.77, 0.04);
+}
+
+TEST(WriteSynthTest, PopularClassIsMostRead) {
+  auto trace = generateBuLikeTrace(smallConfig());
+  WriteModelConfig config;
+  auto writes = synthesizeWrites(trace.catalog, trace.readsPerObject, config);
+  // Every popular object has at least as many reads as every normal one
+  // (ranking by read count).
+  std::int64_t minPopular = std::numeric_limits<std::int64_t>::max();
+  std::int64_t maxOther = -1;
+  for (std::size_t i = 0; i < writes.classOf.size(); ++i) {
+    if (writes.classOf[i] == MutabilityClass::kPopular) {
+      minPopular = std::min(minPopular, trace.readsPerObject[i]);
+    } else {
+      maxOther = std::max(maxOther, trace.readsPerObject[i]);
+    }
+  }
+  EXPECT_GE(minPopular, maxOther == -1 ? 0 : maxOther - 0);
+}
+
+TEST(WriteSynthTest, WriteVolumeNearExpectation) {
+  auto trace = generateBuLikeTrace(smallConfig());
+  WriteModelConfig config;
+  auto writes = synthesizeWrites(trace.catalog, trace.readsPerObject, config);
+  // Expected writes/file over 120 days with the paper's rates:
+  // 0.10*0.005 + 0.03*0.2 + 0.10*0.05 + 0.77*0.02 = 0.0269/day.
+  const double expected = 0.0269 * 120.0 *
+                          static_cast<double>(trace.catalog.numObjects());
+  EXPECT_NEAR(static_cast<double>(writes.writes.size()), expected,
+              0.15 * expected);
+  EXPECT_TRUE(isSorted(writes.writes));
+  const auto totalPerObject =
+      std::accumulate(writes.writesPerObject.begin(),
+                      writes.writesPerObject.end(), std::int64_t{0});
+  EXPECT_EQ(static_cast<std::size_t>(totalPerObject), writes.writes.size());
+}
+
+TEST(WriteSynthTest, BurstyTransformAddsSameVolumeSameInstantWrites) {
+  auto trace = generateBuLikeTrace(smallConfig());
+  WriteModelConfig config;
+  auto writes = synthesizeWrites(trace.catalog, trace.readsPerObject, config);
+
+  BurstyWriteConfig bursty;
+  auto burstyWrites = makeWritesBursty(trace.catalog, writes.writes, bursty);
+  EXPECT_TRUE(isSorted(burstyWrites));
+  // Mean burst size 10 => roughly 11x the writes (capped by volume size).
+  EXPECT_GT(burstyWrites.size(), writes.writes.size() * 3);
+
+  // Added writes share instant and volume with some original write, and
+  // burst companions are distinct objects.
+  std::unordered_map<SimTime, std::unordered_set<std::uint64_t>> byInstant;
+  for (const TraceEvent& e : burstyWrites) {
+    EXPECT_EQ(e.kind, EventKind::kWrite);
+    byInstant[e.at].insert(raw(trace.catalog.object(e.obj).volume));
+  }
+  for (const TraceEvent& e : writes.writes) {
+    auto it = byInstant.find(e.at);
+    ASSERT_NE(it, byInstant.end());
+    EXPECT_TRUE(it->second.count(raw(trace.catalog.object(e.obj).volume)));
+  }
+}
+
+// ---- trace IO ----
+
+TEST(TraceIoTest, RoundTrip) {
+  auto trace = generateBuLikeTrace([] {
+    BuLikeConfig c;
+    c.numServers = 5;
+    c.numClients = 3;
+    c.scale = 0.001;
+    return c;
+  }());
+  WriteModelConfig wc;
+  auto writes = synthesizeWrites(trace.catalog, trace.readsPerObject, wc);
+  auto merged = mergeEvents(trace.reads, writes.writes);
+
+  std::stringstream ss;
+  writeTrace(ss, trace.catalog, merged);
+  std::string error;
+  auto loaded = readTrace(ss, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->catalog.numServers(), trace.catalog.numServers());
+  EXPECT_EQ(loaded->catalog.numObjects(), trace.catalog.numObjects());
+  EXPECT_EQ(loaded->catalog.numVolumes(), trace.catalog.numVolumes());
+  ASSERT_EQ(loaded->events.size(), merged.size());
+  for (std::size_t i = 0; i < merged.size(); i += 53) {
+    EXPECT_EQ(loaded->events[i].at, merged[i].at);
+    EXPECT_EQ(loaded->events[i].kind, merged[i].kind);
+    EXPECT_EQ(loaded->events[i].obj, merged[i].obj);
+    if (merged[i].kind == EventKind::kRead) {
+      EXPECT_EQ(loaded->events[i].client, merged[i].client);
+    }
+  }
+  for (std::size_t i = 0; i < trace.catalog.numObjects(); i += 17) {
+    EXPECT_EQ(loaded->catalog.object(makeObjectId(i)).sizeBytes,
+              trace.catalog.object(makeObjectId(i)).sizeBytes);
+  }
+}
+
+TEST(TraceIoTest, RejectsMissingHeader) {
+  std::stringstream ss("nonsense\n");
+  std::string error;
+  EXPECT_FALSE(readTrace(ss, &error).has_value());
+  EXPECT_NE(error.find("VLTRACE"), std::string::npos);
+}
+
+TEST(TraceIoTest, RejectsOutOfRangeIds) {
+  std::stringstream ss(
+      "VLTRACE 1\nnodes 2 1\nvolume 0\nobject 0 100\nread 5 0 7\nend\n");
+  std::string error;
+  EXPECT_FALSE(readTrace(ss, &error).has_value());
+}
+
+TEST(TraceIoTest, RejectsUnsortedEvents) {
+  std::stringstream ss(
+      "VLTRACE 1\nnodes 1 1\nvolume 0\nobject 0 100\n"
+      "read 10 0 0\nread 5 0 0\nend\n");
+  std::string error;
+  EXPECT_FALSE(readTrace(ss, &error).has_value());
+  EXPECT_NE(error.find("sorted"), std::string::npos);
+}
+
+TEST(TraceIoTest, RejectsMissingEnd) {
+  std::stringstream ss("VLTRACE 1\nnodes 1 1\nvolume 0\n");
+  std::string error;
+  EXPECT_FALSE(readTrace(ss, &error).has_value());
+}
+
+TEST(TraceIoTest, SkipsCommentsAndBlankLines) {
+  std::stringstream ss(
+      "VLTRACE 1\n# a comment\n\nnodes 1 1\nvolume 0\nobject 0 64\n"
+      "# events\nread 1 0 0\nend\n");
+  std::string error;
+  auto loaded = readTrace(ss, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->events.size(), 1u);
+}
+
+}  // namespace
+}  // namespace vlease::trace

@@ -1,0 +1,308 @@
+// Simulator validation against the analytic cost model (Table 1) and
+// cross-algorithm equivalences -- the counterpart of the paper's §4.1
+// validation ("we used our simulator to examine our algorithms under
+// simple synthetic workloads for which we could analytically compute
+// the expected results").
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "analytic/cost_model.h"
+#include "driver/simulation.h"
+#include "driver/workloads.h"
+#include "trace/catalog.h"
+
+namespace vlease {
+namespace {
+
+/// One client reading one object every `gapSec` for `reps` reads.
+std::vector<trace::TraceEvent> periodicReads(const trace::Catalog& catalog,
+                                             std::uint32_t client,
+                                             std::uint64_t obj, int gapSec,
+                                             int reps) {
+  std::vector<trace::TraceEvent> events;
+  for (int i = 0; i < reps; ++i) {
+    events.push_back(trace::TraceEvent{sec(gapSec) * i,
+                                       trace::EventKind::kRead,
+                                       catalog.clientNode(client),
+                                       makeObjectId(obj)});
+  }
+  return events;
+}
+
+trace::Catalog oneVolumeCatalog(std::uint32_t clients, std::uint32_t objects) {
+  trace::Catalog catalog(1, clients);
+  VolumeId vol = catalog.addVolume(catalog.serverNode(0));
+  for (std::uint32_t i = 0; i < objects; ++i) catalog.addObject(vol, 256);
+  return catalog;
+}
+
+proto::ProtocolConfig configOf(proto::Algorithm algorithm, std::int64_t tSec,
+                               std::int64_t tvSec = 100) {
+  proto::ProtocolConfig config;
+  config.algorithm = algorithm;
+  config.objectTimeout = sec(tSec);
+  config.volumeTimeout = sec(tvSec);
+  return config;
+}
+
+// ---- read cost: exact message counts on deterministic workloads ----
+
+TEST(ReadCostValidation, PollEachReadPaysEveryRead) {
+  auto catalog = oneVolumeCatalog(1, 1);
+  driver::Simulation sim(catalog, configOf(proto::Algorithm::kPollEachRead, 0));
+  auto& m = sim.run(periodicReads(catalog, 0, 0, 100, 500));
+  EXPECT_EQ(m.totalMessages(), 2 * 500);
+}
+
+TEST(ReadCostValidation, PollValidatesOncePerWindow) {
+  // Reads every 100 s, window 10'000 s, 500 reads spanning 49'900 s:
+  // validations at t = 0, 10'000, ..., 40'000 -> 5 round trips.
+  auto catalog = oneVolumeCatalog(1, 1);
+  driver::Simulation sim(catalog, configOf(proto::Algorithm::kPoll, 10'000));
+  auto& m = sim.run(periodicReads(catalog, 0, 0, 100, 500));
+  EXPECT_EQ(m.totalMessages(), 2 * 5);
+  // Table 1: read cost = 1/(R*t) = 100/10'000 of reads.
+  analytic::CostParams p;
+  p.readRate = 0.01;
+  p.objectTimeout = 10'000;
+  EXPECT_NEAR(analytic::costOf(proto::Algorithm::kPoll, p).readCost,
+              5.0 / 500.0, 1e-3);
+}
+
+TEST(ReadCostValidation, LeaseMatchesPoll) {
+  auto catalog = oneVolumeCatalog(1, 1);
+  driver::Simulation sim(catalog, configOf(proto::Algorithm::kLease, 10'000));
+  auto& m = sim.run(periodicReads(catalog, 0, 0, 100, 500));
+  EXPECT_EQ(m.totalMessages(), 2 * 5);
+}
+
+TEST(ReadCostValidation, VolumeAddsVolumeRenewalTerm) {
+  // t_v = 100 s equals the read gap: EVERY read renews the volume (the
+  // single-object worst case) while the object lease renews 5 times.
+  auto catalog = oneVolumeCatalog(1, 1);
+  driver::Simulation sim(catalog,
+                         configOf(proto::Algorithm::kVolumeLease, 10'000, 100));
+  auto& m = sim.run(periodicReads(catalog, 0, 0, 100, 500));
+  EXPECT_EQ(m.totalMessages(), 2 * 500 + 2 * 5);
+}
+
+TEST(ReadCostValidation, LongVolumeLeaseAmortizes) {
+  // t_v = 1000 s over 100 s gaps: one volume renewal per 10 reads.
+  auto catalog = oneVolumeCatalog(1, 1);
+  driver::Simulation sim(
+      catalog, configOf(proto::Algorithm::kVolumeLease, 10'000, 1000));
+  auto& m = sim.run(periodicReads(catalog, 0, 0, 100, 500));
+  EXPECT_EQ(m.totalMessages(), 2 * 50 + 2 * 5);
+}
+
+// ---- write cost: C_tot vs C_o vs C_v ----
+
+TEST(WriteCostValidation, CallbackContactsCtot) {
+  constexpr std::uint32_t kClients = 7;
+  auto catalog = oneVolumeCatalog(kClients, 1);
+  driver::Simulation sim(catalog, configOf(proto::Algorithm::kCallback, 0));
+  std::vector<trace::TraceEvent> events;
+  for (std::uint32_t c = 0; c < kClients; ++c) {
+    events.push_back({sec(10 * (c + 1)), trace::EventKind::kRead,
+                      catalog.clientNode(c), makeObjectId(0)});
+  }
+  // Write long after every lease algorithm would have expired leases.
+  events.push_back({days(30), trace::EventKind::kWrite, makeNodeId(0),
+                    makeObjectId(0)});
+  auto& m = sim.run(events);
+  // 7 fetch round trips + 7 invalidations + 7 acks.
+  EXPECT_EQ(m.totalMessages(), 14 + 2 * kClients);
+}
+
+TEST(WriteCostValidation, LeaseContactsOnlyValidHolders) {
+  constexpr std::uint32_t kClients = 7;
+  auto catalog = oneVolumeCatalog(kClients, 1);
+  driver::Simulation sim(catalog, configOf(proto::Algorithm::kLease, 1000));
+  std::vector<trace::TraceEvent> events;
+  // Three "stale" clients read early; four "fresh" clients read late.
+  for (std::uint32_t c = 0; c < 3; ++c) {
+    events.push_back({sec(c), trace::EventKind::kRead, catalog.clientNode(c),
+                      makeObjectId(0)});
+  }
+  for (std::uint32_t c = 3; c < kClients; ++c) {
+    events.push_back({sec(5000 + c), trace::EventKind::kRead,
+                      catalog.clientNode(c), makeObjectId(0)});
+  }
+  events.push_back({sec(5500), trace::EventKind::kWrite, makeNodeId(0),
+                    makeObjectId(0)});
+  auto& m = sim.run(events);
+  // C_o = 4 at write time.
+  EXPECT_EQ(m.totalMessages(), 2 * 7 + 2 * 4);
+}
+
+TEST(WriteCostValidation, DelayedInvalContactsOnlyCv) {
+  constexpr std::uint32_t kClients = 6;
+  auto catalog = oneVolumeCatalog(kClients, 2);
+  driver::Simulation sim(
+      catalog, configOf(proto::Algorithm::kVolumeDelayedInval, 100'000, 100));
+  std::vector<trace::TraceEvent> events;
+  // All six cache object 0 early (long object leases stay valid).
+  for (std::uint32_t c = 0; c < kClients; ++c) {
+    events.push_back({sec(c), trace::EventKind::kRead, catalog.clientNode(c),
+                      makeObjectId(0)});
+  }
+  // Only clients 0 and 1 are active near the write (valid t_v = 100).
+  events.push_back({sec(5000), trace::EventKind::kRead, catalog.clientNode(0),
+                    makeObjectId(1)});
+  events.push_back({sec(5010), trace::EventKind::kRead, catalog.clientNode(1),
+                    makeObjectId(1)});
+  events.push_back({sec(5050), trace::EventKind::kWrite, makeNodeId(0),
+                    makeObjectId(0)});
+  auto& m = sim.run(events);
+  // Setup: 6 * (vol + obj round trips) = 24 msgs; the two later reads:
+  // client 0/1 renew volume + fetch object 1 = 4 msgs each; write:
+  // C_v = 2 -> 2 invals + 2 acks.
+  EXPECT_EQ(m.totalMessages(), 24 + 8 + 4);
+}
+
+// ---- equivalences ----
+
+TEST(EquivalenceValidation, PollZeroEqualsPollEachRead) {
+  driver::WorkloadOptions opts;
+  opts.scale = 0.004;
+  opts.numServers = 40;
+  driver::Workload workload = driver::buildWorkload(opts);
+
+  driver::Simulation a(workload.catalog,
+                       configOf(proto::Algorithm::kPollEachRead, 0));
+  driver::Simulation b(workload.catalog, configOf(proto::Algorithm::kPoll, 0));
+  auto& ma = a.run(workload.events);
+  auto& mb = b.run(workload.events);
+  EXPECT_EQ(ma.totalMessages(), mb.totalMessages());
+  EXPECT_EQ(ma.totalBytes(), mb.totalBytes());
+  EXPECT_EQ(ma.staleReads(), 0);
+  EXPECT_EQ(mb.staleReads(), 0);
+}
+
+TEST(EquivalenceValidation, InfiniteVolumeLeaseCostsLeasePlusFirstContact) {
+  // Volume(t_v = inf, t) sends exactly the Lease(t) messages plus one
+  // volume round trip per distinct (client, volume) pair.
+  driver::WorkloadOptions opts;
+  opts.scale = 0.004;
+  opts.numServers = 40;
+  driver::Workload workload = driver::buildWorkload(opts);
+
+  std::unordered_set<std::uint64_t> pairs;
+  for (const trace::TraceEvent& e : workload.events) {
+    if (e.kind != trace::EventKind::kRead) continue;
+    pairs.insert((static_cast<std::uint64_t>(raw(e.client)) << 32) ^
+                 raw(workload.catalog.object(e.obj).volume));
+  }
+
+  proto::ProtocolConfig lease = configOf(proto::Algorithm::kLease, 100'000);
+  proto::ProtocolConfig volume =
+      configOf(proto::Algorithm::kVolumeLease, 100'000);
+  volume.volumeTimeout = days(365 * 200);  // effectively infinite
+
+  driver::Simulation a(workload.catalog, lease);
+  driver::Simulation b(workload.catalog, volume);
+  auto& ma = a.run(workload.events);
+  auto& mb = b.run(workload.events);
+  EXPECT_EQ(mb.totalMessages(),
+            ma.totalMessages() + 2 * static_cast<std::int64_t>(pairs.size()));
+}
+
+TEST(EquivalenceValidation, DelayedEqualsImmediateWhenVolumesAlwaysValid) {
+  // With t_v so long that no volume lease ever expires, Delayed and
+  // Immediate invalidation are message-for-message identical.
+  driver::WorkloadOptions opts;
+  opts.scale = 0.004;
+  opts.numServers = 40;
+  driver::Workload workload = driver::buildWorkload(opts);
+
+  proto::ProtocolConfig immediate =
+      configOf(proto::Algorithm::kVolumeLease, 100'000);
+  immediate.volumeTimeout = days(365 * 200);
+  proto::ProtocolConfig delayed = immediate;
+  delayed.algorithm = proto::Algorithm::kVolumeDelayedInval;
+
+  driver::Simulation a(workload.catalog, immediate);
+  driver::Simulation b(workload.catalog, delayed);
+  auto& ma = a.run(workload.events);
+  auto& mb = b.run(workload.events);
+  EXPECT_EQ(ma.totalMessages(), mb.totalMessages());
+  EXPECT_EQ(ma.totalBytes(), mb.totalBytes());
+}
+
+TEST(EquivalenceValidation, DelayedNeverSendsMoreThanImmediate) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    driver::WorkloadOptions opts;
+    opts.scale = 0.004;
+    opts.numServers = 40;
+    opts.seed = seed;
+    driver::Workload workload = driver::buildWorkload(opts);
+    driver::Simulation a(workload.catalog,
+                         configOf(proto::Algorithm::kVolumeLease, 100'000));
+    driver::Simulation b(
+        workload.catalog,
+        configOf(proto::Algorithm::kVolumeDelayedInval, 100'000));
+    auto& ma = a.run(workload.events);
+    auto& mb = b.run(workload.events);
+    EXPECT_LE(mb.totalMessages(), ma.totalMessages()) << "seed " << seed;
+  }
+}
+
+TEST(EquivalenceValidation, VolumeAlwaysCostsAtLeastLease) {
+  for (std::int64_t tv : {std::int64_t{10}, std::int64_t{100},
+                          std::int64_t{1000}}) {
+    driver::WorkloadOptions opts;
+    opts.scale = 0.004;
+    opts.numServers = 40;
+    driver::Workload workload = driver::buildWorkload(opts);
+    driver::Simulation a(workload.catalog,
+                         configOf(proto::Algorithm::kLease, 100'000));
+    driver::Simulation b(workload.catalog,
+                         configOf(proto::Algorithm::kVolumeLease, 100'000, tv));
+    auto& ma = a.run(workload.events);
+    auto& mb = b.run(workload.events);
+    EXPECT_GE(mb.totalMessages(), ma.totalMessages()) << "tv " << tv;
+  }
+}
+
+TEST(EquivalenceValidation, ShorterVolumeLeasesCostMore) {
+  driver::WorkloadOptions opts;
+  opts.scale = 0.004;
+  opts.numServers = 40;
+  driver::Workload workload = driver::buildWorkload(opts);
+  std::int64_t prev = -1;
+  for (std::int64_t tv : {std::int64_t{10}, std::int64_t{100},
+                          std::int64_t{1000}, std::int64_t{10'000}}) {
+    driver::Simulation sim(workload.catalog,
+                           configOf(proto::Algorithm::kVolumeLease, 100'000, tv));
+    auto& m = sim.run(workload.events);
+    if (prev >= 0) {
+      EXPECT_LE(m.totalMessages(), prev) << "tv " << tv;
+    }
+    prev = m.totalMessages();
+  }
+}
+
+// ---- strong consistency on the real workload ----
+
+TEST(WorkloadConsistencyValidation, StrongAlgorithmsServeZeroStaleReads) {
+  driver::WorkloadOptions opts;
+  opts.scale = 0.004;
+  opts.numServers = 40;
+  driver::Workload workload = driver::buildWorkload(opts);
+  for (proto::Algorithm algorithm :
+       {proto::Algorithm::kPollEachRead, proto::Algorithm::kCallback,
+        proto::Algorithm::kLease, proto::Algorithm::kVolumeLease,
+        proto::Algorithm::kVolumeDelayedInval}) {
+    driver::Simulation sim(workload.catalog, configOf(algorithm, 1000));
+    auto& m = sim.run(workload.events);
+    EXPECT_EQ(m.staleReads(), 0) << proto::algorithmName(algorithm);
+    EXPECT_EQ(m.failedReads(), 0) << proto::algorithmName(algorithm);
+    EXPECT_EQ(m.reads(), workload.readCount) << proto::algorithmName(algorithm);
+    EXPECT_EQ(m.writes(), workload.writeCount)
+        << proto::algorithmName(algorithm);
+  }
+}
+
+}  // namespace
+}  // namespace vlease

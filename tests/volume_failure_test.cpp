@@ -1,0 +1,329 @@
+// Targeted failure-injection tests for the volume-lease protocol's
+// corner paths: lost messages inside multi-step exchanges, crashes at
+// awkward moments, session timeouts, and combinations the chaos sweep
+// may not hit deterministically. All scenarios assert the core safety
+// property (no stale reads) plus the specific repair behaviour.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "core/volume_client.h"
+#include "core/volume_server.h"
+#include "proto_fixture.h"
+#include "util/rng.h"
+
+namespace vlease::core {
+namespace {
+
+using proto::Algorithm;
+using proto::ProtocolConfig;
+using testing::ProtoHarness;
+
+ProtocolConfig cfg(Algorithm algorithm = Algorithm::kVolumeLease,
+                   SimDuration t = sec(10'000), SimDuration tv = sec(10)) {
+  ProtocolConfig config;
+  config.algorithm = algorithm;
+  config.objectTimeout = t;
+  config.volumeTimeout = tv;
+  config.msgTimeout = sec(5);
+  config.readTimeout = sec(30);
+  return config;
+}
+
+VolumeServer& vserver(ProtoHarness& h, std::uint32_t idx = 0) {
+  return dynamic_cast<VolumeServer&>(h.serverNode(idx));
+}
+constexpr VolumeId kVol = makeVolumeId(0);
+
+TEST(VolumeFailureTest, LostInvalidationNeverYieldsStaleRead) {
+  ProtoHarness h(cfg());
+  h.network().setLatency(msec(20));
+  h.read(0, 0);
+  // Cut the link only long enough to lose the invalidation.
+  h.network().failures().isolate(h.client(0));
+  auto w = h.write(0);  // commits at lease/volume expiry
+  EXPECT_GT(w.delay, 0);
+  h.network().failures().deisolate(h.client(0));
+  // The client's volume lease has necessarily expired by commit time;
+  // the read takes the reconnection path and sees v2.
+  auto r = h.read(0, 0);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.version, 2);
+  EXPECT_EQ(h.metrics().staleReads(), 0);
+}
+
+TEST(VolumeFailureTest, ReconnectionTimesOutIfClientVanishesMidExchange) {
+  ProtoHarness h(cfg());
+  h.network().setLatency(msec(20));
+  h.read(0, 0);
+  h.network().failures().isolate(h.client(0));
+  h.write(0);  // client 0 -> Unreachable
+  ASSERT_TRUE(vserver(h).isUnreachable(h.client(0), kVol));
+
+  // Client comes back just long enough to send REQ_VOL_LEASE, then
+  // drops again before MUST_RENEW_ALL arrives.
+  h.network().failures().deisolate(h.client(0));
+  h.sim->issueRead(h.client(0), makeObjectId(0), nullptr);
+  h.advanceTo(h.scheduler().now() + msec(25));  // request reached server
+  h.network().failures().isolate(h.client(0));
+  h.advanceTo(h.scheduler().now() + sec(40));   // session + read time out
+
+  // Safety: still unreachable (the exchange never completed).
+  EXPECT_TRUE(vserver(h).isUnreachable(h.client(0), kVol));
+  EXPECT_EQ(h.metrics().staleReads(), 0);
+
+  // Liveness: a later retry completes the repair.
+  h.network().failures().deisolate(h.client(0));
+  auto r = h.read(0, 0);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.version, 2);
+  EXPECT_FALSE(vserver(h).isUnreachable(h.client(0), kVol));
+}
+
+TEST(VolumeFailureTest, LostBatchDuringFlushDemotesToUnreachable) {
+  ProtoHarness h(cfg(Algorithm::kVolumeDelayedInval));
+  h.network().setLatency(msec(20));
+  h.read(0, 0);
+  h.advanceTo(h.scheduler().now() + sec(60));  // volume lease expired
+  h.write(0);  // queued on the pending list (client inactive)
+  ASSERT_EQ(vserver(h).pendingMessageCount(h.client(0), kVol), 1u);
+
+  // The client renews its volume, but the flush batch is lost.
+  h.sim->issueRead(h.client(0), makeObjectId(1), nullptr);
+  h.advanceTo(h.scheduler().now() + msec(25));  // REQ_VOL delivered
+  h.network().failures().isolate(h.client(0));  // batch will be dropped
+  h.advanceTo(h.scheduler().now() + sec(40));
+  // Safe exit: inactive -> unreachable, pending discarded.
+  EXPECT_TRUE(vserver(h).isUnreachable(h.client(0), kVol));
+  EXPECT_EQ(vserver(h).pendingMessageCount(h.client(0), kVol), 0u);
+
+  h.network().failures().deisolate(h.client(0));
+  auto r = h.read(0, 0);  // reconnection repairs: fresh copy of object 0
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.version, 2);
+  EXPECT_EQ(h.metrics().staleReads(), 0);
+}
+
+TEST(VolumeFailureTest, CrashDuringPendingWriteIsSafe) {
+  ProtoHarness h(cfg());
+  h.network().setLatency(msec(20));
+  h.read(0, 0);
+  h.network().failures().isolate(h.client(0));
+  bool committed = false;
+  h.sim->issueWrite(makeObjectId(0),
+                    [&](const proto::WriteResult&) { committed = true; });
+  h.advanceTo(h.scheduler().now() + sec(1));  // write is waiting on acks
+  ASSERT_FALSE(committed);
+  vserver(h).crashAndReboot();  // the in-flight write dies with the server
+  h.advanceTo(h.scheduler().now() + sec(30));
+  EXPECT_FALSE(committed);
+  EXPECT_EQ(vserver(h).currentVersion(makeObjectId(0)), 1);  // not applied
+
+  // The returning client reconnects (epoch bump) and sees version 1.
+  h.network().failures().deisolate(h.client(0));
+  auto r = h.read(0, 0);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.version, 1);
+  EXPECT_EQ(h.metrics().staleReads(), 0);
+}
+
+TEST(VolumeFailureTest, DoubleCrashExtendsRecoveryWindow) {
+  ProtoHarness h(cfg(Algorithm::kVolumeLease, sec(10'000), sec(100)));
+  h.read(0, 0);  // volume lease until t=100
+  h.advanceTo(sec(10));
+  vserver(h).crashAndReboot();
+  EXPECT_EQ(vserver(h).recoveryUntil(), sec(100));
+  // A client gets a fresh lease during recovery...
+  h.read(1, 0);  // volume lease until t=110
+  h.advanceTo(sec(20));
+  vserver(h).crashAndReboot();  // ...and the server crashes AGAIN
+  EXPECT_EQ(vserver(h).recoveryUntil(), sec(110));
+
+  auto w = h.write(0);  // must wait for the SECOND crash's horizon
+  EXPECT_EQ(h.scheduler().now(), sec(110));
+  EXPECT_GE(w.delay, sec(89));
+  EXPECT_EQ(h.metrics().staleReads(), 0);
+}
+
+TEST(VolumeFailureTest, EpochBumpsAccumulateAcrossCrashes) {
+  ProtoHarness h(cfg());
+  h.read(0, 0);
+  for (int i = 0; i < 3; ++i) {
+    vserver(h).crashAndReboot();
+    h.advanceTo(h.scheduler().now() + sec(60));
+  }
+  EXPECT_EQ(vserver(h).volumeEpoch(kVol), 4);
+  auto r = h.read(0, 0);  // single reconnection catches up all epochs
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(h.metrics().staleReads(), 0);
+}
+
+// 30% random loss over a read/write mix: reads may fail, writes may
+// wait, but nothing is ever stale and everything recovers. This sweep
+// found a real protocol race during development (a write racing an
+// in-flight reconnection batch), so it runs across seeds and both
+// invalidation modes.
+class LossStormTest
+    : public ::testing::TestWithParam<std::tuple<Algorithm, std::uint64_t>> {
+};
+
+TEST_P(LossStormTest, StaysConsistent) {
+  const auto [algorithm, seed] = GetParam();
+  ProtoHarness h(cfg(algorithm, sec(500), sec(10)));
+  h.network().setLatency(msec(20));
+  h.network().failures().setLossProbability(0.3);
+  Rng rng(seed);
+  SimTime t = 0;
+  for (int op = 0; op < 200; ++op) {
+    t += static_cast<SimDuration>(
+        rng.nextExponential(static_cast<double>(sec(3))));
+    h.sim->drainTo(t);
+    const auto obj = makeObjectId(rng.nextBelow(3));
+    if (rng.nextBool(0.3)) {
+      h.sim->issueWrite(obj);
+    } else {
+      h.sim->issueRead(
+          h.client(static_cast<std::uint32_t>(rng.nextBelow(2))), obj);
+    }
+  }
+  h.network().failures().setLossProbability(0.0);
+  t += sec(600);
+  h.sim->drainTo(t);
+  auto r = h.read(0, 0);
+  EXPECT_TRUE(r.ok);
+  h.sim->finish();
+  EXPECT_EQ(h.metrics().staleReads(), 0);
+  EXPECT_EQ(h.metrics().blockedWrites(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, LossStormTest,
+    ::testing::Combine(::testing::Values(Algorithm::kVolumeLease,
+                                         Algorithm::kVolumeDelayedInval),
+                       ::testing::Values(2024, 7, 13, 99, 1234, 5150)),
+    [](const ::testing::TestParamInfo<LossStormTest::ParamType>& info) {
+      return std::string(proto::algorithmName(std::get<0>(info.param))) +
+             "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(VolumeFailureTest, WriteDuringReconnectionStaysConsistent) {
+  // A write lands while a reconnection exchange is in flight: the
+  // server must defer the renewal computation past the commit so the
+  // batch reflects the new version.
+  ProtoHarness h(cfg(Algorithm::kVolumeLease, sec(10'000), sec(10)), 1, 3,
+                 /*objectsPerVolume=*/3);
+  h.network().setLatency(msec(50));
+  h.read(0, 0);
+  h.read(1, 0);  // client 1 also holds object 0 (will carry the write)
+  h.network().failures().isolate(h.client(0));
+  h.write(0);    // client 0 -> unreachable (commit at volume expiry)
+  h.network().failures().deisolate(h.client(0));
+
+  // Start client 0's reconnection, and fire another write mid-exchange.
+  h.sim->issueRead(h.client(0), makeObjectId(0), nullptr);
+  h.advanceTo(h.scheduler().now() + msec(120));  // RENEW_OBJ_LEASES in flight
+  h.sim->issueWrite(makeObjectId(0), nullptr);
+  h.advanceTo(h.scheduler().now() + sec(60));
+
+  auto r = h.read(0, 0);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.version, vserver(h).currentVersion(makeObjectId(0)));
+  EXPECT_EQ(h.metrics().staleReads(), 0);
+}
+
+TEST(VolumeFailureTest, ClientRestartLosesLeasesButStaysSafe) {
+  ProtoHarness h(cfg());
+  h.read(0, 0);
+  h.clientNode(0).dropCache();
+  h.write(0);  // server still thinks client 0 holds a lease; it acks
+  auto r = h.read(0, 0);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.version, 2);
+  EXPECT_TRUE(r.fetchedData);
+  EXPECT_EQ(h.metrics().staleReads(), 0);
+}
+
+TEST(VolumeFailureTest, PartitionDuringVolumeRenewalRetriesLater) {
+  ProtoHarness h(cfg());
+  h.network().setLatency(msec(20));
+  h.read(0, 0);
+  h.advanceTo(h.scheduler().now() + sec(60));  // volume expired
+  h.network().failures().isolate(h.client(0));
+  auto failed = h.read(0, 0);  // renewal request dropped -> read times out
+  EXPECT_FALSE(failed.ok);
+  h.network().failures().deisolate(h.client(0));
+  auto r = h.read(0, 0);  // the dedup flag must not suppress the retry
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(h.metrics().staleReads(), 0);
+}
+
+TEST(VolumeFailureTest, OptionMatrixChaosSweep) {
+  // Every protocol-option combination under lossy chaos: the options
+  // (piggybacked renewals, invalidate-by-waiting, finite caches, small
+  // d) must compose without breaking the safety property.
+  struct Option {
+    const char* name;
+    std::function<void(ProtocolConfig&)> apply;
+  };
+  const Option options[] = {
+      {"plain", [](ProtocolConfig&) {}},
+      {"piggyback", [](ProtocolConfig& c) { c.piggybackVolumeLease = true; }},
+      {"byExpiry", [](ProtocolConfig& c) { c.writeByLeaseExpiry = true; }},
+      {"tinyCache", [](ProtocolConfig& c) { c.clientCacheCapacity = 2; }},
+      {"smallD", [](ProtocolConfig& c) { c.inactiveDiscard = sec(40); }},
+      {"kitchenSink",
+       [](ProtocolConfig& c) {
+         c.piggybackVolumeLease = true;
+         c.clientCacheCapacity = 3;
+         c.inactiveDiscard = sec(60);
+       }},
+  };
+  for (Algorithm algorithm :
+       {Algorithm::kVolumeLease, Algorithm::kVolumeDelayedInval}) {
+    for (const Option& option : options) {
+      for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+        ProtocolConfig config = cfg(algorithm, sec(400), sec(15));
+        option.apply(config);
+        ProtoHarness h(config, 1, 3, /*objectsPerVolume=*/4);
+        h.network().setLatency(msec(15));
+        h.network().failures().setLossProbability(0.25);
+        Rng rng(seed * 1000 + 17);
+        SimTime t = 0;
+        for (int op = 0; op < 150; ++op) {
+          t += static_cast<SimDuration>(
+              rng.nextExponential(static_cast<double>(sec(4))));
+          h.sim->drainTo(t);
+          const auto obj = makeObjectId(rng.nextBelow(4));
+          if (rng.nextBool(0.3)) {
+            h.sim->issueWrite(obj);
+          } else {
+            h.sim->issueRead(
+                h.client(static_cast<std::uint32_t>(rng.nextBelow(3))), obj);
+          }
+        }
+        h.sim->finish();
+        EXPECT_EQ(h.metrics().staleReads(), 0)
+            << proto::algorithmName(algorithm) << "/" << option.name
+            << "/seed" << seed;
+      }
+    }
+  }
+}
+
+TEST(VolumeFailureTest, DelayedModeCrashDiscardsPendingSafely) {
+  ProtoHarness h(cfg(Algorithm::kVolumeDelayedInval));
+  h.read(0, 0);
+  h.advanceTo(sec(60));
+  h.write(0);  // pending for inactive client 0
+  ASSERT_EQ(vserver(h).pendingMessageCount(h.client(0), kVol), 1u);
+  vserver(h).crashAndReboot();
+  EXPECT_EQ(vserver(h).pendingMessageCount(h.client(0), kVol), 0u);
+  h.advanceTo(h.scheduler().now() + sec(60));
+  auto r = h.read(0, 0);  // epoch path repairs despite the lost pending list
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.version, 2);
+  EXPECT_EQ(h.metrics().staleReads(), 0);
+}
+
+}  // namespace
+}  // namespace vlease::core
