@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_adaptive_poll.dir/ablation_adaptive_poll.cpp.o"
+  "CMakeFiles/ablation_adaptive_poll.dir/ablation_adaptive_poll.cpp.o.d"
+  "ablation_adaptive_poll"
+  "ablation_adaptive_poll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_adaptive_poll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

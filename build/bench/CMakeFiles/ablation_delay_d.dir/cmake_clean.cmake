@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_delay_d.dir/ablation_delay_d.cpp.o"
+  "CMakeFiles/ablation_delay_d.dir/ablation_delay_d.cpp.o.d"
+  "ablation_delay_d"
+  "ablation_delay_d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_delay_d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

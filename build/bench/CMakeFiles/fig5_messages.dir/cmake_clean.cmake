@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_messages.dir/fig5_messages.cpp.o"
+  "CMakeFiles/fig5_messages.dir/fig5_messages.cpp.o.d"
+  "fig5_messages"
+  "fig5_messages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

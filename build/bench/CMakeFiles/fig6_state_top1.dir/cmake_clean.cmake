@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_state_top1.dir/fig6_state_top1.cpp.o"
+  "CMakeFiles/fig6_state_top1.dir/fig6_state_top1.cpp.o.d"
+  "fig6_state_top1"
+  "fig6_state_top1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_state_top1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_state_top10.dir/fig7_state_top10.cpp.o"
+  "CMakeFiles/fig7_state_top10.dir/fig7_state_top10.cpp.o.d"
+  "fig7_state_top10"
+  "fig7_state_top10.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_state_top10.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

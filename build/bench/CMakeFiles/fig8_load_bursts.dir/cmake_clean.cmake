@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_load_bursts.dir/fig8_load_bursts.cpp.o"
+  "CMakeFiles/fig8_load_bursts.dir/fig8_load_bursts.cpp.o.d"
+  "fig8_load_bursts"
+  "fig8_load_bursts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_load_bursts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

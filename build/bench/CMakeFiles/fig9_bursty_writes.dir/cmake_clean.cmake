@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_bursty_writes.dir/fig9_bursty_writes.cpp.o"
+  "CMakeFiles/fig9_bursty_writes.dir/fig9_bursty_writes.cpp.o.d"
+  "fig9_bursty_writes"
+  "fig9_bursty_writes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_bursty_writes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

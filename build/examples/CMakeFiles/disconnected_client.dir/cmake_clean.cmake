@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disconnected_client.dir/disconnected_client.cpp.o"
+  "CMakeFiles/disconnected_client.dir/disconnected_client.cpp.o.d"
+  "disconnected_client"
+  "disconnected_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disconnected_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_pair.dir/tcp_pair.cpp.o"
+  "CMakeFiles/tcp_pair.dir/tcp_pair.cpp.o.d"
+  "tcp_pair"
+  "tcp_pair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_pair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

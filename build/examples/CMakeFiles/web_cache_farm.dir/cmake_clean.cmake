@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_cache_farm.dir/web_cache_farm.cpp.o"
+  "CMakeFiles/web_cache_farm.dir/web_cache_farm.cpp.o.d"
+  "web_cache_farm"
+  "web_cache_farm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_cache_farm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

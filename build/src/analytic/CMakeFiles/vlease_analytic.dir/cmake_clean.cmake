@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlease_analytic.dir/cost_model.cpp.o"
+  "CMakeFiles/vlease_analytic.dir/cost_model.cpp.o.d"
+  "libvlease_analytic.a"
+  "libvlease_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlease_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

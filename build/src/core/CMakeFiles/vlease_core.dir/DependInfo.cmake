@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/factory.cpp" "src/core/CMakeFiles/vlease_core.dir/factory.cpp.o" "gcc" "src/core/CMakeFiles/vlease_core.dir/factory.cpp.o.d"
+  "/root/repo/src/core/volume_client.cpp" "src/core/CMakeFiles/vlease_core.dir/volume_client.cpp.o" "gcc" "src/core/CMakeFiles/vlease_core.dir/volume_client.cpp.o.d"
+  "/root/repo/src/core/volume_server.cpp" "src/core/CMakeFiles/vlease_core.dir/volume_server.cpp.o" "gcc" "src/core/CMakeFiles/vlease_core.dir/volume_server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/proto/CMakeFiles/vlease_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vlease_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vlease_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vlease_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/vlease_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vlease_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlease_core.dir/factory.cpp.o"
+  "CMakeFiles/vlease_core.dir/factory.cpp.o.d"
+  "CMakeFiles/vlease_core.dir/volume_client.cpp.o"
+  "CMakeFiles/vlease_core.dir/volume_client.cpp.o.d"
+  "CMakeFiles/vlease_core.dir/volume_server.cpp.o"
+  "CMakeFiles/vlease_core.dir/volume_server.cpp.o.d"
+  "libvlease_core.a"
+  "libvlease_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlease_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

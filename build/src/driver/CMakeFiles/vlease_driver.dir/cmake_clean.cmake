@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlease_driver.dir/report.cpp.o"
+  "CMakeFiles/vlease_driver.dir/report.cpp.o.d"
+  "CMakeFiles/vlease_driver.dir/simulation.cpp.o"
+  "CMakeFiles/vlease_driver.dir/simulation.cpp.o.d"
+  "CMakeFiles/vlease_driver.dir/workloads.cpp.o"
+  "CMakeFiles/vlease_driver.dir/workloads.cpp.o.d"
+  "libvlease_driver.a"
+  "libvlease_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlease_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

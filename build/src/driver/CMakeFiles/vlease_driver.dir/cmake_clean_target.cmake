@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvlease_driver.a"
+)

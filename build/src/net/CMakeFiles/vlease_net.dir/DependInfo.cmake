@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/message.cpp" "src/net/CMakeFiles/vlease_net.dir/message.cpp.o" "gcc" "src/net/CMakeFiles/vlease_net.dir/message.cpp.o.d"
+  "/root/repo/src/net/sim_network.cpp" "src/net/CMakeFiles/vlease_net.dir/sim_network.cpp.o" "gcc" "src/net/CMakeFiles/vlease_net.dir/sim_network.cpp.o.d"
+  "/root/repo/src/net/wire.cpp" "src/net/CMakeFiles/vlease_net.dir/wire.cpp.o" "gcc" "src/net/CMakeFiles/vlease_net.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vlease_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vlease_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vlease_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

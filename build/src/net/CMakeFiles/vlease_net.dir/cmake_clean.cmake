@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlease_net.dir/message.cpp.o"
+  "CMakeFiles/vlease_net.dir/message.cpp.o.d"
+  "CMakeFiles/vlease_net.dir/sim_network.cpp.o"
+  "CMakeFiles/vlease_net.dir/sim_network.cpp.o.d"
+  "CMakeFiles/vlease_net.dir/wire.cpp.o"
+  "CMakeFiles/vlease_net.dir/wire.cpp.o.d"
+  "libvlease_net.a"
+  "libvlease_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlease_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/client_cache.cpp" "src/proto/CMakeFiles/vlease_proto.dir/client_cache.cpp.o" "gcc" "src/proto/CMakeFiles/vlease_proto.dir/client_cache.cpp.o.d"
+  "/root/repo/src/proto/lease.cpp" "src/proto/CMakeFiles/vlease_proto.dir/lease.cpp.o" "gcc" "src/proto/CMakeFiles/vlease_proto.dir/lease.cpp.o.d"
+  "/root/repo/src/proto/poll.cpp" "src/proto/CMakeFiles/vlease_proto.dir/poll.cpp.o" "gcc" "src/proto/CMakeFiles/vlease_proto.dir/poll.cpp.o.d"
+  "/root/repo/src/proto/protocol.cpp" "src/proto/CMakeFiles/vlease_proto.dir/protocol.cpp.o" "gcc" "src/proto/CMakeFiles/vlease_proto.dir/protocol.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vlease_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vlease_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vlease_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vlease_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/vlease_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

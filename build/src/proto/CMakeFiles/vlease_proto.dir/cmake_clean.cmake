@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlease_proto.dir/client_cache.cpp.o"
+  "CMakeFiles/vlease_proto.dir/client_cache.cpp.o.d"
+  "CMakeFiles/vlease_proto.dir/lease.cpp.o"
+  "CMakeFiles/vlease_proto.dir/lease.cpp.o.d"
+  "CMakeFiles/vlease_proto.dir/poll.cpp.o"
+  "CMakeFiles/vlease_proto.dir/poll.cpp.o.d"
+  "CMakeFiles/vlease_proto.dir/protocol.cpp.o"
+  "CMakeFiles/vlease_proto.dir/protocol.cpp.o.d"
+  "libvlease_proto.a"
+  "libvlease_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlease_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rt/real_time.cpp" "src/rt/CMakeFiles/vlease_rt.dir/real_time.cpp.o" "gcc" "src/rt/CMakeFiles/vlease_rt.dir/real_time.cpp.o.d"
+  "/root/repo/src/rt/tcp_transport.cpp" "src/rt/CMakeFiles/vlease_rt.dir/tcp_transport.cpp.o" "gcc" "src/rt/CMakeFiles/vlease_rt.dir/tcp_transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/vlease_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vlease_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vlease_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vlease_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlease_rt.dir/real_time.cpp.o"
+  "CMakeFiles/vlease_rt.dir/real_time.cpp.o.d"
+  "CMakeFiles/vlease_rt.dir/tcp_transport.cpp.o"
+  "CMakeFiles/vlease_rt.dir/tcp_transport.cpp.o.d"
+  "libvlease_rt.a"
+  "libvlease_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlease_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

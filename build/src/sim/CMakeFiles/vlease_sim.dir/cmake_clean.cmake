@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlease_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/vlease_sim.dir/scheduler.cpp.o.d"
+  "libvlease_sim.a"
+  "libvlease_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlease_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

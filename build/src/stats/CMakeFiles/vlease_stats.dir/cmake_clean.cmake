@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlease_stats.dir/metrics.cpp.o"
+  "CMakeFiles/vlease_stats.dir/metrics.cpp.o.d"
+  "libvlease_stats.a"
+  "libvlease_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlease_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

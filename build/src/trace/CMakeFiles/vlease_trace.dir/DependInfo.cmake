@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/events.cpp" "src/trace/CMakeFiles/vlease_trace.dir/events.cpp.o" "gcc" "src/trace/CMakeFiles/vlease_trace.dir/events.cpp.o.d"
+  "/root/repo/src/trace/generator.cpp" "src/trace/CMakeFiles/vlease_trace.dir/generator.cpp.o" "gcc" "src/trace/CMakeFiles/vlease_trace.dir/generator.cpp.o.d"
+  "/root/repo/src/trace/regroup.cpp" "src/trace/CMakeFiles/vlease_trace.dir/regroup.cpp.o" "gcc" "src/trace/CMakeFiles/vlease_trace.dir/regroup.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/trace/CMakeFiles/vlease_trace.dir/trace_io.cpp.o" "gcc" "src/trace/CMakeFiles/vlease_trace.dir/trace_io.cpp.o.d"
+  "/root/repo/src/trace/write_synth.cpp" "src/trace/CMakeFiles/vlease_trace.dir/write_synth.cpp.o" "gcc" "src/trace/CMakeFiles/vlease_trace.dir/write_synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vlease_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

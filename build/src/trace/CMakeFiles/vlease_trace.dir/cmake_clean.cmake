@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlease_trace.dir/events.cpp.o"
+  "CMakeFiles/vlease_trace.dir/events.cpp.o.d"
+  "CMakeFiles/vlease_trace.dir/generator.cpp.o"
+  "CMakeFiles/vlease_trace.dir/generator.cpp.o.d"
+  "CMakeFiles/vlease_trace.dir/regroup.cpp.o"
+  "CMakeFiles/vlease_trace.dir/regroup.cpp.o.d"
+  "CMakeFiles/vlease_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/vlease_trace.dir/trace_io.cpp.o.d"
+  "CMakeFiles/vlease_trace.dir/write_synth.cpp.o"
+  "CMakeFiles/vlease_trace.dir/write_synth.cpp.o.d"
+  "libvlease_trace.a"
+  "libvlease_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlease_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlease_util.dir/flags.cpp.o"
+  "CMakeFiles/vlease_util.dir/flags.cpp.o.d"
+  "CMakeFiles/vlease_util.dir/histogram.cpp.o"
+  "CMakeFiles/vlease_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/vlease_util.dir/log.cpp.o"
+  "CMakeFiles/vlease_util.dir/log.cpp.o.d"
+  "CMakeFiles/vlease_util.dir/rng.cpp.o"
+  "CMakeFiles/vlease_util.dir/rng.cpp.o.d"
+  "CMakeFiles/vlease_util.dir/time.cpp.o"
+  "CMakeFiles/vlease_util.dir/time.cpp.o.d"
+  "libvlease_util.a"
+  "libvlease_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlease_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

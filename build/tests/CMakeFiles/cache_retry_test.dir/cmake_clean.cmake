@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_retry_test.dir/cache_retry_test.cpp.o"
+  "CMakeFiles/cache_retry_test.dir/cache_retry_test.cpp.o.d"
+  "cache_retry_test"
+  "cache_retry_test.pdb"
+  "cache_retry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_retry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cost_model_test.cpp" "tests/CMakeFiles/cost_model_test.dir/cost_model_test.cpp.o" "gcc" "tests/CMakeFiles/cost_model_test.dir/cost_model_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/vlease_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/vlease_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vlease_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/vlease_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/vlease_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/vlease_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vlease_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vlease_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vlease_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vlease_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/golden_exchanges_test.dir/golden_exchanges_test.cpp.o"
+  "CMakeFiles/golden_exchanges_test.dir/golden_exchanges_test.cpp.o.d"
+  "golden_exchanges_test"
+  "golden_exchanges_test.pdb"
+  "golden_exchanges_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/golden_exchanges_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_grid_test.dir/model_grid_test.cpp.o"
+  "CMakeFiles/model_grid_test.dir/model_grid_test.cpp.o.d"
+  "model_grid_test"
+  "model_grid_test.pdb"
+  "model_grid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

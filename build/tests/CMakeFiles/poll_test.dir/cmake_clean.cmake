@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poll_test.dir/poll_test.cpp.o"
+  "CMakeFiles/poll_test.dir/poll_test.cpp.o.d"
+  "poll_test"
+  "poll_test.pdb"
+  "poll_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poll_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

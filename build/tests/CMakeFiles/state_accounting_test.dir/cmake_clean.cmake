@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/state_accounting_test.dir/state_accounting_test.cpp.o"
+  "CMakeFiles/state_accounting_test.dir/state_accounting_test.cpp.o.d"
+  "state_accounting_test"
+  "state_accounting_test.pdb"
+  "state_accounting_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/state_accounting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

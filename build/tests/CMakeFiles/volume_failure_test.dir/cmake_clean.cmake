@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volume_failure_test.dir/volume_failure_test.cpp.o"
+  "CMakeFiles/volume_failure_test.dir/volume_failure_test.cpp.o.d"
+  "volume_failure_test"
+  "volume_failure_test.pdb"
+  "volume_failure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volume_failure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

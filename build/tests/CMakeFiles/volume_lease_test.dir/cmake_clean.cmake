@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volume_lease_test.dir/volume_lease_test.cpp.o"
+  "CMakeFiles/volume_lease_test.dir/volume_lease_test.cpp.o.d"
+  "volume_lease_test"
+  "volume_lease_test.pdb"
+  "volume_lease_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volume_lease_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

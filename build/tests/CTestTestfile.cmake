@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/rng_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/poll_test[1]_include.cmake")
+include("/root/repo/build/tests/lease_test[1]_include.cmake")
+include("/root/repo/build/tests/volume_lease_test[1]_include.cmake")
+include("/root/repo/build/tests/consistency_property_test[1]_include.cmake")
+include("/root/repo/build/tests/validation_test[1]_include.cmake")
+include("/root/repo/build/tests/client_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/cost_model_test[1]_include.cmake")
+include("/root/repo/build/tests/driver_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/volume_failure_test[1]_include.cmake")
+include("/root/repo/build/tests/wire_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_transport_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_retry_test[1]_include.cmake")
+include("/root/repo/build/tests/golden_exchanges_test[1]_include.cmake")
+include("/root/repo/build/tests/model_grid_test[1]_include.cmake")
+include("/root/repo/build/tests/tools_test[1]_include.cmake")
+include("/root/repo/build/tests/state_accounting_test[1]_include.cmake")
+include("/root/repo/build/tests/scheduler_stress_test[1]_include.cmake")

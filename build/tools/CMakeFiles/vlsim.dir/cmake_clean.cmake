@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlsim.dir/vlease_sim.cpp.o"
+  "CMakeFiles/vlsim.dir/vlease_sim.cpp.o.d"
+  "vlsim"
+  "vlsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

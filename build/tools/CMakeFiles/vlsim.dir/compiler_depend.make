@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vlsim.
+# This may be replaced when dependencies are built.

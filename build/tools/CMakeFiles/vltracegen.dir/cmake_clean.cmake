@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vltracegen.dir/vlease_tracegen.cpp.o"
+  "CMakeFiles/vltracegen.dir/vlease_tracegen.cpp.o.d"
+  "vltracegen"
+  "vltracegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vltracegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
