@@ -8,65 +8,78 @@
 // weak consistency ("much of the apparent advantage of weak consistency
 // ... comes from clients reading stale data").
 //
-//   $ build/bench/ablation_adaptive_poll [--scale 0.1]
+//   $ build/bench/ablation_adaptive_poll [--scale 0.1] [--threads N]
 #include <cstdio>
-#include <iostream>
 #include <string>
+#include <vector>
 
-#include "driver/report.h"
-#include "driver/simulation.h"
-#include "driver/workloads.h"
+#include "driver/sweep.h"
 #include "util/flags.h"
 
 using namespace vlease;
 
 int main(int argc, char** argv) {
   Flags flags;
-  flags.addDouble("scale", 0.1, "workload scale");
-  flags.addInt("seed", 1998, "workload seed");
+  driver::addSweepFlags(flags);
   if (!flags.parse(argc, argv)) return 1;
 
-  driver::WorkloadOptions opts;
-  opts.scale = flags.getDouble("scale");
-  opts.seed = static_cast<std::uint64_t>(flags.getInt("seed"));
-  driver::Workload workload = driver::buildWorkload(opts);
+  driver::SweepSpec spec;
+  spec.name = "adaptive_poll";
+  spec.workload = driver::workloadFromFlags(flags);
   std::printf("# ablation: static vs adaptive polling vs invalidation | "
-              "scale=%g\n", opts.scale);
+              "scale=%g\n", spec.workload.scale);
 
-  driver::Table table(
-      {"algorithm", "messages", "stale reads", "stale %", "consistency"});
-  auto runRow = [&](const std::string& name, proto::ProtocolConfig config,
-                    const char* consistency) {
-    driver::Simulation sim(workload.catalog, config);
-    stats::Metrics& m = sim.run(workload.events);
-    table.addRow({name, driver::Table::num(m.totalMessages()),
-                  driver::Table::num(m.staleReads()),
-                  driver::Table::num(100.0 * m.staleFraction(), 3),
-                  consistency});
+  std::vector<std::string> consistency;  // parallel to spec.points
+  auto addPoint = [&](const std::string& name, proto::ProtocolConfig config,
+                      const char* kind) {
+    spec.points.push_back({name, config, {}, "", "", nullptr});
+    consistency.push_back(kind);
   };
-
   for (std::int64_t t : {std::int64_t{10'000}, std::int64_t{100'000},
                          std::int64_t{1'000'000}, std::int64_t{10'000'000}}) {
     proto::ProtocolConfig config;
     config.algorithm = proto::Algorithm::kPoll;
     config.objectTimeout = sec(t);
-    runRow("Poll(" + std::to_string(t) + ")", config, "weak");
+    addPoint("Poll(" + std::to_string(t) + ")", config, "weak");
   }
   for (double factor : {0.05, 0.2, 0.5, 1.0}) {
     proto::ProtocolConfig config;
     config.algorithm = proto::Algorithm::kPollAdaptive;
     config.adaptiveFactor = factor;
-    std::string name = "Adaptive(" + driver::Table::num(factor, 2) + ")";
-    runRow(name, config, "weak");
+    addPoint("Adaptive(" + driver::Table::num(factor, 2) + ")", config,
+             "weak");
   }
   {
     proto::ProtocolConfig config;
     config.algorithm = proto::Algorithm::kVolumeDelayedInval;
     config.objectTimeout = sec(10'000'000);
     config.volumeTimeout = sec(100);
-    runRow("Delay(100,1e7,inf)", config, "STRONG");
+    addPoint("Delay(100,1e7,inf)", config, "STRONG");
   }
-  table.print(std::cout);
+
+  using Results = std::vector<driver::SweepResult>;
+  spec.columns = {
+      {"messages",
+       [](const driver::SweepResult& r, const Results&) {
+         return driver::Table::num(r.metrics.totalMessages());
+       }},
+      {"stale reads",
+       [](const driver::SweepResult& r, const Results&) {
+         return driver::Table::num(r.metrics.staleReads());
+       }},
+      {"stale %",
+       [](const driver::SweepResult& r, const Results&) {
+         return driver::Table::num(100.0 * r.metrics.staleFraction(), 3);
+       }},
+      {"consistency",
+       [consistency](const driver::SweepResult& r, const Results&) {
+         return consistency[r.index];
+       }},
+  };
+
+  const auto results =
+      driver::runSweep(spec, driver::parallelFromFlags(flags));
+  driver::emitTable(driver::toTable(spec, results), flags);
   std::printf(
       "\n# Adaptive TTL dominates same-message static Poll on staleness "
       "(the Gwertzman-Seltzer\n# result); Delay removes staleness "

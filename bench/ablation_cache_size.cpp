@@ -8,57 +8,63 @@
 // how much of the paper's headline separation survives realistic cache
 // sizes.
 //
-//   $ build/bench/ablation_cache_size [--scale 0.1]
+//   $ build/bench/ablation_cache_size [--scale 0.1] [--threads N]
 #include <cstdio>
-#include <iostream>
 #include <string>
+#include <vector>
 
-#include "driver/report.h"
-#include "driver/simulation.h"
-#include "driver/workloads.h"
+#include "driver/sweep.h"
 #include "util/flags.h"
 
 using namespace vlease;
 
 int main(int argc, char** argv) {
   Flags flags;
-  flags.addDouble("scale", 0.1, "workload scale");
-  flags.addInt("seed", 1998, "workload seed");
+  driver::addSweepFlags(flags);
   if (!flags.parse(argc, argv)) return 1;
 
-  driver::WorkloadOptions opts;
-  opts.scale = flags.getDouble("scale");
-  opts.seed = static_cast<std::uint64_t>(flags.getInt("seed"));
-  driver::Workload workload = driver::buildWorkload(opts);
+  driver::SweepSpec spec;
+  spec.name = "cache_size";
+  spec.workload = driver::workloadFromFlags(flags);
   std::printf("# ablation: client cache capacity (objects, 0=infinite) | "
-              "scale=%g\n", opts.scale);
+              "scale=%g\n", spec.workload.scale);
 
-  driver::Table table({"capacity", "Lease(100) msgs", "Delay msgs",
-                       "Delay/Lease", "Delay net-reads%", "Delay MB"});
-  for (std::size_t capacity :
-       {std::size_t{8}, std::size_t{32}, std::size_t{128}, std::size_t{512},
-        std::size_t{0}}) {
+  const std::vector<std::size_t> capacities = {8, 32, 128, 512, 0};
+  for (std::size_t capacity : capacities) {
+    const std::string cap =
+        capacity == 0 ? "inf" : std::to_string(capacity);
     proto::ProtocolConfig lease;
     lease.algorithm = proto::Algorithm::kLease;
     lease.objectTimeout = sec(100);
     lease.clientCacheCapacity = capacity;
-    driver::Simulation simL(workload.catalog, lease);
-    stats::Metrics& ml = simL.run(workload.events);
+    spec.points.push_back({"Lease/" + cap, lease, {}, "", "", nullptr});
 
     proto::ProtocolConfig delay;
     delay.algorithm = proto::Algorithm::kVolumeDelayedInval;
     delay.objectTimeout = sec(100'000);
     delay.volumeTimeout = sec(100);
     delay.clientCacheCapacity = capacity;
-    driver::Simulation simD(workload.catalog, delay);
-    stats::Metrics& md = simD.run(workload.events);
+    spec.points.push_back({"Delay/" + cap, delay, {}, "", "", nullptr});
+  }
 
+  const auto results =
+      driver::runSweep(spec, driver::parallelFromFlags(flags));
+
+  driver::Table table({"capacity", "Lease(100) msgs", "Delay msgs",
+                       "Delay/Lease", "Delay net-reads%", "Delay MB"});
+  for (std::size_t i = 0; i < capacities.size(); ++i) {
+    const std::size_t capacity = capacities[i];
+    const std::string cap =
+        capacity == 0 ? "inf" : std::to_string(capacity);
+    const stats::Metrics& ml =
+        driver::resultFor(results, "Lease/" + cap).metrics;
+    const stats::Metrics& md =
+        driver::resultFor(results, "Delay/" + cap).metrics;
     const double netReads =
         100.0 * (1.0 - static_cast<double>(md.cacheLocalReads()) /
                            static_cast<double>(md.reads()));
     table.addRow(
-        {capacity == 0 ? "inf" : std::to_string(capacity),
-         driver::Table::num(ml.totalMessages()),
+        {cap, driver::Table::num(ml.totalMessages()),
          driver::Table::num(md.totalMessages()),
          driver::Table::num(static_cast<double>(md.totalMessages()) /
                                 static_cast<double>(ml.totalMessages()),
@@ -66,7 +72,7 @@ int main(int argc, char** argv) {
          driver::Table::num(netReads, 1),
          driver::Table::num(static_cast<double>(md.totalBytes()) / 1e6, 1)});
   }
-  table.print(std::cout);
+  driver::emitTable(table, flags);
   std::printf(
       "\n# Capacity misses add identical re-fetch work to every algorithm, "
       "compressing the\n# Delay-vs-Lease message gap exactly as the paper "

@@ -9,13 +9,12 @@
 // at the busiest server as d sweeps.
 //
 //   $ build/bench/ablation_delay_d [--scale 0.1] [--seed 1998]
+//     [--threads N]
 #include <cstdio>
-#include <iostream>
+#include <string>
 #include <vector>
 
-#include "driver/report.h"
-#include "driver/simulation.h"
-#include "driver/workloads.h"
+#include "driver/sweep.h"
 #include "net/message.h"
 #include "util/flags.h"
 
@@ -23,24 +22,22 @@ using namespace vlease;
 
 int main(int argc, char** argv) {
   Flags flags;
-  flags.addDouble("scale", 0.1, "workload scale");
-  flags.addInt("seed", 1998, "workload seed");
+  driver::addSweepFlags(flags);
   flags.addInt("t", 1'000'000, "object lease seconds");
   flags.addInt("tv", 100, "volume lease seconds");
   if (!flags.parse(argc, argv)) return 1;
 
-  driver::WorkloadOptions opts;
-  opts.scale = flags.getDouble("scale");
-  opts.seed = static_cast<std::uint64_t>(flags.getInt("seed"));
-  driver::Workload workload = driver::buildWorkload(opts);
+  driver::SweepSpec spec;
+  spec.name = "delay_d";
+  spec.workload = driver::workloadFromFlags(flags);
+  driver::Workload workload = driver::buildWorkload(spec.workload);
   const NodeId busiest =
       workload.catalog.serverNode(driver::nthBusiestServer(workload, 0));
   std::printf("# ablation: Delay(%lld, %lld, d) as d sweeps | scale=%g\n",
               static_cast<long long>(flags.getInt("tv")),
-              static_cast<long long>(flags.getInt("t")), opts.scale);
+              static_cast<long long>(flags.getInt("t")),
+              spec.workload.scale);
 
-  driver::Table table({"d(s)", "messages", "reconnects(MUST_RENEW_ALL)",
-                       "batches", "state@top1(bytes)"});
   const std::vector<SimDuration> ds = {
       sec(100), sec(1'000), sec(10'000), sec(100'000), sec(1'000'000), kNever};
   for (SimDuration d : ds) {
@@ -49,25 +46,43 @@ int main(int argc, char** argv) {
     config.objectTimeout = sec(flags.getInt("t"));
     config.volumeTimeout = sec(flags.getInt("tv"));
     config.inactiveDiscard = d;
-
-    driver::Simulation sim(workload.catalog, config);
-    stats::Metrics& m = sim.run(workload.events);
-
-    // MUST_RENEW_ALL counts reconnections; BATCH_INVAL_RENEW counts both
-    // reconnection repairs and pending-list flushes.
-    std::size_t mraIdx = 0, batchIdx = 0;
-    for (std::size_t i = 0; i < net::kNumPayloadTypes; ++i) {
-      if (std::string(net::payloadTypeName(i)) == "MUST_RENEW_ALL") mraIdx = i;
-      if (std::string(net::payloadTypeName(i)) == "BATCH_INVAL_RENEW")
-        batchIdx = i;
-    }
-    table.addRow({d == kNever ? "inf" : driver::Table::num(toSeconds(d), 0),
-                  driver::Table::num(m.totalMessages()),
-                  driver::Table::num(m.messagesOfType(mraIdx)),
-                  driver::Table::num(m.messagesOfType(batchIdx)),
-                  driver::Table::num(m.avgStateBytes(busiest), 1)});
+    spec.points.push_back(
+        {d == kNever ? "inf" : driver::Table::num(toSeconds(d), 0), config,
+         {}, "", "", nullptr});
   }
-  table.print(std::cout);
+
+  // MUST_RENEW_ALL counts reconnections; BATCH_INVAL_RENEW counts both
+  // reconnection repairs and pending-list flushes.
+  std::size_t mraIdx = 0, batchIdx = 0;
+  for (std::size_t i = 0; i < net::kNumPayloadTypes; ++i) {
+    if (std::string(net::payloadTypeName(i)) == "MUST_RENEW_ALL") mraIdx = i;
+    if (std::string(net::payloadTypeName(i)) == "BATCH_INVAL_RENEW")
+      batchIdx = i;
+  }
+  using Results = std::vector<driver::SweepResult>;
+  spec.labelHeader = "d(s)";
+  spec.columns = {
+      {"messages",
+       [](const driver::SweepResult& r, const Results&) {
+         return driver::Table::num(r.metrics.totalMessages());
+       }},
+      {"reconnects(MUST_RENEW_ALL)",
+       [mraIdx](const driver::SweepResult& r, const Results&) {
+         return driver::Table::num(r.metrics.messagesOfType(mraIdx));
+       }},
+      {"batches",
+       [batchIdx](const driver::SweepResult& r, const Results&) {
+         return driver::Table::num(r.metrics.messagesOfType(batchIdx));
+       }},
+      {"state@top1(bytes)",
+       [busiest](const driver::SweepResult& r, const Results&) {
+         return driver::Table::num(r.metrics.avgStateBytes(busiest), 1);
+       }},
+  };
+
+  const auto results =
+      driver::runSweep(spec, workload, driver::parallelFromFlags(flags));
+  driver::emitTable(driver::toTable(spec, results), flags);
   std::printf(
       "\n# Small d trades pending-list state for reconnection traffic; "
       "large d the reverse.\n");

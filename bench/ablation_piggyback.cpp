@@ -6,33 +6,29 @@
 // just the extra message pair.
 //
 //   $ build/bench/ablation_piggyback [--scale 0.1] [--seed 1998]
+//     [--threads N]
 #include <cstdio>
-#include <iostream>
+#include <string>
 #include <vector>
 
-#include "driver/report.h"
-#include "driver/simulation.h"
-#include "driver/workloads.h"
+#include "driver/sweep.h"
 #include "util/flags.h"
 
 using namespace vlease;
 
 int main(int argc, char** argv) {
   Flags flags;
-  flags.addDouble("scale", 0.1, "workload scale");
-  flags.addInt("seed", 1998, "workload seed");
+  driver::addSweepFlags(flags);
   if (!flags.parse(argc, argv)) return 1;
 
-  driver::WorkloadOptions opts;
-  opts.scale = flags.getDouble("scale");
-  opts.seed = static_cast<std::uint64_t>(flags.getInt("seed"));
-  driver::Workload workload = driver::buildWorkload(opts);
+  driver::SweepSpec spec;
+  spec.name = "piggyback";
+  spec.workload = driver::workloadFromFlags(flags);
   std::printf("# ablation: separate vs piggybacked volume renewal | scale=%g\n",
-              opts.scale);
+              spec.workload.scale);
 
-  driver::Table table({"algorithm", "t_v(s)", "t(s)", "messages(separate)",
-                       "messages(piggyback)", "saved", "bytes(separate)",
-                       "bytes(piggyback)"});
+  // Points come in (separate, piggyback) pairs per configuration; the
+  // table pairs them back up by index.
   for (proto::Algorithm algorithm :
        {proto::Algorithm::kVolumeLease,
         proto::Algorithm::kVolumeDelayedInval}) {
@@ -42,29 +38,41 @@ int main(int argc, char** argv) {
         config.algorithm = algorithm;
         config.objectTimeout = sec(t);
         config.volumeTimeout = sec(tv);
-
+        const std::string base = std::string(proto::algorithmName(algorithm)) +
+                                 "/" + std::to_string(tv) + "/" +
+                                 std::to_string(t);
         config.piggybackVolumeLease = false;
-        driver::Simulation separate(workload.catalog, config);
-        stats::Metrics& ms = separate.run(workload.events);
-
+        spec.points.push_back({base + "/separate", config, {}, "", "",
+                               nullptr});
         config.piggybackVolumeLease = true;
-        driver::Simulation piggy(workload.catalog, config);
-        stats::Metrics& mp = piggy.run(workload.events);
-
-        const double saved =
-            1.0 - static_cast<double>(mp.totalMessages()) /
-                      static_cast<double>(ms.totalMessages());
-        table.addRow({proto::algorithmName(algorithm),
-                      driver::Table::num(tv), driver::Table::num(t),
-                      driver::Table::num(ms.totalMessages()),
-                      driver::Table::num(mp.totalMessages()),
-                      driver::Table::num(100.0 * saved, 1) + "%",
-                      driver::Table::num(ms.totalBytes()),
-                      driver::Table::num(mp.totalBytes())});
+        spec.points.push_back({base + "/piggyback", config, {}, "", "",
+                               nullptr});
       }
     }
   }
-  table.print(std::cout);
+
+  const auto results =
+      driver::runSweep(spec, driver::parallelFromFlags(flags));
+
+  driver::Table table({"algorithm", "t_v(s)", "t(s)", "messages(separate)",
+                       "messages(piggyback)", "saved", "bytes(separate)",
+                       "bytes(piggyback)"});
+  for (std::size_t i = 0; i + 1 < results.size(); i += 2) {
+    const stats::Metrics& ms = results[i].metrics;
+    const stats::Metrics& mp = results[i + 1].metrics;
+    const proto::ProtocolConfig& config = spec.points[i].config;
+    const double saved = 1.0 - static_cast<double>(mp.totalMessages()) /
+                                   static_cast<double>(ms.totalMessages());
+    table.addRow({proto::algorithmName(config.algorithm),
+                  driver::Table::num(toSeconds(config.volumeTimeout)),
+                  driver::Table::num(toSeconds(config.objectTimeout)),
+                  driver::Table::num(ms.totalMessages()),
+                  driver::Table::num(mp.totalMessages()),
+                  driver::Table::num(100.0 * saved, 1) + "%",
+                  driver::Table::num(ms.totalBytes()),
+                  driver::Table::num(mp.totalBytes())});
+  }
+  driver::emitTable(table, flags);
   std::printf(
       "\n# Piggybacking folds most volume renewals into object-lease "
       "round trips; the residual\n"

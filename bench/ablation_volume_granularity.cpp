@@ -7,14 +7,16 @@
 // over fewer co-accessed objects, so renewal traffic rises -- unless
 // grouping follows access locality.
 //
-//   $ build/bench/ablation_volume_granularity [--scale 0.1]
+// Each point replays the same events against a REGROUPED catalog, via
+// SweepPoint's per-point catalog override.
+//
+//   $ build/bench/ablation_volume_granularity [--scale 0.1] [--threads N]
 #include <cstdio>
-#include <iostream>
+#include <memory>
 #include <string>
+#include <vector>
 
-#include "driver/report.h"
-#include "driver/simulation.h"
-#include "driver/workloads.h"
+#include "driver/sweep.h"
 #include "trace/regroup.h"
 #include "util/flags.h"
 
@@ -22,55 +24,76 @@ using namespace vlease;
 
 int main(int argc, char** argv) {
   Flags flags;
-  flags.addDouble("scale", 0.1, "workload scale");
-  flags.addInt("seed", 1998, "workload seed");
+  driver::addSweepFlags(flags);
   flags.addInt("t", 100'000, "object lease seconds");
   flags.addInt("tv", 100, "volume lease seconds");
   if (!flags.parse(argc, argv)) return 1;
 
-  driver::WorkloadOptions opts;
-  opts.scale = flags.getDouble("scale");
-  opts.seed = static_cast<std::uint64_t>(flags.getInt("seed"));
-  driver::Workload workload = driver::buildWorkload(opts);
+  driver::SweepSpec spec;
+  spec.name = "volume_granularity";
+  spec.workload = driver::workloadFromFlags(flags);
+  driver::Workload workload = driver::buildWorkload(spec.workload);
   std::printf(
       "# ablation: volumes per server x grouping strategy | scale=%g "
       "t=%lld tv=%lld\n",
-      opts.scale, static_cast<long long>(flags.getInt("t")),
+      spec.workload.scale, static_cast<long long>(flags.getInt("t")),
       static_cast<long long>(flags.getInt("tv")));
 
-  driver::Table table({"algorithm", "volumes/server", "grouping", "messages",
-                       "vs 1-volume"});
+  struct PointInfo {
+    std::uint32_t k;
+    trace::GroupingStrategy strategy;
+  };
+  std::vector<PointInfo> info;  // parallel to spec.points
   for (proto::Algorithm algorithm :
        {proto::Algorithm::kVolumeLease,
         proto::Algorithm::kVolumeDelayedInval}) {
-    double base = 0;
     for (std::uint32_t k : {1u, 2u, 4u, 8u, 16u}) {
       for (trace::GroupingStrategy strategy :
            {trace::GroupingStrategy::kContiguous,
             trace::GroupingStrategy::kRandom}) {
         if (k == 1 && strategy == trace::GroupingStrategy::kRandom)
           continue;  // identical to contiguous at k=1
-        trace::Catalog catalog =
-            trace::regroupVolumes(workload.catalog, k, strategy);
         proto::ProtocolConfig config;
         config.algorithm = algorithm;
         config.objectTimeout = sec(flags.getInt("t"));
         config.volumeTimeout = sec(flags.getInt("tv"));
-        driver::Simulation sim(catalog, config);
-        stats::Metrics& m = sim.run(workload.events);
-        if (k == 1) base = static_cast<double>(m.totalMessages());
-        table.addRow(
-            {proto::algorithmName(algorithm), driver::Table::num(
-                                                  static_cast<std::int64_t>(k)),
-             strategy == trace::GroupingStrategy::kRandom ? "random"
-                                                          : "contiguous",
-             driver::Table::num(m.totalMessages()),
-             driver::Table::num(
-                 static_cast<double>(m.totalMessages()) / base, 3)});
+        driver::SweepPoint point;
+        point.label = std::string(proto::algorithmName(algorithm)) + "/k=" +
+                      std::to_string(k) +
+                      (strategy == trace::GroupingStrategy::kRandom
+                           ? "/random"
+                           : "/contiguous");
+        point.config = config;
+        point.catalog = std::make_shared<trace::Catalog>(
+            trace::regroupVolumes(workload.catalog, k, strategy));
+        spec.points.push_back(std::move(point));
+        info.push_back({k, strategy});
       }
     }
   }
-  table.print(std::cout);
+
+  const auto results =
+      driver::runSweep(spec, workload, driver::parallelFromFlags(flags));
+
+  driver::Table table({"algorithm", "volumes/server", "grouping", "messages",
+                       "vs 1-volume"});
+  double base = 0;
+  for (const driver::SweepResult& r : results) {
+    const proto::ProtocolConfig& config = spec.points[r.index].config;
+    if (info[r.index].k == 1) {
+      base = static_cast<double>(r.metrics.totalMessages());
+    }
+    table.addRow(
+        {proto::algorithmName(config.algorithm),
+         driver::Table::num(static_cast<std::int64_t>(info[r.index].k)),
+         info[r.index].strategy == trace::GroupingStrategy::kRandom
+             ? "random"
+             : "contiguous",
+         driver::Table::num(r.metrics.totalMessages()),
+         driver::Table::num(
+             static_cast<double>(r.metrics.totalMessages()) / base, 3)});
+  }
+  driver::emitTable(table, flags);
   std::printf(
       "\n# One volume per server (the paper's choice) is the renewal-"
       "traffic optimum for this\n# trace; locality-aware (contiguous) "

@@ -6,14 +6,12 @@
 // nothing, wait out min(object, volume) lease): total messages,
 // invalidation traffic, and the write-delay distribution.
 //
-//   $ build/bench/ablation_write_policy [--scale 0.1]
+//   $ build/bench/ablation_write_policy [--scale 0.1] [--threads N]
 #include <cstdio>
-#include <iostream>
 #include <string>
+#include <vector>
 
-#include "driver/report.h"
-#include "driver/simulation.h"
-#include "driver/workloads.h"
+#include "driver/sweep.h"
 #include "net/message.h"
 #include "util/flags.h"
 
@@ -21,55 +19,80 @@ using namespace vlease;
 
 int main(int argc, char** argv) {
   Flags flags;
-  flags.addDouble("scale", 0.1, "workload scale");
-  flags.addInt("seed", 1998, "workload seed");
+  driver::addSweepFlags(flags);
   if (!flags.parse(argc, argv)) return 1;
 
-  driver::WorkloadOptions opts;
-  opts.scale = flags.getDouble("scale");
-  opts.seed = static_cast<std::uint64_t>(flags.getInt("seed"));
-  driver::Workload workload = driver::buildWorkload(opts);
+  driver::SweepSpec spec;
+  spec.name = "write_policy";
+  spec.workload = driver::workloadFromFlags(flags);
   std::printf("# ablation: invalidate-by-message vs invalidate-by-waiting | "
-              "scale=%g\n", opts.scale);
+              "scale=%g\n", spec.workload.scale);
 
   std::size_t invalIdx = 0;
   for (std::size_t i = 0; i < net::kNumPayloadTypes; ++i) {
     if (std::string(net::payloadTypeName(i)) == "INVALIDATE") invalIdx = i;
   }
 
-  driver::Table table({"algorithm", "write policy", "messages",
-                       "invalidations", "mean write wait(s)",
-                       "max write wait(s)", "stale"});
-  struct Config {
+  std::vector<std::string> names;  // label column (repeats per policy)
+  const struct {
     const char* name;
     proto::Algorithm algorithm;
     std::int64_t t, tv;
-  };
-  const Config configs[] = {
+  } configs[] = {
       {"Lease(100)", proto::Algorithm::kLease, 100, 0},
       {"Lease(100000)", proto::Algorithm::kLease, 100'000, 0},
       {"Volume(100,100000)", proto::Algorithm::kVolumeLease, 100'000, 100},
       {"Delay(100,100000,inf)", proto::Algorithm::kVolumeDelayedInval,
        100'000, 100},
   };
-  for (const Config& c : configs) {
+  for (const auto& c : configs) {
     for (bool byExpiry : {false, true}) {
       proto::ProtocolConfig config;
       config.algorithm = c.algorithm;
       config.objectTimeout = sec(c.t);
       config.volumeTimeout = sec(c.tv);
       config.writeByLeaseExpiry = byExpiry;
-      driver::Simulation sim(workload.catalog, config);
-      stats::Metrics& m = sim.run(workload.events);
-      table.addRow({c.name, byExpiry ? "wait-for-expiry" : "invalidate",
-                    driver::Table::num(m.totalMessages()),
-                    driver::Table::num(m.messagesOfType(invalIdx)),
-                    driver::Table::num(m.writeDelay().mean(), 2),
-                    driver::Table::num(m.writeDelay().max(), 1),
-                    driver::Table::num(m.staleReads())});
+      spec.points.push_back(
+          {std::string(c.name) + (byExpiry ? "/wait" : "/inval"), config,
+           {}, c.name, "", nullptr});
+      names.push_back(c.name);
     }
   }
-  table.print(std::cout);
+
+  using Results = std::vector<driver::SweepResult>;
+  spec.columns = {
+      {"write policy",
+       [](const driver::SweepResult& r, const Results&) {
+         return r.index % 2 ? std::string("wait-for-expiry")
+                            : std::string("invalidate");
+       }},
+      {"messages",
+       [](const driver::SweepResult& r, const Results&) {
+         return driver::Table::num(r.metrics.totalMessages());
+       }},
+      {"invalidations",
+       [invalIdx](const driver::SweepResult& r, const Results&) {
+         return driver::Table::num(r.metrics.messagesOfType(invalIdx));
+       }},
+      {"mean write wait(s)",
+       [](const driver::SweepResult& r, const Results&) {
+         return driver::Table::num(r.metrics.writeDelay().mean(), 2);
+       }},
+      {"max write wait(s)",
+       [](const driver::SweepResult& r, const Results&) {
+         return driver::Table::num(r.metrics.writeDelay().max(), 1);
+       }},
+      {"stale",
+       [](const driver::SweepResult& r, const Results&) {
+         return driver::Table::num(r.metrics.staleReads());
+       }},
+  };
+
+  auto results = driver::runSweep(spec, driver::parallelFromFlags(flags));
+  // The label column shows the bare configuration name; the policy gets
+  // its own column.
+  for (auto& r : results) r.label = names[r.index];
+  driver::emitTable(driver::toTable(spec, results), flags);
   std::printf(
       "\n# Wait-for-expiry trades message traffic for write latency: zero "
       "invalidations, but\n# every write to a leased object stalls for the "

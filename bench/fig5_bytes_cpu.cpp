@@ -5,43 +5,44 @@
 // network messages" -- data transfers dominate both, and all algorithms
 // move roughly the same data.
 //
-//   $ build/bench/fig5_bytes_cpu [--scale 0.1] [--seed 1998]
+//   $ build/bench/fig5_bytes_cpu [--scale 0.1] [--seed 1998] [--threads N]
 #include <cstdio>
-#include <iostream>
 #include <string>
 #include <vector>
 
-#include "driver/report.h"
-#include "driver/simulation.h"
-#include "driver/workloads.h"
+#include "driver/sweep.h"
 #include "util/flags.h"
 
 using namespace vlease;
 
 int main(int argc, char** argv) {
   Flags flags;
-  flags.addDouble("scale", 0.1, "workload scale (1.0 = paper-size trace)");
-  flags.addInt("seed", 1998, "workload seed");
-  flags.addBool("csv", false, "emit CSV instead of an aligned table");
+  driver::addSweepFlags(flags);
   if (!flags.parse(argc, argv)) return 1;
 
-  driver::WorkloadOptions opts;
-  opts.scale = flags.getDouble("scale");
-  opts.seed = static_cast<std::uint64_t>(flags.getInt("seed"));
-  driver::Workload workload = driver::buildWorkload(opts);
+  driver::SweepSpec spec;
+  spec.name = "fig5_bytes_cpu";
+  spec.workload = driver::workloadFromFlags(flags);
+  driver::Workload workload = driver::buildWorkload(spec.workload);
   std::printf(
       "# fig5 companion: messages vs bytes vs CPU | scale=%g reads=%lld "
       "writes=%lld\n",
-      opts.scale, static_cast<long long>(workload.readCount),
+      spec.workload.scale, static_cast<long long>(workload.readCount),
       static_cast<long long>(workload.writeCount));
 
-  struct Line {
-    std::string name;
-    proto::Algorithm algorithm;
-    std::int64_t tSec;
-    std::int64_t tvSec;
+  auto makeConfig = [](proto::Algorithm algorithm, std::int64_t tSec,
+                       std::int64_t tvSec) {
+    proto::ProtocolConfig c;
+    c.algorithm = algorithm;
+    c.objectTimeout = sec(tSec);
+    c.volumeTimeout = sec(tvSec);
+    return c;
   };
-  const std::vector<Line> lines = {
+  const struct {
+    const char* name;
+    proto::Algorithm algorithm;
+    std::int64_t tSec, tvSec;
+  } lines[] = {
       {"PollEachRead", proto::Algorithm::kPollEachRead, 0, 0},
       {"Poll(100000)", proto::Algorithm::kPoll, 100'000, 0},
       {"Callback", proto::Algorithm::kCallback, 0, 0},
@@ -51,37 +52,53 @@ int main(int argc, char** argv) {
       {"Delay(100,100000,inf)", proto::Algorithm::kVolumeDelayedInval,
        100'000, 100},
   };
+  for (const auto& line : lines) {
+    spec.points.push_back({line.name,
+                           makeConfig(line.algorithm, line.tSec, line.tvSec),
+                           {}, "", "", nullptr});
+  }
 
-  driver::Table table({"algorithm", "messages", "rel-msg", "MB", "rel-bytes",
-                       "cpu-units", "rel-cpu"});
-  double baseMsg = 0, baseBytes = 0, baseCpu = 0;
-  for (const Line& line : lines) {
-    proto::ProtocolConfig config;
-    config.algorithm = line.algorithm;
-    config.objectTimeout = sec(line.tSec);
-    config.volumeTimeout = sec(line.tvSec);
-    driver::Simulation sim(workload.catalog, config);
-    stats::Metrics& m = sim.run(workload.events);
-    if (baseMsg == 0) {
-      baseMsg = static_cast<double>(m.totalMessages());
-      baseBytes = static_cast<double>(m.totalBytes());
-      baseCpu = m.totalCpuUnits();
-    }
-    table.addRow(
-        {line.name, driver::Table::num(m.totalMessages()),
-         driver::Table::num(static_cast<double>(m.totalMessages()) / baseMsg,
-                            3),
-         driver::Table::num(static_cast<double>(m.totalBytes()) / 1e6, 1),
-         driver::Table::num(static_cast<double>(m.totalBytes()) / baseBytes,
-                            3),
-         driver::Table::num(m.totalCpuUnits(), 0),
-         driver::Table::num(m.totalCpuUnits() / baseCpu, 3)});
-  }
-  if (flags.getBool("csv")) {
-    table.printCsv(std::cout);
-  } else {
-    table.print(std::cout);
-  }
+  // Relative columns normalize to the first point (PollEachRead).
+  using Results = std::vector<driver::SweepResult>;
+  spec.columns = {
+      {"messages",
+       [](const driver::SweepResult& r, const Results&) {
+         return driver::Table::num(r.metrics.totalMessages());
+       }},
+      {"rel-msg",
+       [](const driver::SweepResult& r, const Results& all) {
+         return driver::Table::num(
+             static_cast<double>(r.metrics.totalMessages()) /
+                 static_cast<double>(all.front().metrics.totalMessages()),
+             3);
+       }},
+      {"MB",
+       [](const driver::SweepResult& r, const Results&) {
+         return driver::Table::num(
+             static_cast<double>(r.metrics.totalBytes()) / 1e6, 1);
+       }},
+      {"rel-bytes",
+       [](const driver::SweepResult& r, const Results& all) {
+         return driver::Table::num(
+             static_cast<double>(r.metrics.totalBytes()) /
+                 static_cast<double>(all.front().metrics.totalBytes()),
+             3);
+       }},
+      {"cpu-units",
+       [](const driver::SweepResult& r, const Results&) {
+         return driver::Table::num(r.metrics.totalCpuUnits(), 0);
+       }},
+      {"rel-cpu",
+       [](const driver::SweepResult& r, const Results& all) {
+         return driver::Table::num(
+             r.metrics.totalCpuUnits() / all.front().metrics.totalCpuUnits(),
+             3);
+       }},
+  };
+
+  const auto results =
+      driver::runSweep(spec, workload, driver::parallelFromFlags(flags));
+  driver::emitTable(driver::toTable(spec, results), flags);
   std::printf(
       "\n# Expected (paper §5.1): the rel-bytes and rel-cpu spreads are "
       "much narrower than the\n# rel-msg spread -- data volume dominates "

@@ -7,134 +7,96 @@
 // fractions.
 //
 //   $ build/bench/fig5_messages [--scale 0.1] [--seed 1998] [--csv]
+//     [--threads N]
 //
 // scale = 1 reproduces the paper's full trace volume (~1.03M reads);
 // the default keeps the sweep fast while preserving every shape.
 #include <cstdio>
-#include <iostream>
 #include <map>
 #include <string>
 #include <vector>
 
-#include "driver/report.h"
-#include "driver/simulation.h"
-#include "driver/workloads.h"
+#include "driver/sweep.h"
 #include "util/flags.h"
 
 using namespace vlease;
 
-namespace {
-
-struct Line {
-  std::string name;
-  proto::ProtocolConfig config;
-  bool sweepsTimeout = true;
-};
-
-std::int64_t runMessages(const driver::Workload& workload,
-                         const proto::ProtocolConfig& config,
-                         double* staleFraction = nullptr) {
-  driver::Simulation sim(workload.catalog, config);
-  stats::Metrics& m = sim.run(workload.events);
-  if (staleFraction != nullptr) *staleFraction = m.staleFraction();
-  return m.totalMessages();
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   Flags flags;
-  flags.addDouble("scale", 0.1, "workload scale (1.0 = paper-size trace)");
-  flags.addInt("seed", 1998, "workload seed");
-  flags.addBool("csv", false, "emit CSV instead of an aligned table");
+  driver::addSweepFlags(flags);
   if (!flags.parse(argc, argv)) return 1;
 
-  driver::WorkloadOptions opts;
-  opts.scale = flags.getDouble("scale");
-  opts.seed = static_cast<std::uint64_t>(flags.getInt("seed"));
-  driver::Workload workload = driver::buildWorkload(opts);
-  std::printf(
-      "# fig5: messages vs timeout | scale=%g reads=%lld writes=%lld "
-      "objects=%zu servers=%u clients=%u\n",
-      opts.scale, static_cast<long long>(workload.readCount),
-      static_cast<long long>(workload.writeCount),
-      workload.catalog.numObjects(), workload.catalog.numServers(),
-      workload.catalog.numClients());
+  driver::SweepSpec spec;
+  spec.name = "fig5";
+  spec.workload = driver::workloadFromFlags(flags);
 
   const std::vector<std::int64_t> timeoutsSec = {
       10, 100, 1'000, 10'000, 100'000, 1'000'000, 10'000'000};
-
   auto makeConfig = [](proto::Algorithm algorithm, std::int64_t tvSec) {
     proto::ProtocolConfig c;
     c.algorithm = algorithm;
     c.volumeTimeout = sec(tvSec);
     return c;
   };
-  std::vector<Line> lines;
-  lines.push_back({"Callback", makeConfig(proto::Algorithm::kCallback, 0),
-                   /*sweepsTimeout=*/false});
-  lines.push_back({"Poll(t)", makeConfig(proto::Algorithm::kPoll, 0)});
-  lines.push_back({"Lease(t)", makeConfig(proto::Algorithm::kLease, 0)});
-  lines.push_back(
-      {"Volume(10,t)", makeConfig(proto::Algorithm::kVolumeLease, 10)});
-  lines.push_back(
-      {"Volume(100,t)", makeConfig(proto::Algorithm::kVolumeLease, 100)});
-  lines.push_back({"Delay(10,t,inf)",
-                   makeConfig(proto::Algorithm::kVolumeDelayedInval, 10)});
-  lines.push_back({"Delay(100,t,inf)",
-                   makeConfig(proto::Algorithm::kVolumeDelayedInval, 100)});
+  const std::vector<driver::SweepLine> lines = {
+      {"Callback", makeConfig(proto::Algorithm::kCallback, 0),
+       /*sweepsTimeout=*/false},
+      {"Poll(t)", makeConfig(proto::Algorithm::kPoll, 0)},
+      {"Lease(t)", makeConfig(proto::Algorithm::kLease, 0)},
+      {"Volume(10,t)", makeConfig(proto::Algorithm::kVolumeLease, 10)},
+      {"Volume(100,t)", makeConfig(proto::Algorithm::kVolumeLease, 100)},
+      {"Delay(10,t,inf)",
+       makeConfig(proto::Algorithm::kVolumeDelayedInval, 10)},
+      {"Delay(100,t,inf)",
+       makeConfig(proto::Algorithm::kVolumeDelayedInval, 100)},
+  };
+  spec.points = driver::timeoutGrid(lines, timeoutsSec);
+  spec.gridCell = [](const stats::Metrics& m) {
+    return driver::Table::num(m.totalMessages());
+  };
 
-  std::vector<std::string> header{"algorithm"};
-  for (std::int64_t t : timeoutsSec) header.push_back("t=" + std::to_string(t));
-  driver::Table table(header);
+  driver::Workload workload = driver::buildWorkload(spec.workload);
+  std::printf(
+      "# fig5: messages vs timeout | scale=%g reads=%lld writes=%lld "
+      "objects=%zu servers=%u clients=%u\n",
+      spec.workload.scale, static_cast<long long>(workload.readCount),
+      static_cast<long long>(workload.writeCount),
+      workload.catalog.numObjects(), workload.catalog.numServers(),
+      workload.catalog.numClients());
 
-  // algorithm family -> (write-delay bound -> best message count)
+  const auto results =
+      driver::runSweep(spec, workload, driver::parallelFromFlags(flags));
+  driver::emitTable(driver::toTable(spec, results), flags);
+
+  // The paper's headline comparisons, recovered from the sweep results:
+  // algorithm family -> (write-delay bound -> best message count), plus
+  // Poll's stale fractions.
   std::map<std::string, std::map<std::int64_t, std::int64_t>> bestUnderBound;
   std::map<std::int64_t, double> pollStale;
+  for (const driver::SweepResult& r : results) {
+    const proto::ProtocolConfig& config = spec.points[r.index].config;
+    const std::int64_t t = toSeconds(config.objectTimeout);
+    const std::int64_t messages = r.metrics.totalMessages();
+    if (config.algorithm == proto::Algorithm::kPoll) {
+      pollStale[t] = r.metrics.staleFraction();
+    }
 
-  for (const Line& line : lines) {
-    std::vector<std::string> row{line.name};
-    std::int64_t flat = -1;
-    for (std::int64_t t : timeoutsSec) {
-      proto::ProtocolConfig config = line.config;
-      config.objectTimeout = sec(t);
-      std::int64_t messages;
-      if (!line.sweepsTimeout) {
-        if (flat < 0) flat = runMessages(workload, config);
-        messages = flat;
-      } else if (config.algorithm == proto::Algorithm::kPoll) {
-        double stale = 0;
-        messages = runMessages(workload, config, &stale);
-        pollStale[t] = stale;
-      } else {
-        messages = runMessages(workload, config);
-      }
-      row.push_back(driver::Table::num(messages));
-
-      // Track the best configuration under each write-delay bound:
-      // Lease's bound is t, the volume algorithms' is min(t, t_v).
-      std::int64_t bound = -1;
-      if (config.algorithm == proto::Algorithm::kLease) {
-        bound = t;
-      } else if (config.algorithm == proto::Algorithm::kVolumeLease ||
-                 config.algorithm == proto::Algorithm::kVolumeDelayedInval) {
-        bound = std::min<std::int64_t>(t, toSeconds(config.volumeTimeout));
-      }
-      for (std::int64_t b : {std::int64_t{10}, std::int64_t{100}}) {
-        if (bound >= 0 && bound <= b) {
-          auto& slot = bestUnderBound[line.name.substr(0, line.name.find('('))];
-          auto it = slot.find(b);
-          if (it == slot.end() || messages < it->second) slot[b] = messages;
-        }
+    // Lease's write-delay bound is t, the volume algorithms' is
+    // min(t, t_v).
+    std::int64_t bound = -1;
+    if (config.algorithm == proto::Algorithm::kLease) {
+      bound = t;
+    } else if (config.algorithm == proto::Algorithm::kVolumeLease ||
+               config.algorithm == proto::Algorithm::kVolumeDelayedInval) {
+      bound = std::min<std::int64_t>(t, toSeconds(config.volumeTimeout));
+    }
+    for (std::int64_t b : {std::int64_t{10}, std::int64_t{100}}) {
+      if (bound >= 0 && bound <= b) {
+        auto& slot = bestUnderBound[r.row.substr(0, r.row.find('('))];
+        auto it = slot.find(b);
+        if (it == slot.end() || messages < it->second) slot[b] = messages;
       }
     }
-    table.addRow(std::move(row));
-  }
-
-  if (flags.getBool("csv")) {
-    table.printCsv(std::cout);
-  } else {
-    table.print(std::cout);
   }
 
   std::printf("\n# Poll stale-read fraction by timeout:\n");

@@ -8,43 +8,28 @@
 // discard time caps Delay's state.
 //
 //   $ build/bench/fig6_state_top1 [--scale 0.1] [--seed 1998] [--rank 0]
+//     [--threads N]
 #include <cstdio>
-#include <iostream>
 #include <string>
 #include <vector>
 
-#include "driver/report.h"
-#include "driver/simulation.h"
-#include "driver/workloads.h"
+#include "driver/sweep.h"
 #include "util/flags.h"
 
 using namespace vlease;
 
-namespace {
-
-double runStateBytes(const driver::Workload& workload,
-                     const proto::ProtocolConfig& config, NodeId server) {
-  driver::Simulation sim(workload.catalog, config);
-  stats::Metrics& m = sim.run(workload.events);
-  return m.avgStateBytes(server);
-}
-
-}  // namespace
-
 int runFigStateBench(int argc, char** argv, std::size_t defaultRank,
                      const char* figName) {
   Flags flags;
-  flags.addDouble("scale", 0.1, "workload scale (1.0 = paper-size trace)");
-  flags.addInt("seed", 1998, "workload seed");
+  driver::addSweepFlags(flags);
   flags.addInt("rank", static_cast<std::int64_t>(defaultRank),
                "server popularity rank (0 = most popular)");
-  flags.addBool("csv", false, "emit CSV instead of an aligned table");
   if (!flags.parse(argc, argv)) return 1;
 
-  driver::WorkloadOptions opts;
-  opts.scale = flags.getDouble("scale");
-  opts.seed = static_cast<std::uint64_t>(flags.getInt("seed"));
-  driver::Workload workload = driver::buildWorkload(opts);
+  driver::SweepSpec spec;
+  spec.name = figName;
+  spec.workload = driver::workloadFromFlags(flags);
+  driver::Workload workload = driver::buildWorkload(spec.workload);
 
   const auto rank = static_cast<std::size_t>(flags.getInt("rank"));
   const std::uint32_t serverIdx = driver::nthBusiestServer(workload, rank);
@@ -53,58 +38,38 @@ int runFigStateBench(int argc, char** argv, std::size_t defaultRank,
       "# %s: avg consistency state at the rank-%zu server (index %u, "
       "%lld trace reads) vs timeout | scale=%g\n",
       figName, rank, serverIdx,
-      static_cast<long long>(workload.readsPerServer[serverIdx]), opts.scale);
+      static_cast<long long>(workload.readsPerServer[serverIdx]),
+      spec.workload.scale);
 
   const std::vector<std::int64_t> timeoutsSec = {
       10, 100, 1'000, 10'000, 100'000, 1'000'000, 10'000'000};
-
-  struct Line {
-    std::string name;
-    proto::Algorithm algorithm;
-    std::int64_t tvSec;
-    SimDuration discard;
-    bool sweeps;
+  auto makeConfig = [](proto::Algorithm algorithm, std::int64_t tvSec,
+                       SimDuration discard) {
+    proto::ProtocolConfig c;
+    c.algorithm = algorithm;
+    c.volumeTimeout = sec(tvSec);
+    c.inactiveDiscard = discard;
+    return c;
   };
-  std::vector<Line> lines = {
-      {"Callback", proto::Algorithm::kCallback, 0, kNever, false},
-      {"Lease(t)", proto::Algorithm::kLease, 0, kNever, true},
-      {"Volume(100,t)", proto::Algorithm::kVolumeLease, 100, kNever, true},
-      {"Delay(100,t,inf)", proto::Algorithm::kVolumeDelayedInval, 100, kNever,
-       true},
-      {"Delay(100,t,1000)", proto::Algorithm::kVolumeDelayedInval, 100,
-       sec(1000), true},
+  const std::vector<driver::SweepLine> lines = {
+      {"Callback", makeConfig(proto::Algorithm::kCallback, 0, kNever),
+       /*sweepsTimeout=*/false},
+      {"Lease(t)", makeConfig(proto::Algorithm::kLease, 0, kNever)},
+      {"Volume(100,t)",
+       makeConfig(proto::Algorithm::kVolumeLease, 100, kNever)},
+      {"Delay(100,t,inf)",
+       makeConfig(proto::Algorithm::kVolumeDelayedInval, 100, kNever)},
+      {"Delay(100,t,1000)",
+       makeConfig(proto::Algorithm::kVolumeDelayedInval, 100, sec(1000))},
+  };
+  spec.points = driver::timeoutGrid(lines, timeoutsSec);
+  spec.gridCell = [server](const stats::Metrics& m) {
+    return driver::Table::num(m.avgStateBytes(server), 1);
   };
 
-  std::vector<std::string> header{"algorithm"};
-  for (std::int64_t t : timeoutsSec)
-    header.push_back("t=" + std::to_string(t));
-  driver::Table table(header);
-
-  for (const Line& line : lines) {
-    std::vector<std::string> row{line.name};
-    double flat = -1;
-    for (std::int64_t t : timeoutsSec) {
-      proto::ProtocolConfig config;
-      config.algorithm = line.algorithm;
-      config.objectTimeout = sec(t);
-      config.volumeTimeout = sec(line.tvSec);
-      config.inactiveDiscard = line.discard;
-      double bytes;
-      if (!line.sweeps) {
-        if (flat < 0) flat = runStateBytes(workload, config, server);
-        bytes = flat;
-      } else {
-        bytes = runStateBytes(workload, config, server);
-      }
-      row.push_back(driver::Table::num(bytes, 1));
-    }
-    table.addRow(std::move(row));
-  }
-  if (flags.getBool("csv")) {
-    table.printCsv(std::cout);
-  } else {
-    table.print(std::cout);
-  }
+  const auto results =
+      driver::runSweep(spec, workload, driver::parallelFromFlags(flags));
+  driver::emitTable(driver::toTable(spec, results), flags);
   std::printf(
       "\n# Expected shape (paper Figs. 6-7): short timeouts -> lease "
       "algorithms hold much less\n"

@@ -9,46 +9,56 @@
 //   * Delay: suppresses both -> lowest peaks.
 //
 //   $ build/bench/fig8_load_bursts [--scale 0.1] [--seed 1998]
-//     [--bursty] (fig9 passes --bursty)
+//     [--threads N] [--bursty] (fig9 passes --bursty)
 #include <cstdio>
-#include <iostream>
 #include <string>
 #include <vector>
 
-#include "driver/report.h"
-#include "driver/simulation.h"
-#include "driver/workloads.h"
+#include "driver/sweep.h"
 #include "util/flags.h"
 
 using namespace vlease;
 
+namespace {
+
+/// Most heavily loaded server under one algorithm (as in the paper).
+NodeId busiestServer(const trace::Catalog& catalog, const stats::Metrics& m) {
+  NodeId busiest = catalog.serverNode(0);
+  std::int64_t bestPeak = -1;
+  for (std::uint32_t s = 0; s < catalog.numServers(); ++s) {
+    const NodeId node = catalog.serverNode(s);
+    const std::int64_t peak = m.loadSeries(node).maxValue();
+    if (peak > bestPeak) {
+      bestPeak = peak;
+      busiest = node;
+    }
+  }
+  return busiest;
+}
+
+}  // namespace
+
 int runFigLoadBench(int argc, char** argv, bool burstyDefault,
                     const char* figName) {
   Flags flags;
-  flags.addDouble("scale", 0.1, "workload scale (1.0 = paper-size trace)");
-  flags.addInt("seed", 1998, "workload seed");
+  driver::addSweepFlags(flags);
   flags.addBool("bursty", burstyDefault,
                 "use the bursty-write workload (fig9)");
-  flags.addBool("csv", false, "emit CSV instead of an aligned table");
   if (!flags.parse(argc, argv)) return 1;
 
-  driver::WorkloadOptions opts;
-  opts.scale = flags.getDouble("scale");
-  opts.seed = static_cast<std::uint64_t>(flags.getInt("seed"));
-  opts.burstyWrites = flags.getBool("bursty");
-  driver::Workload workload = driver::buildWorkload(opts);
+  driver::SweepSpec spec;
+  spec.name = figName;
+  spec.workload = driver::workloadFromFlags(flags);
+  spec.workload.burstyWrites = flags.getBool("bursty");
+  driver::Workload workload = driver::buildWorkload(spec.workload);
 
   std::printf(
       "# %s: 1-second periods with load >= x at the most loaded server | "
       "%s writes, scale=%g, reads=%lld writes=%lld\n",
-      figName, opts.burstyWrites ? "bursty" : "default", opts.scale,
-      static_cast<long long>(workload.readCount),
+      figName, spec.workload.burstyWrites ? "bursty" : "default",
+      spec.workload.scale, static_cast<long long>(workload.readCount),
       static_cast<long long>(workload.writeCount));
 
-  struct Line {
-    std::string name;
-    proto::ProtocolConfig config;
-  };
   auto makeConfig = [](proto::Algorithm algorithm, std::int64_t tSec,
                        std::int64_t tvSec) {
     proto::ProtocolConfig c;
@@ -57,10 +67,15 @@ int runFigLoadBench(int argc, char** argv, bool burstyDefault,
     c.volumeTimeout = sec(tvSec);
     return c;
   };
+  driver::SimOptions sim;
+  sim.trackServerLoad = true;
   // The paper's Fig. 8 grouping: Poll and Lease with SHORT object
   // timeouts, Callback, Volume and Delay with long object leases and a
   // short volume lease.
-  std::vector<Line> lines = {
+  const struct {
+    const char* name;
+    proto::ProtocolConfig config;
+  } lines[] = {
       {"Poll(100)", makeConfig(proto::Algorithm::kPoll, 100, 0)},
       {"Lease(100)", makeConfig(proto::Algorithm::kLease, 100, 0)},
       {"Callback", makeConfig(proto::Algorithm::kCallback, 0, 0)},
@@ -69,44 +84,35 @@ int runFigLoadBench(int argc, char** argv, bool burstyDefault,
       {"Delay(100,100000,inf)",
        makeConfig(proto::Algorithm::kVolumeDelayedInval, 100'000, 100)},
   };
+  for (const auto& line : lines) {
+    spec.points.push_back({line.name, line.config, sim, "", "", nullptr});
+  }
 
   const std::vector<std::int64_t> levels = {1, 2,  5,  10, 15,
                                             20, 30, 40, 60, 100};
-  std::vector<std::string> header{"algorithm", "peak"};
-  for (std::int64_t x : levels) header.push_back(">=" + std::to_string(x));
-  driver::Table table(header);
-
-  for (const Line& line : lines) {
-    driver::SimOptions simOpts;
-    simOpts.trackServerLoad = true;
-    driver::Simulation sim(workload.catalog, line.config, simOpts);
-    stats::Metrics& m = sim.run(workload.events);
-
-    // Most heavily loaded server under THIS algorithm (as in the paper).
-    NodeId busiest = workload.catalog.serverNode(0);
-    std::int64_t bestPeak = -1;
-    for (std::uint32_t s = 0; s < workload.catalog.numServers(); ++s) {
-      const NodeId node = workload.catalog.serverNode(s);
-      const std::int64_t peak = m.loadSeries(node).maxValue();
-      if (peak > bestPeak) {
-        bestPeak = peak;
-        busiest = node;
-      }
-    }
-    const auto atLeast = m.loadSeries(busiest).cumulativeAtLeast();
-    std::vector<std::string> row{line.name, driver::Table::num(bestPeak)};
-    for (std::int64_t x : levels) {
-      const std::size_t idx = static_cast<std::size_t>(x) - 1;
-      row.push_back(driver::Table::num(
-          idx < atLeast.size() ? atLeast[idx] : std::int64_t{0}));
-    }
-    table.addRow(std::move(row));
+  const trace::Catalog& catalog = workload.catalog;
+  spec.columns.push_back(
+      {"peak", [&catalog](const driver::SweepResult& r, const auto&) {
+         return driver::Table::num(
+             r.metrics.loadSeries(busiestServer(catalog, r.metrics))
+                 .maxValue());
+       }});
+  for (std::int64_t x : levels) {
+    spec.columns.push_back(
+        {">=" + std::to_string(x),
+         [&catalog, x](const driver::SweepResult& r, const auto&) {
+           const auto atLeast =
+               r.metrics.loadSeries(busiestServer(catalog, r.metrics))
+                   .cumulativeAtLeast();
+           const std::size_t idx = static_cast<std::size_t>(x) - 1;
+           return driver::Table::num(
+               idx < atLeast.size() ? atLeast[idx] : std::int64_t{0});
+         }});
   }
-  if (flags.getBool("csv")) {
-    table.printCsv(std::cout);
-  } else {
-    table.print(std::cout);
-  }
+
+  const auto results =
+      driver::runSweep(spec, workload, driver::parallelFromFlags(flags));
+  driver::emitTable(driver::toTable(spec, results), flags);
   std::printf(
       "\n# Expected shape: {Poll, Lease} many medium-load periods; "
       "{Callback, Volume} write-invalidation\n"

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "driver/simulation.h"
+#include "driver/sweep.h"
 #include "driver/workloads.h"
 #include "sim/scheduler.h"
 #include "trace/catalog.h"
@@ -103,6 +104,39 @@ void BM_TraceReplay(benchmark::State& state) {
                           static_cast<std::int64_t>(workload.events.size()));
 }
 BENCHMARK(BM_TraceReplay);
+
+/// Sweep-runner throughput: an algorithm x timeout grid over a shared
+/// workload, at 1 / 2 / 4 worker threads (the arg). On multi-core
+/// hardware items/sec scales with the arg; the numbers are identical
+/// at every thread count.
+void BM_SweepGrid(benchmark::State& state) {
+  driver::WorkloadOptions opts;
+  opts.scale = 0.01;
+  driver::Workload workload = driver::buildWorkload(opts);
+
+  driver::SweepSpec spec;
+  spec.name = "micro_sweep";
+  std::vector<driver::SweepLine> lines;
+  for (proto::Algorithm a :
+       {proto::Algorithm::kLease, proto::Algorithm::kVolumeLease,
+        proto::Algorithm::kVolumeDelayedInval}) {
+    proto::ProtocolConfig c;
+    c.algorithm = a;
+    c.volumeTimeout = sec(100);
+    lines.push_back({proto::algorithmName(a), c});
+  }
+  spec.points = driver::timeoutGrid(lines, {100, 10'000, 1'000'000});
+
+  driver::ParallelOptions parallel;
+  parallel.threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    auto results = driver::runSweep(spec, workload, parallel);
+    benchmark::DoNotOptimize(results.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(spec.points.size()));
+}
+BENCHMARK(BM_SweepGrid)->Arg(1)->Arg(2)->Arg(4);
 
 }  // namespace
 

@@ -10,14 +10,13 @@
 //      invalidations/write land on the analytic predictions (this is
 //      the validation methodology of paper §4.1).
 //
-//   $ build/bench/table1_costs
+//   $ build/bench/table1_costs [--threads N]
 #include <cstdio>
 #include <iostream>
 #include <vector>
 
 #include "analytic/cost_model.h"
-#include "driver/report.h"
-#include "driver/simulation.h"
+#include "driver/sweep.h"
 #include "trace/catalog.h"
 #include "util/flags.h"
 
@@ -66,10 +65,9 @@ void printAnalyticTable() {
   table.print(std::cout);
 }
 
-/// Controlled workload: `numClients` clients read object A every
-/// `readGapSec` for `reps` rounds; the server writes object B (same
-/// volume) every `writeGapSec`. Measures messages per read of A.
-void printSimulatedCrossCheck() {
+/// Controlled workload: one client reads one object every 100 s for 500
+/// rounds; t = 10000 s, t_v = 100 s. Measures messages per read.
+void printSimulatedCrossCheck(const Flags& flags) {
   std::printf(
       "\n# Simulator cross-check: 1 client reads o every 100s (500 reads), "
       "t=10000s, t_v=100s.\n"
@@ -77,43 +75,62 @@ void printSimulatedCrossCheck() {
       "1/(R*t)=0.01, Volume=1/(R*t_v)+1/(R*t)=1.01 (volume\n"
       "# renewal NOT amortized here: only one object is read -- the "
       "worst case for volumes).\n");
-  driver::Table table({"algorithm", "reads", "messages", "round-trips/read",
-                       "stale-reads"});
-  for (proto::Algorithm a : kAllAlgorithms) {
-    trace::Catalog catalog(1, 1);
-    VolumeId vol = catalog.addVolume(catalog.serverNode(0));
-    ObjectId obj = catalog.addObject(vol, 1024);
 
+  driver::Workload workload{trace::Catalog(1, 1), {}, 0, 0, {}};
+  VolumeId vol = workload.catalog.addVolume(workload.catalog.serverNode(0));
+  ObjectId obj = workload.catalog.addObject(vol, 1024);
+  const NodeId client = workload.catalog.clientNode(0);
+  const int reps = 500;
+  for (int i = 0; i < reps; ++i) {
+    workload.events.push_back(
+        trace::TraceEvent{sec(100) * i, trace::EventKind::kRead, client, obj});
+  }
+
+  driver::SweepSpec spec;
+  spec.name = "table1";
+  for (proto::Algorithm a : kAllAlgorithms) {
     proto::ProtocolConfig config;
     config.algorithm = a;
     config.objectTimeout = sec(10'000);
     config.volumeTimeout = sec(100);
-
-    driver::Simulation sim(catalog, config);
-    const NodeId client = catalog.clientNode(0);
-    const int reps = 500;
-    std::vector<trace::TraceEvent> events;
-    for (int i = 0; i < reps; ++i) {
-      events.push_back(trace::TraceEvent{sec(100) * i, trace::EventKind::kRead,
-                                         client, obj});
-    }
-    stats::Metrics& m = sim.run(events);
-    table.addRow({proto::algorithmName(a), driver::Table::num(m.reads()),
-                  driver::Table::num(m.totalMessages()),
-                  driver::Table::num(static_cast<double>(m.totalMessages()) /
-                                         (2.0 * static_cast<double>(reps)),
-                                     4),
-                  driver::Table::num(m.staleReads())});
+    spec.points.push_back({proto::algorithmName(a), config, {}, "", "",
+                           nullptr});
   }
-  table.print(std::cout);
+  using Results = std::vector<driver::SweepResult>;
+  spec.columns = {
+      {"reads",
+       [](const driver::SweepResult& r, const Results&) {
+         return driver::Table::num(r.metrics.reads());
+       }},
+      {"messages",
+       [](const driver::SweepResult& r, const Results&) {
+         return driver::Table::num(r.metrics.totalMessages());
+       }},
+      {"round-trips/read",
+       [reps](const driver::SweepResult& r, const Results&) {
+         return driver::Table::num(
+             static_cast<double>(r.metrics.totalMessages()) /
+                 (2.0 * static_cast<double>(reps)),
+             4);
+       }},
+      {"stale-reads",
+       [](const driver::SweepResult& r, const Results&) {
+         return driver::Table::num(r.metrics.staleReads());
+       }},
+  };
+
+  const auto results =
+      driver::runSweep(spec, workload, driver::parallelFromFlags(flags));
+  driver::emitTable(driver::toTable(spec, results), flags);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   Flags flags;
+  driver::addRunnerFlags(flags);
   if (!flags.parse(argc, argv)) return 1;
   printAnalyticTable();
-  printSimulatedCrossCheck();
+  printSimulatedCrossCheck(flags);
   return 0;
 }

@@ -49,6 +49,32 @@ void Table::printCsv(std::ostream& os) const {
   for (const auto& row : rows_) emit(row);
 }
 
+namespace {
+void jsonEscaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+}  // namespace
+
+void Table::printJson(std::ostream& os) const {
+  os << "[\n";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    os << "  {";
+    for (std::size_t i = 0; i < header_.size(); ++i) {
+      jsonEscaped(os, header_[i]);
+      os << ": ";
+      jsonEscaped(os, rows_[r][i]);
+      if (i + 1 < header_.size()) os << ", ";
+    }
+    os << (r + 1 < rows_.size() ? "},\n" : "}\n");
+  }
+  os << "]\n";
+}
+
 std::string Table::num(double v, int precision) {
   if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
   char buf[64];

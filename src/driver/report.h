@@ -15,6 +15,8 @@ class Table {
   void addRow(std::vector<std::string> cells);
   void print(std::ostream& os) const;
   void printCsv(std::ostream& os) const;
+  /// JSON array of {header: cell} objects, one per row.
+  void printJson(std::ostream& os) const;
 
   static std::string num(double v, int precision = 3);
   static std::string num(std::int64_t v);

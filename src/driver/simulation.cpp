@@ -15,6 +15,7 @@ Simulation::Simulation(const trace::Catalog& catalog,
       protocol_(core::makeProtocol(config, ctx_)),
       options_(options) {
   network_->setLatency(options_.networkLatency);
+  network_->failures().setLossProbability(options_.lossProbability);
   if (options_.trackServerLoad) {
     for (std::uint32_t s = 0; s < catalog_.numServers(); ++s) {
       metrics_.trackLoad(catalog_.serverNode(s));
@@ -45,7 +46,9 @@ void Simulation::issueWrite(ObjectId obj, proto::WriteCallback extra) {
 }
 
 void Simulation::inject(const trace::TraceEvent& event) {
-  VL_CHECK(!finished_);
+  VL_CHECK_MSG(!finished_,
+               "Simulation::inject() after finish() would corrupt the "
+               "frozen metrics");
   lastEventTime_ = std::max(lastEventTime_, event.at);
   if (event.kind == trace::EventKind::kRead) {
     issueRead(event.client, event.obj);
@@ -57,7 +60,7 @@ void Simulation::inject(const trace::TraceEvent& event) {
 void Simulation::drainTo(SimTime t) { scheduler_.runUntil(t); }
 
 void Simulation::finish() {
-  VL_CHECK(!finished_);
+  VL_CHECK_MSG(!finished_, "Simulation::finish() called twice");
   finished_ = true;
   scheduler_.run();  // drain in-flight writes/timers
   const SimTime horizon =
@@ -69,6 +72,10 @@ void Simulation::finish() {
 }
 
 stats::Metrics& Simulation::run(const std::vector<trace::TraceEvent>& events) {
+  VL_CHECK_MSG(!ran_ && !finished_,
+               "Simulation::run() is single-shot; construct a fresh "
+               "Simulation per run");
+  ran_ = true;
   VL_DCHECK(trace::isSorted(events));
   for (const trace::TraceEvent& event : events) {
     // Drain everything scheduled before this event, inject, then drain

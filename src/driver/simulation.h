@@ -27,6 +27,8 @@ namespace vlease::driver {
 struct SimOptions {
   /// One-way message latency (0 = the paper's sequential model).
   SimDuration networkLatency = 0;
+  /// Independent per-message drop probability (0 = reliable network).
+  double lossProbability = 0;
   /// Collect per-second load series for every server (Figs. 8-9).
   bool trackServerLoad = false;
   /// Accounting horizon; 0 = time of the last trace event.
@@ -40,7 +42,8 @@ class Simulation {
   ~Simulation();
 
   /// Feed an entire time-sorted trace and drain; returns final metrics.
-  /// Call at most once (use step()/inject for incremental control).
+  /// CHECK-fails on a second call (the first run's finish() freezes the
+  /// metrics; use inject()/drainTo() for incremental control).
   stats::Metrics& run(const std::vector<trace::TraceEvent>& events);
 
   /// Incremental interface for tests and examples.
@@ -70,6 +73,7 @@ class Simulation {
   proto::ProtocolInstance protocol_;
   SimOptions options_;
   SimTime lastEventTime_ = 0;
+  bool ran_ = false;
   bool finished_ = false;
 };
 

@@ -1,0 +1,162 @@
+// Declarative experiment grids ("sweeps") and the parallel runner every
+// bench binary is built on.
+//
+// A SweepSpec names a workload, the list of (label, ProtocolConfig,
+// SimOptions) points to run on it, and the metrics to extract from each
+// run. runSweep() executes the points on a util::ThreadPool -- each run
+// owns its Scheduler / SimNetwork / Metrics, the workload is built once
+// and shared read-only -- and returns the results in spec order.
+//
+// Determinism: a simulation run touches no global mutable state, so the
+// per-point metrics are bit-for-bit identical no matter how many
+// threads execute the sweep (tests/sweep_test.cpp asserts this against
+// the serial path). Parallelism changes wall-clock time, never numbers.
+//
+// Typical bench binary:
+//
+//   Flags flags;
+//   driver::addSweepFlags(flags);
+//   if (!flags.parse(argc, argv)) return 1;
+//
+//   driver::SweepSpec spec;
+//   spec.name = "fig5";
+//   spec.workload = driver::workloadFromFlags(flags);
+//   spec.points = driver::timeoutGrid(lines, timeoutsSec);
+//   spec.gridCell = [](const stats::Metrics& m) {
+//     return driver::Table::num(m.totalMessages());
+//   };
+//   auto results = driver::runSweep(spec, driver::parallelFromFlags(flags));
+//   driver::emitTable(driver::toTable(spec, results), flags);
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "driver/report.h"
+#include "driver/simulation.h"
+#include "driver/workloads.h"
+#include "stats/metrics.h"
+#include "util/flags.h"
+
+namespace vlease::driver {
+
+/// One experiment in a sweep: a protocol configuration (plus simulator
+/// options) to run over the spec's workload.
+struct SweepPoint {
+  /// Unique name; prefixes parallel log lines and keys resultFor().
+  std::string label;
+  proto::ProtocolConfig config;
+  SimOptions sim;
+  /// Pivot coordinates for grid-shaped tables (Figs. 5-7): results with
+  /// the same `row` share a table row; `col` picks the column. An empty
+  /// `row` defaults to the label; col == "*" means the single run's
+  /// value spans every column (flat lines such as Callback, which the
+  /// timeout sweep cannot affect). Point tables ignore both.
+  std::string row;
+  std::string col;
+  /// Optional catalog override (e.g. regrouped volumes); the workload's
+  /// events are replayed against it. Null = the workload's own catalog.
+  std::shared_ptr<const trace::Catalog> catalog;
+};
+
+/// One completed run, in spec order.
+struct SweepResult {
+  std::size_t index = 0;  // position in SweepSpec::points
+  std::string label;
+  std::string row;
+  std::string col;
+  stats::Metrics metrics;
+};
+
+/// A named metric column for row-per-point tables. The extractor sees
+/// the full result list so relative columns ("vs baseline") stay
+/// declarative.
+struct MetricColumn {
+  std::string name;
+  std::function<std::string(const SweepResult&,
+                            const std::vector<SweepResult>&)>
+      value;
+};
+
+struct SweepSpec {
+  /// Experiment name; prefixes worker log lines ("fig5/Lease(t) t=100").
+  std::string name;
+  /// Workload to build when runSweep() is not handed one explicitly.
+  WorkloadOptions workload;
+  std::vector<SweepPoint> points;
+
+  // -- metrics to extract (toTable uses whichever is set) --
+  /// Row-per-point tables: one table row per point, one column per
+  /// MetricColumn.
+  std::vector<MetricColumn> columns;
+  /// Grid tables: one value per run, pivoted by SweepPoint::row/col.
+  std::function<std::string(const stats::Metrics&)> gridCell;
+  /// Header of the grid's label column.
+  std::string gridRowHeader = "algorithm";
+  /// Header of the point table's label column.
+  std::string labelHeader = "algorithm";
+};
+
+struct ParallelOptions {
+  /// Worker threads; 0 = hardware concurrency.
+  unsigned threads = 0;
+};
+
+/// Run every point of `spec` against a shared, read-only `workload` and
+/// return the per-point metrics in spec order. Bit-for-bit deterministic
+/// regardless of `parallel.threads`.
+std::vector<SweepResult> runSweep(const SweepSpec& spec,
+                                  const Workload& workload,
+                                  const ParallelOptions& parallel = {});
+
+/// Convenience: builds spec.workload first (still shared across points).
+std::vector<SweepResult> runSweep(const SweepSpec& spec,
+                                  const ParallelOptions& parallel = {});
+
+/// Result lookup by label (CHECK-fails if absent: a typo in a bench is
+/// a bug, not a condition to handle).
+const SweepResult& resultFor(const std::vector<SweepResult>& results,
+                             const std::string& label);
+
+// ---- combinators ----
+
+/// A line of a timeout-sweep figure: one algorithm configuration whose
+/// objectTimeout the grid varies. sweepsTimeout = false marks lines the
+/// timeout cannot affect (Callback): they run once and span all columns.
+struct SweepLine {
+  std::string name;
+  proto::ProtocolConfig config;
+  bool sweepsTimeout = true;
+};
+
+/// The paper's algorithm x object-timeout grid (Figs. 5-7): for each
+/// line and each timeout t emits a point labeled "<name> t=<t>" at grid
+/// position (name, "t=<t>"), with config.objectTimeout = sec(t).
+std::vector<SweepPoint> timeoutGrid(const std::vector<SweepLine>& lines,
+                                    const std::vector<std::int64_t>& timeoutsSec,
+                                    SimOptions sim = {});
+
+/// Render results into the spec's declared table shape: a row/col pivot
+/// when spec.gridCell is set, otherwise a row-per-point table over
+/// spec.columns.
+Table toTable(const SweepSpec& spec, const std::vector<SweepResult>& results);
+
+// ---- shared bench flags ----
+
+/// Registers the flags every sweep binary shares: --scale, --seed,
+/// --threads (default 0 = hardware concurrency), --csv, --json.
+void addSweepFlags(Flags& flags, double defaultScale = 0.1);
+
+/// Just the runner/output flags (--threads, --csv, --json) for benches
+/// with a fixed, controlled workload (no --scale/--seed).
+void addRunnerFlags(Flags& flags);
+
+WorkloadOptions workloadFromFlags(const Flags& flags);
+ParallelOptions parallelFromFlags(const Flags& flags);
+
+/// Print `table` to stdout honoring --csv / --json.
+void emitTable(const Table& table, const Flags& flags);
+
+}  // namespace vlease::driver

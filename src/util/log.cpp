@@ -1,11 +1,17 @@
 #include "util/log.h"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
+#include <utility>
 
 namespace vlease {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_sinkMutex;
+thread_local std::string t_context;
+
 const char* levelName(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
@@ -21,12 +27,28 @@ const char* levelName(LogLevel level) {
 }
 }  // namespace
 
-void setLogLevel(LogLevel level) { g_level = level; }
-LogLevel logLevel() { return g_level; }
+void setLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel logLevel() { return g_level.load(std::memory_order_relaxed); }
+
+LogContext::LogContext(std::string label) : previous_(std::move(t_context)) {
+  t_context = std::move(label);
+}
+
+LogContext::~LogContext() { t_context = std::move(previous_); }
+
+const std::string& LogContext::current() { return t_context; }
 
 namespace detail {
 void logLine(LogLevel level, const std::string& msg) {
-  std::fprintf(stderr, "[%s] %s\n", levelName(level), msg.c_str());
+  std::lock_guard<std::mutex> lock(g_sinkMutex);
+  if (t_context.empty()) {
+    std::fprintf(stderr, "[%s] %s\n", levelName(level), msg.c_str());
+  } else {
+    std::fprintf(stderr, "[%s] [%s] %s\n", levelName(level),
+                 t_context.c_str(), msg.c_str());
+  }
 }
 }  // namespace detail
 

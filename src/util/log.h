@@ -1,5 +1,11 @@
 // Leveled logging. Off by default above kWarn so simulation hot paths
 // stay quiet; examples turn on kInfo to narrate protocol activity.
+//
+// Thread safety: the level is atomic and each line is emitted under a
+// mutex, so interleaved parallel sweep runs never tear lines. A worker
+// running one sweep point installs a LogContext; every line it logs is
+// then prefixed with the point's label so parallel output stays
+// attributable.
 #pragma once
 
 #include <sstream>
@@ -12,6 +18,24 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 /// Global threshold; messages below it are discarded.
 void setLogLevel(LogLevel level);
 LogLevel logLevel();
+
+/// Scoped, thread-local log label. While alive, every log line emitted
+/// from this thread carries "[label]" after the level. Nested contexts
+/// restore the enclosing label on destruction.
+class LogContext {
+ public:
+  explicit LogContext(std::string label);
+  ~LogContext();
+
+  LogContext(const LogContext&) = delete;
+  LogContext& operator=(const LogContext&) = delete;
+
+  /// The calling thread's current label ("" when none is installed).
+  static const std::string& current();
+
+ private:
+  std::string previous_;
+};
 
 namespace detail {
 void logLine(LogLevel level, const std::string& msg);

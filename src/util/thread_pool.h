@@ -1,0 +1,73 @@
+// Fixed-size worker pool for embarrassingly parallel work (the sweep
+// runner's independent simulation runs).
+//
+// Guarantees:
+//   * tasks are dispatched FIFO (a single-worker pool runs them in
+//     submission order);
+//   * submit() returns a future carrying the task's result or its
+//     exception, so workers never swallow failures;
+//   * the destructor drains every queued task before joining (pools are
+//     scoped to one batch of work; nothing is dropped on shutdown).
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "util/check.h"
+
+namespace vlease::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least one).
+  explicit ThreadPool(unsigned threads);
+
+  /// Drains the queue, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Queue `fn` for execution. The returned future resolves with fn's
+  /// return value, or rethrows whatever fn threw.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      VL_CHECK_MSG(!stopping_, "submit() on a stopping ThreadPool");
+      queue_.push([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// Number of hardware threads, with a sane fallback when the runtime
+  /// cannot tell (hardware_concurrency() may return 0).
+  static unsigned defaultThreads() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+  }
+
+ private:
+  void workerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace vlease::util

@@ -3,18 +3,19 @@
 // messages, bytes, per-type breakdown, staleness, write delays, and the
 // consistency state / load at the busiest servers.
 //
+// Internally this is a one-point driver::Sweep; the same SweepSpec with
+// more points is what the bench binaries run.
+//
 //   $ vlease_sim --algorithm delay --t 100000 --tv 100
 //   $ vlease_sim --trace trace.vlt --algorithm lease --t 100 --csv
 //   $ vlease_sim --algorithm volume --latency-ms 40 --loss 0.01
 #include <cstdio>
-#include <cstring>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <vector>
 
-#include "driver/report.h"
-#include "driver/simulation.h"
-#include "driver/workloads.h"
+#include "driver/sweep.h"
 #include "net/message.h"
 #include "trace/trace_io.h"
 #include "util/flags.h"
@@ -59,11 +60,9 @@ int main(int argc, char** argv) {
                              "(best-effort only)");
   flags.addInt("latency-ms", 0, "one-way network latency, milliseconds");
   flags.addDouble("loss", 0.0, "message loss probability");
-  flags.addDouble("scale", 0.1, "generated-workload scale");
-  flags.addInt("seed", 1998, "generated-workload seed");
   flags.addBool("bursty", false, "generated bursty-write workload");
   flags.addInt("top", 3, "report state/load for the top-K servers");
-  flags.addBool("csv", false, "CSV summary only");
+  driver::addSweepFlags(flags);  // --scale --seed --threads --csv --json
   if (!flags.parse(argc, argv)) return 1;
 
   auto algorithm = parseAlgorithm(flags.getString("algorithm"));
@@ -74,30 +73,27 @@ int main(int argc, char** argv) {
   }
 
   // ---- load or generate the workload ----
-  std::optional<trace::TraceFile> loaded;
-  std::optional<driver::Workload> generated;
-  const trace::Catalog* catalog = nullptr;
-  const std::vector<trace::TraceEvent>* events = nullptr;
-  if (!flags.getString("trace").empty()) {
-    std::string error;
-    loaded = trace::readTraceFromFile(flags.getString("trace"), &error);
-    if (!loaded) {
-      std::fprintf(stderr, "error: %s\n", error.c_str());
-      return 1;
+  auto makeWorkload = [&]() -> std::optional<driver::Workload> {
+    if (!flags.getString("trace").empty()) {
+      std::string error;
+      auto loaded = trace::readTraceFromFile(flags.getString("trace"), &error);
+      if (!loaded) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return std::nullopt;
+      }
+      return driver::Workload{std::move(loaded->catalog),
+                              std::move(loaded->events), 0, 0, {}};
     }
-    catalog = &loaded->catalog;
-    events = &loaded->events;
-  } else {
-    driver::WorkloadOptions opts;
-    opts.scale = flags.getDouble("scale");
-    opts.seed = static_cast<std::uint64_t>(flags.getInt("seed"));
+    driver::WorkloadOptions opts = driver::workloadFromFlags(flags);
     opts.burstyWrites = flags.getBool("bursty");
-    generated = driver::buildWorkload(opts);
-    catalog = &generated->catalog;
-    events = &generated->events;
-  }
+    return driver::buildWorkload(opts);
+  };
+  std::optional<driver::Workload> maybeWorkload = makeWorkload();
+  if (!maybeWorkload) return 1;
+  driver::Workload& workload = *maybeWorkload;
+  const trace::Catalog& catalog = workload.catalog;
 
-  // ---- configure and run ----
+  // ---- declare the (single-point) sweep and run it ----
   proto::ProtocolConfig config;
   config.algorithm = *algorithm;
   config.objectTimeout = sec(flags.getInt("t"));
@@ -112,31 +108,38 @@ int main(int argc, char** argv) {
   config.bestEffortRetries = static_cast<int>(flags.getInt("retries"));
 
   driver::SimOptions simOpts;
+  simOpts.networkLatency = msec(flags.getInt("latency-ms"));
+  simOpts.lossProbability = flags.getDouble("loss");
   simOpts.trackServerLoad = true;
-  driver::Simulation sim(*catalog, config, simOpts);
-  sim.network().setLatency(msec(flags.getInt("latency-ms")));
-  sim.network().failures().setLossProbability(flags.getDouble("loss"));
-  stats::Metrics& m = sim.run(*events);
+
+  driver::SweepSpec spec;
+  spec.name = "vlsim";
+  spec.points.push_back(
+      {proto::algorithmName(*algorithm), config, simOpts, "", "", nullptr});
+
+  const auto results =
+      driver::runSweep(spec, workload, driver::parallelFromFlags(flags));
+  const stats::Metrics& m = results.front().metrics;
 
   // ---- report ----
-  if (flags.getBool("csv")) {
-    std::printf(
-        "algorithm,t,tv,messages,bytes,reads,cacheLocal,stale,failed,"
-        "writes,delayed,blocked,maxDelaySec\n");
-    std::printf(
-        "%s,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%.3f\n",
-        proto::algorithmName(*algorithm),
-        static_cast<long long>(flags.getInt("t")),
-        static_cast<long long>(flags.getInt("tv")),
-        static_cast<long long>(m.totalMessages()),
-        static_cast<long long>(m.totalBytes()),
-        static_cast<long long>(m.reads()),
-        static_cast<long long>(m.cacheLocalReads()),
-        static_cast<long long>(m.staleReads()),
-        static_cast<long long>(m.failedReads()),
-        static_cast<long long>(m.writes()),
-        static_cast<long long>(m.delayedWrites()),
-        static_cast<long long>(m.blockedWrites()), m.writeDelay().max());
+  if (flags.getBool("csv") || flags.getBool("json")) {
+    driver::Table summary(
+        {"algorithm", "t", "tv", "messages", "bytes", "reads", "cacheLocal",
+         "stale", "failed", "writes", "delayed", "blocked", "maxDelaySec"});
+    summary.addRow({proto::algorithmName(*algorithm),
+                    driver::Table::num(flags.getInt("t")),
+                    driver::Table::num(flags.getInt("tv")),
+                    driver::Table::num(m.totalMessages()),
+                    driver::Table::num(m.totalBytes()),
+                    driver::Table::num(m.reads()),
+                    driver::Table::num(m.cacheLocalReads()),
+                    driver::Table::num(m.staleReads()),
+                    driver::Table::num(m.failedReads()),
+                    driver::Table::num(m.writes()),
+                    driver::Table::num(m.delayedWrites()),
+                    driver::Table::num(m.blockedWrites()),
+                    driver::Table::num(m.writeDelay().max(), 3)});
+    driver::emitTable(summary, flags);
     return 0;
   }
 
@@ -148,8 +151,8 @@ int main(int argc, char** argv) {
               static_cast<long long>(flags.getInt("tv")), dText.c_str());
   std::printf("trace: %zu objects / %zu volumes / %u servers / %u clients, "
               "horizon %s\n",
-              catalog->numObjects(), catalog->numVolumes(),
-              catalog->numServers(), catalog->numClients(),
+              catalog.numObjects(), catalog.numVolumes(),
+              catalog.numServers(), catalog.numClients(),
               formatSimTime(m.horizon()).c_str());
   std::printf("\nmessages: %lld total, %lld bytes, %lld dropped\n",
               static_cast<long long>(m.totalMessages()),
@@ -183,7 +186,7 @@ int main(int argc, char** argv) {
   auto order = m.nodesByTraffic();
   std::size_t shown = 0;
   for (NodeId node : order) {
-    if (!catalog->isServer(node)) continue;
+    if (!catalog.isServer(node)) continue;
     busiest.addRow({std::to_string(raw(node)),
                     driver::Table::num(m.node(node).messages()),
                     driver::Table::num(m.avgStateBytes(node), 1),
