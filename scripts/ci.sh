@@ -1,8 +1,15 @@
 #!/usr/bin/env bash
-# Tier-1 verify line: configure, build, run the full test suite.
+# Tier-1 verify line: configure, build, run the full test suite, then a
+# chaos smoke -- the consistency oracle must find nothing under low-
+# intensity seeded faults (vlease_chaos exits non-zero on any violation).
+#
+# Set VLEASE_SANITIZE=ON in the environment to build the whole tree
+# under AddressSanitizer + UBSan.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -S .
+cmake -B build -S . -DVLEASE_SANITIZE=${VLEASE_SANITIZE:-OFF}
 cmake --build build -j
-cd build && ctest --output-on-failure -j
+(cd build && ctest --output-on-failure -j)
+
+build/tools/vlease_chaos --seeds 8 --intensity low

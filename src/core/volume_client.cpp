@@ -27,6 +27,16 @@ Epoch VolumeClient::knownEpoch(VolumeId vol) const {
   return it == volumes_.end() ? 0 : it->second.epoch;
 }
 
+proto::ClientNode::CacheView VolumeClient::cacheView(ObjectId obj,
+                                                     SimTime now) const {
+  // Mirrors read(): a local hit needs BOTH a valid object lease and a
+  // valid lease on the enclosing volume.
+  if (!volumeValid(ctx_.catalog.object(obj).volume, now)) return {};
+  const CacheEntry* entry = cache_.find(obj);
+  if (entry == nullptr || !entry->valid(now)) return {};
+  return {true, entry->version};
+}
+
 void VolumeClient::dropCache() {
   cache_.clear();
   volumes_.clear();
@@ -194,7 +204,9 @@ void VolumeClient::handleObjGrant(const net::Message& msg) {
 
 void VolumeClient::handleInvalidate(const net::Message& msg) {
   const auto& inval = std::get<net::Invalidate>(msg.payload);
-  cache_.entry(inval.obj).invalidate();
+  if (!config_.faultInjectIgnoreInvalidations) {
+    cache_.entry(inval.obj).invalidate();
+  }
   ctx_.transport.send(
       net::Message{id(), msg.from, net::AckInvalidate{inval.obj}});
   // A read that was waiting on this object must now re-fetch it.
@@ -220,8 +232,10 @@ void VolumeClient::handleMustRenewAll(const net::Message& msg) {
 
 void VolumeClient::handleBatch(const net::Message& msg) {
   const auto& batch = std::get<net::BatchInvalRenew>(msg.payload);
-  for (ObjectId obj : batch.invalidate) {
-    cache_.entry(obj).invalidate();
+  if (!config_.faultInjectIgnoreInvalidations) {
+    for (ObjectId obj : batch.invalidate) {
+      cache_.entry(obj).invalidate();
+    }
   }
   const SimTime now = ctx_.scheduler.now();
   for (const auto& renewal : batch.renew) {

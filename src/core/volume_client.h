@@ -31,6 +31,7 @@ class VolumeClient final : public proto::ClientNode {
   void read(ObjectId obj, proto::ReadCallback cb) override;
   void dropCache() override;
   void deliver(const net::Message& msg) override;
+  CacheView cacheView(ObjectId obj, SimTime now) const override;
 
   // ---- test hooks ----
   bool hasValidVolumeLease(VolumeId vol) const;

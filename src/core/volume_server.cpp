@@ -461,6 +461,7 @@ void VolumeServer::startWrite(ObjectId obj, WriteCallback cb,
   }
 
   std::vector<NodeId> immediate;
+  SimTime skipBound = kSimTimeMin;
   for (auto& [client, record] : st.holders) {
     if (record.expire <= now) continue;  // lease expired
 
@@ -471,7 +472,16 @@ void VolumeServer::startWrite(ObjectId obj, WriteCallback cb,
     // renewal + eventual volume grant would let it read stale data.
     const bool midSession = findSession(client, volId) != nullptr;
     if (!midSession && v.unreachable.count(client) > 0) {
-      continue;  // paper: skip unreachable clients
+      // Paper: do not contact unreachable clients -- but do not stop
+      // waiting for them either. One that still holds a valid volume
+      // lease can serve this object until min(volume, object) expiry,
+      // so the commit may not happen before that instant.
+      auto vIt = v.holders.find(client);
+      if (vIt != v.holders.end() && vIt->second.expire > now) {
+        skipBound =
+            std::max(skipBound, std::min(vIt->second.expire, record.expire));
+      }
+      continue;
     }
 
     if (mode_ == InvalidationMode::kImmediate || midSession) {
@@ -502,7 +512,7 @@ void VolumeServer::startWrite(ObjectId obj, WriteCallback cb,
         obj, now, addSat(inIt->second.volExpiredAt, config_.inactiveDiscard)});
   }
 
-  if (immediate.empty()) {
+  if (immediate.empty() && skipBound <= now) {
     ++st.version;
     ctx_.metrics.onWrite(now - requestedAt, false);
     if (cb) cb(WriteResult{now - requestedAt, false, st.version});
@@ -512,6 +522,7 @@ void VolumeServer::startWrite(ObjectId obj, WriteCallback cb,
   PendingWrite pw;
   pw.cb = std::move(cb);
   pw.requestedAt = requestedAt;
+  pw.skipBound = skipBound;
   pw.waiting.insert(immediate.begin(), immediate.end());
   for (NodeId c : immediate) {
     ctx_.transport.send(net::Message{id(), c, net::Invalidate{obj}});
@@ -520,9 +531,13 @@ void VolumeServer::startWrite(ObjectId obj, WriteCallback cb,
 
   // T_f = min(volume expiry, object expiry), floored by msgTimeout
   // (paper Fig. 3). Whichever lease family drains first unblocks us.
+  // skipBound <= leaseBound (each skipped client's expiries are under
+  // the aggregate maxima), so the timer also covers skipped clients.
+  // With nobody to contact, only the skipped clients' drain matters.
   const SimTime leaseBound = std::min(v.expire, st.expire);
   const SimTime deadline =
-      std::max(leaseBound, addSat(now, config_.msgTimeout));
+      immediate.empty() ? skipBound
+                        : std::max(leaseBound, addSat(now, config_.msgTimeout));
   auto [it, inserted] = pendingWrites_.emplace(obj, std::move(pw));
   VL_CHECK(inserted);
   it->second.timer =
@@ -605,7 +620,18 @@ void VolumeServer::handleAckInvalidate(const net::Message& msg) {
   PendingWrite& pw = it->second;
   if (pw.waiting.erase(msg.from) == 0) return;
   removeObjHolder(objState(ack.obj), msg.from);  // client dropped its copy
-  if (pw.waiting.empty()) commitWrite(ack.obj);
+  if (!pw.waiting.empty()) return;
+  const SimTime now = ctx_.scheduler.now();
+  if (now >= pw.skipBound) {
+    commitWrite(ack.obj);
+    return;
+  }
+  // Every contacted client acked, but a skipped Unreachable holder can
+  // still serve the old version until its leases drain; tighten the
+  // commit timer from the aggregate deadline down to that instant.
+  pw.timer.cancel();
+  pw.timer = ctx_.scheduler.scheduleAt(
+      pw.skipBound, [this, obj = ack.obj]() { commitWrite(obj); });
 }
 
 // ---------------------------------------------------------------------

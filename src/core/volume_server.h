@@ -112,6 +112,11 @@ class VolumeServer final : public proto::ServerNode {
     /// sent; at commit, holders whose object leases are still valid owe
     /// an invalidation via the pending-list / Unreachable machinery.
     bool byExpiry = false;
+    /// Holders skipped because they are Unreachable still gate the
+    /// commit until min(their volume expiry, their object expiry): an
+    /// unreachable client with both leases valid can serve reads, so
+    /// committing on acks alone would let it serve the old version.
+    SimTime skipBound = kSimTimeMin;
   };
   /// In-flight multi-step exchange with one client on one volume:
   /// reconnection (after MUST_RENEW_ALL) or pending-list flush.

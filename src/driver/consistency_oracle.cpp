@@ -1,0 +1,332 @@
+#include "driver/consistency_oracle.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+
+namespace vlease::driver {
+
+namespace {
+
+bool isStrongAlgorithm(proto::Algorithm a) {
+  switch (a) {
+    case proto::Algorithm::kCallback:
+    case proto::Algorithm::kLease:
+    case proto::Algorithm::kVolumeLease:
+    case proto::Algorithm::kVolumeDelayedInval:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::uint64_t pairKey(NodeId client, ObjectId obj) {
+  return (static_cast<std::uint64_t>(raw(client)) << 32) | raw(obj);
+}
+
+}  // namespace
+
+const char* violationKindName(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kStaleRead:
+      return "stale-read";
+    case ViolationKind::kCacheInconsistency:
+      return "cache-inconsistency";
+    case ViolationKind::kWriteDelayBound:
+      return "write-delay-bound";
+    case ViolationKind::kBlockedWrite:
+      return "blocked-write";
+    case ViolationKind::kLostWrite:
+      return "lost-write";
+  }
+  return "?";
+}
+
+ConsistencyOracle::ConsistencyOracle(const trace::Catalog& catalog,
+                                     const proto::ProtocolConfig& config,
+                                     stats::Metrics& metrics, Options options)
+    : catalog_(catalog),
+      config_(config),
+      metrics_(metrics),
+      options_(options),
+      strong_(isStrongAlgorithm(config.algorithm)) {
+  ring_.resize(std::max<std::size_t>(options_.ringCapacity, 1));
+}
+
+SimDuration ConsistencyOracle::writeWaitBase() const {
+  switch (config_.algorithm) {
+    case proto::Algorithm::kLease:
+    case proto::Algorithm::kBestEffortLease:
+      return config_.objectTimeout;
+    case proto::Algorithm::kVolumeLease:
+    case proto::Algorithm::kVolumeDelayedInval:
+      return std::min(config_.objectTimeout, config_.volumeTimeout);
+    default:
+      // Callback commits at the msgTimeout floor; Poll never waits.
+      return 0;
+  }
+}
+
+SimDuration ConsistencyOracle::recoveryBound() const {
+  switch (config_.algorithm) {
+    case proto::Algorithm::kLease:
+    case proto::Algorithm::kBestEffortLease:
+      // Gray & Cheriton: no writes until every possible lease expired.
+      return config_.objectTimeout;
+    case proto::Algorithm::kVolumeLease:
+    case proto::Algorithm::kVolumeDelayedInval:
+      // recoveryUntil = max volume expiry granted <= crash + t_v.
+      return config_.volumeTimeout;
+    default:
+      return 0;  // Callback recovers immediately (and is tainted)
+  }
+}
+
+bool ConsistencyOracle::callbackExempt(ObjectId obj) const {
+  if (config_.algorithm != proto::Algorithm::kCallback) return false;
+  if (taintedObjects_.count(obj) > 0) return true;
+  return taintedServers_.count(catalog_.object(obj).server) > 0;
+}
+
+// ---------------------------------------------------------------------
+// hooks
+// ---------------------------------------------------------------------
+
+void ConsistencyOracle::onRead(NodeId client, ObjectId obj,
+                               const proto::ReadResult& result,
+                               Version authoritative, SimTime now) {
+  if (!result.ok) {
+    record(now, "read FAILED client=" + std::to_string(raw(client)) +
+                    " obj=" + std::to_string(raw(obj)));
+    return;
+  }
+  const bool stale = result.version != authoritative;
+  record(now, "read client=" + std::to_string(raw(client)) + " obj=" +
+                  std::to_string(raw(obj)) + " v=" +
+                  std::to_string(result.version) +
+                  (stale ? " STALE (server v=" +
+                               std::to_string(authoritative) + ")"
+                         : ""));
+  if (!stale || !strong_) return;
+  if (callbackExempt(obj)) return;  // expected Callback breakage
+  reportViolation(
+      ViolationKind::kStaleRead, now,
+      "client " + std::to_string(raw(client)) + " read obj " +
+          std::to_string(raw(obj)) + " at version " +
+          std::to_string(result.version) + " but the server is at " +
+          std::to_string(authoritative));
+}
+
+void ConsistencyOracle::onWriteIssued(ObjectId obj, SimTime now) {
+  writes_[obj].outstanding.push_back(now);
+  record(now, "write issued obj=" + std::to_string(raw(obj)));
+}
+
+void ConsistencyOracle::onWriteComplete(ObjectId obj,
+                                        const proto::WriteResult& result,
+                                        SimTime now) {
+  WriteTrack& track = writes_[obj];
+  SimTime issuedAt = now;
+  if (!track.outstanding.empty()) {
+    issuedAt = track.outstanding.front();
+    track.outstanding.pop_front();
+  }
+  record(now, "write done obj=" + std::to_string(raw(obj)) + " v=" +
+                  std::to_string(result.newVersion) +
+                  (result.blocked ? " BLOCKED" : ""));
+
+  const NodeId server = catalog_.object(obj).server;
+  const ServerFaults* faults = nullptr;
+  auto fIt = serverFaults_.find(server);
+  if (fIt != serverFaults_.end()) faults = &fIt->second;
+
+  // Writes to one object serialize FIFO; a queued write's wait clock
+  // effectively restarts when its predecessor commits, so the window we
+  // bound starts at max(issue, previous completion).
+  const SimTime windowStart = std::max(issuedAt, track.lastCompletion);
+  track.lastCompletion = now;
+
+  if (result.blocked) {
+    if (config_.algorithm == proto::Algorithm::kCallback) {
+      // The simulator force-completed a write Callback wanted to block
+      // on forever: holders may now serve stale data. Expected breakage;
+      // taint instead of flagging.
+      taintedObjects_.insert(obj);
+      record(now, "callback taint obj=" + std::to_string(raw(obj)) +
+                      " (blocked write)");
+      return;
+    }
+    // The only legitimate source of a blocked result elsewhere is a
+    // crash force-completing in-flight writes at the crash instant.
+    if (faults != nullptr && faults->lastCrashAt == now) {
+      record(now, "write killed by crash of server " +
+                      std::to_string(raw(server)));
+      return;
+    }
+    reportViolation(ViolationKind::kBlockedWrite, now,
+                    "write to obj " + std::to_string(raw(obj)) +
+                        " reported blocked under " +
+                        proto::algorithmName(config_.algorithm) +
+                        " with no crash at completion time");
+    return;
+  }
+
+  const SimDuration grace =
+      faults == nullptr
+          ? 0
+          : std::max<SimDuration>(0, faults->graceEnd - windowStart);
+  const SimDuration allowed = addSat(
+      addSat(writeWaitBase(), config_.msgTimeout + options_.slack), grace);
+  const SimDuration waited = now - windowStart;
+  if (waited > allowed) {
+    reportViolation(
+        ViolationKind::kWriteDelayBound, now,
+        "write to obj " + std::to_string(raw(obj)) + " waited " +
+            formatSimTime(waited) + " > allowed " + formatSimTime(allowed) +
+            " (bound " + formatSimTime(writeWaitBase()) + " + msgTimeout " +
+            formatSimTime(config_.msgTimeout) + " + crash grace " +
+            formatSimTime(grace) + ")");
+  }
+}
+
+void ConsistencyOracle::onFault(const net::FaultEvent& event, SimTime now) {
+  record(now, "fault: " + formatFaultEvent(event));
+  switch (event.kind) {
+    case net::FaultEvent::Kind::kCrash:
+      crashedNow_.insert(event.a);
+      if (catalog_.isServer(event.a)) {
+        ServerFaults& f = serverFaults_[event.a];
+        f.everCrashed = true;
+        f.lastCrashAt = now;
+        f.graceEnd = std::max(f.graceEnd, addSat(now, recoveryBound()));
+        if (config_.algorithm == proto::Algorithm::kCallback) {
+          // Callback loses its callback lists with no recovery rule:
+          // every object on this server may now go stale silently.
+          taintedServers_.insert(event.a);
+        }
+        // A crash kills the server's in-flight and queued writes (some
+        // complete as blocked at this very instant, some die without a
+        // callback). Drop their issue records: pairing a later write's
+        // completion with a pre-crash issue time would inflate its
+        // apparent wait into a false delay-bound violation.
+        for (auto& [obj, track] : writes_) {
+          if (catalog_.object(obj).server != event.a) continue;
+          if (track.outstanding.empty()) continue;
+          record(now, "write tracking reset obj=" +
+                          std::to_string(raw(obj)) + " dropped=" +
+                          std::to_string(track.outstanding.size()) +
+                          " (server crash)");
+          track.outstanding.clear();
+        }
+      }
+      break;
+    case net::FaultEvent::Kind::kRecover:
+      crashedNow_.erase(event.a);
+      break;
+    default:
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------
+// audits
+// ---------------------------------------------------------------------
+
+void ConsistencyOracle::audit(proto::ProtocolInstance& protocol, SimTime now) {
+  if (!strong_) return;
+  for (std::uint32_t ci = 0; ci < catalog_.numClients(); ++ci) {
+    const NodeId clientId = catalog_.clientNode(ci);
+    if (crashedNow_.count(clientId) > 0) continue;  // RAM is gone anyway
+    const proto::ClientNode& client = *protocol.clients[ci];
+    for (const trace::ObjectInfo& info : catalog_.objects()) {
+      const auto view = client.cacheView(info.id, now);
+      if (!view.wouldServe) continue;
+      const Version actual =
+          protocol.serverFor(catalog_, info.id).currentVersion(info.id);
+      if (view.version == actual) continue;
+      if (callbackExempt(info.id)) continue;
+      if (!auditFlagged_.insert(pairKey(clientId, info.id)).second) continue;
+      reportViolation(
+          ViolationKind::kCacheInconsistency, now,
+          "client " + std::to_string(raw(clientId)) +
+              " would serve obj " + std::to_string(raw(info.id)) +
+              " at version " + std::to_string(view.version) +
+              " under valid leases but the server is at " +
+              std::to_string(actual));
+    }
+  }
+}
+
+void ConsistencyOracle::finalAudit(proto::ProtocolInstance& protocol,
+                                   SimTime now) {
+  audit(protocol, now);
+  for (const auto& [obj, track] : writes_) {
+    if (track.outstanding.empty()) continue;
+    const NodeId server = catalog_.object(obj).server;
+    auto fIt = serverFaults_.find(server);
+    if (fIt != serverFaults_.end() && fIt->second.everCrashed) {
+      // Crashes kill in-flight and queued writes; that is modeled
+      // behavior, not a bug.
+      record(now, "writes lost to crash obj=" + std::to_string(raw(obj)) +
+                      " count=" + std::to_string(track.outstanding.size()));
+      continue;
+    }
+    reportViolation(ViolationKind::kLostWrite, now,
+                    std::to_string(track.outstanding.size()) +
+                        " write(s) to obj " + std::to_string(raw(obj)) +
+                        " never completed and server " +
+                        std::to_string(raw(server)) + " never crashed");
+  }
+}
+
+// ---------------------------------------------------------------------
+// reporting
+// ---------------------------------------------------------------------
+
+void ConsistencyOracle::record(SimTime at, std::string text) {
+  ring_[ringNext_] = formatSimTime(at) + " " + std::move(text);
+  ringNext_ = (ringNext_ + 1) % ring_.size();
+  if (ringNext_ == 0) ringWrapped_ = true;
+}
+
+std::string ConsistencyOracle::dumpRing() const {
+  std::string out;
+  const std::size_t n = ringWrapped_ ? ring_.size() : ringNext_;
+  const std::size_t start = ringWrapped_ ? ringNext_ : 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out += "\n    ";
+    out += ring_[(start + i) % ring_.size()];
+  }
+  return out;
+}
+
+void ConsistencyOracle::reportViolation(ViolationKind kind, SimTime now,
+                                        const std::string& detail) {
+  ++counts_[static_cast<std::size_t>(kind)];
+  ++total_;
+  metrics_.onOracleViolation();
+  record(now, std::string("VIOLATION ") + violationKindName(kind) + ": " +
+                  detail);
+  if (dumpsEmitted_ >= options_.maxDumps) return;
+  ++dumpsEmitted_;
+  VL_LOG_WARN << "consistency violation [" << violationKindName(kind)
+              << "] at " << formatSimTime(now) << " under "
+              << proto::algorithmName(config_.algorithm) << ": " << detail
+              << "\n  last " << (ringWrapped_ ? ring_.size() : ringNext_)
+              << " events:" << dumpRing();
+}
+
+std::string ConsistencyOracle::summary() const {
+  if (total_ == 0) return "ok";
+  std::string out;
+  for (std::size_t k = 0; k < kNumViolationKinds; ++k) {
+    if (counts_[k] == 0) continue;
+    if (!out.empty()) out += " ";
+    out += violationKindName(static_cast<ViolationKind>(k));
+    out += ":";
+    out += std::to_string(counts_[k]);
+  }
+  return out;
+}
+
+}  // namespace vlease::driver

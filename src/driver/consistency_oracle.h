@@ -1,0 +1,179 @@
+// Online consistency oracle for chaos runs.
+//
+// The oracle shadows a simulation with ground truth and checks, while
+// the run is still going, that the algorithm under test delivers the
+// consistency it promises *under the faults actually injected*:
+//
+//   * kStaleRead -- a server-invalidation algorithm (Callback, Lease,
+//     Volume, VolumeDelay) served a read whose version differs from the
+//     server's authoritative version at completion time.
+//   * kCacheInconsistency -- the periodic whole-cache audit found a
+//     client that WOULD serve an object locally (valid lease(s)) with a
+//     version different from the server's. This is the invariant the
+//     lease protocols maintain at every instant: a server only commits
+//     a write after every holder acked or every covering lease drained,
+//     so a valid-lease cache entry must always match. It also catches a
+//     reconnection exchange that left the cache inconsistent.
+//   * kWriteDelayBound -- a write waited longer than the paper's ack
+//     bound min(t, t_v) (t for Lease) plus msgTimeout, plus a crash-
+//     recovery allowance when the owning server rebooted.
+//   * kBlockedWrite -- a non-Callback write reported blocked (only a
+//     crash, which force-completes in-flight writes, may do that).
+//   * kLostWrite -- a write was issued but never completed and the
+//     owning server never crashed (crashes legitimately kill in-flight
+//     writes; anything else losing one is a protocol bug).
+//
+// Expected-breakage exemptions (so a clean protocol yields ZERO
+// violations even under heavy chaos): Callback is genuinely broken by
+// crashes and by force-completed blocked writes -- the paper counts
+// that against it -- so the oracle taints the affected objects instead
+// of flagging them. The fault-injection flag
+// ProtocolConfig::faultInjectIgnoreInvalidations gets NO exemption:
+// it exists precisely to prove the oracle fires.
+//
+// On each violation the oracle dumps the last-K events (reads, writes,
+// faults) from a ring buffer via VL_LOG_WARN, capped so a pathological
+// run cannot flood the log. The total lands in
+// stats::Metrics::oracleViolations(), which sweeps and tools export.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/fault_plan.h"
+#include "proto/protocol.h"
+#include "stats/metrics.h"
+#include "trace/catalog.h"
+#include "util/time.h"
+
+namespace vlease::driver {
+
+enum class ViolationKind {
+  kStaleRead = 0,
+  kCacheInconsistency,
+  kWriteDelayBound,
+  kBlockedWrite,
+  kLostWrite,
+};
+inline constexpr std::size_t kNumViolationKinds = 5;
+
+const char* violationKindName(ViolationKind kind);
+
+class ConsistencyOracle {
+ public:
+  struct Options {
+    /// Period of the whole-cache audit (Simulation schedules it).
+    SimDuration auditPeriod = sec(30);
+    /// Events kept for post-mortem dumps.
+    std::size_t ringCapacity = 64;
+    /// Tolerance added to the write-delay bound (timer granularity and
+    /// same-instant scheduling are exact here, but keep the check
+    /// honest rather than knife-edge).
+    SimDuration slack = sec(1);
+    /// Full ring dumps emitted per run before going quiet.
+    int maxDumps = 4;
+  };
+
+  ConsistencyOracle(const trace::Catalog& catalog,
+                    const proto::ProtocolConfig& config,
+                    stats::Metrics& metrics, Options options);
+  ConsistencyOracle(const trace::Catalog& catalog,
+                    const proto::ProtocolConfig& config,
+                    stats::Metrics& metrics)
+      : ConsistencyOracle(catalog, config, metrics, Options{}) {}
+
+  /// Staleness/cache checks apply only to the server-invalidation
+  /// algorithms; write-delay and lost-write checks always apply.
+  bool checksStaleness() const { return strong_; }
+
+  // ---- hooks (driver::Simulation calls these) ----
+
+  /// A read completed. `authoritative` is the server's version at
+  /// completion (ignored when !result.ok).
+  void onRead(NodeId client, ObjectId obj, const proto::ReadResult& result,
+              Version authoritative, SimTime now);
+  void onWriteIssued(ObjectId obj, SimTime now);
+  void onWriteComplete(ObjectId obj, const proto::WriteResult& result,
+                       SimTime now);
+  /// A fault-plan event fired (called before it is applied).
+  void onFault(const net::FaultEvent& event, SimTime now);
+
+  /// Instant-by-instant invariant: every client cache entry that would
+  /// be served under valid leases matches the server's version.
+  void audit(proto::ProtocolInstance& protocol, SimTime now);
+  /// End of run: one last audit plus the lost-write sweep.
+  void finalAudit(proto::ProtocolInstance& protocol, SimTime now);
+
+  // ---- verdict ----
+
+  std::int64_t violations() const { return total_; }
+  std::int64_t violations(ViolationKind kind) const {
+    return counts_[static_cast<std::size_t>(kind)];
+  }
+  /// "ok" or a per-kind breakdown ("stale-read:3 lost-write:1").
+  std::string summary() const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct WriteTrack {
+    std::deque<SimTime> outstanding;  // issue times, FIFO
+    SimTime lastCompletion = kSimTimeMin;
+  };
+  struct ServerFaults {
+    bool everCrashed = false;
+    SimTime lastCrashAt = kSimTimeMin;
+    /// Latest instant by which post-crash recovery waits must be over:
+    /// max over crashes of (crashAt + recovery bound).
+    SimTime graceEnd = kSimTimeMin;
+  };
+
+  /// Longest a write may legitimately wait before the msgTimeout floor
+  /// (paper Fig. 3 / §2.3): min(t, t_v) for volume algorithms, t for
+  /// Lease and BestEffort, 0 for Callback and the Poll family.
+  SimDuration writeWaitBase() const;
+  /// How long after a crash the server may keep delaying writes.
+  SimDuration recoveryBound() const;
+  /// Callback-only: staleness of `obj` is expected breakage (blocked
+  /// write tainted it, or its server crashed).
+  bool callbackExempt(ObjectId obj) const;
+
+  void record(SimTime at, std::string text);
+  void reportViolation(ViolationKind kind, SimTime now,
+                       const std::string& detail);
+  std::string dumpRing() const;
+
+  const trace::Catalog& catalog_;
+  const proto::ProtocolConfig config_;
+  stats::Metrics& metrics_;
+  const Options options_;
+  const bool strong_;
+
+  std::unordered_map<ObjectId, WriteTrack> writes_;
+  std::unordered_map<NodeId, ServerFaults> serverFaults_;
+  std::unordered_set<NodeId> crashedNow_;
+
+  // Callback expected-breakage taints.
+  std::unordered_set<ObjectId> taintedObjects_;
+  std::unordered_set<NodeId> taintedServers_;
+
+  /// (client, obj) pairs already flagged by the audit, so a persistent
+  /// mismatch counts once instead of once per audit tick.
+  std::unordered_set<std::uint64_t> auditFlagged_;
+
+  // Ring buffer of recent events.
+  std::vector<std::string> ring_;
+  std::size_t ringNext_ = 0;
+  bool ringWrapped_ = false;
+
+  std::array<std::int64_t, kNumViolationKinds> counts_{};
+  std::int64_t total_ = 0;
+  int dumpsEmitted_ = 0;
+};
+
+}  // namespace vlease::driver

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "driver/consistency_oracle.h"
 #include "util/check.h"
 
 namespace vlease::driver {
@@ -13,7 +14,7 @@ Simulation::Simulation(const trace::Catalog& catalog,
       network_(std::make_unique<net::SimNetwork>(scheduler_, metrics_)),
       ctx_{scheduler_, *network_, metrics_, catalog_},
       protocol_(core::makeProtocol(config, ctx_)),
-      options_(options) {
+      options_(std::move(options)) {
   network_->setLatency(options_.networkLatency);
   network_->failures().setLossProbability(options_.lossProbability);
   if (options_.trackServerLoad) {
@@ -21,28 +22,130 @@ Simulation::Simulation(const trace::Catalog& catalog,
       metrics_.trackLoad(catalog_.serverNode(s));
     }
   }
+  if (options_.enableOracle) {
+    ConsistencyOracle::Options oracleOptions;
+    oracleOptions.auditPeriod = options_.oracleAuditPeriod;
+    oracle_ = std::make_unique<ConsistencyOracle>(catalog_, config, metrics_,
+                                                  oracleOptions);
+    scheduleAudit();
+  }
+  if (options_.faultPlan != nullptr) installFaultPlan(*options_.faultPlan);
 }
 
 Simulation::~Simulation() = default;
 
+void Simulation::installFaultPlan(const net::FaultPlan& plan) {
+  faultTimers_.reserve(plan.size());
+  for (const net::FaultEvent& event : plan.events()) {
+    faultTimers_.push_back(scheduler_.scheduleAt(
+        event.at, [this, event]() { applyFault(event); }));
+  }
+}
+
+void Simulation::applyFault(const net::FaultEvent& event) {
+  if (oracle_) oracle_->onFault(event, scheduler_.now());
+  net::FailureModel& failures = network_->failures();
+  using Kind = net::FaultEvent::Kind;
+  switch (event.kind) {
+    case Kind::kCrash:
+      failures.crash(event.a);
+      if (catalog_.isServer(event.a)) {
+        // Volatile lease state dies with the process; the recovery
+        // bookkeeping (recoveryUntil, epoch bump) is anchored at the
+        // crash instant, matching the paper's stable-storage scheme.
+        protocol_.servers[raw(event.a)]->crashAndReboot();
+      }
+      break;
+    case Kind::kRecover:
+      failures.recover(event.a);
+      if (catalog_.isClient(event.a)) {
+        // A rebooted client comes back with a cold cache.
+        protocol_.client(catalog_, event.a).dropCache();
+      }
+      break;
+    case Kind::kPartition:
+      failures.partition(event.a, event.b);
+      break;
+    case Kind::kHeal:
+      failures.heal(event.a, event.b);
+      break;
+    case Kind::kIsolate:
+      failures.isolate(event.a);
+      break;
+    case Kind::kDeisolate:
+      failures.deisolate(event.a);
+      break;
+    case Kind::kSetLoss:
+      failures.setLossProbability(event.lossProb);
+      break;
+  }
+}
+
+void Simulation::scheduleAudit() {
+  // Rescheduling is gated on finished_: finish() must be able to drain
+  // the scheduler, and a timer that always re-arms itself would keep
+  // the queue nonempty forever.
+  auditTimer_ =
+      scheduler_.scheduleAfter(options_.oracleAuditPeriod, [this]() {
+        oracle_->audit(protocol_, scheduler_.now());
+        if (!finished_) scheduleAudit();
+      });
+}
+
+std::size_t Simulation::pendingFaultEvents() const {
+  std::size_t n = 0;
+  for (const sim::TimerHandle& timer : faultTimers_) {
+    if (timer.pending()) ++n;
+  }
+  return n;
+}
+
 void Simulation::issueRead(NodeId client, ObjectId obj,
                            proto::ReadCallback extra) {
+  if (options_.faultPlan != nullptr &&
+      network_->failures().isCrashed(client)) {
+    // A crashed client issues nothing; the trace event is a dead read.
+    metrics_.onReadFailed();
+    if (extra) extra(proto::ReadResult{});
+    return;
+  }
   proto::ClientNode& node = protocol_.client(catalog_, client);
   proto::ServerNode& server = protocol_.serverFor(catalog_, obj);
-  node.read(obj, [this, &server, obj, extra = std::move(extra)](
+  node.read(obj, [this, &server, client, obj, extra = std::move(extra)](
                      const proto::ReadResult& result) {
     if (result.ok) {
       const Version actual = server.currentVersion(obj);
       metrics_.onRead(result.usedNetwork, result.version != actual);
+      if (oracle_) {
+        oracle_->onRead(client, obj, result, actual, scheduler_.now());
+      }
     } else {
       metrics_.onReadFailed();
+      if (oracle_) {
+        oracle_->onRead(client, obj, result, kNoVersion, scheduler_.now());
+      }
     }
     if (extra) extra(result);
   });
 }
 
 void Simulation::issueWrite(ObjectId obj, proto::WriteCallback extra) {
-  protocol_.serverFor(catalog_, obj).write(obj, std::move(extra));
+  if (options_.faultPlan != nullptr &&
+      network_->failures().isCrashed(catalog_.object(obj).server)) {
+    // The home server is down; the write never happens.
+    return;
+  }
+  if (!oracle_) {
+    protocol_.serverFor(catalog_, obj).write(obj, std::move(extra));
+    return;
+  }
+  oracle_->onWriteIssued(obj, scheduler_.now());
+  protocol_.serverFor(catalog_, obj)
+      .write(obj, [this, obj, extra = std::move(extra)](
+                      const proto::WriteResult& result) {
+        oracle_->onWriteComplete(obj, result, scheduler_.now());
+        if (extra) extra(result);
+      });
 }
 
 void Simulation::inject(const trace::TraceEvent& event) {
@@ -62,13 +165,19 @@ void Simulation::drainTo(SimTime t) { scheduler_.runUntil(t); }
 void Simulation::finish() {
   VL_CHECK_MSG(!finished_, "Simulation::finish() called twice");
   finished_ = true;
-  scheduler_.run();  // drain in-flight writes/timers
+  // The audit timer re-arms itself; cancel it or run() never drains.
+  // Fault timers are left in place: random plans close every window by
+  // their horizon, so draining them ends the run with a healed network
+  // (and applies recoveries, whose cache drops the oracle relies on).
+  auditTimer_.cancel();
+  scheduler_.run();  // drain in-flight writes/timers/fault events
   const SimTime horizon =
       options_.horizon > 0
           ? options_.horizon
           : std::max(lastEventTime_, scheduler_.now());
   metrics_.setHorizon(horizon);
   protocol_.finalizeAccounting(horizon);
+  if (oracle_) oracle_->finalAudit(protocol_, scheduler_.now());
 }
 
 stats::Metrics& Simulation::run(const std::vector<trace::TraceEvent>& events) {

@@ -8,6 +8,14 @@
 // semantics while remaining a genuinely event-driven system (timers and
 // delayed messages interleave correctly when latency or failures are
 // configured).
+//
+// Chaos support: SimOptions can carry a net::FaultPlan -- every event of
+// the plan becomes a cancellable timer that mutates the network's
+// FailureModel (and crashes/reboots the protocol endpoint itself: a
+// server loses its volatile lease state at the crash instant, a client
+// comes back with a cold cache) -- and can enable the online
+// ConsistencyOracle, which audits reads, writes, and cached state
+// against ground truth while the faults play out.
 #pragma once
 
 #include <functional>
@@ -15,6 +23,7 @@
 #include <vector>
 
 #include "core/factory.h"
+#include "net/fault_plan.h"
 #include "net/sim_network.h"
 #include "proto/protocol.h"
 #include "sim/scheduler.h"
@@ -23,6 +32,8 @@
 #include "trace/events.h"
 
 namespace vlease::driver {
+
+class ConsistencyOracle;
 
 struct SimOptions {
   /// One-way message latency (0 = the paper's sequential model).
@@ -33,6 +44,13 @@ struct SimOptions {
   bool trackServerLoad = false;
   /// Accounting horizon; 0 = time of the last trace event.
   SimTime horizon = 0;
+  /// Declarative fault timeline scheduled against the sim clock (null =
+  /// no injected faults). Shared const so sweep points copy cheaply.
+  std::shared_ptr<const net::FaultPlan> faultPlan;
+  /// Run the online ConsistencyOracle alongside the workload.
+  bool enableOracle = false;
+  /// Period of the oracle's whole-cache audit.
+  SimDuration oracleAuditPeriod = sec(30);
 };
 
 class Simulation {
@@ -57,6 +75,11 @@ class Simulation {
   proto::ProtocolInstance& protocol() { return protocol_; }
   const trace::Catalog& catalog() const { return catalog_; }
 
+  /// Null unless SimOptions::enableOracle was set.
+  const ConsistencyOracle* oracle() const { return oracle_.get(); }
+  /// Fault-plan timers not yet fired (introspection for tests).
+  std::size_t pendingFaultEvents() const;
+
   /// Issue a read from `client` right now, with the staleness oracle
   /// applied to the result (also used internally for trace reads).
   void issueRead(NodeId client, ObjectId obj,
@@ -65,6 +88,10 @@ class Simulation {
   void issueWrite(ObjectId obj, proto::WriteCallback extra = nullptr);
 
  private:
+  void installFaultPlan(const net::FaultPlan& plan);
+  void applyFault(const net::FaultEvent& event);
+  void scheduleAudit();
+
   const trace::Catalog& catalog_;
   sim::Scheduler scheduler_;
   stats::Metrics metrics_;
@@ -72,6 +99,9 @@ class Simulation {
   proto::ProtocolContext ctx_;
   proto::ProtocolInstance protocol_;
   SimOptions options_;
+  std::unique_ptr<ConsistencyOracle> oracle_;
+  std::vector<sim::TimerHandle> faultTimers_;
+  sim::TimerHandle auditTimer_;
   SimTime lastEventTime_ = 0;
   bool ran_ = false;
   bool finished_ = false;

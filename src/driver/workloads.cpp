@@ -38,6 +38,57 @@ Workload buildWorkload(const WorkloadOptions& options) {
   return out;
 }
 
+Workload buildChaosWorkload(const ChaosWorkloadOptions& options) {
+  VL_CHECK(options.numClients > 0 && options.numServers > 0);
+  VL_CHECK(options.objectsPerServer > 0 && options.duration > 0);
+  trace::Catalog catalog(options.numServers, options.numClients);
+  for (std::uint32_t s = 0; s < options.numServers; ++s) {
+    const VolumeId vol = catalog.addVolume(catalog.serverNode(s));
+    for (std::uint32_t o = 0; o < options.objectsPerServer; ++o) {
+      catalog.addObject(vol, /*sizeBytes=*/4096);
+    }
+  }
+
+  Rng rng(options.seed);
+  const ZipfSampler pick(catalog.numObjects(), /*s=*/0.8);
+  const double horizonSec = toSeconds(options.duration);
+
+  std::vector<trace::TraceEvent> reads;
+  for (std::uint32_t c = 0; c < options.numClients; ++c) {
+    const NodeId client = catalog.clientNode(c);
+    double t = rng.nextExponential(1.0 / options.readsPerClientPerSec);
+    while (t < horizonSec) {
+      const ObjectId obj = makeObjectId(pick(rng));
+      reads.push_back(trace::TraceEvent{secondsToSim(t),
+                                        trace::EventKind::kRead, client, obj});
+      t += rng.nextExponential(1.0 / options.readsPerClientPerSec);
+    }
+  }
+  trace::sortEvents(reads);
+
+  std::vector<trace::TraceEvent> writes;
+  const double writeRate =
+      options.writesPerObjectPerSec * static_cast<double>(catalog.numObjects());
+  double t = rng.nextExponential(1.0 / writeRate);
+  while (t < horizonSec) {
+    const ObjectId obj = makeObjectId(pick(rng));
+    writes.push_back(trace::TraceEvent{secondsToSim(t),
+                                       trace::EventKind::kWrite,
+                                       catalog.object(obj).server, obj});
+    t += rng.nextExponential(1.0 / writeRate);
+  }
+
+  Workload out{std::move(catalog), {}, 0, 0, {}};
+  out.readCount = static_cast<std::int64_t>(reads.size());
+  out.writeCount = static_cast<std::int64_t>(writes.size());
+  out.readsPerServer.assign(options.numServers, 0);
+  for (const trace::TraceEvent& e : reads) {
+    ++out.readsPerServer[raw(out.catalog.object(e.obj).server)];
+  }
+  out.events = trace::mergeEvents(std::move(reads), std::move(writes));
+  return out;
+}
+
 std::uint32_t nthBusiestServer(const Workload& workload, std::size_t k) {
   VL_CHECK(k < workload.readsPerServer.size());
   std::vector<std::uint32_t> order(workload.readsPerServer.size());

@@ -36,6 +36,23 @@ struct Workload {
 
 Workload buildWorkload(const WorkloadOptions& options);
 
+/// Small, dense workload for chaos runs: a handful of clients hammering
+/// a couple of servers with short think times, so the fault windows of a
+/// net::FaultPlan overlap plenty of protocol activity. Objects are
+/// picked Zipf-style (shared hot objects make stale reads detectable).
+/// Deterministic from the seed.
+struct ChaosWorkloadOptions {
+  std::uint64_t seed = 7;
+  std::uint32_t numClients = 4;
+  std::uint32_t numServers = 2;
+  std::uint32_t objectsPerServer = 6;
+  SimDuration duration = minutes(30);
+  double readsPerClientPerSec = 0.5;
+  double writesPerObjectPerSec = 0.02;
+};
+
+Workload buildChaosWorkload(const ChaosWorkloadOptions& options);
+
 /// Index (into catalog server numbering) of the k-th busiest server by
 /// read count (k = 0 is the most popular).
 std::uint32_t nthBusiestServer(const Workload& workload, std::size_t k);

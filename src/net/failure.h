@@ -48,9 +48,35 @@ class FailureModel {
     return lossProb_ <= 0.0 || !rng.nextBool(lossProb_);
   }
 
+  /// Verdict for a message already in flight from `a`, re-checked at
+  /// delivery time. A sender crash does not destroy packets already on
+  /// the wire, but a partition or an isolation of either endpoint cuts
+  /// the link they are crossing, and a crashed destination cannot
+  /// receive.
+  bool allowsInFlightDelivery(NodeId a, NodeId b) const {
+    return !isCrashed(b) && !isIsolated(a) && !isIsolated(b) &&
+           !isPartitioned(a, b);
+  }
+
   bool anyFailures() const {
     return !crashed_.empty() || !cutLinks_.empty() || !isolated_.empty() ||
            lossProb_ > 0.0;
+  }
+
+  /// Number of distinct faults currently active (crashed nodes +
+  /// isolated nodes + cut links + a nonzero loss probability).
+  /// Introspection for FaultPlan teardown and tests.
+  std::size_t activeFaultCount() const {
+    return crashed_.size() + isolated_.size() + cutLinks_.size() +
+           (lossProb_ > 0.0 ? 1 : 0);
+  }
+
+  /// Heal everything: no crashes, no isolations, no partitions, no loss.
+  void clear() {
+    crashed_.clear();
+    isolated_.clear();
+    cutLinks_.clear();
+    lossProb_ = 0.0;
   }
 
  private:

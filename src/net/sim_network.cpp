@@ -28,10 +28,11 @@ void SimNetwork::send(Message msg) {
   const SimDuration delay = latency_ ? latency_(msg.from, msg.to) : 0;
   VL_CHECK(delay >= 0);
   scheduler_.scheduleAfter(delay, [this, m = std::move(msg)]() {
-    // Re-check at delivery time: the destination may have crashed or
-    // detached while the message was in flight (only possible with
-    // nonzero latency).
-    if (failures_.isCrashed(m.to)) return;
+    // Re-check the failure model at delivery time, not only at send: a
+    // node isolated or partitioned away while the message was in flight
+    // loses it too (only possible with nonzero latency). Sender crashes
+    // are deliberately exempt -- the packet already left the host.
+    if (!failures_.allowsInFlightDelivery(m.from, m.to)) return;
     auto it = sinks_.find(m.to);
     if (it == sinks_.end()) return;
     ++delivered_;

@@ -335,7 +335,9 @@ void LeaseClient::deliver(const net::Message& msg) {
   }
   const auto* inval = std::get_if<net::Invalidate>(&msg.payload);
   VL_CHECK_MSG(inval != nullptr, "LeaseClient: unexpected message type");
-  cache_.entry(inval->obj).invalidate();
+  if (!config_.faultInjectIgnoreInvalidations) {
+    cache_.entry(inval->obj).invalidate();
+  }
   if (mode_ != LeaseMode::kBestEffort || config_.bestEffortRetries > 0) {
     ctx_.transport.send(
         net::Message{id(), msg.from, net::AckInvalidate{inval->obj}});

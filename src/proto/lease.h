@@ -107,6 +107,11 @@ class LeaseClient final : public ClientNode {
   void read(ObjectId obj, ReadCallback cb) override;
   void dropCache() override { cache_.clear(); }
   void deliver(const net::Message& msg) override;
+  CacheView cacheView(ObjectId obj, SimTime now) const override {
+    const CacheEntry* entry = cache_.find(obj);
+    if (entry == nullptr || !entry->valid(now)) return {};
+    return {true, entry->version};
+  }
 
   const ClientCache& cache() const { return cache_; }
 

@@ -112,6 +112,13 @@ struct ProtocolConfig {
   /// paper's protocol uses separate volume/object messages.
   bool piggybackVolumeLease = false;
 
+  /// FAULT INJECTION (testing only): clients acknowledge invalidations
+  /// without applying them to their caches. This deliberately breaks
+  /// every server-invalidation algorithm's consistency guarantee; it
+  /// exists so chaos runs can prove the ConsistencyOracle actually
+  /// detects violations (a watchdog that never barks is untested).
+  bool faultInjectIgnoreInvalidations = false;
+
   /// Liu & Cao's retransmission scheme (paper §6): BestEffortLease only.
   /// When bestEffortRetries > 0, clients acknowledge invalidations and
   /// the server retransmits unacknowledged ones every retryInterval, up
@@ -189,6 +196,22 @@ class ClientNode : public net::MessageSink {
 
   /// Drop all cached data and leases (simulates a client restart).
   virtual void dropCache() = 0;
+
+  /// What a read of `obj` issued at `now` would return without any
+  /// messages: {true, version} when the client would serve it straight
+  /// from cache, {false, kNoVersion} otherwise. Pure inspection -- must
+  /// not touch LRU state or issue requests. The ConsistencyOracle
+  /// audits this against the server's authoritative version; the
+  /// default ("never serves locally") opts a client type out of audits.
+  struct CacheView {
+    bool wouldServe = false;
+    Version version = kNoVersion;
+  };
+  virtual CacheView cacheView(ObjectId obj, SimTime now) const {
+    (void)obj;
+    (void)now;
+    return {};
+  }
 
  protected:
   ProtocolContext& ctx_;

@@ -209,6 +209,17 @@ bool TcpTransport::writeFrame(int fd, const std::vector<std::uint8_t>& frame) {
   return true;
 }
 
+bool TcpTransport::trySendFrame(Peer& peer,
+                                const std::vector<std::uint8_t>& frame) {
+  int fd = connectPeer(peer);
+  if (fd < 0) return false;
+  if (!writeFrame(fd, frame)) {
+    closeConnection(fd);  // forget the dead fd; a retry reconnects fresh
+    return false;
+  }
+  return true;
+}
+
 void TcpTransport::send(net::Message msg) {
   // Local recipient: bypass the socket but keep asynchrony (scheduler
   // hop) so delivery order matches the simulator's semantics.
@@ -227,10 +238,20 @@ void TcpTransport::send(net::Message msg) {
   metrics_.onMessage(msg.from, msg.to, net::payloadTypeIndex(msg.payload),
                      net::wireBytes(msg.payload), driver_.elapsed(),
                      /*delivered=*/true);
-  int fd = connectPeer(peerIt->second);
-  if (fd < 0 || !writeFrame(fd, frameOf(msg))) {
+  const std::vector<std::uint8_t> frame = frameOf(msg);
+  bool sent = trySendFrame(peerIt->second, frame);
+  if (!sent) {
+    // Retry once on a fresh connection after a short backoff. The
+    // common transient failures -- a restarted peer answering a stale
+    // fd with RST, or a connect racing the peer's listen() -- heal on
+    // reconnect; anything still failing after that is treated as loss
+    // (Transport is best-effort and the protocols tolerate drops).
+    ++sendRetries_;
+    ::poll(nullptr, 0, /*timeout_ms=*/2);
+    sent = trySendFrame(peerIt->second, frame);
+  }
+  if (!sent) {
     ++sendFailures_;
-    if (fd >= 0) closeConnection(fd);
     return;
   }
   ++framesSent_;

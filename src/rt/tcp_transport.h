@@ -54,6 +54,9 @@ class TcpTransport final : public net::Transport {
   std::int64_t framesSent() const { return framesSent_; }
   std::int64_t framesReceived() const { return framesReceived_; }
   std::int64_t sendFailures() const { return sendFailures_; }
+  /// Sends that failed once and were re-attempted on a fresh
+  /// connection (successful or not; failures also bump sendFailures()).
+  std::int64_t sendRetries() const { return sendRetries_; }
 
  private:
   struct Peer {
@@ -71,6 +74,9 @@ class TcpTransport final : public net::Transport {
   void closeConnection(int fd);
   bool writeFrame(int fd, const std::vector<std::uint8_t>& frame);
   int connectPeer(Peer& peer);
+  /// One connect+write attempt; on write failure the connection is
+  /// closed and the peer's fd forgotten so the next attempt reconnects.
+  bool trySendFrame(Peer& peer, const std::vector<std::uint8_t>& frame);
   void deliverLocal(const net::Message& msg);
 
   RealTimeDriver& driver_;
@@ -83,6 +89,7 @@ class TcpTransport final : public net::Transport {
   std::int64_t framesSent_ = 0;
   std::int64_t framesReceived_ = 0;
   std::int64_t sendFailures_ = 0;
+  std::int64_t sendRetries_ = 0;
 };
 
 }  // namespace vlease::rt

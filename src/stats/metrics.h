@@ -87,6 +87,10 @@ class Metrics {
   /// (the paper's "infinite" ack wait).
   void onWrite(SimDuration delay, bool blocked);
 
+  /// Consistency-oracle verdicts (chaos runs): each call records one
+  /// detected violation of the algorithm's consistency guarantee.
+  void onOracleViolation() { ++oracleViolations_; }
+
   /// Set once the run finishes; state averages divide by this.
   void setHorizon(SimTime end) { horizon_ = end; }
 
@@ -113,6 +117,8 @@ class Metrics {
   std::int64_t delayedWrites() const { return delayedWrites_; }
   std::int64_t blockedWrites() const { return blockedWrites_; }
   const Summary& writeDelay() const { return writeDelay_; }
+
+  std::int64_t oracleViolations() const { return oracleViolations_; }
 
   SimTime horizon() const { return horizon_; }
 
@@ -150,6 +156,8 @@ class Metrics {
   std::int64_t delayedWrites_ = 0;
   std::int64_t blockedWrites_ = 0;
   Summary writeDelay_;
+
+  std::int64_t oracleViolations_ = 0;
 
   SimTime horizon_ = 0;
 };

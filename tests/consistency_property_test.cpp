@@ -14,11 +14,15 @@
 // Each property runs across algorithms x seeds via TEST_P.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "driver/consistency_oracle.h"
 #include "driver/simulation.h"
+#include "driver/workloads.h"
+#include "net/fault_plan.h"
 #include "trace/catalog.h"
 #include "util/rng.h"
 
@@ -261,6 +265,117 @@ TEST(WeaknessWitnessTest, PollServesStaleInsideWindow) {
   sim.issueRead(catalog.clientNode(0), makeObjectId(0));
   sim.finish();
   EXPECT_EQ(sim.metrics().staleReads(), 1);
+}
+
+// ---------------------------------------------------------------------
+// Fault-plan chaos with the online ConsistencyOracle as judge: a seeded
+// FaultPlan (crashes, isolations, partitions, loss windows) replays
+// against each server-invalidation algorithm; the oracle audits every
+// read, write, and the whole cache state, and must find NOTHING.
+// ---------------------------------------------------------------------
+
+struct OraclePlanParams {
+  proto::Algorithm algorithm;
+  std::uint64_t seed;
+};
+
+std::string oraclePlanName(
+    const ::testing::TestParamInfo<OraclePlanParams>& info) {
+  return std::string(proto::algorithmName(info.param.algorithm)) + "_seed" +
+         std::to_string(info.param.seed);
+}
+
+class OraclePlanChaosTest : public ::testing::TestWithParam<OraclePlanParams> {
+ protected:
+  static driver::Workload makeWorkload() {
+    driver::ChaosWorkloadOptions options;
+    options.duration = sec(900);
+    return driver::buildChaosWorkload(options);
+  }
+
+  static driver::SimOptions makeSimOptions(const driver::Workload& workload,
+                                           std::uint64_t seed) {
+    std::vector<NodeId> clients, servers;
+    for (std::uint32_t c = 0; c < workload.catalog.numClients(); ++c) {
+      clients.push_back(workload.catalog.clientNode(c));
+    }
+    for (std::uint32_t s = 0; s < workload.catalog.numServers(); ++s) {
+      servers.push_back(workload.catalog.serverNode(s));
+    }
+    Rng planRng(seed);
+    net::FaultPlan::RandomOptions planOptions;
+    planOptions.intensity = 0.9;
+    planOptions.horizon = sec(900);
+    planOptions.maxLossProbability = 0.2;
+    driver::SimOptions options;
+    options.networkLatency = msec(20);
+    options.faultPlan = std::make_shared<const net::FaultPlan>(
+        net::FaultPlan::random(planRng, planOptions, clients, servers));
+    options.enableOracle = true;
+    options.oracleAuditPeriod = sec(10);
+    return options;
+  }
+
+  static proto::ProtocolConfig makeConfig(proto::Algorithm algorithm) {
+    proto::ProtocolConfig config;
+    config.algorithm = algorithm;
+    config.objectTimeout = sec(120);
+    config.volumeTimeout = sec(30);
+    config.msgTimeout = sec(5);
+    config.readTimeout = sec(15);
+    return config;
+  }
+};
+
+TEST_P(OraclePlanChaosTest, OracleFindsNoViolations) {
+  const OraclePlanParams& params = GetParam();
+  const driver::Workload workload = makeWorkload();
+  driver::Simulation sim(workload.catalog, makeConfig(params.algorithm),
+                         makeSimOptions(workload, params.seed));
+  stats::Metrics& m = sim.run(workload.events);
+  ASSERT_NE(sim.oracle(), nullptr);
+  EXPECT_EQ(m.oracleViolations(), 0) << sim.oracle()->summary();
+  EXPECT_GT(m.reads(), 0);
+  EXPECT_GT(m.writes(), 0);
+}
+
+std::vector<OraclePlanParams> oraclePlanGrid() {
+  std::vector<OraclePlanParams> params;
+  for (proto::Algorithm algorithm :
+       {proto::Algorithm::kCallback, proto::Algorithm::kLease,
+        proto::Algorithm::kVolumeLease,
+        proto::Algorithm::kVolumeDelayedInval}) {
+    for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+      params.push_back({algorithm, seed});
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(PlanChaos, OraclePlanChaosTest,
+                         ::testing::ValuesIn(oraclePlanGrid()),
+                         oraclePlanName);
+
+// The suite above would be vacuous if the oracle could never fire:
+// fault-inject clients that ACK invalidations without applying them
+// (ProtocolConfig::faultInjectIgnoreInvalidations) and the oracle must
+// catch the resulting stale state -- even with NO network faults.
+TEST_F(OraclePlanChaosTest, BrokenInvalidationIsCaught) {
+  for (proto::Algorithm algorithm :
+       {proto::Algorithm::kLease, proto::Algorithm::kVolumeLease}) {
+    const driver::Workload workload = makeWorkload();
+    proto::ProtocolConfig config = makeConfig(algorithm);
+    config.faultInjectIgnoreInvalidations = true;
+    driver::SimOptions options;
+    options.networkLatency = msec(20);
+    options.enableOracle = true;
+    options.oracleAuditPeriod = sec(10);
+    driver::Simulation sim(workload.catalog, config, options);
+    stats::Metrics& m = sim.run(workload.events);
+    EXPECT_GT(m.oracleViolations(), 0)
+        << proto::algorithmName(algorithm)
+        << ": ack-without-apply clients must trip the oracle";
+  }
 }
 
 TEST(WeaknessWitnessTest, BestEffortServesStaleWhenPartitioned) {

@@ -1,0 +1,227 @@
+// FaultPlan unit + integration tests:
+//   * builder produces a time-sorted timeline, stable on ties;
+//   * FaultPlan::random is fully determined by (seed, options) and
+//     every window it opens is closed by the horizon;
+//   * driver::Simulation applies plan events to the FailureModel at
+//     exactly the scheduled sim times, and a finished run leaves no
+//     pending fault timers and no active faults;
+//   * two identical chaos runs produce identical metrics.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "driver/consistency_oracle.h"
+#include "driver/simulation.h"
+#include "driver/workloads.h"
+#include "net/fault_plan.h"
+#include "util/rng.h"
+
+namespace vlease::net {
+namespace {
+
+TEST(FaultPlanBuilder, EventsComeBackTimeSorted) {
+  FaultPlan plan;
+  plan.crashAt(sec(30), makeNodeId(1))
+      .setLossAt(sec(5), 0.5)
+      .recoverAt(sec(40), makeNodeId(1))
+      .isolateAt(sec(10), makeNodeId(2));
+  ASSERT_EQ(plan.size(), 4u);
+  const auto& events = plan.events();
+  EXPECT_EQ(events[0].at, sec(5));
+  EXPECT_EQ(events[1].at, sec(10));
+  EXPECT_EQ(events[2].at, sec(30));
+  EXPECT_EQ(events[3].at, sec(40));
+  EXPECT_EQ(events[2].kind, FaultEvent::Kind::kCrash);
+  EXPECT_EQ(events[3].kind, FaultEvent::Kind::kRecover);
+}
+
+TEST(FaultPlanBuilder, TiesKeepDeclarationOrder) {
+  // "crash then recover at t" must apply in the declared order.
+  FaultPlan plan;
+  plan.crashAt(sec(10), makeNodeId(3)).recoverAt(sec(10), makeNodeId(3));
+  const auto& events = plan.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, FaultEvent::Kind::kCrash);
+  EXPECT_EQ(events[1].kind, FaultEvent::Kind::kRecover);
+}
+
+TEST(FaultPlanBuilder, WindowsExpandToPairedEvents) {
+  FaultPlan plan;
+  plan.crashWindow(sec(10), sec(20), makeNodeId(1))
+      .lossWindow(sec(15), sec(25), 0.3);
+  const auto& events = plan.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].kind, FaultEvent::Kind::kCrash);
+  EXPECT_EQ(events[1].kind, FaultEvent::Kind::kSetLoss);
+  EXPECT_DOUBLE_EQ(events[1].lossProb, 0.3);
+  EXPECT_EQ(events[2].kind, FaultEvent::Kind::kRecover);
+  EXPECT_EQ(events[3].kind, FaultEvent::Kind::kSetLoss);
+  EXPECT_DOUBLE_EQ(events[3].lossProb, 0.0);
+}
+
+std::vector<NodeId> nodeRange(std::uint32_t from, std::uint32_t count) {
+  std::vector<NodeId> out;
+  for (std::uint32_t i = 0; i < count; ++i) out.push_back(makeNodeId(from + i));
+  return out;
+}
+
+TEST(FaultPlanRandom, SameSeedSamePlan) {
+  FaultPlan::RandomOptions options;
+  options.intensity = 0.8;
+  options.horizon = sec(1000);
+  const auto clients = nodeRange(2, 4);
+  const auto servers = nodeRange(0, 2);
+
+  Rng rngA(99), rngB(99), rngC(100);
+  const FaultPlan a = FaultPlan::random(rngA, options, clients, servers);
+  const FaultPlan b = FaultPlan::random(rngB, options, clients, servers);
+  const FaultPlan c = FaultPlan::random(rngC, options, clients, servers);
+
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(formatFaultEvent(a.events()[i]), formatFaultEvent(b.events()[i]))
+        << "event " << i;
+  }
+  // Different seed: overwhelmingly a different schedule.
+  bool differs = a.size() != c.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = formatFaultEvent(a.events()[i]) != formatFaultEvent(c.events()[i]);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultPlanRandom, EveryWindowClosesInsideHorizon) {
+  FaultPlan::RandomOptions options;
+  options.intensity = 1.0;
+  options.horizon = sec(600);
+  const auto clients = nodeRange(2, 6);
+  const auto servers = nodeRange(0, 2);
+
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    const FaultPlan plan = FaultPlan::random(rng, options, clients, servers);
+    EXPECT_FALSE(plan.empty()) << "seed " << seed;
+
+    // Replay the timeline into a FailureModel: by the horizon every
+    // crash must have recovered, every isolation/partition healed, and
+    // loss must be back to zero.
+    FailureModel model;
+    for (const FaultEvent& e : plan.events()) {
+      EXPECT_GE(e.at, 0) << formatFaultEvent(e);
+      EXPECT_LE(e.at, options.horizon) << formatFaultEvent(e);
+      switch (e.kind) {
+        case FaultEvent::Kind::kCrash: model.crash(e.a); break;
+        case FaultEvent::Kind::kRecover: model.recover(e.a); break;
+        case FaultEvent::Kind::kPartition: model.partition(e.a, e.b); break;
+        case FaultEvent::Kind::kHeal: model.heal(e.a, e.b); break;
+        case FaultEvent::Kind::kIsolate: model.isolate(e.a); break;
+        case FaultEvent::Kind::kDeisolate: model.deisolate(e.a); break;
+        case FaultEvent::Kind::kSetLoss: model.setLossProbability(e.lossProb);
+          break;
+      }
+    }
+    EXPECT_EQ(model.activeFaultCount(), 0u) << "seed " << seed;
+    EXPECT_DOUBLE_EQ(model.lossProbability(), 0.0) << "seed " << seed;
+  }
+}
+
+TEST(FaultPlanRandom, ZeroIntensityMeansNoFaults) {
+  FaultPlan::RandomOptions options;
+  options.intensity = 0.0;
+  options.horizon = sec(600);
+  Rng rng(5);
+  const FaultPlan plan =
+      FaultPlan::random(rng, options, nodeRange(1, 3), nodeRange(0, 1));
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(FaultPlanInstall, SimulationAppliesEventsAtScheduledTimes) {
+  trace::Catalog catalog(1, 2);
+  const VolumeId vol = catalog.addVolume(catalog.serverNode(0));
+  catalog.addObject(vol, 512);
+  const NodeId server = catalog.serverNode(0);
+  const NodeId client = catalog.clientNode(0);
+
+  auto plan = std::make_shared<FaultPlan>();
+  plan->crashWindow(sec(10), sec(20), server)
+      .isolationWindow(sec(15), sec(30), client)
+      .lossWindow(sec(5), sec(25), 0.4);
+
+  proto::ProtocolConfig config;
+  config.algorithm = proto::Algorithm::kVolumeLease;
+  driver::SimOptions options;
+  options.faultPlan = plan;
+  driver::Simulation sim(catalog, config, options);
+
+  EXPECT_EQ(sim.pendingFaultEvents(), 6u);
+
+  sim.drainTo(sec(4));
+  EXPECT_DOUBLE_EQ(sim.network().failures().lossProbability(), 0.0);
+  sim.drainTo(sec(12));
+  EXPECT_TRUE(sim.network().failures().isCrashed(server));
+  EXPECT_FALSE(sim.network().failures().isIsolated(client));
+  EXPECT_DOUBLE_EQ(sim.network().failures().lossProbability(), 0.4);
+  sim.drainTo(sec(16));
+  EXPECT_TRUE(sim.network().failures().isIsolated(client));
+  sim.drainTo(sec(22));
+  EXPECT_FALSE(sim.network().failures().isCrashed(server));
+  EXPECT_TRUE(sim.network().failures().isIsolated(client));
+  EXPECT_EQ(sim.pendingFaultEvents(), 2u);
+
+  sim.finish();
+  EXPECT_EQ(sim.pendingFaultEvents(), 0u);
+  EXPECT_EQ(sim.network().failures().activeFaultCount(), 0u);
+  EXPECT_DOUBLE_EQ(sim.network().failures().lossProbability(), 0.0);
+}
+
+TEST(FaultPlanInstall, IdenticalChaosRunsProduceIdenticalMetrics) {
+  driver::ChaosWorkloadOptions workloadOptions;
+  workloadOptions.duration = sec(400);
+  const driver::Workload workload =
+      driver::buildChaosWorkload(workloadOptions);
+
+  std::vector<NodeId> clients, servers;
+  for (std::uint32_t c = 0; c < workload.catalog.numClients(); ++c) {
+    clients.push_back(workload.catalog.clientNode(c));
+  }
+  for (std::uint32_t s = 0; s < workload.catalog.numServers(); ++s) {
+    servers.push_back(workload.catalog.serverNode(s));
+  }
+  Rng planRng(42);
+  FaultPlan::RandomOptions planOptions;
+  planOptions.intensity = 0.9;
+  planOptions.horizon = workloadOptions.duration;
+  auto plan = std::make_shared<const FaultPlan>(
+      FaultPlan::random(planRng, planOptions, clients, servers));
+
+  proto::ProtocolConfig config;
+  config.algorithm = proto::Algorithm::kVolumeLease;
+  config.objectTimeout = sec(120);
+  config.volumeTimeout = sec(30);
+  config.msgTimeout = sec(5);
+  config.readTimeout = sec(15);
+  driver::SimOptions options;
+  options.networkLatency = msec(20);
+  options.faultPlan = plan;
+  options.enableOracle = true;
+  options.oracleAuditPeriod = sec(10);
+
+  auto runOnce = [&](std::int64_t* violations) {
+    driver::Simulation sim(workload.catalog, config, options);
+    stats::Metrics& m = sim.run(workload.events);
+    *violations = m.oracleViolations();
+    return std::tuple(m.reads(), m.failedReads(), m.cacheLocalReads(),
+                      m.writes(), m.delayedWrites(), m.totalMessages(),
+                      m.droppedMessages(), m.totalBytes());
+  };
+  std::int64_t violationsA = -1, violationsB = -1;
+  const auto a = runOnce(&violationsA);
+  const auto b = runOnce(&violationsB);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(violationsA, violationsB);
+}
+
+}  // namespace
+}  // namespace vlease::net

@@ -1,0 +1,192 @@
+// vlease_chaos: chaos sweep across seeds x algorithms x fault intensity
+// with the online ConsistencyOracle as judge.
+//
+// Every (seed, intensity) pair deterministically derives a FaultPlan
+// (crashes, isolations, partitions, loss windows) that is replayed
+// against each server-invalidation algorithm over one shared workload;
+// the oracle audits reads, writes, and cached state against ground
+// truth while the faults play out. The tool prints a violation grid and
+// exits non-zero if ANY violation was found, so it can gate CI.
+//
+//   $ vlease_chaos --seeds 16 --intensity high
+//   $ vlease_chaos --seeds 8 --intensity low --algorithms lease,volume
+//   $ vlease_chaos --seeds 4 --break-invalidation   # oracle must bark
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "driver/consistency_oracle.h"
+#include "driver/sweep.h"
+#include "net/fault_plan.h"
+#include "util/flags.h"
+
+using namespace vlease;
+
+namespace {
+
+std::optional<proto::Algorithm> parseAlgorithm(const std::string& name) {
+  if (name == "callback") return proto::Algorithm::kCallback;
+  if (name == "lease") return proto::Algorithm::kLease;
+  if (name == "volume") return proto::Algorithm::kVolumeLease;
+  if (name == "delay" || name == "volume-delay")
+    return proto::Algorithm::kVolumeDelayedInval;
+  if (name == "best-effort" || name == "besteffort")
+    return proto::Algorithm::kBestEffortLease;
+  return std::nullopt;
+}
+
+std::optional<double> parseIntensity(const std::string& name) {
+  if (name == "low") return 0.2;
+  if (name == "medium") return 0.5;
+  if (name == "high") return 0.9;
+  return std::nullopt;
+}
+
+std::vector<std::string> splitCsv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.addInt("seeds", 8, "number of fault-plan seeds per algorithm");
+  flags.addInt("seed-base", 1, "first seed (plans are seed-deterministic)");
+  flags.addString("intensity", "medium", "fault intensity: low|medium|high");
+  flags.addString("algorithms", "callback,lease,volume,delay",
+                  "comma list: callback|lease|volume|delay|best-effort");
+  flags.addInt("duration-sec", 1800, "workload + fault horizon, seconds");
+  flags.addBool("break-invalidation", false,
+                "fault-inject clients that ack invalidations without "
+                "applying them (the oracle MUST report violations)");
+  driver::addRunnerFlags(flags);  // --threads --csv --json
+  if (!flags.parse(argc, argv)) return 1;
+
+  const auto intensity = parseIntensity(flags.getString("intensity"));
+  if (!intensity) {
+    std::fprintf(stderr, "unknown intensity '%s' (low|medium|high)\n",
+                 flags.getString("intensity").c_str());
+    return 1;
+  }
+  std::vector<proto::Algorithm> algorithms;
+  for (const std::string& name : splitCsv(flags.getString("algorithms"))) {
+    const auto algorithm = parseAlgorithm(name);
+    if (!algorithm) {
+      std::fprintf(stderr, "unknown algorithm '%s'\n", name.c_str());
+      return 1;
+    }
+    algorithms.push_back(*algorithm);
+  }
+  const auto seeds = flags.getInt("seeds");
+  const auto seedBase = flags.getInt("seed-base");
+  if (algorithms.empty() || seeds <= 0) {
+    std::fprintf(stderr, "nothing to run\n");
+    return 1;
+  }
+
+  // One shared workload: every (algorithm, seed) point replays the same
+  // reads and writes, so differences come only from faults + protocol.
+  driver::ChaosWorkloadOptions workloadOptions;
+  workloadOptions.duration = sec(flags.getInt("duration-sec"));
+  const driver::Workload workload =
+      driver::buildChaosWorkload(workloadOptions);
+  const trace::Catalog& catalog = workload.catalog;
+
+  std::vector<NodeId> clients, servers;
+  for (std::uint32_t c = 0; c < catalog.numClients(); ++c) {
+    clients.push_back(catalog.clientNode(c));
+  }
+  for (std::uint32_t s = 0; s < catalog.numServers(); ++s) {
+    servers.push_back(catalog.serverNode(s));
+  }
+
+  // Short lease timeouts relative to the fault windows, so plenty of
+  // lease expiries, renewals, and reconnections happen under fire.
+  proto::ProtocolConfig base;
+  base.objectTimeout = sec(120);
+  base.volumeTimeout = sec(30);
+  base.msgTimeout = sec(5);
+  base.readTimeout = sec(15);
+  base.faultInjectIgnoreInvalidations = flags.getBool("break-invalidation");
+
+  driver::SweepSpec spec;
+  spec.name = "chaos";
+  for (std::int64_t s = 0; s < seeds; ++s) {
+    const std::uint64_t seed = static_cast<std::uint64_t>(seedBase + s);
+    // The plan depends only on (seed, intensity): every algorithm faces
+    // the identical fault schedule, and rerunning a pair reproduces the
+    // run bit for bit.
+    Rng planRng(seed);
+    net::FaultPlan::RandomOptions planOptions;
+    planOptions.intensity = *intensity;
+    planOptions.horizon = workloadOptions.duration;
+    planOptions.maxLossProbability = 0.25 * *intensity;
+    auto plan = std::make_shared<const net::FaultPlan>(
+        net::FaultPlan::random(planRng, planOptions, clients, servers));
+
+    driver::SimOptions sim;
+    sim.networkLatency = msec(20);
+    sim.faultPlan = plan;
+    sim.enableOracle = true;
+    sim.oracleAuditPeriod = sec(10);
+
+    for (const proto::Algorithm algorithm : algorithms) {
+      proto::ProtocolConfig config = base;
+      config.algorithm = algorithm;
+      driver::SweepPoint point;
+      point.label = std::string(proto::algorithmName(algorithm)) +
+                    " seed=" + std::to_string(seed);
+      point.config = config;
+      point.sim = sim;
+      point.row = proto::algorithmName(algorithm);
+      point.col = "s" + std::to_string(seed);
+      spec.points.push_back(std::move(point));
+    }
+  }
+  spec.gridRowHeader = "algorithm";
+  spec.gridCell = [](const stats::Metrics& m) {
+    return driver::Table::num(m.oracleViolations());
+  };
+
+  const auto results =
+      driver::runSweep(spec, workload, driver::parallelFromFlags(flags));
+
+  std::int64_t totalViolations = 0;
+  std::map<std::string, std::int64_t> byAlgorithm;
+  for (const auto& result : results) {
+    totalViolations += result.metrics.oracleViolations();
+    byAlgorithm[result.row] += result.metrics.oracleViolations();
+  }
+
+  driver::emitTable(driver::toTable(spec, results), flags);
+  if (!flags.getBool("csv") && !flags.getBool("json")) {
+    std::printf("\nintensity=%s seeds=%lld..%lld  (%zu plans x %zu "
+                "algorithms, %lld reads, %lld writes)\n",
+                flags.getString("intensity").c_str(),
+                static_cast<long long>(seedBase),
+                static_cast<long long>(seedBase + seeds - 1),
+                static_cast<std::size_t>(seeds), algorithms.size(),
+                static_cast<long long>(workload.readCount),
+                static_cast<long long>(workload.writeCount));
+    for (const auto& [name, count] : byAlgorithm) {
+      std::printf("  %-12s %s\n", name.c_str(),
+                  count == 0 ? "ok"
+                             : (std::to_string(count) + " violation(s)")
+                                   .c_str());
+    }
+    std::printf("verdict: %s\n",
+                totalViolations == 0 ? "CONSISTENT"
+                                     : "VIOLATIONS DETECTED");
+  }
+  return totalViolations == 0 ? 0 : 1;
+}
