@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Run the kernel micro benches and record the numbers in the git-tracked
+# BENCH_kernel.json so perf changes are reviewable like any other diff.
+#
+# The file holds two snapshots:
+#   "baseline" -- the recorded reference numbers a perf PR is judged
+#                 against (rewritten only with --set-baseline);
+#   "current"  -- the numbers of the working tree (rewritten every run).
+#
+# Method: each benchmark runs --reps times and we keep the *best*
+# items_per_second per benchmark. On a contended 1-vCPU box the best of
+# N is the least-interference estimate and is far more stable than the
+# mean; compare like with like (both snapshots are produced this way).
+#
+# Usage: scripts/bench.sh [--set-baseline] [--label TEXT]
+#                         [--min-time SEC] [--reps N] [--filter REGEX]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SECTION=current
+LABEL=""
+MIN_TIME=0.4
+REPS=3
+FILTER=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --set-baseline) SECTION=baseline; shift ;;
+    --label) LABEL="$2"; shift 2 ;;
+    --min-time) MIN_TIME="$2"; shift 2 ;;
+    --reps) REPS="$2"; shift 2 ;;
+    --filter) FILTER="$2"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+cmake -B build -S . >/dev/null
+cmake --build build -j --target micro_kernel >/dev/null
+
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+# NOTE: --benchmark_min_time takes a plain double here (no "s" suffix).
+build/bench/micro_kernel \
+  --benchmark_format=json \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_repetitions="$REPS" \
+  ${FILTER:+--benchmark_filter="$FILTER"} \
+  >"$RAW"
+
+SECTION="$SECTION" LABEL="$LABEL" RAW="$RAW" python3 - <<'PY'
+import json, os, subprocess
+
+raw = json.load(open(os.environ["RAW"]))
+best = {}
+for b in raw["benchmarks"]:
+    if b.get("run_type") != "iteration":
+        continue
+    name = b["run_name"]
+    ips = b.get("items_per_second")
+    if ips is None:
+        continue
+    best[name] = max(best.get(name, 0.0), ips)
+
+git_rev = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                         capture_output=True, text=True).stdout.strip()
+snapshot = {
+    "label": os.environ["LABEL"] or git_rev,
+    "date": raw["context"]["date"],
+    "git": git_rev,
+    "load_avg": raw["context"]["load_avg"],
+    "items_per_second": {k: round(v) for k, v in sorted(best.items())},
+}
+
+path = "BENCH_kernel.json"
+doc = {}
+if os.path.exists(path):
+    doc = json.load(open(path))
+doc.setdefault("bench", "bench/micro_kernel (google-benchmark)")
+doc.setdefault(
+    "method",
+    "best items_per_second over N repetitions; see scripts/bench.sh")
+doc["host"] = {
+    "num_cpus": raw["context"]["num_cpus"],
+    "mhz_per_cpu": raw["context"]["mhz_per_cpu"],
+}
+section = os.environ["SECTION"]
+doc[section] = snapshot
+
+with open(path, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=False)
+    f.write("\n")
+
+base = doc.get("baseline", {}).get("items_per_second", {})
+cur = doc.get("current", {}).get("items_per_second", {})
+print(f"wrote {path} [{section}]")
+for name in sorted(set(base) | set(cur)):
+    b, c = base.get(name), cur.get(name)
+    ratio = f"  {c / b:5.2f}x" if b and c else ""
+    print(f"  {name:40s} base={b or '-':>12} cur={c or '-':>12}{ratio}")
+PY

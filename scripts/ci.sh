@@ -13,3 +13,17 @@ cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
 build/tools/vlease_chaos --seeds 8 --intensity low
+
+# Bench smoke: every micro bench must run to completion. Timings are not
+# checked here (scripts/bench.sh tracks those in BENCH_kernel.json); the
+# tiny min_time just keeps the stage fast. NOTE: this google-benchmark
+# rejects a "s" suffix on the value.
+build/bench/micro_kernel --benchmark_min_time=0.05 >/dev/null
+
+if [[ "${VLEASE_SANITIZE:-OFF}" == "ON" ]]; then
+  # The randomized scheduler differential fuzz is the highest-value test
+  # to run under ASan/UBSan (arena recycling, in-place closure invokes,
+  # handle-outlives-scheduler); re-run it explicitly so the sanitize job
+  # exercises it even when ctest filtering changes.
+  build/tests/scheduler_differential_test
+fi

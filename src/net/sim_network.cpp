@@ -1,5 +1,7 @@
 #include "net/sim_network.h"
 
+#include <utility>
+
 #include "util/check.h"
 #include "util/log.h"
 
@@ -7,23 +9,31 @@ namespace vlease::net {
 
 void SimNetwork::attach(NodeId node, MessageSink* sink) {
   VL_CHECK(sink != nullptr);
-  sinks_[node] = sink;
+  const std::uint32_t i = raw(node);
+  if (i >= sinks_.size()) sinks_.resize(i + 1, nullptr);
+  sinks_[i] = sink;
 }
 
-void SimNetwork::detach(NodeId node) { sinks_.erase(node); }
+void SimNetwork::detach(NodeId node) {
+  const std::uint32_t i = raw(node);
+  if (i < sinks_.size()) sinks_[i] = nullptr;
+}
 
 void SimNetwork::send(Message msg) {
   ++sent_;
+  const std::size_t type = payloadTypeIndex(msg.payload);
   const std::int64_t bytes = wireBytes(msg.payload);
+  // allowsDelivery first: it draws from lossRng_, and the draw sequence
+  // is part of the bit-for-bit reproducibility contract (a message to a
+  // detached node must still consume its loss roll, as it always has).
   const bool deliverable =
       failures_.allowsDelivery(msg.from, msg.to, lossRng_) &&
-      sinks_.count(msg.to) > 0;
-  metrics_.onMessage(msg.from, msg.to, payloadTypeIndex(msg.payload), bytes,
-                     scheduler_.now(), deliverable);
+      sinkFor(msg.to) != nullptr;
+  metrics_.onMessage(msg.from, msg.to, type, bytes, scheduler_.now(),
+                     deliverable);
   VL_LOG_DEBUG << "[" << formatSimTime(scheduler_.now()) << "] "
-               << (deliverable ? "send " : "DROP ")
-               << payloadTypeName(payloadTypeIndex(msg.payload)) << " "
-               << raw(msg.from) << "->" << raw(msg.to);
+               << (deliverable ? "send " : "DROP ") << payloadTypeName(type)
+               << " " << raw(msg.from) << "->" << raw(msg.to);
   if (!deliverable) return;
   const SimDuration delay = latency_ ? latency_(msg.from, msg.to) : 0;
   VL_CHECK(delay >= 0);
@@ -33,10 +43,10 @@ void SimNetwork::send(Message msg) {
     // loses it too (only possible with nonzero latency). Sender crashes
     // are deliberately exempt -- the packet already left the host.
     if (!failures_.allowsInFlightDelivery(m.from, m.to)) return;
-    auto it = sinks_.find(m.to);
-    if (it == sinks_.end()) return;
+    MessageSink* sink = sinkFor(m.to);
+    if (sink == nullptr) return;
     ++delivered_;
-    it->second->deliver(m);
+    sink->deliver(m);
   });
 }
 

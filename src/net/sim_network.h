@@ -7,10 +7,18 @@
 // response exchanges complete instantaneously in virtual time -- the
 // paper's sequential trace-processing model. Failure experiments set a
 // real latency.
+//
+// Hot-path design (PR 3): sinks are a dense vector indexed by
+// raw(NodeId) -- node ids are small and dense by construction
+// (proto::Directory numbers servers then clients) -- so routing a
+// message is one bounds check + one load instead of a hash lookup, and
+// the payload is moved (never copied) into the delivery closure, which
+// lives inline in the scheduler's slot arena. send() performs zero heap
+// allocations in steady state (tests/alloc_free_test.cpp).
 #pragma once
 
 #include <functional>
-#include <unordered_map>
+#include <vector>
 
 #include "net/failure.h"
 #include "net/transport.h"
@@ -49,12 +57,18 @@ class SimNetwork final : public Transport {
   std::int64_t deliveredCount() const { return delivered_; }
 
  private:
+  /// The sink for `node`, or null when detached / never attached.
+  MessageSink* sinkFor(NodeId node) const {
+    const std::uint32_t i = raw(node);
+    return i < sinks_.size() ? sinks_[i] : nullptr;
+  }
+
   sim::Scheduler& scheduler_;
   stats::Metrics& metrics_;
   Rng lossRng_;
   FailureModel failures_;
   LatencyFn latency_;
-  std::unordered_map<NodeId, MessageSink*> sinks_;
+  std::vector<MessageSink*> sinks_;  // dense, indexed by raw(NodeId)
   std::int64_t sent_ = 0;
   std::int64_t delivered_ = 0;
 };

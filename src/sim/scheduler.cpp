@@ -1,74 +1,158 @@
 #include "sim/scheduler.h"
 
+#include <algorithm>
+
 namespace vlease::sim {
 
-TimerHandle Scheduler::scheduleAt(SimTime at, Action action) {
-  VL_CHECK_MSG(at >= now_, "cannot schedule in the past");
-  auto state = std::make_shared<detail::EventState>();
-  state->liveCount = liveCount_;
-  queue_.push(Entry{at, nextSeq_++, std::move(action), state});
-  ++(*liveCount_);
-  return TimerHandle(std::move(state));
+namespace detail {
+
+SchedulerStoragePool& schedulerStoragePool() {
+  static thread_local SchedulerStoragePool pool;
+  return pool;
 }
 
-bool Scheduler::popLive(Entry& out) {
-  while (!queue_.empty()) {
-    // priority_queue::top() is const; move out via const_cast, which is
-    // safe because we pop immediately after.
-    Entry e = std::move(const_cast<Entry&>(queue_.top()));
-    queue_.pop();
-    if (e.state->alive) {
-      out = std::move(e);
-      return true;
-    }
+namespace {
+
+/// Pool caps, per thread: enough to recycle one large scheduler's worth
+/// of storage; anything beyond is released to the allocator normally.
+constexpr std::size_t kMaxPooledChunks = 512;  // ~512 * 512 slots
+constexpr std::size_t kMaxPooledBufs = 8;
+
+template <typename T>
+void takeBuf(std::vector<std::vector<T>>& pool, std::vector<T>& buf) {
+  if (!pool.empty()) {
+    buf = std::move(pool.back());
+    pool.pop_back();
+    buf.clear();  // capacity is retained
   }
-  return false;
+}
+
+template <typename T>
+void giveBuf(std::vector<std::vector<T>>& pool, std::vector<T>& buf) {
+  if (pool.size() < kMaxPooledBufs && buf.capacity() > 0) {
+    buf.clear();
+    pool.push_back(std::move(buf));
+  }
+}
+
+}  // namespace
+}  // namespace detail
+
+Scheduler::Scheduler() : ref_(new detail::SchedulerRef{this, 1}) {
+  auto& pool = detail::schedulerStoragePool();
+  detail::takeBuf(pool.nodeBufs, heap_);
+  detail::takeBuf(pool.nodeBufs, sorted_);
+  detail::takeBuf(pool.wordBufs, gens_);
+  detail::takeBuf(pool.wordBufs, next_);
+}
+
+Scheduler::~Scheduler() {
+  // Pending (never-fired) closures still hold their captures; destroy
+  // them before the chunks are recycled.
+  for (std::uint32_t i = 0; i < numSlots_; ++i) {
+    if (gens_[i] & 1u) slot(i).action.reset();
+  }
+  auto& pool = detail::schedulerStoragePool();
+  while (!chunks_.empty() && pool.chunks.size() < detail::kMaxPooledChunks) {
+    pool.chunks.push_back(std::move(chunks_.back()));
+    chunks_.pop_back();
+  }
+  detail::giveBuf(pool.nodeBufs, heap_);
+  detail::giveBuf(pool.nodeBufs, sorted_);
+  detail::giveBuf(pool.wordBufs, gens_);
+  detail::giveBuf(pool.wordBufs, next_);
+  ref_->scheduler = nullptr;
+  if (--ref_->refs == 0) delete ref_;
+}
+
+void Scheduler::heapPush(Node node) {
+  std::size_t i = heap_.size();
+  // Sortedness tracking: appending a key >= the current maximum keeps
+  // the array in ascending order, which is itself a valid min-heap
+  // (parent index < child index), so no sift is needed at all. Bulk
+  // schedule-then-drain workloads push monotone keys, so the whole heap
+  // stays a sorted run ready for O(1) promotion (rebuildSortedRun).
+  if (heapSorted_) {
+    if (i == 0 || !nodeBefore(node, heap_[i - 1])) {
+      heap_.push_back(node);
+      return;
+    }
+    heapSorted_ = false;
+  }
+  heap_.push_back(node);
+  Node* h = heap_.data();
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!nodeBefore(h[i], h[parent])) break;
+    std::swap(h[i], h[parent]);
+    i = parent;
+  }
+}
+
+void Scheduler::heapPopTop() {
+  const std::size_t n = heap_.size() - 1;
+  Node* h = heap_.data();
+  const Node moved = h[n];  // displaced leaf to re-insert
+  heap_.pop_back();
+  if (n == 0) {
+    heapSorted_ = true;  // empty again; start a fresh monotone run
+    return;
+  }
+  heapSorted_ = false;  // the displaced leaf breaks array order
+  // Hole-based sift-down: slide the min child up into the hole at each
+  // level instead of swapping, halving the stores per level.
+  std::size_t i = 0;
+  while (true) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + 4, n);
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (nodeBefore(h[c], h[best])) best = c;
+    }
+    if (!nodeBefore(h[best], moved)) break;
+    h[i] = h[best];
+    i = best;
+  }
+  h[i] = moved;
+}
+
+void Scheduler::rebuildSortedRun() {
+  // Only called when the run is empty and the heap array is known to be
+  // in ascending key order, so this is a buffer swap -- nothing is
+  // copied, nothing is sorted. The heap inherits the run's old capacity,
+  // which is what makes steady-state drains allocation-free: the two
+  // buffers just alternate roles.
+  sorted_.clear();
+  sortedCur_ = 0;
+  std::swap(sorted_, heap_);
+  heapSorted_ = true;
 }
 
 std::int64_t Scheduler::run() {
+  maybeRebuildSortedRun();
   std::int64_t n = 0;
-  Entry e;
-  while (popLive(e)) {
-    now_ = e.at;
-    e.state->alive = false;
-    --(*liveCount_);
-    e.action();
+  while (peekArmed()) {
+    fireTop();
     ++n;
-    ++fired_;
   }
   return n;
 }
 
 std::int64_t Scheduler::runUntil(SimTime until) {
+  maybeRebuildSortedRun();
   std::int64_t n = 0;
-  while (!queue_.empty()) {
-    const Entry& top = queue_.top();
-    if (!top.state->alive) {
-      queue_.pop();
-      continue;
-    }
-    if (top.at > until) break;
-    Entry e;
-    if (!popLive(e)) break;
-    now_ = e.at;
-    e.state->alive = false;
-    --(*liveCount_);
-    e.action();
+  while (peekArmed() && topNode()->at <= until) {
+    fireTop();
     ++n;
-    ++fired_;
   }
   if (now_ < until) now_ = until;
   return n;
 }
 
 bool Scheduler::step() {
-  Entry e;
-  if (!popLive(e)) return false;
-  now_ = e.at;
-  e.state->alive = false;
-  --(*liveCount_);
-  e.action();
-  ++fired_;
+  if (!peekArmed()) return false;
+  fireTop();
   return true;
 }
 

@@ -1,0 +1,124 @@
+// Small-buffer, move-only callable: the allocation-free replacement for
+// std::function on the simulation hot path.
+//
+// A closure is stored inline in a fixed-size buffer -- there is no heap
+// fallback. A callable that does not fit (or is not nothrow-movable) is
+// rejected at compile time by static_assert, so the event-closure size
+// contract of sim::Scheduler is enforced where the closure is written,
+// not discovered as a runtime regression. Dispatch is two raw function
+// pointers (invoke + relocate); no virtual tables, no RTTI.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "util/check.h"
+
+namespace vlease::util {
+
+template <typename Signature, std::size_t Capacity,
+          std::size_t Align = alignof(std::max_align_t)>
+class InplaceFunction;  // undefined; only the R(Args...) partial below
+
+template <typename R, typename... Args, std::size_t Capacity,
+          std::size_t Align>
+class InplaceFunction<R(Args...), Capacity, Align> {
+ public:
+  InplaceFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<
+                std::decay_t<F>, InplaceFunction>>>
+  InplaceFunction(F&& f) {  // NOLINT: implicit, like std::function
+    emplace(std::forward<F>(f));
+  }
+
+  /// Destroy the current callable (if any) and construct `f` directly in
+  /// the inline buffer -- no temporary, no relocation.
+  template <typename F>
+  void emplace(F&& f) {
+    using Fn = std::decay_t<F>;
+    static_assert(!std::is_same_v<Fn, InplaceFunction>);
+    static_assert(std::is_invocable_r_v<R, Fn&, Args...>,
+                  "callable signature mismatch");
+    static_assert(sizeof(Fn) <= Capacity,
+                  "closure exceeds the inline capacity; capture less or "
+                  "raise the buffer size at the owning call site");
+    static_assert(alignof(Fn) <= Align, "closure over-aligned for buffer");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "closure must be nothrow-movable (it relocates inline)");
+    reset();
+    ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+    invoke_ = [](void* b, Args&&... args) -> R {
+      return (*static_cast<Fn*>(b))(std::forward<Args>(args)...);
+    };
+    if constexpr (std::is_trivially_destructible_v<Fn> &&
+                  std::is_trivially_copyable_v<Fn>) {
+      // Fast path for POD-capture closures (the common case on the event
+      // hot path): no relocate thunk means destruction is a no-op and
+      // moves are a raw buffer copy -- no indirect call either way.
+      relocate_ = nullptr;
+    } else {
+      relocate_ = [](void* from, void* to) noexcept {
+        Fn* f = static_cast<Fn*>(from);
+        if (to) ::new (to) Fn(std::move(*f));
+        f->~Fn();
+      };
+    }
+  }
+
+  InplaceFunction(InplaceFunction&& other) noexcept { moveFrom(other); }
+  InplaceFunction& operator=(InplaceFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      moveFrom(other);
+    }
+    return *this;
+  }
+
+  InplaceFunction(const InplaceFunction&) = delete;
+  InplaceFunction& operator=(const InplaceFunction&) = delete;
+
+  ~InplaceFunction() { reset(); }
+
+  R operator()(Args... args) {
+    VL_CHECK(invoke_ != nullptr);
+    return invoke_(buf_, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  /// Destroy the held callable (if any); *this becomes empty.
+  void reset() {
+    if (relocate_) relocate_(buf_, nullptr);
+    invoke_ = nullptr;
+    relocate_ = nullptr;
+  }
+
+ private:
+  using Invoke = R (*)(void*, Args&&...);
+  /// Move-construct the callable at `to` (destroying the source), or
+  /// just destroy it when `to` is null.
+  using Relocate = void (*)(void* from, void* to) noexcept;
+
+  void moveFrom(InplaceFunction& other) noexcept {
+    if (other.relocate_) {
+      other.relocate_(other.buf_, buf_);
+    } else if (other.invoke_) {
+      std::memcpy(buf_, other.buf_, Capacity);  // trivially-copyable fast path
+    }
+    invoke_ = other.invoke_;
+    relocate_ = other.relocate_;
+    other.invoke_ = nullptr;
+    other.relocate_ = nullptr;
+  }
+
+  alignas(Align) unsigned char buf_[Capacity];
+  Invoke invoke_ = nullptr;
+  Relocate relocate_ = nullptr;
+};
+
+}  // namespace vlease::util

@@ -63,9 +63,27 @@ inline detail::LogMessage logAt(LogLevel level) {
   return detail::LogMessage(level, level >= logLevel());
 }
 
-#define VL_LOG_DEBUG ::vlease::logAt(::vlease::LogLevel::kDebug)
-#define VL_LOG_INFO ::vlease::logAt(::vlease::LogLevel::kInfo)
-#define VL_LOG_WARN ::vlease::logAt(::vlease::LogLevel::kWarn)
-#define VL_LOG_ERROR ::vlease::logAt(::vlease::LogLevel::kError)
+namespace detail {
+/// Swallows a finished stream chain; operator& binds looser than <<.
+struct LogVoidify {
+  void operator&(const LogMessage&) {}
+};
+}  // namespace detail
+
+// Disabled levels short-circuit before the LogMessage (and, crucially,
+// before the streamed operands) are even constructed: hot paths can log
+// formatted state without paying a string allocation when the level is
+// off. The ternary keeps the macro a single expression, safe in
+// unbraced if/else.
+#define VL_LOG_AT(level)                     \
+  ((level) < ::vlease::logLevel())           \
+      ? (void)0                              \
+      : ::vlease::detail::LogVoidify() &     \
+            ::vlease::detail::LogMessage(level, true)
+
+#define VL_LOG_DEBUG VL_LOG_AT(::vlease::LogLevel::kDebug)
+#define VL_LOG_INFO VL_LOG_AT(::vlease::LogLevel::kInfo)
+#define VL_LOG_WARN VL_LOG_AT(::vlease::LogLevel::kWarn)
+#define VL_LOG_ERROR VL_LOG_AT(::vlease::LogLevel::kError)
 
 }  // namespace vlease

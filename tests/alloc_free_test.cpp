@@ -1,0 +1,144 @@
+// Verifies the PR 3 zero-allocation contract of the event kernel and the
+// simulated network: after warm-up (arena, heap array, and metrics
+// tables at capacity), scheduleAt/run and SimNetwork::send perform zero
+// heap allocations.
+//
+// The hook is a counting override of the global operator new; it only
+// counts, so it is safe binary-wide, and each measurement window
+// contains no gtest assertions (gtest allocates freely).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "net/message.h"
+#include "net/sim_network.h"
+#include "sim/scheduler.h"
+#include "stats/metrics.h"
+
+namespace {
+std::int64_t g_newCalls = 0;
+}  // namespace
+
+void* operator new(std::size_t n) {
+  ++g_newCalls;
+  void* p = std::malloc(n ? n : 1);
+  if (!p) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, std::align_val_t a) {
+  ++g_newCalls;
+  void* p = std::aligned_alloc(static_cast<std::size_t>(a),
+                               (n + static_cast<std::size_t>(a) - 1) &
+                                   ~(static_cast<std::size_t>(a) - 1));
+  if (!p) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return ::operator new(n, a);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace vlease {
+namespace {
+
+constexpr int kEvents = 4096;
+
+TEST(AllocFreeTest, SchedulerSteadyStateIsAllocationFree) {
+  sim::Scheduler s;
+  long long sink = 0;
+  // Warm-up: grow the slot arena and heap array to capacity, twice so
+  // free-list recycling is exercised before measuring.
+  for (int round = 0; round < 2; ++round) {
+    for (int i = 0; i < kEvents; ++i) {
+      s.scheduleAfter(i % 7, [&sink] { ++sink; });
+    }
+    s.run();
+  }
+
+  const std::int64_t before = g_newCalls;
+  for (int i = 0; i < kEvents; ++i) {
+    s.scheduleAfter(i % 7, [&sink] { ++sink; });
+  }
+  s.run();
+  const std::int64_t after = g_newCalls;
+
+  EXPECT_EQ(after - before, 0)
+      << "scheduleAt/run allocated in steady state";
+  EXPECT_EQ(sink, 3 * kEvents);
+}
+
+TEST(AllocFreeTest, SchedulerCancelIsAllocationFree) {
+  sim::Scheduler s;
+  std::vector<sim::TimerHandle> handles(kEvents);
+  for (int round = 0; round < 2; ++round) {
+    for (int i = 0; i < kEvents; ++i) {
+      handles[static_cast<std::size_t>(i)] = s.scheduleAfter(i % 5, [] {});
+    }
+    for (auto& h : handles) h.cancel();
+    s.run();
+  }
+
+  const std::int64_t before = g_newCalls;
+  for (int i = 0; i < kEvents; ++i) {
+    handles[static_cast<std::size_t>(i)] = s.scheduleAfter(i % 5, [] {});
+  }
+  for (auto& h : handles) h.cancel();
+  s.run();
+  const std::int64_t after = g_newCalls;
+
+  EXPECT_EQ(after - before, 0) << "schedule+cancel allocated in steady state";
+  EXPECT_TRUE(s.empty());
+}
+
+class CountingSink final : public net::MessageSink {
+ public:
+  void deliver(const net::Message&) override { ++delivered; }
+  int delivered = 0;
+};
+
+TEST(AllocFreeTest, NetworkSendSteadyStateIsAllocationFree) {
+  sim::Scheduler scheduler;
+  stats::Metrics metrics;
+  net::SimNetwork network(scheduler, metrics);
+  CountingSink a, b;
+  const NodeId na = makeNodeId(0), nb = makeNodeId(1);
+  network.attach(na, &a);
+  network.attach(nb, &b);
+
+  auto sendOne = [&](int i) {
+    net::Message m{i % 2 ? na : nb, i % 2 ? nb : na,
+                   net::AckInvalidate{makeObjectId(7)}};
+    network.send(std::move(m));
+  };
+  // Warm-up: metrics node tables, scheduler arena, heap array.
+  for (int round = 0; round < 2; ++round) {
+    for (int i = 0; i < kEvents; ++i) sendOne(i);
+    scheduler.run();
+  }
+
+  const std::int64_t before = g_newCalls;
+  for (int i = 0; i < kEvents; ++i) sendOne(i);
+  scheduler.run();
+  const std::int64_t after = g_newCalls;
+
+  EXPECT_EQ(after - before, 0) << "SimNetwork::send allocated in steady state";
+  EXPECT_EQ(a.delivered + b.delivered, 3 * kEvents);
+}
+
+}  // namespace
+}  // namespace vlease

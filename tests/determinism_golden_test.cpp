@@ -1,0 +1,181 @@
+// Byte-identical determinism regression: one vlease_chaos-style seed and
+// one runSweep point are rendered to a canonical JSON fingerprint and
+// compared, byte for byte, against goldens captured before the PR 3
+// kernel rewrite (slab scheduler + message fast path). Any divergence in
+// event ordering, message accounting, or oracle verdicts shows up here
+// as a diff, protecting the bit-for-bit guarantee the parallel sweep
+// runner advertises.
+//
+// Regenerating (only when an intentional semantic change lands):
+//   VLEASE_REGOLD=1 ctest -R determinism_golden
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "driver/simulation.h"
+#include "driver/sweep.h"
+#include "driver/workloads.h"
+#include "net/fault_plan.h"
+#include "net/message.h"
+#include "stats/metrics.h"
+#include "util/rng.h"
+
+#ifndef VLEASE_SOURCE_DIR
+#error "VLEASE_SOURCE_DIR must be defined by the build"
+#endif
+
+namespace vlease {
+namespace {
+
+std::string goldenPath(const std::string& name) {
+  return std::string(VLEASE_SOURCE_DIR) + "/tests/golden/" + name;
+}
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+/// Canonical, exhaustive fingerprint of one run's metrics. Every counter
+/// that feeds a figure or an oracle verdict is included, so a kernel
+/// that reorders or drops even one event cannot produce the same bytes.
+void fingerprintMetrics(std::ostringstream& os, const stats::Metrics& m) {
+  os << "  \"totalMessages\": " << m.totalMessages() << ",\n"
+     << "  \"totalBytes\": " << m.totalBytes() << ",\n"
+     << "  \"totalCpuUnits\": " << fmt(m.totalCpuUnits()) << ",\n"
+     << "  \"droppedMessages\": " << m.droppedMessages() << ",\n"
+     << "  \"byType\": {";
+  for (std::size_t t = 0; t < net::kNumPayloadTypes; ++t) {
+    os << (t ? ", " : "") << "\"" << net::payloadTypeName(t)
+       << "\": " << m.messagesOfType(t);
+  }
+  os << "},\n"
+     << "  \"reads\": " << m.reads() << ",\n"
+     << "  \"cacheLocalReads\": " << m.cacheLocalReads() << ",\n"
+     << "  \"staleReads\": " << m.staleReads() << ",\n"
+     << "  \"failedReads\": " << m.failedReads() << ",\n"
+     << "  \"writes\": " << m.writes() << ",\n"
+     << "  \"delayedWrites\": " << m.delayedWrites() << ",\n"
+     << "  \"blockedWrites\": " << m.blockedWrites() << ",\n"
+     << "  \"writeDelaySum\": " << fmt(m.writeDelay().sum()) << ",\n"
+     << "  \"writeDelayMax\": " << fmt(m.writeDelay().max()) << ",\n"
+     << "  \"oracleViolations\": " << m.oracleViolations() << ",\n"
+     << "  \"horizon\": " << m.horizon() << "\n";
+}
+
+void compareOrRegold(const std::string& file, const std::string& actual) {
+  const bool regold = std::getenv("VLEASE_REGOLD") != nullptr;
+  if (regold) {
+    std::ofstream out(goldenPath(file), std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << goldenPath(file);
+    out << actual;
+    GTEST_SKIP() << "regenerated " << file;
+  }
+  std::ifstream in(goldenPath(file), std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden " << goldenPath(file)
+                         << " (run with VLEASE_REGOLD=1 to create)";
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), actual)
+      << "output diverged from the pre-rewrite golden -- the kernel is no "
+         "longer bit-for-bit equivalent";
+}
+
+/// One chaos point, exactly as tools/vlease_chaos derives it: the fault
+/// plan depends only on (seed, intensity), the workload only on its own
+/// seed. Includes kernel-level counters (fired events, sends, deliveries)
+/// on top of the metrics fingerprint.
+TEST(DeterminismGoldenTest, ChaosSeedByteIdentical) {
+  driver::ChaosWorkloadOptions workloadOptions;
+  workloadOptions.duration = sec(900);
+  const driver::Workload workload =
+      driver::buildChaosWorkload(workloadOptions);
+  const trace::Catalog& catalog = workload.catalog;
+
+  std::vector<NodeId> clients, servers;
+  for (std::uint32_t c = 0; c < catalog.numClients(); ++c) {
+    clients.push_back(catalog.clientNode(c));
+  }
+  for (std::uint32_t s = 0; s < catalog.numServers(); ++s) {
+    servers.push_back(catalog.serverNode(s));
+  }
+
+  Rng planRng(1);  // seed 1
+  net::FaultPlan::RandomOptions planOptions;
+  planOptions.intensity = 0.5;  // "medium"
+  planOptions.horizon = workloadOptions.duration;
+  planOptions.maxLossProbability = 0.25 * 0.5;
+  auto plan = std::make_shared<const net::FaultPlan>(
+      net::FaultPlan::random(planRng, planOptions, clients, servers));
+
+  proto::ProtocolConfig config;
+  config.algorithm = proto::Algorithm::kVolumeLease;
+  config.objectTimeout = sec(120);
+  config.volumeTimeout = sec(30);
+  config.msgTimeout = sec(5);
+  config.readTimeout = sec(15);
+
+  driver::SimOptions sim;
+  sim.networkLatency = msec(20);
+  sim.faultPlan = plan;
+  sim.enableOracle = true;
+  sim.oracleAuditPeriod = sec(10);
+
+  driver::Simulation simulation(catalog, config, sim);
+  const stats::Metrics& metrics = simulation.run(workload.events);
+
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"firedEvents\": " << simulation.scheduler().firedCount() << ",\n"
+     << "  \"finalNow\": " << simulation.scheduler().now() << ",\n"
+     << "  \"sent\": " << simulation.network().sentCount() << ",\n"
+     << "  \"delivered\": " << simulation.network().deliveredCount() << ",\n";
+  fingerprintMetrics(os, metrics);
+  os << "}\n";
+  compareOrRegold("chaos_seed1_volume.json", os.str());
+}
+
+/// One sweep grid through the parallel runner (threads=2), rendered with
+/// the same Table JSON emitter the bench binaries use, plus the metrics
+/// fingerprint of one point.
+TEST(DeterminismGoldenTest, SweepPointByteIdentical) {
+  driver::WorkloadOptions opts;
+  opts.scale = 0.01;
+  const driver::Workload workload = driver::buildWorkload(opts);
+
+  driver::SweepSpec spec;
+  spec.name = "determinism_golden";
+  std::vector<driver::SweepLine> lines;
+  for (proto::Algorithm a :
+       {proto::Algorithm::kVolumeLease,
+        proto::Algorithm::kVolumeDelayedInval}) {
+    proto::ProtocolConfig c;
+    c.algorithm = a;
+    c.volumeTimeout = sec(100);
+    lines.push_back({std::string(proto::algorithmName(a)), c});
+  }
+  spec.points = driver::timeoutGrid(lines, {100, 10'000});
+  spec.gridCell = [](const stats::Metrics& m) {
+    return driver::Table::num(m.totalMessages());
+  };
+
+  driver::ParallelOptions parallel;
+  parallel.threads = 2;
+  const auto results = driver::runSweep(spec, workload, parallel);
+
+  std::ostringstream os;
+  driver::toTable(spec, results).printJson(os);
+  os << "{\n";
+  fingerprintMetrics(os, results.front().metrics);
+  os << "}\n";
+  compareOrRegold("sweep_grid.json", os.str());
+}
+
+}  // namespace
+}  // namespace vlease

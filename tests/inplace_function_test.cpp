@@ -1,0 +1,102 @@
+// Unit tests for util::InplaceFunction, the allocation-free callable the
+// event kernel stores in its slot arena.
+#include "util/inplace_function.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+
+namespace vlease::util {
+namespace {
+
+using Fn = InplaceFunction<int(int), 48>;
+using Void = InplaceFunction<void(), 48>;
+
+TEST(InplaceFunctionTest, DefaultIsEmpty) {
+  Void f;
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(InplaceFunctionTest, InvokesWithArgsAndResult) {
+  int base = 10;
+  Fn f = [base](int x) { return base + x; };
+  ASSERT_TRUE(static_cast<bool>(f));
+  EXPECT_EQ(f(5), 15);
+  EXPECT_EQ(f(-10), 0);
+}
+
+TEST(InplaceFunctionTest, MutableStateIsRetained) {
+  Void f;
+  int calls = 0;
+  InplaceFunction<int(), 48> counter = [n = 0]() mutable { return ++n; };
+  EXPECT_EQ(counter(), 1);
+  EXPECT_EQ(counter(), 2);
+  (void)f;
+  (void)calls;
+}
+
+TEST(InplaceFunctionTest, MoveTransfersCallable) {
+  int hits = 0;
+  Void a = [&hits] { ++hits; };
+  Void b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT: testing moved-from state
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InplaceFunctionTest, MoveAssignDestroysPrevious) {
+  auto token = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = token;
+  Void a = [t = std::move(token)] { (void)t; };
+  EXPECT_FALSE(watch.expired());
+  a = Void([] {});
+  EXPECT_TRUE(watch.expired());  // old capture destroyed on assignment
+  ASSERT_TRUE(static_cast<bool>(a));
+}
+
+TEST(InplaceFunctionTest, ResetDestroysCapture) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  Void f = [t = std::move(token)] { (void)t; };
+  EXPECT_FALSE(watch.expired());
+  f.reset();
+  EXPECT_TRUE(watch.expired());
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(InplaceFunctionTest, DestructorDestroysCapture) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  {
+    Void f = [t = std::move(token)] { (void)t; };
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(InplaceFunctionTest, HoldsMoveOnlyCapture) {
+  auto p = std::make_unique<int>(41);
+  InplaceFunction<int(), 48> f = [p = std::move(p)] { return *p + 1; };
+  EXPECT_EQ(f(), 42);
+  InplaceFunction<int(), 48> g = std::move(f);
+  EXPECT_EQ(g(), 42);
+}
+
+TEST(InplaceFunctionTest, SelfMoveAssignIsSafe) {
+  int hits = 0;
+  Void f = [&hits] { ++hits; };
+  Void& alias = f;
+  f = std::move(alias);
+  if (f) f();
+  EXPECT_LE(hits, 1);
+}
+
+TEST(InplaceFunctionDeathTest, InvokingEmptyChecks) {
+  Void f;
+  EXPECT_DEATH(f(), "VL_CHECK");
+}
+
+}  // namespace
+}  // namespace vlease::util
