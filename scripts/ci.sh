@@ -14,6 +14,10 @@ cmake --build build -j
 
 build/tools/vlease_chaos --seeds 8 --intensity low
 
+# Skewed-clock smoke: bounded clock skew with the matching epsilon
+# margin (the default --epsilon-ms -1) must stay violation-free.
+build/tools/vlease_chaos --seeds 8 --intensity low --skew medium
+
 # Bench smoke: every micro bench must run to completion. Timings are not
 # checked here (scripts/bench.sh tracks those in BENCH_kernel.json); the
 # tiny min_time just keeps the stage fast. NOTE: this google-benchmark
@@ -26,4 +30,7 @@ if [[ "${VLEASE_SANITIZE:-OFF}" == "ON" ]]; then
   # handle-outlives-scheduler); re-run it explicitly so the sanitize job
   # exercises it even when ctest filtering changes.
   build/tests/scheduler_differential_test
+  # Wire-format corruption fuzz under ASan/UBSan: >= 10^4 randomized
+  # frame corruptions must be rejected without any out-of-bounds read.
+  build/tests/wire_test --gtest_filter='WireTest.Fuzz*'
 fi

@@ -10,7 +10,7 @@ using proto::ReadResult;
 
 bool VolumeClient::volumeValid(VolumeId vol, SimTime now) const {
   auto it = volumes_.find(vol);
-  return it != volumes_.end() && it->second.expire > now;
+  return it != volumes_.end() && it->second.expire > leaseGuard(now);
 }
 
 bool VolumeClient::hasValidVolumeLease(VolumeId vol) const {
@@ -19,7 +19,7 @@ bool VolumeClient::hasValidVolumeLease(VolumeId vol) const {
 
 bool VolumeClient::hasValidObjectLease(ObjectId obj) const {
   const CacheEntry* e = cache_.find(obj);
-  return e != nullptr && e->valid(ctx_.scheduler.now());
+  return e != nullptr && e->valid(leaseGuard(ctx_.scheduler.now()));
 }
 
 Epoch VolumeClient::knownEpoch(VolumeId vol) const {
@@ -33,7 +33,7 @@ proto::ClientNode::CacheView VolumeClient::cacheView(ObjectId obj,
   // valid lease on the enclosing volume.
   if (!volumeValid(ctx_.catalog.object(obj).volume, now)) return {};
   const CacheEntry* entry = cache_.find(obj);
-  if (entry == nullptr || !entry->valid(now)) return {};
+  if (entry == nullptr || !entry->valid(leaseGuard(now))) return {};
   return {true, entry->version};
 }
 
@@ -55,7 +55,8 @@ void VolumeClient::read(ObjectId obj, ReadCallback cb) {
   const SimTime now = ctx_.scheduler.now();
   const VolumeId vol = ctx_.catalog.object(obj).volume;
   const CacheEntry* entry = cache_.find(obj);
-  if (volumeValid(vol, now) && entry != nullptr && entry->valid(now)) {
+  if (volumeValid(vol, now) && entry != nullptr &&
+      entry->valid(leaseGuard(now))) {
     cache_.touch(obj);
     ReadResult result;
     result.ok = true;
@@ -76,7 +77,7 @@ void VolumeClient::pump(ObjectId obj) {
   const VolumeId vol = ctx_.catalog.object(obj).volume;
   const CacheEntry* entry = cache_.find(obj);
   const bool volOk = volumeValid(vol, now);
-  const bool objOk = entry != nullptr && entry->valid(now);
+  const bool objOk = entry != nullptr && entry->valid(leaseGuard(now));
 
   if (volOk && objOk) {
     ReadResult result;
@@ -121,7 +122,9 @@ void VolumeClient::ensureVolume(VolumeId vol) {
     if (it != pendingByVol_.end()) {
       for (ObjectId obj : it->second) {
         const CacheEntry* e = cache_.find(obj);
-        if (e == nullptr || !e->valid(ctx_.scheduler.now())) return;
+        if (e == nullptr || !e->valid(leaseGuard(ctx_.scheduler.now()))) {
+          return;
+        }
       }
     }
   }

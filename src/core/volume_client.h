@@ -45,6 +45,15 @@ class VolumeClient final : public proto::ClientNode {
     Epoch epoch = 0;  // 0 = never held one (server skips epoch check)
   };
 
+  /// Client-conservative expiry clock: lease-validity comparisons happen
+  /// against this client's own (possibly skewed) reading of `globalNow`
+  /// advanced by epsilon, so a lease is treated as dead epsilon before
+  /// its nominal expiry on the local clock. See ProtocolConfig::
+  /// clockEpsilon for the safety argument.
+  SimTime leaseGuard(SimTime globalNow) const {
+    return addSat(localTime(globalNow), config_.clockEpsilon);
+  }
+
   bool volumeValid(VolumeId vol, SimTime now) const;
 
   /// Re-evaluate the reads waiting on `obj`: resolve the ones whose two

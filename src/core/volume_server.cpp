@@ -254,7 +254,7 @@ void VolumeServer::startReconnect(NodeId client, VolumeId volId) {
   discardPending(v, client);
   v.unreachable.insert(client);  // stale-epoch clients enter here too
 
-  Session session{Session::Kind::kReconnect, false, {}};
+  Session session{Session::Kind::kReconnect, false, ctx_.scheduler.now(), {}};
   session.timer = ctx_.scheduler.scheduleAfter(
       config_.msgTimeout, [this, client, volId]() {
         // Client vanished mid-exchange; it stays unreachable.
@@ -265,18 +265,26 @@ void VolumeServer::startReconnect(NodeId client, VolumeId volId) {
 }
 
 void VolumeServer::handleRenewObjLeases(const net::Message& msg) {
+  processRenewObjLeases(msg, ctx_.scheduler.now());
+}
+
+void VolumeServer::processRenewObjLeases(const net::Message& msg,
+                                         SimTime arrivedAt) {
   const auto& req = std::get<net::RenewObjLeases>(msg.payload);
   const NodeId client = msg.from;
   VolState& v = vol(req.vol);
   if (v.pendingWrites > 0) {
-    // Recompute against committed versions only.
-    v.deferred.push_back([this, msg]() { handleRenewObjLeases(msg); });
+    // Recompute against committed versions only. Keep the original
+    // arrival time: by the time the deferral drains, the session this
+    // reply answered may have timed out and a NEW one begun.
+    v.deferred.push_back(
+        [this, msg, arrivedAt]() { processRenewObjLeases(msg, arrivedAt); });
     return;
   }
   Session* session = findSession(client, req.vol);
   if (session == nullptr || session->kind != Session::Kind::kReconnect ||
-      session->awaitingAck) {
-    return;  // stale or duplicate; drop
+      session->awaitingAck || arrivedAt < session->startedAt) {
+    return;  // stale, duplicate, or answers an earlier exchange; drop
   }
   const SimTime now = ctx_.scheduler.now();
 
@@ -325,7 +333,7 @@ void VolumeServer::startFlush(NodeId client, VolumeId volId) {
   }
   inIt->second.pending.clear();
 
-  Session session{Session::Kind::kFlush, true, {}};
+  Session session{Session::Kind::kFlush, true, now, {}};
   session.timer = ctx_.scheduler.scheduleAfter(
       config_.msgTimeout, [this, client, volId]() {
         // No ack: the client may have missed invalidations. Safe exit:
@@ -436,7 +444,7 @@ void VolumeServer::startWrite(ObjectId obj, WriteCallback cb,
     // volume leases have necessarily drained).
     bool anyValid = false;
     for (auto& [client, record] : st.holders) {
-      if (record.expire > now) {
+      if (graceExpire(record.expire) > now) {
         anyValid = true;
         break;
       }
@@ -452,7 +460,8 @@ void VolumeServer::startWrite(ObjectId obj, WriteCallback cb,
     pw.requestedAt = requestedAt;
     pw.byExpiry = true;
     ++v.pendingWrites;
-    const SimTime deadline = std::max(std::min(v.expire, st.expire), now);
+    const SimTime deadline =
+        std::max(graceExpire(std::min(v.expire, st.expire)), now);
     auto [it, inserted] = pendingWrites_.emplace(obj, std::move(pw));
     VL_CHECK(inserted);
     it->second.timer = ctx_.scheduler.scheduleAt(
@@ -463,7 +472,7 @@ void VolumeServer::startWrite(ObjectId obj, WriteCallback cb,
   std::vector<NodeId> immediate;
   SimTime skipBound = kSimTimeMin;
   for (auto& [client, record] : st.holders) {
-    if (record.expire <= now) continue;  // lease expired
+    if (graceExpire(record.expire) <= now) continue;  // lease expired
 
     // A client mid-exchange (reconnection or pending-list flush) is
     // provably reachable RIGHT NOW and may have object-lease renewals
@@ -477,9 +486,10 @@ void VolumeServer::startWrite(ObjectId obj, WriteCallback cb,
       // lease can serve this object until min(volume, object) expiry,
       // so the commit may not happen before that instant.
       auto vIt = v.holders.find(client);
-      if (vIt != v.holders.end() && vIt->second.expire > now) {
-        skipBound =
-            std::max(skipBound, std::min(vIt->second.expire, record.expire));
+      if (vIt != v.holders.end() && graceExpire(vIt->second.expire) > now) {
+        skipBound = std::max(
+            skipBound,
+            graceExpire(std::min(vIt->second.expire, record.expire)));
       }
       continue;
     }
@@ -492,7 +502,8 @@ void VolumeServer::startWrite(ObjectId obj, WriteCallback cb,
     // Delayed mode: only clients with valid volume leases are contacted;
     // the rest queue on their pending lists.
     auto vIt = v.holders.find(client);
-    const bool volValid = vIt != v.holders.end() && vIt->second.expire > now;
+    const bool volValid =
+        vIt != v.holders.end() && graceExpire(vIt->second.expire) > now;
     if (volValid) {
       immediate.push_back(client);
       continue;
@@ -529,12 +540,13 @@ void VolumeServer::startWrite(ObjectId obj, WriteCallback cb,
   }
   ++v.pendingWrites;
 
-  // T_f = min(volume expiry, object expiry), floored by msgTimeout
-  // (paper Fig. 3). Whichever lease family drains first unblocks us.
-  // skipBound <= leaseBound (each skipped client's expiries are under
-  // the aggregate maxima), so the timer also covers skipped clients.
-  // With nobody to contact, only the skipped clients' drain matters.
-  const SimTime leaseBound = std::min(v.expire, st.expire);
+  // T_f = min(volume expiry, object expiry) + epsilon, floored by
+  // msgTimeout (paper Fig. 3). Whichever lease family drains first
+  // unblocks us. skipBound <= leaseBound (each skipped client's
+  // expiries are under the aggregate maxima, both epsilon-extended), so
+  // the timer also covers skipped clients. With nobody to contact, only
+  // the skipped clients' drain matters.
+  const SimTime leaseBound = graceExpire(std::min(v.expire, st.expire));
   const SimTime deadline =
       immediate.empty() ? skipBound
                         : std::max(leaseBound, addSat(now, config_.msgTimeout));
@@ -564,7 +576,7 @@ void VolumeServer::commitWrite(ObjectId obj) {
     // is what the commit waited for), so route them through the
     // pending-list (delayed) or reconnection (immediate) machinery.
     for (auto& [client, record] : st.holders) {
-      if (record.expire <= now) continue;
+      if (graceExpire(record.expire) <= now) continue;
       if (v.unreachable.count(client) > 0) continue;
       if (mode_ == InvalidationMode::kDelayed) {
         auto vIt = v.holders.find(client);
@@ -674,8 +686,9 @@ void VolumeServer::crashAndReboot() {
   }
 
   // Delay writes until every volume lease granted before the crash has
-  // expired (the stable-storage high-water-mark scheme).
-  recoveryUntil_ = std::max(now, maxVolExpireGranted_);
+  // expired -- epsilon-extended, so slow-clocked holders have stopped
+  // serving too (the stable-storage high-water-mark scheme).
+  recoveryUntil_ = std::max(now, graceExpire(maxVolExpireGranted_));
 }
 
 void VolumeServer::finalizeAccounting(SimTime now) {

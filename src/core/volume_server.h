@@ -123,8 +123,24 @@ class VolumeServer final : public proto::ServerNode {
   struct Session {
     enum class Kind { kReconnect, kFlush } kind;
     bool awaitingAck = false;  // batch sent, ack not yet received
+    /// When this exchange began. A RenewObjLeases that reached the
+    /// server before this instant answers an EARLIER MustRenewAll (it
+    /// sat on the volume's deferred queue behind a pending write) and
+    /// describes a stale cache snapshot; reconciling against it would
+    /// skip objects the client acquired since, leaving them un-renewed
+    /// AND un-invalidated -- a stale read once the volume is granted.
+    SimTime startedAt = kSimTimeMin;
     sim::TimerHandle timer;
   };
+
+  /// Server-conservative expiry: for write-blocking decisions a
+  /// holder's lease counts as possibly live until expire + epsilon, so
+  /// a client whose clock runs up to epsilon slow has stopped serving
+  /// by the time the write commits. Zero epsilon reproduces the paper's
+  /// exact write-after-min(t, t_v) arithmetic.
+  SimTime graceExpire(SimTime expire) const {
+    return addSat(expire, config_.clockEpsilon);
+  }
 
   VolState& vol(VolumeId id) { return volumes_[id]; }
   ObjState& objState(ObjectId id) { return objects_[id]; }
@@ -136,6 +152,9 @@ class VolumeServer final : public proto::ServerNode {
   void handleReqVolLease(const net::Message& msg);
   void handleReqObjLease(const net::Message& msg);
   void handleRenewObjLeases(const net::Message& msg);
+  /// `arrivedAt`: when the message first reached the server (deferral
+  /// behind a pending write preserves it; see Session::startedAt).
+  void processRenewObjLeases(const net::Message& msg, SimTime arrivedAt);
   void handleAckInvalidate(const net::Message& msg);
   void handleAckBatch(const net::Message& msg);
 

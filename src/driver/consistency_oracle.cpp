@@ -71,12 +71,14 @@ SimDuration ConsistencyOracle::recoveryBound() const {
   switch (config_.algorithm) {
     case proto::Algorithm::kLease:
     case proto::Algorithm::kBestEffortLease:
-      // Gray & Cheriton: no writes until every possible lease expired.
-      return config_.objectTimeout;
+      // Gray & Cheriton: no writes until every possible lease expired
+      // (epsilon-extended under the server-conservative rule).
+      return addSat(config_.objectTimeout, config_.clockEpsilon);
     case proto::Algorithm::kVolumeLease:
     case proto::Algorithm::kVolumeDelayedInval:
-      // recoveryUntil = max volume expiry granted <= crash + t_v.
-      return config_.volumeTimeout;
+      // recoveryUntil = max volume expiry granted + epsilon
+      //              <= crash + t_v + epsilon.
+      return addSat(config_.volumeTimeout, config_.clockEpsilon);
     default:
       return 0;  // Callback recovers immediately (and is tainted)
   }
@@ -86,6 +88,13 @@ bool ConsistencyOracle::callbackExempt(ObjectId obj) const {
   if (config_.algorithm != proto::Algorithm::kCallback) return false;
   if (taintedObjects_.count(obj) > 0) return true;
   return taintedServers_.count(catalog_.object(obj).server) > 0;
+}
+
+bool ConsistencyOracle::skewExempt(NodeId client, SimTime now) const {
+  if (options_.clocks == nullptr) return false;
+  const SimDuration skew = options_.clocks->skewOf(client, now);
+  const SimDuration mag = skew < 0 ? -skew : skew;
+  return mag > options_.skewBound;
 }
 
 // ---------------------------------------------------------------------
@@ -109,6 +118,12 @@ void ConsistencyOracle::onRead(NodeId client, ObjectId obj,
                          : ""));
   if (!stale || !strong_) return;
   if (callbackExempt(obj)) return;  // expected Callback breakage
+  if (skewExempt(client, now)) {
+    record(now, "skew-exempt stale read client=" +
+                    std::to_string(raw(client)) +
+                    " (|skew| exceeds the configured bound)");
+    return;
+  }
   reportViolation(
       ViolationKind::kStaleRead, now,
       "client " + std::to_string(raw(client)) + " read obj " +
@@ -175,8 +190,12 @@ void ConsistencyOracle::onWriteComplete(ObjectId obj,
       faults == nullptr
           ? 0
           : std::max<SimDuration>(0, faults->graceEnd - windowStart);
-  const SimDuration allowed = addSat(
-      addSat(writeWaitBase(), config_.msgTimeout + options_.slack), grace);
+  // clockEpsilon: the server-conservative rule legitimately waits
+  // epsilon past nominal expiry before committing.
+  const SimDuration allowed =
+      addSat(addSat(addSat(writeWaitBase(), config_.clockEpsilon),
+                    config_.msgTimeout + options_.slack),
+             grace);
   const SimDuration waited = now - windowStart;
   if (waited > allowed) {
     reportViolation(
@@ -245,6 +264,7 @@ void ConsistencyOracle::audit(proto::ProtocolInstance& protocol, SimTime now) {
           protocol.serverFor(catalog_, info.id).currentVersion(info.id);
       if (view.version == actual) continue;
       if (callbackExempt(info.id)) continue;
+      if (skewExempt(clientId, now)) continue;
       if (!auditFlagged_.insert(pairKey(clientId, info.id)).second) continue;
       reportViolation(
           ViolationKind::kCacheInconsistency, now,

@@ -47,6 +47,7 @@
 
 #include "net/fault_plan.h"
 #include "proto/protocol.h"
+#include "sim/local_clock.h"
 #include "stats/metrics.h"
 #include "trace/catalog.h"
 #include "util/time.h"
@@ -77,6 +78,14 @@ class ConsistencyOracle {
     SimDuration slack = sec(1);
     /// Full ring dumps emitted per run before going quiet.
     int maxDumps = 4;
+    /// Skew-aware mode: the simulation's per-node clock views (null =
+    /// nobody is skewed) plus the deployment's skew budget. A stale
+    /// read or cache mismatch by a client whose |skew| is WITHIN the
+    /// budget is a hard violation -- the configured epsilon margin was
+    /// supposed to cover it; a client skewed beyond the budget is out
+    /// of contract, so its staleness is recorded but not flagged.
+    const sim::ClockMap* clocks = nullptr;
+    SimDuration skewBound = 0;
   };
 
   ConsistencyOracle(const trace::Catalog& catalog,
@@ -142,6 +151,9 @@ class ConsistencyOracle {
   /// Callback-only: staleness of `obj` is expected breakage (blocked
   /// write tainted it, or its server crashed).
   bool callbackExempt(ObjectId obj) const;
+  /// Skew-aware mode: true when `client`'s clock is skewed beyond the
+  /// configured budget at `now` (its staleness is out of contract).
+  bool skewExempt(NodeId client, SimTime now) const;
 
   void record(SimTime at, std::string text);
   void reportViolation(ViolationKind kind, SimTime now,

@@ -12,7 +12,7 @@ Simulation::Simulation(const trace::Catalog& catalog,
                        SimOptions options)
     : catalog_(catalog),
       network_(std::make_unique<net::SimNetwork>(scheduler_, metrics_)),
-      ctx_{scheduler_, *network_, metrics_, catalog_},
+      ctx_{scheduler_, *network_, metrics_, catalog_, &clocks_},
       protocol_(core::makeProtocol(config, ctx_)),
       options_(std::move(options)) {
   network_->setLatency(options_.networkLatency);
@@ -25,6 +25,8 @@ Simulation::Simulation(const trace::Catalog& catalog,
   if (options_.enableOracle) {
     ConsistencyOracle::Options oracleOptions;
     oracleOptions.auditPeriod = options_.oracleAuditPeriod;
+    oracleOptions.clocks = &clocks_;
+    oracleOptions.skewBound = options_.oracleSkewBound;
     oracle_ = std::make_unique<ConsistencyOracle>(catalog_, config, metrics_,
                                                   oracleOptions);
     scheduleAudit();
@@ -77,6 +79,12 @@ void Simulation::applyFault(const net::FaultEvent& event) {
       break;
     case Kind::kSetLoss:
       failures.setLossProbability(event.lossProb);
+      break;
+    case Kind::kSkew:
+      clocks_.setOffset(event.a, scheduler_.now(), event.offset);
+      break;
+    case Kind::kDrift:
+      clocks_.setDrift(event.a, scheduler_.now(), event.ppm);
       break;
   }
 }

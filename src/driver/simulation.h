@@ -26,6 +26,7 @@
 #include "net/fault_plan.h"
 #include "net/sim_network.h"
 #include "proto/protocol.h"
+#include "sim/local_clock.h"
 #include "sim/scheduler.h"
 #include "stats/metrics.h"
 #include "trace/catalog.h"
@@ -51,6 +52,10 @@ struct SimOptions {
   bool enableOracle = false;
   /// Period of the oracle's whole-cache audit.
   SimDuration oracleAuditPeriod = sec(30);
+  /// Skew budget handed to the oracle's skew-aware mode: staleness from
+  /// a client whose |skew| exceeds this bound is out-of-contract and
+  /// not flagged. Set it to the fault plan's maxClockSkew.
+  SimDuration oracleSkewBound = 0;
 };
 
 class Simulation {
@@ -71,6 +76,7 @@ class Simulation {
 
   sim::Scheduler& scheduler() { return scheduler_; }
   net::SimNetwork& network() { return *network_; }
+  const sim::ClockMap& clocks() const { return clocks_; }
   stats::Metrics& metrics() { return metrics_; }
   proto::ProtocolInstance& protocol() { return protocol_; }
   const trace::Catalog& catalog() const { return catalog_; }
@@ -96,6 +102,9 @@ class Simulation {
   sim::Scheduler scheduler_;
   stats::Metrics metrics_;
   std::unique_ptr<net::SimNetwork> network_;
+  /// Per-node clock views mutated by kSkew/kDrift fault events; the
+  /// scheduler's global clock stays the single source of event order.
+  sim::ClockMap clocks_;
   proto::ProtocolContext ctx_;
   proto::ProtocolInstance protocol_;
   SimOptions options_;

@@ -23,6 +23,10 @@ const char* faultKindName(FaultEvent::Kind kind) {
       return "deisolate";
     case FaultEvent::Kind::kSetLoss:
       return "set-loss";
+    case FaultEvent::Kind::kSkew:
+      return "skew";
+    case FaultEvent::Kind::kDrift:
+      return "drift";
   }
   return "?";
 }
@@ -39,6 +43,14 @@ std::string formatFaultEvent(const FaultEvent& event) {
       break;
     case FaultEvent::Kind::kSetLoss:
       s += " p=" + std::to_string(event.lossProb);
+      break;
+    case FaultEvent::Kind::kSkew:
+      s += " node " + std::to_string(raw(event.a)) +
+           " offset=" + formatSimTime(event.offset);
+      break;
+    case FaultEvent::Kind::kDrift:
+      s += " node " + std::to_string(raw(event.a)) +
+           " ppm=" + std::to_string(event.ppm);
       break;
     default:
       s += " node " + std::to_string(raw(event.a));
@@ -75,6 +87,16 @@ FaultPlan& FaultPlan::deisolateAt(SimTime at, NodeId node) {
 FaultPlan& FaultPlan::setLossAt(SimTime at, double p) {
   VL_CHECK(p >= 0.0 && p <= 1.0);
   return add({at, FaultEvent::Kind::kSetLoss, makeNodeId(0), makeNodeId(0), p});
+}
+FaultPlan& FaultPlan::skewAt(SimTime at, NodeId node, SimDuration offset) {
+  FaultEvent event{at, FaultEvent::Kind::kSkew, node, node, 0.0};
+  event.offset = offset;
+  return add(event);
+}
+FaultPlan& FaultPlan::driftAt(SimTime at, NodeId node, double ppm) {
+  FaultEvent event{at, FaultEvent::Kind::kDrift, node, node, 0.0};
+  event.ppm = ppm;
+  return add(event);
 }
 
 FaultPlan& FaultPlan::lossWindow(SimTime from, SimTime to, double p) {
@@ -201,6 +223,35 @@ FaultPlan FaultPlan::random(Rng& rng, const RandomOptions& options,
       const double p = options.maxLossProbability * rng.nextDouble();
       auto [from, to] = randomWindow(rng, horizon, /*meanLenSeconds=*/90.0);
       plan.lossWindow(from, to, p);
+    }
+  }
+
+  // Per-client clock skew. Steps set a node's *total* skew to a value in
+  // [-B/2, +B/2]; drift rates (at most one per client, from t = 0) are
+  // bounded so accrued drift over any span of the horizon stays within
+  // B/2 -- together |skew| <= maxClockSkew for every node at every
+  // instant, the bound the protocol's epsilon margin must cover. Servers
+  // keep reference time: lease timestamps originate at the server, so
+  // only a client's skew relative to its server is protocol-visible.
+  // Gated on the budget so zero-skew plans consume an rng stream
+  // identical to pre-skew builds.
+  if (options.maxClockSkew > 0 && !clients.empty()) {
+    const double half = static_cast<double>(options.maxClockSkew) / 2.0;
+    const int n = drawCount(intensity * static_cast<double>(clients.size()));
+    for (int i = 0; i < n; ++i) {
+      const NodeId c = clients[rng.nextBelow(clients.size())];
+      const SimTime at = static_cast<SimTime>(rng.nextBelow(
+          static_cast<std::uint64_t>(std::max<SimTime>(horizon, 1))));
+      const SimDuration off =
+          static_cast<SimDuration>((2.0 * rng.nextDouble() - 1.0) * half);
+      plan.skewAt(at, c, off);
+    }
+    const double maxPpm = half * 1'000'000.0 / static_cast<double>(horizon);
+    for (const NodeId c : clients) {
+      if (rng.nextDouble() < intensity * 0.5) {
+        const double ppm = (2.0 * rng.nextDouble() - 1.0) * maxPpm;
+        plan.driftAt(0, c, ppm);
+      }
     }
   }
 

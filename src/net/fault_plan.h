@@ -33,6 +33,8 @@ struct FaultEvent {
     kIsolate,    // node `a` unreachable-but-alive
     kDeisolate,  // node `a` reachable again
     kSetLoss,    // global per-message loss probability := lossProb
+    kSkew,       // node `a`'s clock steps to total skew `offset`
+    kDrift,      // node `a`'s clock drifts at `ppm` from this instant
   };
 
   SimTime at = 0;
@@ -40,6 +42,8 @@ struct FaultEvent {
   NodeId a = makeNodeId(0);
   NodeId b = makeNodeId(0);  // partition/heal only
   double lossProb = 0.0;     // kSetLoss only
+  SimDuration offset = 0;    // kSkew only: local minus global
+  double ppm = 0.0;          // kDrift only: microseconds per second
 };
 
 const char* faultKindName(FaultEvent::Kind kind);
@@ -57,6 +61,10 @@ class FaultPlan {
   FaultPlan& isolateAt(SimTime at, NodeId node);
   FaultPlan& deisolateAt(SimTime at, NodeId node);
   FaultPlan& setLossAt(SimTime at, double p);
+  /// Step node's clock to a total skew of `offset` (local minus global).
+  FaultPlan& skewAt(SimTime at, NodeId node, SimDuration offset);
+  /// Start node's clock drifting at `ppm` microseconds per second.
+  FaultPlan& driftAt(SimTime at, NodeId node, double ppm);
   /// Convenience: raise loss to `p` over [from, to), then back to 0.
   FaultPlan& lossWindow(SimTime from, SimTime to, double p);
   /// Convenience: node down over [from, to).
@@ -96,6 +104,13 @@ class FaultPlan {
     bool serverCrashes = true;  // allow server crash/reboot windows
     bool clientCrashes = true;  // allow client crash/reboot windows
     double maxLossProbability = 0.2;
+    /// Clock-skew budget B: when nonzero, clients get skew steps in
+    /// [-B/2, +B/2] and drift rates bounded so accrued drift over the
+    /// whole horizon stays within B/2 -- every node's |skew| <= B at all
+    /// times, which is the bound the epsilon margin must cover. Zero
+    /// (the default) generates no skew events and leaves the rng stream
+    /// identical to pre-skew plans.
+    SimDuration maxClockSkew = 0;
   };
   static FaultPlan random(Rng& rng, const RandomOptions& options,
                           const std::vector<NodeId>& clients,

@@ -1,5 +1,7 @@
 #include "net/wire.h"
 
+#include <array>
+
 #include "util/check.h"
 
 namespace vlease::net {
@@ -207,7 +209,29 @@ std::optional<Payload> decodePayloadImpl(std::size_t typeIndex, WireReader& r,
   return out;
 }
 
+/// Frame layout constants: [u32 from][u32 to][u8 type] header and the
+/// trailing [u32 crc32].
+constexpr std::size_t kFrameHeaderBytes = 9;
+constexpr std::size_t kFrameChecksumBytes = 4;
+
 }  // namespace
+
+std::uint32_t wireChecksum(const std::uint8_t* data, std::size_t size) {
+  static const std::array<std::uint32_t, 256> kTable = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xffffffffu;
+  for (std::size_t i = 0; i < size; ++i)
+    crc = kTable[(crc ^ data[i]) & 0xffu] ^ (crc >> 8);
+  return crc ^ 0xffffffffu;
+}
 
 std::vector<std::uint8_t> encodeMessage(const Message& msg) {
   WireWriter w;
@@ -215,12 +239,22 @@ std::vector<std::uint8_t> encodeMessage(const Message& msg) {
   w.u32(raw(msg.to));
   w.u8(static_cast<std::uint8_t>(payloadTypeIndex(msg.payload)));
   std::visit(EncodeVisitor{w}, msg.payload);
+  w.u32(wireChecksum(w.bytes().data(), w.bytes().size()));
   return w.take();
 }
 
 std::optional<Message> decodeMessage(const std::uint8_t* data,
                                      std::size_t size) {
-  WireReader r(data, size);
+  if (size < kFrameHeaderBytes + kFrameChecksumBytes) return std::nullopt;
+  // Verify the trailing checksum before parsing anything: a corrupted
+  // frame must never be misparsed into a valid-looking message.
+  const std::size_t bodySize = size - kFrameChecksumBytes;
+  std::uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i)
+    stored |= static_cast<std::uint32_t>(data[bodySize + i]) << (8 * i);
+  if (wireChecksum(data, bodySize) != stored) return std::nullopt;
+
+  WireReader r(data, bodySize);
   Message msg{};
   msg.from = makeNodeId(r.u32());
   msg.to = makeNodeId(r.u32());

@@ -3,16 +3,20 @@
 // The simulator never serializes (payloads move as C++ objects and only
 // their modeled size is charged), but the TCP transport binding sends
 // real bytes. Encoding: little-endian fixed-width integers, length-
-// prefixed lists, one type byte selecting the Payload alternative:
+// prefixed lists, one type byte selecting the Payload alternative, and
+// a trailing CRC-32 over everything before it:
 //
-//   [u32 from][u32 to][u8 typeIndex][fields...]
+//   [u32 from][u32 to][u8 typeIndex][fields...][u32 crc32]
 //
 // Piggybacked object data is represented by its byte count only (the
 // simulator's object "contents" are synthetic); a production deployment
 // would append the blob after the header.
 //
-// decodeMessage() is safe on untrusted input: every read is bounds-
-// checked and list lengths are validated against the remaining buffer.
+// decodeMessage() is safe on untrusted input: the checksum is verified
+// before any field is parsed, every read is bounds-checked, and list
+// lengths are validated against the remaining buffer. A truncated or
+// bit-flipped frame is rejected (nullopt), never misparsed into a
+// valid-looking message.
 #pragma once
 
 #include <cstdint>
@@ -64,11 +68,15 @@ class WireReader {
   bool ok_ = true;
 };
 
-/// Serialize a message (header + payload).
+/// CRC-32 (IEEE 802.3, reflected) over `size` bytes. Exposed so tests
+/// and tools can seal hand-crafted frames.
+std::uint32_t wireChecksum(const std::uint8_t* data, std::size_t size);
+
+/// Serialize a message (header + payload + trailing checksum).
 std::vector<std::uint8_t> encodeMessage(const Message& msg);
 
-/// Parse; nullopt on any malformed input (truncation, bad type byte,
-/// oversized list).
+/// Parse; nullopt on any malformed input (truncation, checksum
+/// mismatch, bad type byte, oversized list).
 std::optional<Message> decodeMessage(const std::uint8_t* data,
                                      std::size_t size);
 

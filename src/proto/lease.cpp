@@ -101,7 +101,7 @@ void LeaseServer::startWrite(ObjectId obj, WriteCallback cb,
 
   std::vector<NodeId> targets;
   for (const auto& [client, record] : st.holders) {
-    if (record.expire > now) targets.push_back(client);
+    if (graceExpire(record.expire) > now) targets.push_back(client);
   }
 
   if (mode_ == LeaseMode::kBestEffort) {
@@ -140,7 +140,7 @@ void LeaseServer::startWrite(ObjectId obj, WriteCallback cb,
     auto [it, inserted] = pendingWrites_.emplace(obj, std::move(pw));
     VL_CHECK(inserted);
     it->second.timer = ctx_.scheduler.scheduleAt(
-        std::max(st.expire, now),
+        std::max(graceExpire(st.expire), now),
         [this, obj]() { commitWrite(obj, /*viaTimeout=*/true); });
     return;
   }
@@ -155,9 +155,10 @@ void LeaseServer::startWrite(ObjectId obj, WriteCallback cb,
   // Ack-wait bound T_f: lease expiry (Lease) with the msgTimeout floor;
   // Callback has no lease to wait out, so msgTimeout is the simulator's
   // force-complete bound for what the paper treats as an infinite wait.
-  SimTime deadline = mode_ == LeaseMode::kCallback
-                         ? addSat(now, config_.msgTimeout)
-                         : std::max(st.expire, addSat(now, config_.msgTimeout));
+  SimTime deadline =
+      mode_ == LeaseMode::kCallback
+          ? addSat(now, config_.msgTimeout)
+          : std::max(graceExpire(st.expire), addSat(now, config_.msgTimeout));
   auto [it, inserted] = pendingWrites_.emplace(obj, std::move(pw));
   VL_CHECK(inserted);
   it->second.timer = ctx_.scheduler.scheduleAt(
@@ -262,7 +263,7 @@ void LeaseServer::crashAndReboot() {
   // such bound: its consistency is genuinely broken by a crash.
   const SimTime now = ctx_.scheduler.now();
   if (mode_ != LeaseMode::kCallback) {
-    recoveryUntil_ = addSat(now, config_.objectTimeout);
+    recoveryUntil_ = graceExpire(addSat(now, config_.objectTimeout));
   }
   for (auto& [obj, st] : objects_) {
     for (auto& [client, record] : st.holders) {
@@ -296,7 +297,7 @@ void LeaseServer::finalizeAccounting(SimTime now) {
 void LeaseClient::read(ObjectId obj, ReadCallback cb) {
   const SimTime now = ctx_.scheduler.now();
   const CacheEntry* entry = cache_.find(obj);
-  if (entry != nullptr && entry->valid(now)) {
+  if (entry != nullptr && entry->valid(leaseGuard(now))) {
     cache_.touch(obj);
     ReadResult result;
     result.ok = true;

@@ -68,6 +68,12 @@ class LeaseServer final : public ServerNode {
   SimTime leaseLength() const {
     return mode_ == LeaseMode::kCallback ? kNever : config_.objectTimeout;
   }
+  /// Server-conservative expiry: for write-blocking decisions a lease
+  /// counts as possibly live until expire + epsilon, covering holders
+  /// whose clocks run up to epsilon slow (ProtocolConfig::clockEpsilon).
+  SimTime graceExpire(SimTime expire) const {
+    return addSat(expire, config_.clockEpsilon);
+  }
   void handleLeaseRequest(const net::Message& msg);
   void writeInternal(ObjectId obj, WriteCallback cb, SimTime requestedAt);
   void startWrite(ObjectId obj, WriteCallback cb, SimTime requestedAt);
@@ -109,13 +115,20 @@ class LeaseClient final : public ClientNode {
   void deliver(const net::Message& msg) override;
   CacheView cacheView(ObjectId obj, SimTime now) const override {
     const CacheEntry* entry = cache_.find(obj);
-    if (entry == nullptr || !entry->valid(now)) return {};
+    if (entry == nullptr || !entry->valid(leaseGuard(now))) return {};
     return {true, entry->version};
   }
 
   const ClientCache& cache() const { return cache_; }
 
  private:
+  /// Client-conservative expiry clock: validity is evaluated against
+  /// this client's own (possibly skewed) reading of `globalNow` plus
+  /// epsilon, so a lease dies epsilon early on the local clock.
+  SimTime leaseGuard(SimTime globalNow) const {
+    return addSat(localTime(globalNow), config_.clockEpsilon);
+  }
+
   const ProtocolConfig config_;
   const LeaseMode mode_;
   ClientCache cache_;

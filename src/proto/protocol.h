@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "net/transport.h"
+#include "sim/local_clock.h"
 #include "sim/scheduler.h"
 #include "stats/metrics.h"
 #include "trace/catalog.h"
@@ -27,6 +28,9 @@ struct ProtocolContext {
   net::Transport& transport;
   stats::Metrics& metrics;
   const trace::Catalog& catalog;
+  /// Per-node clock views for skew experiments; null (the default) means
+  /// every node reads the scheduler's global clock exactly.
+  const sim::ClockMap* clocks = nullptr;
 };
 
 /// Outcome of a client read.
@@ -93,6 +97,19 @@ struct ProtocolConfig {
   SimDuration msgTimeout = sec(10);
   /// Client-side give-up bound on a read whose server never answers.
   SimDuration readTimeout = sec(30);
+
+  /// Clock-skew safety margin epsilon. The paper's write-after-
+  /// min(t, t_v) rule implicitly assumes client and server clocks
+  /// agree; with per-node skew injected (sim::ClockMap) the rule only
+  /// holds if both sides back off by epsilon:
+  ///   * client-conservative: a client treats a lease as dead once its
+  ///     local clock reads expiry - epsilon;
+  ///   * server-conservative: a server treats a holder's lease as
+  ///     possibly live until expiry + epsilon before writing.
+  /// A commit then never precedes a serve-from-cache under any per-node
+  /// |skew| <= epsilon (relative skew <= 2*epsilon). Zero (the default)
+  /// reproduces the paper's exact arithmetic.
+  SimDuration clockEpsilon = 0;
 
   /// Client cache capacity in objects; 0 = infinite (the paper's §4.1
   /// simplifying assumption). Nonzero enables LRU eviction, which adds
@@ -214,6 +231,15 @@ class ClientNode : public net::MessageSink {
   }
 
  protected:
+  /// This client's own reading of global instant `globalNow` (identity
+  /// when no ClockMap is installed). Lease-validity checks go through
+  /// this; timers and retransmission bookkeeping stay on the global
+  /// scheduler clock, which keeps replays deterministic.
+  SimTime localTime(SimTime globalNow) const {
+    return ctx_.clocks ? ctx_.clocks->localNow(id_, globalNow) : globalNow;
+  }
+  SimTime localNow() const { return localTime(ctx_.scheduler.now()); }
+
   ProtocolContext& ctx_;
 
  private:

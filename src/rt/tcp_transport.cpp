@@ -135,6 +135,7 @@ void TcpTransport::readReady(int fd) {
       len |= static_cast<std::uint32_t>(conn.buffer[offset + i]) << (8 * i);
     }
     if (len > (1u << 24)) {  // corrupt length: drop the connection
+      ++framesRejected_;
       closeConnection(fd);
       return;
     }
@@ -142,6 +143,7 @@ void TcpTransport::readReady(int fd) {
     auto msg = net::decodeMessage(conn.buffer.data() + offset + 4, len);
     offset += 4 + len;
     if (!msg.has_value()) {
+      ++framesRejected_;
       VL_LOG_WARN << "tcp: undecodable frame dropped";
       continue;
     }
@@ -190,20 +192,31 @@ int TcpTransport::connectPeer(Peer& peer) {
 
 bool TcpTransport::writeFrame(int fd, const std::vector<std::uint8_t>& frame) {
   std::size_t written = 0;
+  // On ANY failure return path the caller closes the connection, which
+  // is what makes a retry safe: bytes already written (written > 0 --
+  // counted as a partial-frame abort) form a strict prefix of the frame
+  // on a connection the peer will tear down, so they can never combine
+  // with the retried copy into a duplicate delivery.
   while (written < frame.size()) {
     ssize_t n = ::send(fd, frame.data() + written, frame.size() - written,
                        MSG_NOSIGNAL);
     if (n < 0 && errno == EINTR) continue;
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      // Nonblocking socket with a full buffer: wait briefly for space.
+      // Nonblocking socket with a full buffer: wait for space, bounded.
       // Frames are small (tens of bytes to a few KB) and peers drain
-      // continuously, so a bounded wait suffices; on timeout the frame
-      // is dropped (Transport is best-effort).
+      // continuously, so a second covers any scheduling hiccup on a
+      // loaded host without letting a truly wedged peer block the
+      // sender forever; on timeout the frame is dropped (Transport is
+      // best-effort).
       pollfd p{fd, POLLOUT, 0};
-      if (::poll(&p, 1, /*timeout_ms=*/100) <= 0) return false;
-      continue;
+      if (::poll(&p, 1, /*timeout_ms=*/1000) > 0) continue;
+      if (written > 0) ++partialFrameAborts_;
+      return false;
     }
-    if (n <= 0) return false;
+    if (n <= 0) {
+      if (written > 0) ++partialFrameAborts_;
+      return false;
+    }
     written += static_cast<std::size_t>(n);
   }
   return true;

@@ -8,10 +8,19 @@
 // connections are accepted on the listen port; frames carry the sender
 // and recipient node ids, so one socket can serve any node pair.
 //
-// Framing: [u32 length][encodeMessage() bytes]. Partial reads are
-// buffered per connection; writes loop until complete (sockets stay
-// blocking for writes -- messages are small and peers drain promptly;
-// reads are level-triggered through the driver's poll loop).
+// Framing: [u32 length][encodeMessage() bytes, CRC-sealed]. Partial
+// reads are buffered per connection; writes loop until complete (sockets
+// stay blocking for writes -- messages are small and peers drain
+// promptly; reads are level-triggered through the driver's poll loop).
+// A frame that fails decodeMessage() (truncated or corrupted beyond its
+// checksum) is dropped and counted in framesRejected(), never delivered.
+//
+// Exactly-once per frame under the single-retry send path: a failed
+// write always closes its connection before the retry, so the peer
+// discards any half-received prefix with the connection; the retry
+// resends the WHOLE frame on a fresh connection -- i.e. transmission
+// restarts from the unacknowledged frame boundary, and no interleaving
+// can make the peer parse the same frame twice.
 //
 // Failure semantics match Transport's contract: best effort. A peer
 // that cannot be reached (connect/write failure) drops the message; the
@@ -57,6 +66,13 @@ class TcpTransport final : public net::Transport {
   /// Sends that failed once and were re-attempted on a fresh
   /// connection (successful or not; failures also bump sendFailures()).
   std::int64_t sendRetries() const { return sendRetries_; }
+  /// Inbound frames dropped because they failed to decode (corrupt
+  /// length prefix or checksum/parse failure). Never delivered.
+  std::int64_t framesRejected() const { return framesRejected_; }
+  /// Write attempts abandoned after some -- but not all -- of a frame's
+  /// bytes entered the socket; the connection is closed so the prefix
+  /// can never complete into a deliverable frame on the peer.
+  std::int64_t partialFrameAborts() const { return partialFrameAborts_; }
 
  private:
   struct Peer {
@@ -90,6 +106,8 @@ class TcpTransport final : public net::Transport {
   std::int64_t framesReceived_ = 0;
   std::int64_t sendFailures_ = 0;
   std::int64_t sendRetries_ = 0;
+  std::int64_t framesRejected_ = 0;
+  std::int64_t partialFrameAborts_ = 0;
 };
 
 }  // namespace vlease::rt

@@ -85,7 +85,11 @@ std::vector<NodeId> Metrics::nodesByTraffic() const {
 
 void accrueRecord(Metrics& metrics, NodeId server, SimTime& lastAccounted,
                   SimTime expiry, SimTime now, std::int64_t bytes) {
-  SimTime liveUntil = std::min(expiry, now);
+  // A record's expiry can predate its last accounting point (a renewal
+  // may SHORTEN expiry, e.g. a volume re-grant under clock skew): the
+  // live window [lastAccounted, min(expiry, now)) is then empty, not
+  // negative. Clamp instead of accruing a negative integral.
+  const SimTime liveUntil = std::max(std::min(expiry, now), lastAccounted);
   if (liveUntil > lastAccounted) {
     metrics.addStateIntegral(
         server, static_cast<double>(bytes) *

@@ -141,6 +141,118 @@ TEST(DeterminismGoldenTest, ChaosSeedByteIdentical) {
   compareOrRegold("chaos_seed1_volume.json", os.str());
 }
 
+/// The chaos point above with a nonzero clock-skew budget (vlease_chaos
+/// --skew medium --epsilon-ms -1): skewed LocalClock reads, the epsilon
+/// margin on both lease ends, and the skew-aware oracle must all stay
+/// deterministic. The fingerprint is checked three ways -- against the
+/// golden, against an in-process rerun, and against the same point run
+/// through the parallel sweep runner with threads=3 -- so skew state can
+/// neither leak across runs nor depend on worker scheduling.
+TEST(DeterminismGoldenTest, ChaosSeedWithSkewByteIdentical) {
+  driver::ChaosWorkloadOptions workloadOptions;
+  workloadOptions.duration = sec(900);
+  const driver::Workload workload =
+      driver::buildChaosWorkload(workloadOptions);
+  const trace::Catalog& catalog = workload.catalog;
+
+  std::vector<NodeId> clients, servers;
+  for (std::uint32_t c = 0; c < catalog.numClients(); ++c) {
+    clients.push_back(catalog.clientNode(c));
+  }
+  for (std::uint32_t s = 0; s < catalog.numServers(); ++s) {
+    servers.push_back(catalog.serverNode(s));
+  }
+
+  const SimDuration skewBudget = sec(5);  // "medium"
+
+  auto makePlan = [&]() {
+    Rng planRng(1);  // seed 1
+    net::FaultPlan::RandomOptions planOptions;
+    planOptions.intensity = 0.5;
+    planOptions.horizon = workloadOptions.duration;
+    planOptions.maxLossProbability = 0.25 * 0.5;
+    planOptions.maxClockSkew = skewBudget;
+    return std::make_shared<const net::FaultPlan>(
+        net::FaultPlan::random(planRng, planOptions, clients, servers));
+  };
+
+  proto::ProtocolConfig config;
+  config.algorithm = proto::Algorithm::kVolumeLease;
+  config.objectTimeout = sec(120);
+  config.volumeTimeout = sec(30);
+  config.msgTimeout = sec(5);
+  config.readTimeout = sec(15);
+  config.clockEpsilon = skewBudget;  // epsilon matches the budget: safe
+
+  auto makeSim = [&]() {
+    driver::SimOptions sim;
+    sim.networkLatency = msec(20);
+    sim.faultPlan = makePlan();
+    sim.enableOracle = true;
+    sim.oracleAuditPeriod = sec(10);
+    sim.oracleSkewBound = skewBudget;
+    return sim;
+  };
+
+  auto runDirect = [&]() {
+    driver::Simulation simulation(catalog, config, makeSim());
+    const stats::Metrics& metrics = simulation.run(workload.events);
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"firedEvents\": " << simulation.scheduler().firedCount()
+       << ",\n"
+       << "  \"finalNow\": " << simulation.scheduler().now() << ",\n"
+       << "  \"sent\": " << simulation.network().sentCount() << ",\n"
+       << "  \"delivered\": " << simulation.network().deliveredCount()
+       << ",\n";
+    fingerprintMetrics(os, metrics);
+    os << "}\n";
+    return os.str();
+  };
+
+  const std::string first = runDirect();
+  EXPECT_EQ(first, runDirect()) << "skew run not reproducible in-process";
+
+  // Same point through the parallel sweep runner: worker threads must
+  // not perturb the skewed clocks' event interleaving.
+  driver::SweepSpec spec;
+  spec.name = "skew_determinism";
+  for (proto::Algorithm a :
+       {proto::Algorithm::kVolumeLease,
+        proto::Algorithm::kVolumeDelayedInval}) {
+    driver::SweepPoint point;
+    point.label = std::string(proto::algorithmName(a)) + " skew";
+    point.config = config;
+    point.config.algorithm = a;
+    point.sim = makeSim();
+    point.row = proto::algorithmName(a);
+    point.col = "s1";
+    spec.points.push_back(std::move(point));
+  }
+  spec.gridCell = [](const stats::Metrics& m) {
+    return driver::Table::num(m.oracleViolations());
+  };
+  driver::ParallelOptions parallel;
+  parallel.threads = 3;
+  const auto results = driver::runSweep(spec, workload, parallel);
+  ASSERT_EQ(results.size(), 2u);
+  std::ostringstream sweepFp;
+  fingerprintMetrics(sweepFp, results.front().metrics);
+  std::ostringstream directFp;
+  {
+    driver::Simulation simulation(catalog, config, makeSim());
+    fingerprintMetrics(directFp, simulation.run(workload.events));
+  }
+  EXPECT_EQ(sweepFp.str(), directFp.str())
+      << "sweep-runner skew run diverged from the direct run";
+  // With |skew| <= budget and epsilon = budget, the oracle stays quiet.
+  for (const auto& result : results) {
+    EXPECT_EQ(result.metrics.oracleViolations(), 0);
+  }
+
+  compareOrRegold("chaos_seed1_volume_skew.json", first);
+}
+
 /// One sweep grid through the parallel runner (threads=2), rendered with
 /// the same Table JSON emitter the bench binaries use, plus the metrics
 /// fingerprint of one point.

@@ -8,6 +8,7 @@
 //   * two identical chaos runs produce identical metrics.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
 #include <string>
 #include <vector>
@@ -120,6 +121,9 @@ TEST(FaultPlanRandom, EveryWindowClosesInsideHorizon) {
         case FaultEvent::Kind::kDeisolate: model.deisolate(e.a); break;
         case FaultEvent::Kind::kSetLoss: model.setLossProbability(e.lossProb);
           break;
+        case FaultEvent::Kind::kSkew:
+        case FaultEvent::Kind::kDrift:
+          break;  // clock faults are not FailureModel state
       }
     }
     EXPECT_EQ(model.activeFaultCount(), 0u) << "seed " << seed;
@@ -135,6 +139,79 @@ TEST(FaultPlanRandom, ZeroIntensityMeansNoFaults) {
   const FaultPlan plan =
       FaultPlan::random(rng, options, nodeRange(1, 3), nodeRange(0, 1));
   EXPECT_TRUE(plan.empty());
+}
+
+TEST(FaultPlanBuilder, ClockEventsSortAndCarryFields) {
+  FaultPlan plan;
+  plan.driftAt(sec(20), makeNodeId(4), 150.0)
+      .skewAt(sec(5), makeNodeId(3), -sec(2));
+  const auto& events = plan.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, FaultEvent::Kind::kSkew);
+  EXPECT_EQ(events[0].at, sec(5));
+  EXPECT_EQ(events[0].a, makeNodeId(3));
+  EXPECT_EQ(events[0].offset, -sec(2));
+  EXPECT_EQ(events[1].kind, FaultEvent::Kind::kDrift);
+  EXPECT_EQ(events[1].a, makeNodeId(4));
+  EXPECT_DOUBLE_EQ(events[1].ppm, 150.0);
+}
+
+TEST(FaultPlanRandom, SkewBudgetBoundsClientClocksAndSparesServers) {
+  // The |skew| <= B contract the epsilon margin relies on: skew steps
+  // stay in [-B/2, +B/2], drift accrues at most B/2 over the horizon,
+  // and only CLIENTS are skewed (lease timestamps originate at the
+  // server, so server skew would be invisible to the protocol anyway).
+  FaultPlan::RandomOptions options;
+  options.intensity = 1.0;
+  options.horizon = sec(600);
+  options.maxClockSkew = sec(10);
+  const auto clients = nodeRange(2, 6);  // ids 2..7
+  const auto servers = nodeRange(0, 2);  // ids 0..1
+  const double half = static_cast<double>(options.maxClockSkew) / 2.0;
+  const double horizonSeconds =
+      static_cast<double>(options.horizon) / 1e6;
+
+  int skewEvents = 0;
+  int driftEvents = 0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    const FaultPlan plan = FaultPlan::random(rng, options, clients, servers);
+    for (const FaultEvent& e : plan.events()) {
+      if (e.kind == FaultEvent::Kind::kSkew) {
+        ++skewEvents;
+        EXPECT_GE(raw(e.a), 2u) << formatFaultEvent(e);  // never a server
+        EXPECT_LE(std::abs(static_cast<double>(e.offset)), half)
+            << formatFaultEvent(e);
+      } else if (e.kind == FaultEvent::Kind::kDrift) {
+        ++driftEvents;
+        EXPECT_GE(raw(e.a), 2u) << formatFaultEvent(e);
+        EXPECT_EQ(e.at, 0) << formatFaultEvent(e);  // drifts start at t=0
+        // Accrued drift over the whole horizon stays within B/2.
+        EXPECT_LE(std::abs(e.ppm) * horizonSeconds, half + 1.0)
+            << formatFaultEvent(e);
+      }
+    }
+  }
+  EXPECT_GT(skewEvents, 0);
+  EXPECT_GT(driftEvents, 0);
+}
+
+TEST(FaultPlanRandom, ZeroSkewBudgetMeansNoClockEvents) {
+  // maxClockSkew = 0 (the default) must generate NO clock events even
+  // at full intensity, keeping pre-skew chaos schedules reproducible.
+  FaultPlan::RandomOptions options;
+  options.intensity = 1.0;
+  options.horizon = sec(600);
+  options.maxClockSkew = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    const FaultPlan plan =
+        FaultPlan::random(rng, options, nodeRange(2, 6), nodeRange(0, 2));
+    for (const FaultEvent& e : plan.events()) {
+      EXPECT_NE(e.kind, FaultEvent::Kind::kSkew) << formatFaultEvent(e);
+      EXPECT_NE(e.kind, FaultEvent::Kind::kDrift) << formatFaultEvent(e);
+    }
+  }
 }
 
 TEST(FaultPlanInstall, SimulationAppliesEventsAtScheduledTimes) {

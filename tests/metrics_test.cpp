@@ -187,5 +187,24 @@ TEST(AccrueRecordTest, MatchesBruteForceSampling) {
   }
 }
 
+TEST(MetricsTest, AccrueRecordClampsExpiryBeforeLastAccounted) {
+  // A renewal can shorten a record's expiry below the last accounting
+  // point (skewed re-grant). The live window is then empty: the
+  // integral must not go negative, and lastAccounted must still
+  // advance to now so later accruals start from the right instant.
+  Metrics m;
+  SimTime last = sec(10);
+  accrueRecord(m, kA, last, /*expiry=*/sec(4), /*now=*/sec(12));
+  m.setHorizon(1);
+  EXPECT_DOUBLE_EQ(m.avgStateBytes(kA), 0.0);
+  EXPECT_EQ(last, sec(12));
+
+  // A subsequent well-formed accrual is unaffected by the clamp.
+  accrueRecord(m, kA, last, /*expiry=*/sec(20), /*now=*/sec(15), 16);
+  EXPECT_DOUBLE_EQ(m.avgStateBytes(kA),
+                   16.0 * static_cast<double>(sec(3)));
+  EXPECT_EQ(last, sec(15));
+}
+
 }  // namespace
 }  // namespace vlease::stats

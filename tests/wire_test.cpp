@@ -4,10 +4,31 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 #include "util/rng.h"
 
 namespace vlease::net {
 namespace {
+
+/// Recompute the trailing CRC in place, so a test can mutate frame
+/// bytes and still exercise the structural check BEHIND the checksum.
+void reseal(std::vector<std::uint8_t>& bytes) {
+  ASSERT_GE(bytes.size(), 4u);
+  const std::size_t body = bytes.size() - 4;
+  const std::uint32_t crc = wireChecksum(bytes.data(), body);
+  for (int i = 0; i < 4; ++i)
+    bytes[body + i] = static_cast<std::uint8_t>((crc >> (8 * i)) & 0xff);
+}
+
+/// Append a valid CRC to a hand-crafted (checksum-less) frame body.
+std::vector<std::uint8_t> sealed(std::vector<std::uint8_t> body) {
+  const std::uint32_t crc = wireChecksum(body.data(), body.size());
+  for (int i = 0; i < 4; ++i)
+    body.push_back(static_cast<std::uint8_t>((crc >> (8 * i)) & 0xff));
+  return body;
+}
 
 Message roundTrip(const Message& msg) {
   auto bytes = encodeMessage(msg);
@@ -129,27 +150,52 @@ TEST(WireTest, RejectsTruncation) {
 }
 
 TEST(WireTest, RejectsTrailingGarbage) {
+  // Reseal after inserting the garbage byte: the frame must be rejected
+  // by the leftover-bytes check, not merely the checksum.
   auto bytes = encodeMessage(wrap(Invalidate{makeObjectId(1)}));
-  bytes.push_back(0xab);
+  bytes.insert(bytes.end() - 4, 0xab);
+  reseal(bytes);
   EXPECT_FALSE(decodeMessage(bytes.data(), bytes.size()).has_value());
 }
 
 TEST(WireTest, RejectsBadTypeByte) {
   auto bytes = encodeMessage(wrap(Invalidate{makeObjectId(1)}));
   bytes[8] = 0xff;  // type byte follows the two u32 node ids
+  reseal(bytes);    // valid CRC: the type-byte check itself must fire
   EXPECT_FALSE(decodeMessage(bytes.data(), bytes.size()).has_value());
 }
 
 TEST(WireTest, RejectsOversizedListLength) {
-  // Hand-craft a RenewObjLeases claiming 2^30 entries.
+  // Hand-craft a RenewObjLeases claiming 2^30 entries (valid CRC, so
+  // the list-length bound itself does the rejecting).
   WireWriter w;
   w.u32(1);
   w.u32(0);
   w.u8(2);  // RenewObjLeases index
   w.u64(0);
   w.u32(1u << 30);
-  auto bytes = w.take();
+  auto bytes = sealed(w.take());
   EXPECT_FALSE(decodeMessage(bytes.data(), bytes.size()).has_value());
+}
+
+TEST(WireTest, RejectsMissingChecksum) {
+  // A frame whose checksum was chopped off (body alone) must not parse,
+  // even though the body bytes are exactly a valid pre-checksum frame.
+  auto bytes = encodeMessage(wrap(Invalidate{makeObjectId(1)}));
+  EXPECT_FALSE(decodeMessage(bytes.data(), bytes.size() - 4).has_value());
+}
+
+TEST(WireTest, ChecksumRejectsEveryBitFlip) {
+  auto bytes = encodeMessage(
+      wrap(ObjLeaseGrant{makeObjectId(6), 12, sec(100), true, 4096}));
+  for (std::size_t byte = 0; byte < bytes.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      bytes[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_FALSE(decodeMessage(bytes.data(), bytes.size()).has_value())
+          << "byte " << byte << " bit " << bit;
+      bytes[byte] ^= static_cast<std::uint8_t>(1u << bit);
+    }
+  }
 }
 
 TEST(WireTest, FuzzRoundTripRandomMessages) {
@@ -227,6 +273,109 @@ TEST(WireTest, FuzzDecodeRandomBytesNeverCrashes) {
     for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next());
     (void)decodeMessage(junk.data(), junk.size());  // must not crash/UB
   }
+}
+
+Message randomValidMessage(Rng& rng) {
+  Message msg;
+  msg.from = makeNodeId(static_cast<std::uint32_t>(rng.next()));
+  msg.to = makeNodeId(static_cast<std::uint32_t>(rng.next()));
+  switch (rng.nextBelow(5)) {
+    case 0:
+      msg.payload = Invalidate{makeObjectId(rng.next())};
+      break;
+    case 1:
+      msg.payload = ObjLeaseGrant{makeObjectId(rng.next()),
+                                  static_cast<Version>(rng.next()),
+                                  static_cast<SimTime>(rng.next()),
+                                  rng.nextBool(0.5),
+                                  static_cast<std::int64_t>(rng.next()),
+                                  rng.nextBool(0.5),
+                                  static_cast<SimTime>(rng.next()),
+                                  static_cast<Epoch>(rng.next())};
+      break;
+    case 2: {
+      BatchInvalRenew batch;
+      batch.vol = makeVolumeId(rng.next());
+      const auto nInval = rng.nextBelow(8);
+      for (std::uint64_t k = 0; k < nInval; ++k)
+        batch.invalidate.push_back(makeObjectId(rng.next()));
+      const auto nRenew = rng.nextBelow(8);
+      for (std::uint64_t k = 0; k < nRenew; ++k) {
+        batch.renew.push_back({makeObjectId(rng.next()),
+                               static_cast<Version>(rng.next()),
+                               static_cast<SimTime>(rng.next())});
+      }
+      msg.payload = std::move(batch);
+      break;
+    }
+    case 3: {
+      RenewObjLeases renew;
+      renew.vol = makeVolumeId(rng.next());
+      const auto n = rng.nextBelow(10);
+      for (std::uint64_t k = 0; k < n; ++k) {
+        renew.leases.push_back(
+            {makeObjectId(rng.next()), static_cast<Version>(rng.next())});
+      }
+      msg.payload = std::move(renew);
+      break;
+    }
+    default:
+      msg.payload = VolLeaseGrant{makeVolumeId(rng.next()),
+                                  static_cast<SimTime>(rng.next()),
+                                  static_cast<Epoch>(rng.next())};
+  }
+  return msg;
+}
+
+TEST(WireTest, FuzzCorruptedFramesNeverMisparse) {
+  // The hard frame-hardening guarantee: across >= 10^4 randomized
+  // corruptions of valid frames -- bit flips, byte overwrites,
+  // truncations, extensions, and slice swaps -- decode either rejects
+  // the frame or the buffer was not actually changed. A corrupted frame
+  // must NEVER come back as a different valid-looking message.
+  Rng rng(20260807);
+  int corruptions = 0;
+  while (corruptions < 12000) {
+    const Message msg = randomValidMessage(rng);
+    const auto original = encodeMessage(msg);
+    for (int variant = 0; variant < 8; ++variant, ++corruptions) {
+      auto bytes = original;
+      switch (rng.nextBelow(5)) {
+        case 0: {  // single bit flip
+          const auto pos = rng.nextBelow(bytes.size());
+          bytes[pos] ^= static_cast<std::uint8_t>(1u << rng.nextBelow(8));
+          break;
+        }
+        case 1: {  // overwrite 1-4 random bytes
+          const auto n = 1 + rng.nextBelow(4);
+          for (std::uint64_t k = 0; k < n; ++k)
+            bytes[rng.nextBelow(bytes.size())] =
+                static_cast<std::uint8_t>(rng.next());
+          break;
+        }
+        case 2:  // truncate
+          bytes.resize(rng.nextBelow(bytes.size()));
+          break;
+        case 3: {  // extend with random bytes
+          const auto n = 1 + rng.nextBelow(16);
+          for (std::uint64_t k = 0; k < n; ++k)
+            bytes.push_back(static_cast<std::uint8_t>(rng.next()));
+          break;
+        }
+        default: {  // swap two bytes
+          const auto a = rng.nextBelow(bytes.size());
+          const auto b = rng.nextBelow(bytes.size());
+          std::swap(bytes[a], bytes[b]);
+          break;
+        }
+      }
+      if (bytes == original) continue;  // corruption was a no-op
+      auto decoded = decodeMessage(bytes.data(), bytes.size());
+      EXPECT_FALSE(decoded.has_value())
+          << "corruption " << corruptions << " misparsed";
+    }
+  }
+  EXPECT_GE(corruptions, 10000);
 }
 
 }  // namespace

@@ -11,6 +11,8 @@
 //   $ vlease_chaos --seeds 16 --intensity high
 //   $ vlease_chaos --seeds 8 --intensity low --algorithms lease,volume
 //   $ vlease_chaos --seeds 4 --break-invalidation   # oracle must bark
+//   $ vlease_chaos --seeds 16 --skew high           # |skew| <= epsilon: clean
+//   $ vlease_chaos --seeds 16 --skew high --epsilon-ms 0  # must bark
 #include <cstdio>
 #include <iostream>
 #include <map>
@@ -46,6 +48,17 @@ std::optional<double> parseIntensity(const std::string& name) {
   return std::nullopt;
 }
 
+/// Clock-skew budget B by named intensity. The budget is the bound on
+/// every node's |skew| (FaultPlan::random guarantees it); sized against
+/// the tool's volumeTimeout = 30s so high skew is a third of t_v.
+std::optional<SimDuration> parseSkew(const std::string& name) {
+  if (name == "off") return SimDuration{0};
+  if (name == "low") return sec(2);
+  if (name == "medium") return sec(5);
+  if (name == "high") return sec(10);
+  return std::nullopt;
+}
+
 std::vector<std::string> splitCsv(const std::string& s) {
   std::vector<std::string> out;
   std::stringstream ss(s);
@@ -66,6 +79,13 @@ int main(int argc, char** argv) {
   flags.addString("algorithms", "callback,lease,volume,delay",
                   "comma list: callback|lease|volume|delay|best-effort");
   flags.addInt("duration-sec", 1800, "workload + fault horizon, seconds");
+  flags.addString("skew", "off",
+                  "clock-skew intensity: off|low|medium|high (per-node "
+                  "|skew| budget of 0/2/5/10 seconds)");
+  flags.addInt("epsilon-ms", -1,
+               "clock-skew safety margin epsilon in milliseconds; -1 = "
+               "match the skew budget (safe), 0 = margin disabled "
+               "(negative control: the skew-aware oracle must fire)");
   flags.addBool("break-invalidation", false,
                 "fault-inject clients that ack invalidations without "
                 "applying them (the oracle MUST report violations)");
@@ -78,6 +98,15 @@ int main(int argc, char** argv) {
                  flags.getString("intensity").c_str());
     return 1;
   }
+  const auto skewBudget = parseSkew(flags.getString("skew"));
+  if (!skewBudget) {
+    std::fprintf(stderr, "unknown skew '%s' (off|low|medium|high)\n",
+                 flags.getString("skew").c_str());
+    return 1;
+  }
+  const std::int64_t epsilonMs = flags.getInt("epsilon-ms");
+  const SimDuration epsilon =
+      epsilonMs < 0 ? *skewBudget : msec(epsilonMs);
   std::vector<proto::Algorithm> algorithms;
   for (const std::string& name : splitCsv(flags.getString("algorithms"))) {
     const auto algorithm = parseAlgorithm(name);
@@ -117,6 +146,7 @@ int main(int argc, char** argv) {
   base.volumeTimeout = sec(30);
   base.msgTimeout = sec(5);
   base.readTimeout = sec(15);
+  base.clockEpsilon = epsilon;
   base.faultInjectIgnoreInvalidations = flags.getBool("break-invalidation");
 
   driver::SweepSpec spec;
@@ -131,6 +161,7 @@ int main(int argc, char** argv) {
     planOptions.intensity = *intensity;
     planOptions.horizon = workloadOptions.duration;
     planOptions.maxLossProbability = 0.25 * *intensity;
+    planOptions.maxClockSkew = *skewBudget;
     auto plan = std::make_shared<const net::FaultPlan>(
         net::FaultPlan::random(planRng, planOptions, clients, servers));
 
@@ -139,6 +170,7 @@ int main(int argc, char** argv) {
     sim.faultPlan = plan;
     sim.enableOracle = true;
     sim.oracleAuditPeriod = sec(10);
+    sim.oracleSkewBound = *skewBudget;
 
     for (const proto::Algorithm algorithm : algorithms) {
       proto::ProtocolConfig config = base;
@@ -170,9 +202,12 @@ int main(int argc, char** argv) {
 
   driver::emitTable(driver::toTable(spec, results), flags);
   if (!flags.getBool("csv") && !flags.getBool("json")) {
-    std::printf("\nintensity=%s seeds=%lld..%lld  (%zu plans x %zu "
+    std::printf("\nintensity=%s skew=%s epsilon=%s seeds=%lld..%lld  "
+                "(%zu plans x %zu "
                 "algorithms, %lld reads, %lld writes)\n",
                 flags.getString("intensity").c_str(),
+                flags.getString("skew").c_str(),
+                formatSimTime(epsilon).c_str(),
                 static_cast<long long>(seedBase),
                 static_cast<long long>(seedBase + seeds - 1),
                 static_cast<std::size_t>(seeds), algorithms.size(),
