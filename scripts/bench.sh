@@ -1,8 +1,13 @@
 #!/usr/bin/env bash
-# Run the kernel micro benches and record the numbers in the git-tracked
-# BENCH_kernel.json so perf changes are reviewable like any other diff.
+# Run a tracked micro-bench suite and record the numbers in a git-tracked
+# BENCH_<suite>.json so perf changes are reviewable like any other diff.
 #
-# The file holds two snapshots:
+# Suites (default: kernel):
+#   kernel   -> BENCH_kernel.json    scheduler/event-loop benches
+#   protocol -> BENCH_protocol.json  lease-protocol benches (fan-out,
+#                                    cold read, trace replay, sweep grid)
+#
+# Each tracked file holds two snapshots:
 #   "baseline" -- the recorded reference numbers a perf PR is judged
 #                 against (rewritten only with --set-baseline);
 #   "current"  -- the numbers of the working tree (rewritten every run).
@@ -12,19 +17,29 @@
 # N is the least-interference estimate and is far more stable than the
 # mean; compare like with like (both snapshots are produced this way).
 #
-# Usage: scripts/bench.sh [--set-baseline] [--label TEXT]
-#                         [--min-time SEC] [--reps N] [--filter REGEX]
+# --check PCT: regression gate. Runs the suite, does NOT rewrite the
+# tracked file, and exits non-zero if any benchmark comes in more than
+# PCT percent below the recorded baseline. Used as a cheap smoke in
+# scripts/ci.sh (with a generous PCT -- best-of-few on a shared box).
+#
+# Usage: scripts/bench.sh [--suite kernel|protocol] [--set-baseline]
+#                         [--check PCT] [--label TEXT] [--min-time SEC]
+#                         [--reps N] [--filter REGEX]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+SUITE=kernel
 SECTION=current
+CHECK_PCT=""
 LABEL=""
 MIN_TIME=0.4
 REPS=3
 FILTER=""
 while [[ $# -gt 0 ]]; do
   case "$1" in
+    --suite) SUITE="$2"; shift 2 ;;
     --set-baseline) SECTION=baseline; shift ;;
+    --check) CHECK_PCT="$2"; shift 2 ;;
     --label) LABEL="$2"; shift 2 ;;
     --min-time) MIN_TIME="$2"; shift 2 ;;
     --reps) REPS="$2"; shift 2 ;;
@@ -32,6 +47,21 @@ while [[ $# -gt 0 ]]; do
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
 done
+
+case "$SUITE" in
+  kernel)
+    PATH_JSON=BENCH_kernel.json
+    SUITE_FILTER='BM_Scheduler'
+    ;;
+  protocol)
+    PATH_JSON=BENCH_protocol.json
+    SUITE_FILTER='BM_VolumeWriteFanout|BM_VolumeLeaseColdRead|BM_TraceReplay|BM_SweepGrid'
+    ;;
+  *) echo "unknown suite: $SUITE (kernel|protocol)" >&2; exit 2 ;;
+esac
+# An explicit --filter narrows within the suite (intersection would need
+# real regex algebra; in practice callers pass a subset of suite names).
+FILTER="${FILTER:-$SUITE_FILTER}"
 
 cmake -B build -S . >/dev/null
 cmake --build build -j --target micro_kernel >/dev/null
@@ -43,11 +73,12 @@ build/bench/micro_kernel \
   --benchmark_format=json \
   --benchmark_min_time="$MIN_TIME" \
   --benchmark_repetitions="$REPS" \
-  ${FILTER:+--benchmark_filter="$FILTER"} \
+  --benchmark_filter="$FILTER" \
   >"$RAW"
 
-SECTION="$SECTION" LABEL="$LABEL" RAW="$RAW" python3 - <<'PY'
-import json, os, subprocess
+SECTION="$SECTION" LABEL="$LABEL" RAW="$RAW" PATH_JSON="$PATH_JSON" \
+  CHECK_PCT="$CHECK_PCT" python3 - <<'PY'
+import json, os, subprocess, sys
 
 raw = json.load(open(os.environ["RAW"]))
 best = {}
@@ -62,6 +93,36 @@ for b in raw["benchmarks"]:
 
 git_rev = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
                          capture_output=True, text=True).stdout.strip()
+path = os.environ["PATH_JSON"]
+doc = {}
+if os.path.exists(path):
+    doc = json.load(open(path))
+
+check_pct = os.environ["CHECK_PCT"]
+if check_pct:
+    # Gate mode: compare this run against the recorded baseline without
+    # touching the tracked file.
+    tol = float(check_pct) / 100.0
+    base = doc.get("baseline", {}).get("items_per_second", {})
+    if not base:
+        sys.exit(f"{path}: no baseline recorded; run --set-baseline first")
+    failed = []
+    for name in sorted(base):
+        b, c = base[name], best.get(name)
+        if c is None:
+            continue  # narrowed --filter; unmeasured benches are skipped
+        ratio = c / b
+        flag = "FAIL" if ratio < 1.0 - tol else "ok"
+        print(f"  {name:40s} base={b:>12.0f} cur={c:>12.0f} "
+              f"{ratio:5.2f}x  {flag}")
+        if ratio < 1.0 - tol:
+            failed.append(name)
+    if failed:
+        sys.exit(f"regression > {check_pct}% vs {path} baseline: "
+                 + ", ".join(failed))
+    print(f"check ok: within {check_pct}% of {path} baseline")
+    sys.exit(0)
+
 snapshot = {
     "label": os.environ["LABEL"] or git_rev,
     "date": raw["context"]["date"],
@@ -70,10 +131,6 @@ snapshot = {
     "items_per_second": {k: round(v) for k, v in sorted(best.items())},
 }
 
-path = "BENCH_kernel.json"
-doc = {}
-if os.path.exists(path):
-    doc = json.load(open(path))
 doc.setdefault("bench", "bench/micro_kernel (google-benchmark)")
 doc.setdefault(
     "method",

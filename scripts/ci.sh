@@ -24,6 +24,17 @@ build/tools/vlease_chaos --seeds 8 --intensity low --skew medium
 # rejects a "s" suffix on the value.
 build/bench/micro_kernel --benchmark_min_time=0.05 >/dev/null
 
+if [[ "${VLEASE_SANITIZE:-OFF}" != "ON" ]]; then
+  # Perf regression smoke against the tracked baselines. The tolerance
+  # is deliberately generous: this is best-of-few on a shared box, so it
+  # only catches order-of-magnitude regressions (a dropped fast path, an
+  # accidental O(n) scan); scripts/bench.sh with more reps is the real
+  # measurement. Skipped under sanitizers -- the instrumented build's
+  # timings are meaningless.
+  scripts/bench.sh --suite kernel --check 60 --reps 2 --min-time 0.1
+  scripts/bench.sh --suite protocol --check 60 --reps 2 --min-time 0.1
+fi
+
 if [[ "${VLEASE_SANITIZE:-OFF}" == "ON" ]]; then
   # The randomized scheduler differential fuzz is the highest-value test
   # to run under ASan/UBSan (arena recycling, in-place closure invokes,
@@ -33,4 +44,8 @@ if [[ "${VLEASE_SANITIZE:-OFF}" == "ON" ]]; then
   # Wire-format corruption fuzz under ASan/UBSan: >= 10^4 randomized
   # frame corruptions must be rejected without any out-of-bounds read.
   build/tests/wire_test --gtest_filter='WireTest.Fuzz*'
+  # The dense-server-vs-reference differential replays thousands of
+  # messages through the slot pools and index maps; under ASan/UBSan it
+  # doubles as a lifetime/OOB audit of the dense-state engine.
+  build/tests/volume_differential_test
 fi

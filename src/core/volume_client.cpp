@@ -9,8 +9,8 @@ using proto::ReadCallback;
 using proto::ReadResult;
 
 bool VolumeClient::volumeValid(VolumeId vol, SimTime now) const {
-  auto it = volumes_.find(vol);
-  return it != volumes_.end() && it->second.expire > leaseGuard(now);
+  const std::size_t i = raw(vol);
+  return i < volumes_.size() && volumes_[i].expire > leaseGuard(now);
 }
 
 bool VolumeClient::hasValidVolumeLease(VolumeId vol) const {
@@ -23,8 +23,8 @@ bool VolumeClient::hasValidObjectLease(ObjectId obj) const {
 }
 
 Epoch VolumeClient::knownEpoch(VolumeId vol) const {
-  auto it = volumes_.find(vol);
-  return it == volumes_.end() ? 0 : it->second.epoch;
+  const std::size_t i = raw(vol);
+  return i < volumes_.size() ? volumes_[i].epoch : 0;
 }
 
 proto::ClientNode::CacheView VolumeClient::cacheView(ObjectId obj,
@@ -38,13 +38,46 @@ proto::ClientNode::CacheView VolumeClient::cacheView(ObjectId obj,
 }
 
 void VolumeClient::dropCache() {
-  cache_.clear();
-  volumes_.clear();
+  cache_.clear();  // also forgets the per-entry lastGrantCarriedData bits
+  std::fill(volumes_.begin(), volumes_.end(), VolLease{});
   // Outstanding request markers refer to replies that may still arrive;
   // clearing them lets the restarted client issue fresh requests.
-  volReqOutstanding_.clear();
-  objReqOutstanding_.clear();
-  lastGrantCarriedData_.clear();
+  std::fill(volReqOutstanding_.begin(), volReqOutstanding_.end(), kSimTimeMin);
+  std::fill(objReqOutstanding_.begin(), objReqOutstanding_.end(), kSimTimeMin);
+}
+
+// ---------------------------------------------------------------------
+// the "reads waiting" per-volume index
+// ---------------------------------------------------------------------
+
+void VolumeClient::pendingInsert(VolumeId vol, ObjectId obj) {
+  const std::size_t v = raw(vol);
+  const std::uint32_t o = raw(obj);
+  ensureVolSlot(v);
+  ensureObjSlot(o);
+  if (pendingIn_[o] != 0) return;
+  pendingIn_[o] = 1;
+  pendingPrev_[o] = util::kNilIdx;
+  pendingNext_[o] = pendingHead_[v];
+  if (pendingHead_[v] != util::kNilIdx) pendingPrev_[pendingHead_[v]] = o;
+  pendingHead_[v] = o;
+}
+
+void VolumeClient::pendingErase(VolumeId vol, ObjectId obj) {
+  const std::size_t v = raw(vol);
+  const std::uint32_t o = raw(obj);
+  if (v >= pendingHead_.size() || o >= pendingIn_.size()) return;
+  if (pendingIn_[o] == 0) return;
+  pendingIn_[o] = 0;
+  if (pendingPrev_[o] != util::kNilIdx) {
+    pendingNext_[pendingPrev_[o]] = pendingNext_[o];
+  }
+  if (pendingNext_[o] != util::kNilIdx) {
+    pendingPrev_[pendingNext_[o]] = pendingPrev_[o];
+  }
+  if (pendingHead_[v] == o) pendingHead_[v] = pendingNext_[o];
+  pendingNext_[o] = util::kNilIdx;
+  pendingPrev_[o] = util::kNilIdx;
 }
 
 // ---------------------------------------------------------------------
@@ -66,9 +99,11 @@ void VolumeClient::read(ObjectId obj, ReadCallback cb) {
     cb(result);
     return;
   }
-  lastGrantCarriedData_.erase(obj);  // track fetches for this op only
+  // Track fetches for this op only: the flag rides on the cache entry
+  // (if any) and is set again by the next grant.
+  if (CacheEntry* e = cache_.findMutable(obj)) e->lastGrantCarriedData = false;
   pending_.add(obj, config_.readTimeout, std::move(cb));
-  pendingByVol_[vol].insert(obj);
+  pendingInsert(vol, obj);
   pump(obj);
 }
 
@@ -83,15 +118,10 @@ void VolumeClient::pump(ObjectId obj) {
     ReadResult result;
     result.ok = true;
     result.usedNetwork = true;
-    result.fetchedData = lastGrantCarriedData_.count(obj) > 0 &&
-                         lastGrantCarriedData_[obj];
+    result.fetchedData = entry->lastGrantCarriedData;
     result.version = entry->version;
     pending_.resolveAll(obj, result);
-    auto byVolIt = pendingByVol_.find(vol);
-    if (byVolIt != pendingByVol_.end()) {
-      byVolIt->second.erase(obj);
-      if (byVolIt->second.empty()) pendingByVol_.erase(byVolIt);
-    }
+    pendingErase(vol, obj);
     return;
   }
   if (!pending_.waitingOn(obj)) return;  // nothing to drive
@@ -100,48 +130,55 @@ void VolumeClient::pump(ObjectId obj) {
 }
 
 void VolumeClient::pumpVolume(VolumeId vol) {
-  auto it = pendingByVol_.find(vol);
-  if (it == pendingByVol_.end()) return;
-  // pump() mutates the set; iterate a snapshot.
-  std::vector<ObjectId> objs(it->second.begin(), it->second.end());
+  const std::size_t v = raw(vol);
+  if (v >= pendingHead_.size() || pendingHead_[v] == util::kNilIdx) return;
+  // pump() mutates the list; iterate a snapshot (newest-first, the same
+  // order the old unordered_set produced).
+  std::vector<ObjectId> objs = std::move(pumpScratch_);
+  objs.clear();
+  for (std::uint32_t o = pendingHead_[v]; o != util::kNilIdx;
+       o = pendingNext_[o]) {
+    objs.push_back(makeObjectId(o));
+  }
   for (ObjectId obj : objs) pump(obj);
+  objs.clear();
+  pumpScratch_ = std::move(objs);
 }
 
 void VolumeClient::ensureVolume(VolumeId vol) {
   const SimTime now = ctx_.scheduler.now();
-  auto outIt = volReqOutstanding_.find(vol);
-  if (outIt != volReqOutstanding_.end() &&
-      now < addSat(outIt->second, config_.msgTimeout)) {
+  const std::size_t v = raw(vol);
+  ensureVolSlot(v);
+  if (volReqOutstanding_[v] != kSimTimeMin &&
+      now < addSat(volReqOutstanding_[v], config_.msgTimeout)) {
     return;  // a request is in flight
   }
   if (config_.piggybackVolumeLease) {
     // The object request carries the volume renewal; only send a bare
     // volume request if no object request is going out (pure volume
     // refresh, e.g. during reconnection retry).
-    const auto it = pendingByVol_.find(vol);
-    if (it != pendingByVol_.end()) {
-      for (ObjectId obj : it->second) {
-        const CacheEntry* e = cache_.find(obj);
-        if (e == nullptr || !e->valid(leaseGuard(ctx_.scheduler.now()))) {
-          return;
-        }
+    for (std::uint32_t o = pendingHead_[v]; o != util::kNilIdx;
+         o = pendingNext_[o]) {
+      const CacheEntry* e = cache_.find(makeObjectId(o));
+      if (e == nullptr || !e->valid(leaseGuard(ctx_.scheduler.now()))) {
+        return;
       }
     }
   }
-  volReqOutstanding_[vol] = now;
-  ctx_.transport.send(
-      net::Message{id(), ctx_.catalog.volume(vol).server,
-                   net::ReqVolLease{vol, knownEpoch(vol)}});
+  volReqOutstanding_[v] = now;
+  ctx_.transport.send(net::Message{id(), ctx_.catalog.volume(vol).server,
+                                   net::ReqVolLease{vol, knownEpoch(vol)}});
 }
 
 void VolumeClient::ensureObject(ObjectId obj) {
   const SimTime now = ctx_.scheduler.now();
-  auto outIt = objReqOutstanding_.find(obj);
-  if (outIt != objReqOutstanding_.end() &&
-      now < addSat(outIt->second, config_.msgTimeout)) {
+  const std::size_t o = raw(obj);
+  ensureObjSlot(o);
+  if (objReqOutstanding_[o] != kSimTimeMin &&
+      now < addSat(objReqOutstanding_[o], config_.msgTimeout)) {
     return;  // a request is in flight
   }
-  objReqOutstanding_[obj] = now;
+  objReqOutstanding_[o] = now;
   const CacheEntry* entry = cache_.find(obj);
   net::ReqObjLease req{};
   req.obj = obj;
@@ -151,8 +188,7 @@ void VolumeClient::ensureObject(ObjectId obj) {
     req.wantVolume = true;
     req.haveEpoch = knownEpoch(ctx_.catalog.object(obj).volume);
   }
-  ctx_.transport.send(
-      net::Message{id(), ctx_.catalog.object(obj).server, req});
+  ctx_.transport.send(net::Message{id(), ctx_.catalog.object(obj).server, req});
 }
 
 // ---------------------------------------------------------------------
@@ -160,27 +196,29 @@ void VolumeClient::ensureObject(ObjectId obj) {
 // ---------------------------------------------------------------------
 
 void VolumeClient::deliver(const net::Message& msg) {
-  if (std::holds_alternative<net::VolLeaseGrant>(msg.payload)) {
-    handleVolGrant(msg);
-  } else if (std::holds_alternative<net::ObjLeaseGrant>(msg.payload)) {
-    handleObjGrant(msg);
-  } else if (std::holds_alternative<net::Invalidate>(msg.payload)) {
-    handleInvalidate(msg);
-  } else if (std::holds_alternative<net::MustRenewAll>(msg.payload)) {
-    handleMustRenewAll(msg);
-  } else if (std::holds_alternative<net::BatchInvalRenew>(msg.payload)) {
-    handleBatch(msg);
-  } else {
-    VL_CHECK_MSG(false, "VolumeClient: unexpected message type");
+  switch (msg.payload.index()) {
+    case net::payloadIndex<net::VolLeaseGrant>():
+      return handleVolGrant(msg);
+    case net::payloadIndex<net::ObjLeaseGrant>():
+      return handleObjGrant(msg);
+    case net::payloadIndex<net::Invalidate>():
+      return handleInvalidate(msg);
+    case net::payloadIndex<net::MustRenewAll>():
+      return handleMustRenewAll(msg);
+    case net::payloadIndex<net::BatchInvalRenew>():
+      return handleBatch(msg);
+    default:
+      VL_CHECK_MSG(false, "VolumeClient: unexpected message type");
   }
 }
 
 void VolumeClient::handleVolGrant(const net::Message& msg) {
   const auto& grant = std::get<net::VolLeaseGrant>(msg.payload);
-  VolLease& lease = volumes_[grant.vol];
-  lease.expire = grant.expire;
-  lease.epoch = grant.epoch;
-  volReqOutstanding_.erase(grant.vol);
+  const std::size_t v = raw(grant.vol);
+  ensureVolSlot(v);
+  volumes_[v].expire = grant.expire;
+  volumes_[v].epoch = grant.epoch;
+  volReqOutstanding_[v] = kSimTimeMin;
   pumpVolume(grant.vol);
 }
 
@@ -191,14 +229,17 @@ void VolumeClient::handleObjGrant(const net::Message& msg) {
   if (grant.carriesData) entry.hasData = true;
   entry.validUntil = grant.expire;
   entry.lastValidated = ctx_.scheduler.now();
-  lastGrantCarriedData_[grant.obj] = grant.carriesData;
-  objReqOutstanding_.erase(grant.obj);
+  entry.lastGrantCarriedData = grant.carriesData;
+  const std::size_t o = raw(grant.obj);
+  ensureObjSlot(o);
+  objReqOutstanding_[o] = kSimTimeMin;
   if (grant.grantsVolume) {
     const VolumeId vol = ctx_.catalog.object(grant.obj).volume;
-    VolLease& lease = volumes_[vol];
-    lease.expire = grant.volExpire;
-    lease.epoch = grant.epoch;
-    volReqOutstanding_.erase(vol);
+    const std::size_t v = raw(vol);
+    ensureVolSlot(v);
+    volumes_[v].expire = grant.volExpire;
+    volumes_[v].epoch = grant.epoch;
+    volReqOutstanding_[v] = kSimTimeMin;
     pumpVolume(vol);
   } else {
     pump(grant.obj);

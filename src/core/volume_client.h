@@ -9,13 +9,20 @@
 // The client also implements its half of the reconnection exchange:
 // MUST_RENEW_ALL -> send every cached object of the volume with its
 // version -> apply the server's invalidate/renew batch -> ack.
+//
+// State layout (see DESIGN.md "Dense protocol state"): per-volume lease
+// and request-dedup state live in vectors indexed by raw volume id,
+// per-object dedup state by raw object id, and the "objects with reads
+// waiting, by volume" index is an intrusive LIFO list threaded through
+// per-object link arrays -- the same newest-first order the old
+// unordered_set produced in the regimes the determinism goldens pin.
 #pragma once
 
-#include <unordered_map>
-#include <unordered_set>
+#include <vector>
 
 #include "proto/client_cache.h"
 #include "proto/protocol.h"
+#include "util/lifo_index_map.h"
 
 namespace vlease::core {
 
@@ -26,7 +33,14 @@ class VolumeClient final : public proto::ClientNode {
       : ClientNode(ctx, id),
         config_(config),
         cache_(config.clientCacheCapacity),
-        pending_(ctx.scheduler) {}
+        pending_(ctx.scheduler),
+        volumes_(ctx.catalog.numVolumes()),
+        volReqOutstanding_(ctx.catalog.numVolumes(), kSimTimeMin),
+        objReqOutstanding_(ctx.catalog.numObjects(), kSimTimeMin),
+        pendingHead_(ctx.catalog.numVolumes(), util::kNilIdx),
+        pendingNext_(ctx.catalog.numObjects(), util::kNilIdx),
+        pendingPrev_(ctx.catalog.numObjects(), util::kNilIdx),
+        pendingIn_(ctx.catalog.numObjects(), 0) {}
 
   void read(ObjectId obj, proto::ReadCallback cb) override;
   void dropCache() override;
@@ -56,6 +70,28 @@ class VolumeClient final : public proto::ClientNode {
 
   bool volumeValid(VolumeId vol, SimTime now) const;
 
+  // Catalogs can in principle grow after the protocol is built (the
+  // harness tests do); the dense tables grow lazily to match.
+  void ensureVolSlot(std::size_t i) {
+    if (i < volumes_.size()) return;
+    volumes_.resize(i + 1);
+    volReqOutstanding_.resize(i + 1, kSimTimeMin);
+    pendingHead_.resize(i + 1, util::kNilIdx);
+  }
+  void ensureObjSlot(std::size_t i) {
+    if (i < objReqOutstanding_.size()) return;
+    objReqOutstanding_.resize(i + 1, kSimTimeMin);
+    pendingNext_.resize(i + 1, util::kNilIdx);
+    pendingPrev_.resize(i + 1, util::kNilIdx);
+    pendingIn_.resize(i + 1, 0);
+  }
+
+  /// LIFO "reads waiting" index: pendingHead_[vol] heads a doubly
+  /// linked list whose links are stored per object (an object waits in
+  /// at most one volume's list -- its own volume's).
+  void pendingInsert(VolumeId vol, ObjectId obj);
+  void pendingErase(VolumeId vol, ObjectId obj);
+
   /// Re-evaluate the reads waiting on `obj`: resolve the ones whose two
   /// leases are now valid, (re)issue requests for whatever is missing.
   void pump(ObjectId obj);
@@ -72,21 +108,24 @@ class VolumeClient final : public proto::ClientNode {
   const proto::ProtocolConfig config_;
   proto::ClientCache cache_;
   proto::PendingReads pending_;
-  std::unordered_map<VolumeId, VolLease> volumes_;
+  std::vector<VolLease> volumes_;  // by raw(VolumeId)
 
   /// Request dedup: at most one outstanding renewal per volume / object.
-  /// Entries hold the send time; a request older than msgTimeout is
-  /// considered lost and may be reissued (otherwise a dropped request
-  /// would permanently suppress renewals for that volume/object).
-  std::unordered_map<VolumeId, SimTime> volReqOutstanding_;
-  std::unordered_map<ObjectId, SimTime> objReqOutstanding_;
+  /// Slots hold the send time (kSimTimeMin = none outstanding); a
+  /// request older than msgTimeout is considered lost and may be
+  /// reissued (otherwise a dropped request would permanently suppress
+  /// renewals for that volume/object).
+  std::vector<SimTime> volReqOutstanding_;  // by raw(VolumeId)
+  std::vector<SimTime> objReqOutstanding_;  // by raw(ObjectId)
 
   /// Objects with reads waiting, indexed by volume (so a volume grant
-  /// can pump them).
-  std::unordered_map<VolumeId, std::unordered_set<ObjectId>> pendingByVol_;
+  /// can pump them); see pendingInsert/pendingErase.
+  std::vector<std::uint32_t> pendingHead_;  // by raw(VolumeId)
+  std::vector<std::uint32_t> pendingNext_;  // by raw(ObjectId)
+  std::vector<std::uint32_t> pendingPrev_;  // by raw(ObjectId)
+  std::vector<std::uint8_t> pendingIn_;     // by raw(ObjectId)
 
-  /// Whether the last object grant carried data (read-result detail).
-  std::unordered_map<ObjectId, bool> lastGrantCarriedData_;
+  std::vector<ObjectId> pumpScratch_;  // recycled pumpVolume snapshot
 };
 
 }  // namespace vlease::core

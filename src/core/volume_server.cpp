@@ -10,105 +10,184 @@ namespace vlease::core {
 using proto::WriteCallback;
 using proto::WriteResult;
 
+VolumeServer::VolumeServer(proto::ProtocolContext& ctx, NodeId id,
+                           const proto::ProtocolConfig& config,
+                           InvalidationMode mode)
+    : ServerNode(ctx, id),
+      config_(config),
+      mode_(mode),
+      numServers_(ctx.catalog.numServers()),
+      numClients_(ctx.catalog.numClients()),
+      volumes_(ctx.catalog.volumesOnServer(id)),
+      objects_(ctx.catalog.objectsOnServer(id)) {}
+
 // ---------------------------------------------------------------------
 // small helpers
 // ---------------------------------------------------------------------
 
+const VolumeServer::VolState* VolumeServer::volFind(VolumeId volId) const {
+  const trace::VolumeInfo& info = ctx_.catalog.volume(volId);
+  if (info.server != id()) return nullptr;
+  return &volumes_[info.localIndex];
+}
+
+const VolumeServer::ObjState* VolumeServer::objFind(ObjectId obj) const {
+  const trace::ObjectInfo& info = ctx_.catalog.object(obj);
+  if (info.server != id()) return nullptr;
+  return &objects_[info.localIndex];
+}
+
 Version VolumeServer::currentVersion(ObjectId obj) const {
-  auto it = objects_.find(obj);
-  return it == objects_.end() ? 1 : it->second.version;
+  const ObjState* st = objFind(obj);
+  return st == nullptr ? 1 : st->version;
 }
 
 bool VolumeServer::isUnreachable(NodeId client, VolumeId volId) const {
-  auto it = volumes_.find(volId);
-  return it != volumes_.end() && it->second.unreachable.count(client) > 0;
+  const VolState* v = volFind(volId);
+  return v != nullptr && isUnreach(*v, clientIdx(client));
 }
 
 bool VolumeServer::isInactive(NodeId client, VolumeId volId) const {
-  auto it = volumes_.find(volId);
-  return it != volumes_.end() && it->second.inactive.count(client) > 0;
+  const VolState* v = volFind(volId);
+  return v != nullptr && v->inactive.contains(clientIdx(client));
 }
 
 std::size_t VolumeServer::pendingMessageCount(NodeId client,
                                               VolumeId volId) const {
-  auto it = volumes_.find(volId);
-  if (it == volumes_.end()) return 0;
-  auto inIt = it->second.inactive.find(client);
-  return inIt == it->second.inactive.end() ? 0 : inIt->second.pending.size();
+  const VolState* v = volFind(volId);
+  if (v == nullptr) return 0;
+  const InactiveClient* in = v->inactive.find(clientIdx(client));
+  return in == nullptr ? 0 : in->pending.size();
 }
 
 Epoch VolumeServer::volumeEpoch(VolumeId volId) const {
-  auto it = volumes_.find(volId);
-  return it == volumes_.end() ? 1 : it->second.epoch;
+  const VolState* v = volFind(volId);
+  return v == nullptr ? 1 : v->epoch;
 }
 
 std::size_t VolumeServer::validObjectHolders(ObjectId obj) const {
-  auto it = objects_.find(obj);
-  if (it == objects_.end()) return 0;
+  const ObjState* st = objFind(obj);
+  if (st == nullptr) return 0;
   const SimTime now = ctx_.scheduler.now();
   std::size_t n = 0;
-  for (const auto& [c, r] : it->second.holders)
+  st->holders.forEach([&](std::uint32_t, const LeaseRecord& r) {
     if (r.expire > now) ++n;
+  });
   return n;
 }
 
 std::size_t VolumeServer::validVolumeHolders(VolumeId volId) const {
-  auto it = volumes_.find(volId);
-  if (it == volumes_.end()) return 0;
+  const VolState* v = volFind(volId);
+  if (v == nullptr) return 0;
   const SimTime now = ctx_.scheduler.now();
   std::size_t n = 0;
-  for (const auto& [c, r] : it->second.holders)
+  v->holders.forEach([&](std::uint32_t, const LeaseRecord& r) {
     if (r.expire > now) ++n;
+  });
   return n;
 }
 
-void VolumeServer::removeObjHolder(ObjState& st, NodeId client) {
-  auto it = st.holders.find(client);
-  if (it == st.holders.end()) return;
-  stats::accrueRecord(ctx_.metrics, id(), it->second.lastAccounted,
-                      it->second.expire, ctx_.scheduler.now());
-  st.holders.erase(it);
+void VolumeServer::removeObjHolder(ObjState& st, std::uint32_t ci) {
+  LeaseRecord* rec = st.holders.find(ci);
+  if (rec == nullptr) return;
+  stats::accrueRecord(ctx_.metrics, id(), rec->lastAccounted, rec->expire,
+                      ctx_.scheduler.now());
+  st.holders.erase(ci);
 }
 
-void VolumeServer::removeVolHolder(VolState& st, NodeId client) {
-  auto it = st.holders.find(client);
-  if (it == st.holders.end()) return;
-  stats::accrueRecord(ctx_.metrics, id(), it->second.lastAccounted,
-                      it->second.expire, ctx_.scheduler.now());
-  st.holders.erase(it);
+void VolumeServer::removeVolHolder(VolState& st, std::uint32_t ci) {
+  LeaseRecord* rec = st.holders.find(ci);
+  if (rec == nullptr) return;
+  stats::accrueRecord(ctx_.metrics, id(), rec->lastAccounted, rec->expire,
+                      ctx_.scheduler.now());
+  st.holders.erase(ci);
 }
 
-void VolumeServer::discardPending(VolState& st, NodeId client) {
-  auto it = st.inactive.find(client);
-  if (it == st.inactive.end()) return;
+void VolumeServer::releaseInactive(VolState& st, std::uint32_t ci) {
+  InactiveClient* in = st.inactive.find(ci);
+  if (in == nullptr) return;
+  in->pending.clear();
+  if (in->pending.capacity() > 0) {
+    pendingMsgPool_.push_back(std::move(in->pending));
+  }
+  st.inactive.erase(ci);
+}
+
+void VolumeServer::discardPending(VolState& st, std::uint32_t ci) {
+  InactiveClient* in = st.inactive.find(ci);
+  if (in == nullptr) return;
   const SimTime now = ctx_.scheduler.now();
-  for (PendingMsg& pm : it->second.pending) {
+  for (PendingMsg& pm : in->pending) {
     stats::accrueRecord(ctx_.metrics, id(), pm.lastAccounted, pm.discardAt,
                         now);
   }
-  st.inactive.erase(it);
+  releaseInactive(st, ci);
 }
 
-void VolumeServer::demoteIfExpired(VolState& st, NodeId client, SimTime now) {
+void VolumeServer::demoteIfExpired(VolState& st, std::uint32_t ci,
+                                   SimTime now) {
   if (config_.inactiveDiscard == kNever) return;
-  auto it = st.inactive.find(client);
-  if (it == st.inactive.end()) return;
-  if (now <= addSat(it->second.volExpiredAt, config_.inactiveDiscard)) return;
-  discardPending(st, client);
-  st.unreachable.insert(client);
+  const InactiveClient* in = st.inactive.find(ci);
+  if (in == nullptr) return;
+  if (now <= addSat(in->volExpiredAt, config_.inactiveDiscard)) return;
+  discardPending(st, ci);
+  setUnreach(st, ci);
 }
 
-VolumeServer::Session* VolumeServer::findSession(NodeId client,
+VolumeServer::Session* VolumeServer::findSession(std::uint32_t ci,
                                                  VolumeId volId) {
-  auto it = sessions_.find({client, volId});
-  return it == sessions_.end() ? nullptr : &it->second;
+  return sessions_.find(sessionKey(ci, volId));
 }
 
-void VolumeServer::endSession(NodeId client, VolumeId volId) {
-  auto it = sessions_.find({client, volId});
-  if (it == sessions_.end()) return;
-  it->second.timer.cancel();
-  sessions_.erase(it);
+void VolumeServer::endSession(std::uint32_t ci, VolumeId volId) {
+  Session* session = sessions_.find(sessionKey(ci, volId));
+  if (session == nullptr) return;
+  session->timer.cancel();
+  sessions_.erase(sessionKey(ci, volId));
+}
+
+std::uint32_t VolumeServer::acquirePendingWrite() {
+  std::uint32_t slot;
+  if (!pwFree_.empty()) {
+    slot = pwFree_.back();
+    pwFree_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(pwPool_.size());
+    pwPool_.emplace_back();
+  }
+  PendingWrite& pw = pwPool_[slot];
+  pw.requestedAt = 0;
+  pw.waitingCount = 0;
+  pw.byExpiry = false;
+  pw.skipBound = kSimTimeMin;
+  pw.active = true;
+  if (pw.waiting.size() < numClients_) pw.waiting.resize(numClients_, 0);
+  // commitWrite steals the deferred/queued vectors; restock the slot
+  // from the capacity pools so their storage keeps cycling.
+  if (pw.deferredObjRequests.capacity() == 0 && !msgVecPool_.empty()) {
+    pw.deferredObjRequests = std::move(msgVecPool_.back());
+    msgVecPool_.pop_back();
+  }
+  if (pw.queuedWrites.capacity() == 0 && !cbVecPool_.empty()) {
+    pw.queuedWrites = std::move(cbVecPool_.back());
+    cbVecPool_.pop_back();
+  }
+  return slot;
+}
+
+void VolumeServer::releasePendingWrite(std::uint32_t slot) {
+  PendingWrite& pw = pwPool_[slot];
+  pw.cb = nullptr;
+  pw.active = false;
+  pwFree_.push_back(slot);
+}
+
+void VolumeServer::pushDeferred(VolState& v, DeferredFn fn) {
+  if (v.deferred.empty() && v.deferred.head != 0) {
+    v.deferred.items.clear();  // reclaim the consumed prefix
+    v.deferred.head = 0;
+  }
+  v.deferred.items.push_back(std::move(fn));
 }
 
 // ---------------------------------------------------------------------
@@ -116,18 +195,19 @@ void VolumeServer::endSession(NodeId client, VolumeId volId) {
 // ---------------------------------------------------------------------
 
 void VolumeServer::deliver(const net::Message& msg) {
-  if (std::holds_alternative<net::ReqVolLease>(msg.payload)) {
-    handleReqVolLease(msg);
-  } else if (std::holds_alternative<net::ReqObjLease>(msg.payload)) {
-    handleReqObjLease(msg);
-  } else if (std::holds_alternative<net::RenewObjLeases>(msg.payload)) {
-    handleRenewObjLeases(msg);
-  } else if (std::holds_alternative<net::AckInvalidate>(msg.payload)) {
-    handleAckInvalidate(msg);
-  } else if (std::holds_alternative<net::AckBatch>(msg.payload)) {
-    handleAckBatch(msg);
-  } else {
-    VL_CHECK_MSG(false, "VolumeServer: unexpected message type");
+  switch (msg.payload.index()) {
+    case net::payloadIndex<net::ReqVolLease>():
+      return handleReqVolLease(msg);
+    case net::payloadIndex<net::ReqObjLease>():
+      return handleReqObjLease(msg);
+    case net::payloadIndex<net::RenewObjLeases>():
+      return handleRenewObjLeases(msg);
+    case net::payloadIndex<net::AckInvalidate>():
+      return handleAckInvalidate(msg);
+    case net::payloadIndex<net::AckBatch>():
+      return handleAckBatch(msg);
+    default:
+      VL_CHECK_MSG(false, "VolumeServer: unexpected message type");
   }
 }
 
@@ -141,7 +221,7 @@ void VolumeServer::handleReqVolLease(const net::Message& msg) {
   if (v.pendingWrites > 0) {
     // A write in this volume is mid-flight; do not extend or repair
     // volume state until it commits.
-    v.deferred.push_back([this, msg]() { handleReqVolLease(msg); });
+    pushDeferred(v, [this, msg = msg]() { handleReqVolLease(msg); });
     return;
   }
   const NodeId client = msg.from;
@@ -150,26 +230,25 @@ void VolumeServer::handleReqVolLease(const net::Message& msg) {
   // the client is unreachable or presents a stale epoch. haveEpoch == 0
   // means "fresh client, nothing cached" and skips the epoch check.
   const bool staleEpoch = req.haveEpoch != 0 && req.haveEpoch < v.epoch;
-  if (staleEpoch) v.unreachable.insert(client);
+  if (staleEpoch) setUnreach(v, clientIdx(client));
   maybeGrantVolume(client, req.vol);
 }
 
 void VolumeServer::grantVolume(NodeId client, VolumeId volId) {
   VolState& v = vol(volId);
   const SimTime now = ctx_.scheduler.now();
-  auto [it, inserted] =
-      v.holders.try_emplace(client, LeaseRecord{kSimTimeMin, now});
+  auto [rec, inserted] = v.holders.tryEmplace(clientIdx(client));
   if (!inserted) {
-    stats::accrueRecord(ctx_.metrics, id(), it->second.lastAccounted,
-                        it->second.expire, now);
+    stats::accrueRecord(ctx_.metrics, id(), rec->lastAccounted, rec->expire,
+                        now);
   }
-  it->second.expire = addSat(now, config_.volumeTimeout);
-  it->second.lastAccounted = now;
-  v.expire = std::max(v.expire, it->second.expire);
-  maxVolExpireGranted_ = std::max(maxVolExpireGranted_, it->second.expire);
+  rec->expire = addSat(now, config_.volumeTimeout);
+  rec->lastAccounted = now;
+  v.expire = std::max(v.expire, rec->expire);
+  maxVolExpireGranted_ = std::max(maxVolExpireGranted_, rec->expire);
 
   ctx_.transport.send(net::Message{
-      id(), client, net::VolLeaseGrant{volId, it->second.expire, v.epoch}});
+      id(), client, net::VolLeaseGrant{volId, rec->expire, v.epoch}});
 }
 
 // ---------------------------------------------------------------------
@@ -178,9 +257,9 @@ void VolumeServer::grantVolume(NodeId client, VolumeId volId) {
 
 void VolumeServer::handleReqObjLease(const net::Message& msg) {
   const auto& req = std::get<net::ReqObjLease>(msg.payload);
-  auto pendingIt = pendingWrites_.find(req.obj);
-  if (pendingIt != pendingWrites_.end()) {
-    pendingIt->second.deferredObjRequests.push_back(msg);
+  ObjState& st = objState(req.obj);
+  if (st.pendingWrite != util::kNilIdx) {
+    pwPool_[st.pendingWrite].deferredObjRequests.push_back(msg);
     return;
   }
   grantObject(msg);
@@ -189,23 +268,23 @@ void VolumeServer::handleReqObjLease(const net::Message& msg) {
 void VolumeServer::grantObject(const net::Message& msg) {
   const auto& req = std::get<net::ReqObjLease>(msg.payload);
   const NodeId client = msg.from;
+  const std::uint32_t ci = clientIdx(client);
   const SimTime now = ctx_.scheduler.now();
   ObjState& st = objState(req.obj);
 
-  auto [it, inserted] =
-      st.holders.try_emplace(client, LeaseRecord{kSimTimeMin, now});
+  auto [rec, inserted] = st.holders.tryEmplace(ci);
   if (!inserted) {
-    stats::accrueRecord(ctx_.metrics, id(), it->second.lastAccounted,
-                        it->second.expire, now);
+    stats::accrueRecord(ctx_.metrics, id(), rec->lastAccounted, rec->expire,
+                        now);
   }
-  it->second.expire = addSat(now, config_.objectTimeout);
-  it->second.lastAccounted = now;
-  st.expire = std::max(st.expire, it->second.expire);
+  rec->expire = addSat(now, config_.objectTimeout);
+  rec->lastAccounted = now;
+  st.expire = std::max(st.expire, rec->expire);
 
   net::ObjLeaseGrant grant{};
   grant.obj = req.obj;
   grant.version = st.version;
-  grant.expire = it->second.expire;
+  grant.expire = rec->expire;
   grant.carriesData = st.version != req.haveVersion;
   grant.dataBytes =
       grant.carriesData ? ctx_.catalog.object(req.obj).sizeBytes : 0;
@@ -217,26 +296,25 @@ void VolumeServer::grantObject(const net::Message& msg) {
     // reconnection exchange).
     const VolumeId volId = volumeOf(req.obj);
     VolState& v = vol(volId);
-    demoteIfExpired(v, client, now);
+    demoteIfExpired(v, ci, now);
     const bool staleEpoch = req.haveEpoch != 0 && req.haveEpoch < v.epoch;
-    const bool hasPendingFlush =
-        mode_ == InvalidationMode::kDelayed && v.inactive.count(client) > 0 &&
-        !v.inactive.at(client).pending.empty();
-    if (v.unreachable.count(client) == 0 && !staleEpoch && !hasPendingFlush &&
+    const InactiveClient* in = v.inactive.find(ci);
+    const bool hasPendingFlush = mode_ == InvalidationMode::kDelayed &&
+                                 in != nullptr && !in->pending.empty();
+    if (!isUnreach(v, ci) && !staleEpoch && !hasPendingFlush &&
         v.pendingWrites == 0) {
-      if (mode_ == InvalidationMode::kDelayed) v.inactive.erase(client);
-      auto [vit, vinserted] =
-          v.holders.try_emplace(client, LeaseRecord{kSimTimeMin, now});
-      if (!vinserted) {
-        stats::accrueRecord(ctx_.metrics, id(), vit->second.lastAccounted,
-                            vit->second.expire, now);
+      if (mode_ == InvalidationMode::kDelayed) releaseInactive(v, ci);
+      auto [vRec, vInserted] = v.holders.tryEmplace(ci);
+      if (!vInserted) {
+        stats::accrueRecord(ctx_.metrics, id(), vRec->lastAccounted,
+                            vRec->expire, now);
       }
-      vit->second.expire = addSat(now, config_.volumeTimeout);
-      vit->second.lastAccounted = now;
-      v.expire = std::max(v.expire, vit->second.expire);
-      maxVolExpireGranted_ = std::max(maxVolExpireGranted_, vit->second.expire);
+      vRec->expire = addSat(now, config_.volumeTimeout);
+      vRec->lastAccounted = now;
+      v.expire = std::max(v.expire, vRec->expire);
+      maxVolExpireGranted_ = std::max(maxVolExpireGranted_, vRec->expire);
       grant.grantsVolume = true;
-      grant.volExpire = vit->second.expire;
+      grant.volExpire = vRec->expire;
       grant.epoch = v.epoch;
     }
   }
@@ -251,16 +329,17 @@ void VolumeServer::startReconnect(NodeId client, VolumeId volId) {
   // Whatever we queued for this client is superseded: the reconnection
   // exchange recomputes lease state from version numbers.
   VolState& v = vol(volId);
-  discardPending(v, client);
-  v.unreachable.insert(client);  // stale-epoch clients enter here too
+  const std::uint32_t ci = clientIdx(client);
+  discardPending(v, ci);
+  setUnreach(v, ci);  // stale-epoch clients enter here too
 
   Session session{Session::Kind::kReconnect, false, ctx_.scheduler.now(), {}};
-  session.timer = ctx_.scheduler.scheduleAfter(
-      config_.msgTimeout, [this, client, volId]() {
+  session.timer =
+      ctx_.scheduler.scheduleAfter(config_.msgTimeout, [this, ci, volId]() {
         // Client vanished mid-exchange; it stays unreachable.
-        endSession(client, volId);
+        endSession(ci, volId);
       });
-  sessions_[{client, volId}] = std::move(session);
+  sessions_[sessionKey(ci, volId)] = std::move(session);
   ctx_.transport.send(net::Message{id(), client, net::MustRenewAll{volId}});
 }
 
@@ -272,16 +351,18 @@ void VolumeServer::processRenewObjLeases(const net::Message& msg,
                                          SimTime arrivedAt) {
   const auto& req = std::get<net::RenewObjLeases>(msg.payload);
   const NodeId client = msg.from;
+  const std::uint32_t ci = clientIdx(client);
   VolState& v = vol(req.vol);
   if (v.pendingWrites > 0) {
     // Recompute against committed versions only. Keep the original
     // arrival time: by the time the deferral drains, the session this
     // reply answered may have timed out and a NEW one begun.
-    v.deferred.push_back(
-        [this, msg, arrivedAt]() { processRenewObjLeases(msg, arrivedAt); });
+    pushDeferred(v, [this, msg = msg, arrivedAt]() {
+      processRenewObjLeases(msg, arrivedAt);
+    });
     return;
   }
-  Session* session = findSession(client, req.vol);
+  Session* session = findSession(ci, req.vol);
   if (session == nullptr || session->kind != Session::Kind::kReconnect ||
       session->awaitingAck || arrivedAt < session->startedAt) {
     return;  // stale, duplicate, or answers an earlier exchange; drop
@@ -294,69 +375,69 @@ void VolumeServer::processRenewObjLeases(const net::Message& msg,
     ObjState& st = objState(entry.obj);
     if (st.version > entry.version) {
       batch.invalidate.push_back(entry.obj);
-      removeObjHolder(st, client);
+      removeObjHolder(st, ci);
     } else {
-      auto [it, inserted] =
-          st.holders.try_emplace(client, LeaseRecord{kSimTimeMin, now});
+      auto [rec, inserted] = st.holders.tryEmplace(ci);
       if (!inserted) {
-        stats::accrueRecord(ctx_.metrics, id(), it->second.lastAccounted,
-                            it->second.expire, now);
+        stats::accrueRecord(ctx_.metrics, id(), rec->lastAccounted,
+                            rec->expire, now);
       }
-      it->second.expire = addSat(now, config_.objectTimeout);
-      it->second.lastAccounted = now;
-      st.expire = std::max(st.expire, it->second.expire);
+      rec->expire = addSat(now, config_.objectTimeout);
+      rec->lastAccounted = now;
+      st.expire = std::max(st.expire, rec->expire);
       batch.renew.push_back(
-          net::BatchInvalRenew::Renewal{entry.obj, st.version,
-                                        it->second.expire});
+          net::BatchInvalRenew::Renewal{entry.obj, st.version, rec->expire});
     }
   }
   session->awaitingAck = true;
   session->timer.cancel();
   session->timer = ctx_.scheduler.scheduleAfter(
       config_.msgTimeout,
-      [this, client, volId = req.vol]() { endSession(client, volId); });
+      [this, ci, volId = req.vol]() { endSession(ci, volId); });
   ctx_.transport.send(net::Message{id(), client, std::move(batch)});
 }
 
 void VolumeServer::startFlush(NodeId client, VolumeId volId) {
   VolState& v = vol(volId);
-  auto inIt = v.inactive.find(client);
-  VL_CHECK(inIt != v.inactive.end());
+  const std::uint32_t ci = clientIdx(client);
+  InactiveClient* in = v.inactive.find(ci);
+  VL_CHECK(in != nullptr);
   const SimTime now = ctx_.scheduler.now();
 
   net::BatchInvalRenew batch{};
   batch.vol = volId;
-  for (PendingMsg& pm : inIt->second.pending) {
+  for (PendingMsg& pm : in->pending) {
     stats::accrueRecord(ctx_.metrics, id(), pm.lastAccounted, pm.discardAt,
                         now);
     batch.invalidate.push_back(pm.obj);
   }
-  inIt->second.pending.clear();
+  in->pending.clear();
 
   Session session{Session::Kind::kFlush, true, now, {}};
-  session.timer = ctx_.scheduler.scheduleAfter(
-      config_.msgTimeout, [this, client, volId]() {
+  session.timer =
+      ctx_.scheduler.scheduleAfter(config_.msgTimeout, [this, ci, volId]() {
         // No ack: the client may have missed invalidations. Safe exit:
         // it becomes unreachable and must reconnect.
         VolState& vv = vol(volId);
-        discardPending(vv, client);
-        vv.inactive.erase(client);
-        vv.unreachable.insert(client);
-        endSession(client, volId);
+        discardPending(vv, ci);
+        releaseInactive(vv, ci);
+        setUnreach(vv, ci);
+        endSession(ci, volId);
       });
-  sessions_[{client, volId}] = std::move(session);
+  sessions_[sessionKey(ci, volId)] = std::move(session);
   ctx_.transport.send(net::Message{id(), client, std::move(batch)});
 }
 
 void VolumeServer::handleAckBatch(const net::Message& msg) {
   const auto& ack = std::get<net::AckBatch>(msg.payload);
   const NodeId client = msg.from;
-  Session* session = findSession(client, ack.vol);
+  const std::uint32_t ci = clientIdx(client);
+  Session* session = findSession(ci, ack.vol);
   if (session == nullptr || !session->awaitingAck) return;
   VolState& v = vol(ack.vol);
-  endSession(client, ack.vol);
-  v.unreachable.erase(client);
-  v.inactive.erase(client);
+  endSession(ci, ack.vol);
+  if (ci < v.unreachable.size()) v.unreachable[ci] = 0;
+  releaseInactive(v, ci);
   maybeGrantVolume(client, ack.vol);
 }
 
@@ -369,11 +450,12 @@ void VolumeServer::maybeGrantVolume(NodeId client, VolumeId volId) {
   // stale data under a "valid" volume lease.
   VolState& v = vol(volId);
   if (v.pendingWrites > 0) {
-    v.deferred.push_back(
-        [this, client, volId]() { maybeGrantVolume(client, volId); });
+    pushDeferred(v,
+                 [this, client, volId]() { maybeGrantVolume(client, volId); });
     return;
   }
-  if (findSession(client, volId) != nullptr) {
+  const std::uint32_t ci = clientIdx(client);
+  if (findSession(ci, volId) != nullptr) {
     // An exchange (reconnection or flush) is already in flight -- its
     // pending list has been moved into an unacknowledged batch, so
     // granting now could hand the client a volume lease while it still
@@ -382,19 +464,19 @@ void VolumeServer::maybeGrantVolume(NodeId client, VolumeId volId) {
     // Unreachable set, and the client's retry takes the repair path.
     return;
   }
-  demoteIfExpired(v, client, ctx_.scheduler.now());
-  if (v.unreachable.count(client) > 0) {
-    if (findSession(client, volId) == nullptr) startReconnect(client, volId);
+  demoteIfExpired(v, ci, ctx_.scheduler.now());
+  if (isUnreach(v, ci)) {
+    if (findSession(ci, volId) == nullptr) startReconnect(client, volId);
     return;
   }
   if (mode_ == InvalidationMode::kDelayed) {
-    auto inIt = v.inactive.find(client);
-    if (inIt != v.inactive.end()) {
-      if (!inIt->second.pending.empty()) {
-        if (findSession(client, volId) == nullptr) startFlush(client, volId);
+    InactiveClient* in = v.inactive.find(ci);
+    if (in != nullptr) {
+      if (!in->pending.empty()) {
+        if (findSession(ci, volId) == nullptr) startFlush(client, volId);
         return;
       }
-      v.inactive.erase(inIt);
+      releaseInactive(v, ci);
     }
   }
   grantVolume(client, volId);
@@ -422,9 +504,9 @@ void VolumeServer::writeInternal(ObjectId obj, WriteCallback cb,
         });
     return;
   }
-  auto pendingIt = pendingWrites_.find(obj);
-  if (pendingIt != pendingWrites_.end()) {
-    pendingIt->second.queuedWrites.push_back(std::move(cb));
+  ObjState& st = objState(obj);
+  if (st.pendingWrite != util::kNilIdx) {
+    pwPool_[st.pendingWrite].queuedWrites.push_back(std::move(cb));
     return;
   }
   startWrite(obj, std::move(cb), requestedAt);
@@ -443,98 +525,101 @@ void VolumeServer::startWrite(ObjectId obj, WriteCallback cb,
     // object leases outlive that point are reconciled at commit (their
     // volume leases have necessarily drained).
     bool anyValid = false;
-    for (auto& [client, record] : st.holders) {
-      if (graceExpire(record.expire) > now) {
-        anyValid = true;
-        break;
-      }
-    }
+    st.holders.forEach([&](std::uint32_t, LeaseRecord& record) {
+      if (graceExpire(record.expire) > now) anyValid = true;
+    });
     if (!anyValid) {
       ++st.version;
       ctx_.metrics.onWrite(now - requestedAt, false);
       if (cb) cb(WriteResult{now - requestedAt, false, st.version});
       return;
     }
-    PendingWrite pw;
+    const std::uint32_t slot = acquirePendingWrite();
+    PendingWrite& pw = pwPool_[slot];
     pw.cb = std::move(cb);
     pw.requestedAt = requestedAt;
     pw.byExpiry = true;
     ++v.pendingWrites;
     const SimTime deadline =
         std::max(graceExpire(std::min(v.expire, st.expire)), now);
-    auto [it, inserted] = pendingWrites_.emplace(obj, std::move(pw));
-    VL_CHECK(inserted);
-    it->second.timer = ctx_.scheduler.scheduleAt(
-        deadline, [this, obj]() { commitWrite(obj); });
+    st.pendingWrite = slot;
+    pw.timer = ctx_.scheduler.scheduleAt(deadline,
+                                         [this, obj]() { commitWrite(obj); });
     return;
   }
 
-  std::vector<NodeId> immediate;
+  std::vector<NodeId> immediate = std::move(immediateScratch_);
+  immediate.clear();
   SimTime skipBound = kSimTimeMin;
-  for (auto& [client, record] : st.holders) {
-    if (graceExpire(record.expire) <= now) continue;  // lease expired
+  st.holders.forEach([&](std::uint32_t ci, LeaseRecord& record) {
+    if (graceExpire(record.expire) <= now) return;  // lease expired
 
     // A client mid-exchange (reconnection or pending-list flush) is
     // provably reachable RIGHT NOW and may have object-lease renewals
     // for the old version already in flight -- it MUST be invalidated
     // even though it is still formally in the Unreachable set, or the
     // renewal + eventual volume grant would let it read stale data.
-    const bool midSession = findSession(client, volId) != nullptr;
-    if (!midSession && v.unreachable.count(client) > 0) {
+    const bool midSession = findSession(ci, volId) != nullptr;
+    if (!midSession && isUnreach(v, ci)) {
       // Paper: do not contact unreachable clients -- but do not stop
       // waiting for them either. One that still holds a valid volume
       // lease can serve this object until min(volume, object) expiry,
       // so the commit may not happen before that instant.
-      auto vIt = v.holders.find(client);
-      if (vIt != v.holders.end() && graceExpire(vIt->second.expire) > now) {
+      const LeaseRecord* vRec = v.holders.find(ci);
+      if (vRec != nullptr && graceExpire(vRec->expire) > now) {
         skipBound = std::max(
-            skipBound,
-            graceExpire(std::min(vIt->second.expire, record.expire)));
+            skipBound, graceExpire(std::min(vRec->expire, record.expire)));
       }
-      continue;
+      return;
     }
 
     if (mode_ == InvalidationMode::kImmediate || midSession) {
-      immediate.push_back(client);
-      continue;
+      immediate.push_back(clientNode(ci));
+      return;
     }
 
     // Delayed mode: only clients with valid volume leases are contacted;
     // the rest queue on their pending lists.
-    auto vIt = v.holders.find(client);
-    const bool volValid =
-        vIt != v.holders.end() && graceExpire(vIt->second.expire) > now;
+    const LeaseRecord* vRec = v.holders.find(ci);
+    const bool volValid = vRec != nullptr && graceExpire(vRec->expire) > now;
     if (volValid) {
-      immediate.push_back(client);
-      continue;
+      immediate.push_back(clientNode(ci));
+      return;
     }
-    const SimTime volExpiredAt =
-        vIt != v.holders.end() ? vIt->second.expire : now;
+    const SimTime volExpiredAt = vRec != nullptr ? vRec->expire : now;
     if (config_.inactiveDiscard != kNever &&
         now > addSat(volExpiredAt, config_.inactiveDiscard)) {
-      discardPending(v, client);
-      v.unreachable.insert(client);
-      continue;
+      discardPending(v, ci);
+      setUnreach(v, ci);
+      return;
     }
-    auto [inIt, inserted] =
-        v.inactive.try_emplace(client, InactiveClient{volExpiredAt, {}});
-    (void)inserted;
-    inIt->second.pending.push_back(PendingMsg{
-        obj, now, addSat(inIt->second.volExpiredAt, config_.inactiveDiscard)});
-  }
+    auto [in, inserted] = v.inactive.tryEmplace(ci);
+    if (inserted) {
+      in->volExpiredAt = volExpiredAt;
+      if (in->pending.capacity() == 0 && !pendingMsgPool_.empty()) {
+        in->pending = std::move(pendingMsgPool_.back());
+        pendingMsgPool_.pop_back();
+      }
+    }
+    in->pending.push_back(PendingMsg{
+        obj, now, addSat(in->volExpiredAt, config_.inactiveDiscard)});
+  });
 
   if (immediate.empty() && skipBound <= now) {
     ++st.version;
     ctx_.metrics.onWrite(now - requestedAt, false);
+    immediateScratch_ = std::move(immediate);  // return scratch before cb
     if (cb) cb(WriteResult{now - requestedAt, false, st.version});
     return;
   }
 
-  PendingWrite pw;
+  const std::uint32_t slot = acquirePendingWrite();
+  PendingWrite& pw = pwPool_[slot];
   pw.cb = std::move(cb);
   pw.requestedAt = requestedAt;
   pw.skipBound = skipBound;
-  pw.waiting.insert(immediate.begin(), immediate.end());
+  for (NodeId c : immediate) pw.waiting[clientIdx(c)] = 1;
+  pw.waitingCount = static_cast<std::uint32_t>(immediate.size());
   for (NodeId c : immediate) {
     ctx_.transport.send(net::Message{id(), c, net::Invalidate{obj}});
   }
@@ -550,89 +635,114 @@ void VolumeServer::startWrite(ObjectId obj, WriteCallback cb,
   const SimTime deadline =
       immediate.empty() ? skipBound
                         : std::max(leaseBound, addSat(now, config_.msgTimeout));
-  auto [it, inserted] = pendingWrites_.emplace(obj, std::move(pw));
-  VL_CHECK(inserted);
-  it->second.timer =
+  st.pendingWrite = slot;
+  pw.timer =
       ctx_.scheduler.scheduleAt(deadline, [this, obj]() { commitWrite(obj); });
+  immediateScratch_ = std::move(immediate);
 }
 
 void VolumeServer::commitWrite(ObjectId obj) {
-  auto it = pendingWrites_.find(obj);
-  VL_CHECK(it != pendingWrites_.end());
-  PendingWrite& pw = it->second;
-  pw.timer.cancel();
+  ObjState& st = objState(obj);
+  VL_CHECK(st.pendingWrite != util::kNilIdx);
+  const std::uint32_t slot = st.pendingWrite;
   const SimTime now = ctx_.scheduler.now();
   const VolumeId volId = volumeOf(obj);
-  ObjState& st = objState(obj);
   VolState& v = vol(volId);
+  PendingWrite& pw = pwPool_[slot];
+  pw.timer.cancel();
 
   // Paper: unreachable <- unreachable + To_contact. Their object-lease
   // records stay; the reconnection exchange reconciles them later.
-  for (NodeId c : pw.waiting) v.unreachable.insert(c);
+  if (pw.waitingCount > 0) {
+    for (std::uint32_t ci = 0; ci < pw.waiting.size(); ++ci) {
+      if (pw.waiting[ci] == 0) continue;
+      pw.waiting[ci] = 0;
+      setUnreach(v, ci);
+    }
+    pw.waitingCount = 0;
+  }
 
   if (pw.byExpiry) {
     // No invalidations were sent. Anyone whose object lease is still
     // valid missed the update; their volume leases have drained (that
     // is what the commit waited for), so route them through the
     // pending-list (delayed) or reconnection (immediate) machinery.
-    for (auto& [client, record] : st.holders) {
-      if (graceExpire(record.expire) <= now) continue;
-      if (v.unreachable.count(client) > 0) continue;
+    st.holders.forEach([&](std::uint32_t ci, LeaseRecord& record) {
+      if (graceExpire(record.expire) <= now) return;
+      if (isUnreach(v, ci)) return;
       if (mode_ == InvalidationMode::kDelayed) {
-        auto vIt = v.holders.find(client);
+        const LeaseRecord* vRec = v.holders.find(ci);
         const SimTime volExpiredAt =
-            vIt != v.holders.end() ? std::min(vIt->second.expire, now) : now;
+            vRec != nullptr ? std::min(vRec->expire, now) : now;
         if (config_.inactiveDiscard != kNever &&
             now > addSat(volExpiredAt, config_.inactiveDiscard)) {
-          discardPending(v, client);
-          v.unreachable.insert(client);
-          continue;
+          discardPending(v, ci);
+          setUnreach(v, ci);
+          return;
         }
-        auto [inIt, inserted] =
-            v.inactive.try_emplace(client, InactiveClient{volExpiredAt, {}});
-        (void)inserted;
-        inIt->second.pending.push_back(
-            PendingMsg{obj, now,
-                       addSat(inIt->second.volExpiredAt,
-                              config_.inactiveDiscard)});
+        auto [in, inserted] = v.inactive.tryEmplace(ci);
+        if (inserted) {
+          in->volExpiredAt = volExpiredAt;
+          if (in->pending.capacity() == 0 && !pendingMsgPool_.empty()) {
+            in->pending = std::move(pendingMsgPool_.back());
+            pendingMsgPool_.pop_back();
+          }
+        }
+        in->pending.push_back(PendingMsg{
+            obj, now, addSat(in->volExpiredAt, config_.inactiveDiscard)});
       } else {
-        v.unreachable.insert(client);
+        setUnreach(v, ci);
       }
-    }
+    });
   }
 
   ++st.version;
   ctx_.metrics.onWrite(now - pw.requestedAt, false);
   if (pw.cb) pw.cb(WriteResult{now - pw.requestedAt, false, st.version});
 
-  std::deque<net::Message> deferredObj = std::move(pw.deferredObjRequests);
-  std::deque<WriteCallback> queued = std::move(pw.queuedWrites);
-  pendingWrites_.erase(it);
+  // The callback may have grown pwPool_ (a reentrant write on another
+  // object), so re-index instead of trusting `pw` past this point.
+  std::vector<net::Message> deferredObj =
+      std::move(pwPool_[slot].deferredObjRequests);
+  std::vector<WriteCallback> queued = std::move(pwPool_[slot].queuedWrites);
+  st.pendingWrite = util::kNilIdx;
+  releasePendingWrite(slot);
   --v.pendingWrites;
   VL_CHECK(v.pendingWrites >= 0);
 
   for (net::Message& m : deferredObj) handleReqObjLease(m);
+  deferredObj.clear();
+  if (deferredObj.capacity() > 0) msgVecPool_.push_back(std::move(deferredObj));
   if (v.pendingWrites == 0) drainVolumeDeferred(volId);
   for (auto& w : queued) writeInternal(obj, std::move(w), now);
+  queued.clear();
+  if (queued.capacity() > 0) cbVecPool_.push_back(std::move(queued));
 }
 
 void VolumeServer::drainVolumeDeferred(VolumeId volId) {
   VolState& v = vol(volId);
   while (v.pendingWrites == 0 && !v.deferred.empty()) {
-    auto action = std::move(v.deferred.front());
-    v.deferred.pop_front();
+    DeferredFn action = std::move(v.deferred.items[v.deferred.head]);
+    ++v.deferred.head;
     action();
+  }
+  if (v.deferred.empty() && v.deferred.head != 0) {
+    v.deferred.items.clear();
+    v.deferred.head = 0;
   }
 }
 
 void VolumeServer::handleAckInvalidate(const net::Message& msg) {
   const auto& ack = std::get<net::AckInvalidate>(msg.payload);
-  auto it = pendingWrites_.find(ack.obj);
-  if (it == pendingWrites_.end()) return;  // duplicate / late ack
-  PendingWrite& pw = it->second;
-  if (pw.waiting.erase(msg.from) == 0) return;
-  removeObjHolder(objState(ack.obj), msg.from);  // client dropped its copy
-  if (!pw.waiting.empty()) return;
+  ObjState& st = objState(ack.obj);
+  if (st.pendingWrite == util::kNilIdx) return;  // duplicate / late ack
+  PendingWrite& pw = pwPool_[st.pendingWrite];
+  const std::uint32_t ci = clientIdx(msg.from);
+  if (ci >= pw.waiting.size() || pw.waiting[ci] == 0) return;
+  pw.waiting[ci] = 0;
+  --pw.waitingCount;
+  removeObjHolder(st, ci);  // client dropped its copy
+  if (pw.waitingCount > 0) return;
   const SimTime now = ctx_.scheduler.now();
   if (now >= pw.skipBound) {
     commitWrite(ack.obj);
@@ -654,35 +764,55 @@ void VolumeServer::crashAndReboot() {
   const SimTime now = ctx_.scheduler.now();
 
   // In-flight writes die with the process; their callers never hear back.
-  for (auto& [obj, pw] : pendingWrites_) pw.timer.cancel();
-  pendingWrites_.clear();
-  for (auto& [key, session] : sessions_) session.timer.cancel();
+  for (PendingWrite& pw : pwPool_) {
+    if (!pw.active) continue;
+    pw.timer.cancel();
+    std::fill(pw.waiting.begin(), pw.waiting.end(), 0);
+    pw.waitingCount = 0;
+    pw.deferredObjRequests.clear();
+    pw.queuedWrites.clear();
+    pw.cb = nullptr;
+    pw.active = false;
+  }
+  pwFree_.clear();
+  for (std::uint32_t slot = 0; slot < pwPool_.size(); ++slot) {
+    pwFree_.push_back(slot);
+  }
+  sessions_.forEach(
+      [](std::uint64_t, Session& session) { session.timer.cancel(); });
   sessions_.clear();
 
-  for (auto& [volId, v] : volumes_) {
-    for (auto& [c, r] : v.holders) {
+  for (VolState& v : volumes_) {
+    v.holders.forEach([&](std::uint32_t, LeaseRecord& r) {
       stats::accrueRecord(ctx_.metrics, id(), r.lastAccounted, r.expire, now);
-    }
+    });
     v.holders.clear();
-    for (auto& [c, in] : v.inactive) {
+    v.inactive.forEach([&](std::uint32_t, InactiveClient& in) {
       for (PendingMsg& pm : in.pending) {
         stats::accrueRecord(ctx_.metrics, id(), pm.lastAccounted, pm.discardAt,
                             now);
       }
-    }
+      in.pending.clear();
+      if (in.pending.capacity() > 0) {
+        pendingMsgPool_.push_back(std::move(in.pending));
+      }
+    });
     v.inactive.clear();
-    v.unreachable.clear();  // epoch check re-detects stale clients
-    v.deferred.clear();
+    // the epoch check re-detects stale clients, so Unreachable resets
+    std::fill(v.unreachable.begin(), v.unreachable.end(), 0);
+    v.deferred.items.clear();
+    v.deferred.head = 0;
     v.pendingWrites = 0;
     v.expire = kSimTimeMin;
-    v.epoch += 1;  // persisted with the data
+    if (v.touched) v.epoch += 1;  // persisted with the data
   }
-  for (auto& [objId, st] : objects_) {
-    for (auto& [c, r] : st.holders) {
+  for (ObjState& st : objects_) {
+    st.holders.forEach([&](std::uint32_t, LeaseRecord& r) {
       stats::accrueRecord(ctx_.metrics, id(), r.lastAccounted, r.expire, now);
-    }
+    });
     st.holders.clear();
     st.expire = kSimTimeMin;
+    st.pendingWrite = util::kNilIdx;
   }
 
   // Delay writes until every volume lease granted before the crash has
@@ -692,21 +822,21 @@ void VolumeServer::crashAndReboot() {
 }
 
 void VolumeServer::finalizeAccounting(SimTime now) {
-  for (auto& [volId, v] : volumes_) {
-    for (auto& [c, r] : v.holders) {
+  for (VolState& v : volumes_) {
+    v.holders.forEach([&](std::uint32_t, LeaseRecord& r) {
       stats::accrueRecord(ctx_.metrics, id(), r.lastAccounted, r.expire, now);
-    }
-    for (auto& [c, in] : v.inactive) {
+    });
+    v.inactive.forEach([&](std::uint32_t, InactiveClient& in) {
       for (PendingMsg& pm : in.pending) {
         stats::accrueRecord(ctx_.metrics, id(), pm.lastAccounted, pm.discardAt,
                             now);
       }
-    }
+    });
   }
-  for (auto& [objId, st] : objects_) {
-    for (auto& [c, r] : st.holders) {
+  for (ObjState& st : objects_) {
+    st.holders.forEach([&](std::uint32_t, LeaseRecord& r) {
       stats::accrueRecord(ctx_.metrics, id(), r.lastAccounted, r.expire, now);
-    }
+    });
   }
 }
 

@@ -24,6 +24,23 @@ std::uint64_t pairKey(NodeId client, ObjectId obj) {
   return (static_cast<std::uint64_t>(raw(client)) << 32) | raw(obj);
 }
 
+std::uint64_t versionKey(ObjectId obj, Version version) {
+  return (raw(obj) << 32) | static_cast<std::uint64_t>(version);
+}
+
+SimDuration pollWindowFor(const proto::ProtocolConfig& config) {
+  switch (config.algorithm) {
+    case proto::Algorithm::kPollEachRead:
+      return 0;  // every read validates; only in-flight staleness is legal
+    case proto::Algorithm::kPoll:
+      return config.objectTimeout;
+    case proto::Algorithm::kPollAdaptive:
+      return config.adaptiveMaxTtl;  // the adaptive window's clamp
+    default:
+      return -1;  // not a Poll algorithm; no bounded-staleness contract
+  }
+}
+
 }  // namespace
 
 const char* violationKindName(ViolationKind kind) {
@@ -49,7 +66,8 @@ ConsistencyOracle::ConsistencyOracle(const trace::Catalog& catalog,
       config_(config),
       metrics_(metrics),
       options_(options),
-      strong_(isStrongAlgorithm(config.algorithm)) {
+      strong_(isStrongAlgorithm(config.algorithm)),
+      pollWindow_(pollWindowFor(config)) {
   ring_.resize(std::max<std::size_t>(options_.ringCapacity, 1));
 }
 
@@ -97,6 +115,18 @@ bool ConsistencyOracle::skewExempt(NodeId client, SimTime now) const {
   return mag > options_.skewBound;
 }
 
+SimTime ConsistencyOracle::pollServeDeadline(ObjectId obj,
+                                             Version served) const {
+  const auto it = supersededAt_.find(versionKey(obj, served));
+  if (it == supersededAt_.end()) return kNever;
+  // A within-budget slow clock legitimately stretches the client's
+  // validity window by up to skewBound (Poll has no epsilon rule to
+  // absorb it), so the budget is part of the allowance.
+  return addSat(it->second,
+                addSat(pollWindow_ + options_.validationLatency,
+                       options_.skewBound + options_.slack));
+}
+
 // ---------------------------------------------------------------------
 // hooks
 // ---------------------------------------------------------------------
@@ -116,7 +146,30 @@ void ConsistencyOracle::onRead(NodeId client, ObjectId obj,
                   (stale ? " STALE (server v=" +
                                std::to_string(authoritative) + ")"
                          : ""));
-  if (!stale || !strong_) return;
+  if (!stale) return;
+  if (!strong_) {
+    // Poll family: staleness inside the validity window is the
+    // documented behavior; beyond it the contract is broken.
+    // BestEffortLease: unbounded staleness by design, never flagged.
+    if (!pollBounded()) return;
+    const SimTime deadline = pollServeDeadline(obj, result.version);
+    if (now <= deadline) return;
+    if (skewExempt(client, now)) {
+      record(now, "skew-exempt stale poll read client=" +
+                      std::to_string(raw(client)) +
+                      " (|skew| exceeds the configured bound)");
+      return;
+    }
+    reportViolation(
+        ViolationKind::kStaleRead, now,
+        "client " + std::to_string(raw(client)) + " read obj " +
+            std::to_string(raw(obj)) + " at version " +
+            std::to_string(result.version) + " superseded " +
+            formatSimTime(now - deadline) +
+            " past the poll-window allowance (server is at " +
+            std::to_string(authoritative) + ")");
+    return;
+  }
   if (callbackExempt(obj)) return;  // expected Callback breakage
   if (skewExempt(client, now)) {
     record(now, "skew-exempt stale read client=" +
@@ -149,6 +202,11 @@ void ConsistencyOracle::onWriteComplete(ObjectId obj,
   record(now, "write done obj=" + std::to_string(raw(obj)) + " v=" +
                   std::to_string(result.newVersion) +
                   (result.blocked ? " BLOCKED" : ""));
+  if (pollBounded() && result.newVersion != kNoVersion) {
+    // The previous version is superseded NOW; the poll-window clock on
+    // serving it starts here.
+    supersededAt_.try_emplace(versionKey(obj, result.newVersion - 1), now);
+  }
 
   const NodeId server = catalog_.object(obj).server;
   const ServerFaults* faults = nullptr;
@@ -252,7 +310,7 @@ void ConsistencyOracle::onFault(const net::FaultEvent& event, SimTime now) {
 // ---------------------------------------------------------------------
 
 void ConsistencyOracle::audit(proto::ProtocolInstance& protocol, SimTime now) {
-  if (!strong_) return;
+  if (!strong_ && !pollBounded()) return;
   for (std::uint32_t ci = 0; ci < catalog_.numClients(); ++ci) {
     const NodeId clientId = catalog_.clientNode(ci);
     if (crashedNow_.count(clientId) > 0) continue;  // RAM is gone anyway
@@ -263,6 +321,9 @@ void ConsistencyOracle::audit(proto::ProtocolInstance& protocol, SimTime now) {
       const Version actual =
           protocol.serverFor(catalog_, info.id).currentVersion(info.id);
       if (view.version == actual) continue;
+      if (!strong_ && now <= pollServeDeadline(info.id, view.version)) {
+        continue;  // stale but inside the Poll window: contractual
+      }
       if (callbackExempt(info.id)) continue;
       if (skewExempt(clientId, now)) continue;
       if (!auditFlagged_.insert(pairKey(clientId, info.id)).second) continue;

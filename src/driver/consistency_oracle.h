@@ -31,6 +31,18 @@
 // ProtocolConfig::faultInjectIgnoreInvalidations gets NO exemption:
 // it exists precisely to prove the oracle fires.
 //
+// The Poll family is NOT exempt from staleness checks; it is *bounded*:
+// Poll's contract (paper §2.2) is that a read never serves data more
+// than one validity window stale. The oracle tracks when each version
+// was superseded and flags a Poll read/cache entry only when its
+// version was superseded more than
+//   window + validationLatency + skewBound + slack
+// ago, where window is 0 (Poll Each Read), t (Poll), or adaptiveMaxTtl
+// (Adaptive Poll's clamp), and validationLatency covers the round trip
+// a validation needs to observe a new version. BestEffortLease keeps a
+// full exemption: its staleness under partitions is unbounded by
+// design (the paper's point), so there is no contract to check.
+//
 // On each violation the oracle dumps the last-K events (reads, writes,
 // faults) from a ring buffer via VL_LOG_WARN, capped so a pathological
 // run cannot flood the log. The total lands in
@@ -86,6 +98,11 @@ class ConsistencyOracle {
     /// of contract, so its staleness is recorded but not flagged.
     const sim::ClockMap* clocks = nullptr;
     SimDuration skewBound = 0;
+    /// Poll family only: how long a validation's answer may already be
+    /// stale when it arrives (a reply reports the version the server
+    /// held when it sent it). Simulation sets this to a full round
+    /// trip, 2 x networkLatency; 0 reproduces the sequential model.
+    SimDuration validationLatency = 0;
   };
 
   ConsistencyOracle(const trace::Catalog& catalog,
@@ -154,6 +171,12 @@ class ConsistencyOracle {
   /// Skew-aware mode: true when `client`'s clock is skewed beyond the
   /// configured budget at `now` (its staleness is out of contract).
   bool skewExempt(NodeId client, SimTime now) const;
+  /// Poll family: staleness is bounded rather than forbidden.
+  bool pollBounded() const { return pollWindow_ >= 0; }
+  /// Latest instant at which serving `served` of `obj` is still within
+  /// the Poll contract; kNever when the superseding write was never
+  /// observed (nothing to anchor the bound on).
+  SimTime pollServeDeadline(ObjectId obj, Version served) const;
 
   void record(SimTime at, std::string text);
   void reportViolation(ViolationKind kind, SimTime now,
@@ -165,8 +188,14 @@ class ConsistencyOracle {
   stats::Metrics& metrics_;
   const Options options_;
   const bool strong_;
+  /// Poll family's validity window (-1 = not a Poll algorithm): 0 for
+  /// Poll Each Read, t for Poll, the adaptiveMaxTtl clamp for Adaptive.
+  const SimDuration pollWindow_;
 
   std::unordered_map<ObjectId, WriteTrack> writes_;
+  /// When each (obj, version) was superseded by the next write commit;
+  /// anchors the Poll staleness bound. Keyed (raw(obj) << 32) | version.
+  std::unordered_map<std::uint64_t, SimTime> supersededAt_;
   std::unordered_map<NodeId, ServerFaults> serverFaults_;
   std::unordered_set<NodeId> crashedNow_;
 

@@ -27,6 +27,9 @@ Simulation::Simulation(const trace::Catalog& catalog,
     oracleOptions.auditPeriod = options_.oracleAuditPeriod;
     oracleOptions.clocks = &clocks_;
     oracleOptions.skewBound = options_.oracleSkewBound;
+    // A Poll validation's answer is already a round trip old when it
+    // lands; the Poll staleness bound must allow for it.
+    oracleOptions.validationLatency = 2 * options_.networkLatency;
     oracle_ = std::make_unique<ConsistencyOracle>(catalog_, config, metrics_,
                                                   oracleOptions);
     scheduleAudit();

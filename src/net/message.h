@@ -143,6 +143,14 @@ using Payload =
 
 /// Stable index of a payload alternative (metrics breakdown key).
 inline std::size_t payloadTypeIndex(const Payload& p) { return p.index(); }
+
+/// Compile-time index of alternative `T` in Payload, for switch-based
+/// dispatch on payload.index() (one indirect-free jump instead of a
+/// holds_alternative chain).
+template <typename T>
+constexpr std::size_t payloadIndex() {
+  return Payload(std::in_place_type<T>).index();
+}
 const char* payloadTypeName(std::size_t index);
 constexpr std::size_t kNumPayloadTypes = std::variant_size_v<Payload>;
 

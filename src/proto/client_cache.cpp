@@ -4,87 +4,167 @@
 
 namespace vlease::proto {
 
-void ClientCache::moveToFront(Slot& slot, ObjectId obj) {
-  lru_.erase(slot.lruIt);
-  lru_.push_front(obj);
-  slot.lruIt = lru_.begin();
+void ClientCache::unlink(std::uint32_t s) {
+  Slot& slot = pool_[s];
+  if (slot.prev != kNil) pool_[slot.prev].next = slot.next;
+  if (slot.next != kNil) pool_[slot.next].prev = slot.prev;
+  if (lruHead_ == s) lruHead_ = slot.next;
+  if (lruTail_ == s) lruTail_ = slot.prev;
+  slot.prev = kNil;
+  slot.next = kNil;
+}
+
+void ClientCache::linkFront(std::uint32_t s) {
+  Slot& slot = pool_[s];
+  slot.prev = kNil;
+  slot.next = lruHead_;
+  if (lruHead_ != kNil) pool_[lruHead_].prev = s;
+  lruHead_ = s;
+  if (lruTail_ == kNil) lruTail_ = s;
 }
 
 CacheEntry& ClientCache::entry(ObjectId obj) {
   auto it = map_.find(obj);
   if (it != map_.end()) {
-    moveToFront(it->second, obj);
-    return it->second.entry;
+    moveToFront(it->second);
+    return pool_[it->second].entry;
   }
-  lru_.push_front(obj);
-  auto [newIt, inserted] = map_.emplace(obj, Slot{CacheEntry{}, lru_.begin()});
-  VL_DCHECK(inserted);
+  std::uint32_t s;
+  if (!free_.empty()) {
+    s = free_.back();
+    free_.pop_back();
+    pool_[s].entry = CacheEntry{};
+  } else {
+    s = static_cast<std::uint32_t>(pool_.size());
+    pool_.emplace_back();
+  }
+  pool_[s].obj = obj;
+  linkFront(s);
+  map_.emplace(obj, s);
   if (capacity_ > 0 && map_.size() > capacity_) {
     // Evict the least recently used entry (never the one just added:
     // it sits at the front and capacity_ >= 1).
-    const ObjectId victim = lru_.back();
-    lru_.pop_back();
-    map_.erase(victim);
+    const std::uint32_t victim = lruTail_;
+    unlink(victim);
+    map_.erase(pool_[victim].obj);
+    free_.push_back(victim);
     ++evictions_;
   }
-  return newIt->second.entry;
+  return pool_[s].entry;
 }
 
 void ClientCache::touch(ObjectId obj) {
   auto it = map_.find(obj);
-  if (it != map_.end()) moveToFront(it->second, obj);
+  if (it != map_.end()) moveToFront(it->second);
 }
 
 PendingReads::Token PendingReads::add(ObjectId obj, SimDuration timeout,
                                       ReadCallback onResolve) {
-  Token token = nextToken_++;
-  Op op;
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(pool_.size());
+    pool_.emplace_back();
+  }
+  Op& op = pool_[slot];
   op.obj = obj;
   op.cb = std::move(onResolve);
+  op.prev = kNil;
+  op.next = kNil;
+  op.inLive = true;
+  op.active = true;
+  const Token token = makeToken(slot, op.gen);
   op.timer = scheduler_.scheduleAfter(timeout, [this, token]() {
     ReadResult failed;
     failed.ok = false;
     resolveOne(token, failed);
   });
-  ops_.emplace(token, std::move(op));
-  byObject_[obj].push_back(token);
+
+  const std::size_t i = raw(obj);
+  if (i >= headByObj_.size()) {
+    headByObj_.resize(i + 1, kNil);
+    tailByObj_.resize(i + 1, kNil);
+  }
+  const std::uint32_t tail = tailByObj_[i];
+  if (tail == kNil) {
+    headByObj_[i] = slot;
+  } else {
+    pool_[tail].next = slot;
+    op.prev = tail;
+  }
+  tailByObj_[i] = slot;
+  ++size_;
   return token;
 }
 
-void PendingReads::resolveAll(ObjectId obj, const ReadResult& result) {
-  auto it = byObject_.find(obj);
-  if (it == byObject_.end()) return;
-  // Detach first: callbacks may issue new reads on the same object.
-  std::vector<Token> tokens = std::move(it->second);
-  byObject_.erase(it);
-  for (Token token : tokens) {
-    auto opIt = ops_.find(token);
-    if (opIt == ops_.end()) continue;
-    Op op = std::move(opIt->second);
-    ops_.erase(opIt);
-    op.timer.cancel();
-    op.cb(result);
+PendingReads::Op* PendingReads::lookup(Token token) {
+  const std::uint32_t slot = static_cast<std::uint32_t>(token);
+  const std::uint32_t gen = static_cast<std::uint32_t>(token >> 32);
+  if (slot >= pool_.size()) return nullptr;
+  Op& op = pool_[slot];
+  if (!op.active || op.gen != gen) return nullptr;
+  return &op;
+}
+
+void PendingReads::finish(std::uint32_t slot, const ReadResult& result) {
+  Op& op = pool_[slot];
+  if (op.inLive) {
+    const std::size_t i = raw(op.obj);
+    if (op.prev != kNil) pool_[op.prev].next = op.next;
+    if (op.next != kNil) pool_[op.next].prev = op.prev;
+    if (headByObj_[i] == slot) headByObj_[i] = op.next;
+    if (tailByObj_[i] == slot) tailByObj_[i] = op.prev;
+    op.inLive = false;
   }
+  op.timer.cancel();
+  ReadCallback cb = std::move(op.cb);
+  op.cb = nullptr;
+  op.active = false;
+  ++op.gen;
+  free_.push_back(slot);
+  --size_;
+  cb(result);
+}
+
+void PendingReads::resolveAll(ObjectId obj, const ReadResult& result) {
+  const std::size_t i = raw(obj);
+  if (i >= headByObj_.size() || headByObj_[i] == kNil) return;
+  // Detach first: callbacks may issue new reads on the same object,
+  // which start a fresh live list. Snapshot tokens (not slots) so an op
+  // resolved out from under us mid-loop -- and its possibly recycled
+  // slot -- is skipped by the generation check.
+  std::vector<Token> tokens = std::move(resolveScratch_);
+  tokens.clear();
+  for (std::uint32_t s = headByObj_[i]; s != kNil; s = pool_[s].next) {
+    pool_[s].inLive = false;
+    tokens.push_back(makeToken(s, pool_[s].gen));
+  }
+  headByObj_[i] = kNil;
+  tailByObj_[i] = kNil;
+  for (Token token : tokens) {
+    Op* op = lookup(token);
+    if (op == nullptr) continue;
+    finish(static_cast<std::uint32_t>(token), result);
+  }
+  tokens.clear();
+  resolveScratch_ = std::move(tokens);
 }
 
 std::vector<PendingReads::Token> PendingReads::tokensFor(ObjectId obj) const {
-  auto it = byObject_.find(obj);
-  return it == byObject_.end() ? std::vector<Token>{} : it->second;
+  std::vector<Token> out;
+  const std::size_t i = raw(obj);
+  if (i >= headByObj_.size()) return out;
+  for (std::uint32_t s = headByObj_[i]; s != kNil; s = pool_[s].next) {
+    out.push_back(makeToken(s, pool_[s].gen));
+  }
+  return out;
 }
 
 void PendingReads::resolveOne(Token token, const ReadResult& result) {
-  auto opIt = ops_.find(token);
-  if (opIt == ops_.end()) return;
-  Op op = std::move(opIt->second);
-  ops_.erase(opIt);
-  auto listIt = byObject_.find(op.obj);
-  if (listIt != byObject_.end()) {
-    auto& list = listIt->second;
-    list.erase(std::remove(list.begin(), list.end(), token), list.end());
-    if (list.empty()) byObject_.erase(listIt);
-  }
-  op.timer.cancel();
-  op.cb(result);
+  if (lookup(token) == nullptr) return;
+  finish(static_cast<std::uint32_t>(token), result);
 }
 
 }  // namespace vlease::proto

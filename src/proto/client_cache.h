@@ -7,7 +7,6 @@
 #pragma once
 
 #include <cstdint>
-#include <list>
 #include <unordered_map>
 #include <vector>
 
@@ -21,6 +20,14 @@ namespace vlease::proto {
 struct CacheEntry {
   Version version = kNoVersion;  // kNoVersion: no copy cached
   bool hasData = false;
+  /// Whether the most recent object-lease grant for this entry carried
+  /// data (vs. a version-check-only renewal). The volume client clears
+  /// it when a read starts missing and reports it in the read result;
+  /// keeping it in the entry bounds its lifetime to the cache's
+  /// (a side table keyed by object would grow without bound).
+  /// invalidate() leaves it alone: it describes the last grant, not the
+  /// current copy.
+  bool lastGrantCarriedData = false;
   /// Lease/validity horizon: object lease expiry (lease algorithms),
   /// lastValidated + t (Poll), kNever (Callback registration).
   SimTime validUntil = kSimTimeMin;
@@ -42,6 +49,13 @@ struct CacheEntry {
 /// and inserting beyond capacity evicts the least recently used entry
 /// (leases on evicted objects are simply forgotten; the server's record
 /// expires or is acked away on the next invalidation).
+///
+/// Entries live in a recycled slot pool with the LRU list threaded
+/// intrusively through the slots, so the hit path (find + touch) never
+/// touches the heap. The key index stays a std::unordered_map: its
+/// iteration order is what forEach exposes, and the reconnection
+/// exchange (-> message order -> loss-roll consumption) makes that
+/// order observable, so it must not change.
 class ClientCache {
  public:
   explicit ClientCache(std::size_t capacity = 0) : capacity_(capacity) {}
@@ -50,7 +64,15 @@ class ClientCache {
 
   const CacheEntry* find(ObjectId obj) const {
     auto it = map_.find(obj);
-    return it == map_.end() ? nullptr : &it->second.entry;
+    return it == map_.end() ? nullptr : &pool_[it->second].entry;
+  }
+
+  /// Like find(), but mutable and WITHOUT refreshing LRU recency (for
+  /// bookkeeping writes such as clearing lastGrantCarriedData that must
+  /// not count as a use of the entry).
+  CacheEntry* findMutable(ObjectId obj) {
+    auto it = map_.find(obj);
+    return it == map_.end() ? nullptr : &pool_[it->second].entry;
   }
 
   /// Refresh LRU recency (cache-hit path).
@@ -58,7 +80,10 @@ class ClientCache {
 
   void clear() {
     map_.clear();
-    lru_.clear();
+    pool_.clear();
+    free_.clear();
+    lruHead_ = kNil;
+    lruTail_ = kNil;
   }
 
   std::size_t size() const { return map_.size(); }
@@ -68,25 +93,45 @@ class ClientCache {
   /// Visit every (id, entry) pair (reconnection enumerates the cache).
   template <typename Fn>
   void forEach(Fn&& fn) const {
-    for (const auto& [obj, slot] : map_) fn(obj, slot.entry);
+    for (const auto& [obj, slot] : map_) fn(obj, pool_[slot].entry);
   }
 
  private:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
   struct Slot {
     CacheEntry entry;
-    std::list<ObjectId>::iterator lruIt;
+    ObjectId obj{};
+    std::uint32_t prev = kNil;
+    std::uint32_t next = kNil;
   };
-  void moveToFront(Slot& slot, ObjectId obj);
+
+  void unlink(std::uint32_t s);
+  void linkFront(std::uint32_t s);
+  void moveToFront(std::uint32_t s) {
+    if (lruHead_ == s) return;
+    unlink(s);
+    linkFront(s);
+  }
 
   std::size_t capacity_;
   std::int64_t evictions_ = 0;
-  std::unordered_map<ObjectId, Slot> map_;
-  std::list<ObjectId> lru_;  // front = most recently used
+  std::unordered_map<ObjectId, std::uint32_t> map_;
+  std::vector<Slot> pool_;
+  std::vector<std::uint32_t> free_;
+  std::uint32_t lruHead_ = kNil;  // most recently used
+  std::uint32_t lruTail_ = kNil;  // least recently used
 };
 
 /// Table of outstanding read() operations. Replies resolve every op
 /// waiting on the object; a per-op timer resolves stragglers as failed.
 /// Reentrancy-safe: callbacks may issue new reads.
+///
+/// Storage is a recycled slot pool: each op lives in a stable slot,
+/// tokens are (generation << 32) | slot so a recycled slot invalidates
+/// outstanding tokens, and the per-object FIFO is an intrusive doubly
+/// linked list threaded through the pool. Steady-state add/resolve
+/// cycles never touch the heap.
 class PendingReads {
  public:
   using Token = std::uint64_t;
@@ -99,33 +144,55 @@ class PendingReads {
 
   /// Is anything waiting on this object?
   bool waitingOn(ObjectId obj) const {
-    auto it = byObject_.find(obj);
-    return it != byObject_.end() && !it->second.empty();
+    const std::size_t i = raw(obj);
+    return i < headByObj_.size() && headByObj_[i] != kNil;
   }
 
-  /// Resolve every op waiting on `obj` with `result`.
+  /// Resolve every op waiting on `obj` with `result`, oldest first.
   void resolveAll(ObjectId obj, const ReadResult& result);
 
   /// Tokens waiting on `obj` (for callers that must re-examine each op
-  /// individually, e.g. the volume client's two-lease pump).
+  /// individually), oldest first.
   std::vector<Token> tokensFor(ObjectId obj) const;
 
   /// Resolve a specific op (no-op if already resolved).
   void resolveOne(Token token, const ReadResult& result);
 
-  std::size_t size() const { return ops_.size(); }
+  std::size_t size() const { return size_; }
 
  private:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
   struct Op {
-    ObjectId obj;
     ReadCallback cb;
     sim::TimerHandle timer;
+    ObjectId obj{};
+    std::uint32_t gen = 0;  // bumped on release; stale tokens miss
+    std::uint32_t prev = kNil;
+    std::uint32_t next = kNil;
+    /// On the object's live list (false once resolveAll detaches it).
+    bool inLive = false;
+    bool active = false;
   };
 
+  static Token makeToken(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<Token>(gen) << 32) | slot;
+  }
+  Op* lookup(Token token);
+  /// Unlink (if live), release the slot, cancel the timer, run the
+  /// callback. The slot is recycled BEFORE the callback runs, so
+  /// reentrant add() calls can reuse it (mirrors the erase-then-call
+  /// order of the original map-based table).
+  void finish(std::uint32_t slot, const ReadResult& result);
+
   sim::Scheduler& scheduler_;
-  Token nextToken_ = 1;
-  std::unordered_map<Token, Op> ops_;
-  std::unordered_map<ObjectId, std::vector<Token>> byObject_;
+  std::vector<Op> pool_;
+  std::vector<std::uint32_t> free_;
+  /// Per raw(obj) FIFO list heads/tails, lazily grown.
+  std::vector<std::uint32_t> headByObj_;
+  std::vector<std::uint32_t> tailByObj_;
+  std::vector<Token> resolveScratch_;
+  std::size_t size_ = 0;
 };
 
 }  // namespace vlease::proto

@@ -42,6 +42,7 @@ Scheduler::Scheduler() : ref_(new detail::SchedulerRef{this, 1}) {
   auto& pool = detail::schedulerStoragePool();
   detail::takeBuf(pool.nodeBufs, heap_);
   detail::takeBuf(pool.nodeBufs, sorted_);
+  detail::takeBuf(pool.nodeBufs, fifo_);
   detail::takeBuf(pool.wordBufs, gens_);
   detail::takeBuf(pool.wordBufs, next_);
 }
@@ -59,6 +60,7 @@ Scheduler::~Scheduler() {
   }
   detail::giveBuf(pool.nodeBufs, heap_);
   detail::giveBuf(pool.nodeBufs, sorted_);
+  detail::giveBuf(pool.nodeBufs, fifo_);
   detail::giveBuf(pool.wordBufs, gens_);
   detail::giveBuf(pool.wordBufs, next_);
   ref_->scheduler = nullptr;
@@ -115,6 +117,67 @@ void Scheduler::heapPopTop() {
     i = best;
   }
   h[i] = moved;
+}
+
+void Scheduler::siftDown(std::size_t i) {
+  Node* h = heap_.data();
+  const std::size_t n = heap_.size();
+  const Node v = h[i];
+  while (true) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + 4, n);
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (nodeBefore(h[c], h[best])) best = c;
+    }
+    if (!nodeBefore(h[best], v)) break;
+    h[i] = h[best];
+    i = best;
+  }
+  h[i] = v;
+}
+
+void Scheduler::compact() {
+  // The run and the FIFO are cursor-drained in array order: filtering
+  // preserves the relative order of the survivors, which is all their
+  // pop order depends on.
+  const auto dropDead = [this](std::vector<Node>& v, std::size_t& cur) {
+    std::size_t w = 0;
+    for (std::size_t r = cur; r < v.size(); ++r) {
+      const std::uint32_t s = v[r].slot;
+      if (gens_[s] & 1u) {
+        v[w++] = v[r];
+      } else {
+        freeSlot(s);
+      }
+    }
+    v.resize(w);
+    cur = 0;
+  };
+  dropDead(sorted_, sortedCur_);
+  dropDead(fifo_, fifoCur_);
+  // The heap pops by key, and keys are unique, so any valid heap over
+  // the surviving nodes fires in the identical order. Filter in place,
+  // then Floyd-heapify. A previously sorted array stays sorted (a
+  // subsequence of an ascending run is ascending) and thus stays a
+  // valid heap without any sifting.
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < heap_.size(); ++r) {
+    const std::uint32_t s = heap_[r].slot;
+    if (gens_[s] & 1u) {
+      heap_[w++] = heap_[r];
+    } else {
+      freeSlot(s);
+    }
+  }
+  heap_.resize(w);
+  if (!heapSorted_ && w > 1) {
+    for (std::size_t i = (w - 2) / 4 + 1; i-- > 0;) siftDown(i);
+  } else if (w <= 1) {
+    heapSorted_ = true;  // trivially ascending; start a fresh run
+  }
+  dead_ = 0;
 }
 
 void Scheduler::rebuildSortedRun() {

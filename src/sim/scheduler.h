@@ -23,7 +23,7 @@
 // heap entry stays and is discarded when it reaches the top (lazy
 // deletion, same as the previous kernel).
 //
-// Two further accelerations, both invisible to semantics:
+// Further accelerations, all invisible to semantics:
 //   * Sorted-run drain: the kernel tracks (at O(1) per operation)
 //     whether the heap array happens to be in ascending key order --
 //     which bulk schedule-then-drain workloads always produce -- and if
@@ -31,6 +31,21 @@
 //     entry, making each pop O(1) instead of a full-depth sift. The pop
 //     order is the same total order either way ((time, seq) keys are
 //     unique), so firing order is bit-for-bit identical.
+//   * Same-instant FIFO lane: an event scheduled for exactly now() --
+//     every message on a zero-latency network -- skips the heap and
+//     lands in a flat FIFO ring instead. Sequence numbers are globally
+//     increasing, so the ring is seq-ordered by construction, and while
+//     it is nonempty nothing later than now() can fire, so all resident
+//     ring entries share one timestamp; the pop chooses the (time, seq)
+//     minimum across ring, run, and heap, which is the exact total
+//     order the heap alone produced. Fan-out bursts become O(1) per
+//     event instead of a full-depth sift through resident timers.
+//   * Dead-node compaction: cancellation is lazy (the heap node stays),
+//     which in cancel-heavy runs strands dead nodes that deepen every
+//     sift and pin arena slots. When dead nodes outnumber live ones the
+//     kernel filters them out and re-heapifies in place. Pop order
+//     depends only on the (unique) keys, never on the array layout, so
+//     firing order is unchanged.
 //   * Per-thread storage recycling: destroyed schedulers donate their
 //     slot chunks and vector buffers to a thread-local pool that the
 //     next scheduler on that thread reuses (detail::SchedulerStoragePool),
@@ -183,7 +198,11 @@ class Scheduler {
     const std::uint32_t index = allocSlot();
     this->slot(index).action.emplace(std::forward<F>(action));
     const std::uint32_t gen = ++gens_[index];  // even -> odd: armed
-    heapPush(Node{at, nextSeq_++, index});
+    if (at == now_) {
+      fifo_.push_back(Node{at, nextSeq_++, index});
+    } else {
+      heapPush(Node{at, nextSeq_++, index});
+    }
     ++live_;
     return TimerHandle(ref_, index, gen);
   }
@@ -221,6 +240,9 @@ class Scheduler {
   static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
   /// Below this many heap nodes a drain just pops the heap directly.
   static constexpr std::size_t kSortedRunThreshold = 64;
+  /// Compaction never triggers below this many dead nodes (small runs
+  /// recycle dead entries through peekArmed fast enough).
+  static constexpr std::size_t kCompactMinDead = 1024;
 
   using Node = detail::EventNode;
   using Slot = detail::EventSlot;
@@ -269,24 +291,47 @@ class Scheduler {
 
   void heapPush(Node node);
   void heapPopTop();
+  void siftDown(std::size_t i);
+  /// Drop every disarmed node from all three queues, recycling their
+  /// slots, then restore the heap invariant in place.
+  void compact();
 
   /// Nodes already consumed from the sorted run.
   bool haveSorted() const { return sortedCur_ < sorted_.size(); }
   std::size_t sortedRemaining() const { return sorted_.size() - sortedCur_; }
+  bool haveFifo() const { return fifoCur_ < fifo_.size(); }
 
-  /// Current minimum across the sorted-run cursor and the heap, or null
-  /// when both are empty. Keys are unique, so the choice is total.
+  /// Nodes resident in any of the three queues, dead or alive.
+  std::size_t residentNodes() const {
+    return heap_.size() + sortedRemaining() + (fifo_.size() - fifoCur_);
+  }
+
+  /// Current minimum across the same-instant FIFO, the sorted-run
+  /// cursor, and the heap, or null when all are empty. Keys are unique,
+  /// so the choice is total.
   const Node* topNode() const {
-    const Node* s = haveSorted() ? &sorted_[sortedCur_] : nullptr;
-    if (heap_.empty()) return s;
-    const Node* h = heap_.data();
-    return (s == nullptr || nodeBefore(*h, *s)) ? h : s;
+    const Node* best = haveFifo() ? &fifo_[fifoCur_] : nullptr;
+    if (haveSorted()) {
+      const Node* s = &sorted_[sortedCur_];
+      if (best == nullptr || nodeBefore(*s, *best)) best = s;
+    }
+    if (!heap_.empty()) {
+      const Node* h = heap_.data();
+      if (best == nullptr || nodeBefore(*h, *best)) best = h;
+    }
+    return best;
   }
 
   /// Pop the node `topNode()` just returned (pointer identifies which
   /// structure it lives in).
   void popTop(const Node* top) {
-    if (haveSorted() && top == &sorted_[sortedCur_]) {
+    if (haveFifo() && top == &fifo_[fifoCur_]) {
+      ++fifoCur_;
+      if (!haveFifo()) {
+        fifo_.clear();
+        fifoCur_ = 0;
+      }
+    } else if (haveSorted() && top == &sorted_[sortedCur_]) {
       ++sortedCur_;
       if (!haveSorted()) {
         sorted_.clear();
@@ -323,6 +368,7 @@ class Scheduler {
       if (gens_[index] & 1u) return true;
       popTop(top);
       freeSlot(index);
+      --dead_;
     }
     return false;
   }
@@ -350,8 +396,12 @@ class Scheduler {
     slot(index).action.reset();       // release captures eagerly
     ++gens_[index];                   // odd -> even: disarmed
     --live_;
-    // The heap node stays; peekArmed() recycles the slot when it
-    // surfaces.
+    ++dead_;
+    // The queue node stays; peekArmed() recycles the slot when it
+    // surfaces -- unless dead nodes come to dominate, in which case
+    // compact() sweeps them out eagerly (far-future timers that get
+    // cancelled would otherwise never surface).
+    if (dead_ >= kCompactMinDead && dead_ * 2 > residentNodes()) compact();
   }
 
   bool slotPending(std::uint32_t index, std::uint32_t gen) const {
@@ -371,6 +421,12 @@ class Scheduler {
   /// (see rebuildSortedRun).
   std::vector<Node> sorted_;
   std::size_t sortedCur_ = 0;
+  /// Same-instant lane: events scheduled for exactly now(), seq-ordered
+  /// by construction, consumed front-to-back via `fifoCur_`.
+  std::vector<Node> fifo_;
+  std::size_t fifoCur_ = 0;
+  /// Disarmed nodes still resident in a queue (lazy deletion debt).
+  std::size_t dead_ = 0;
   std::vector<std::unique_ptr<Slot[]>> chunks_;
   /// Per-slot generation counters; odd == armed. A stale handle could
   /// only alias after 2^32 bumps of one slot -- accepted.

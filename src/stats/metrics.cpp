@@ -21,7 +21,7 @@ void Metrics::onMessage(NodeId from, NodeId to, std::size_t typeIndex,
   src.bytesSent += bytes;
   src.cpuUnits += cpu;
   totalCpu_ += cpu;
-  if (trackLoad_.count(from)) load_[from].add(secondBucket(now));
+  if (isTracked(from)) loadMut(from).add(secondBucket(now));
 
   if (delivered) {
     NodeCounters& dst = nodeMut(to);
@@ -29,10 +29,20 @@ void Metrics::onMessage(NodeId from, NodeId to, std::size_t typeIndex,
     dst.bytesReceived += bytes;
     dst.cpuUnits += cpu;
     totalCpu_ += cpu;
-    if (trackLoad_.count(to)) load_[to].add(secondBucket(now));
+    if (isTracked(to)) loadMut(to).add(secondBucket(now));
   } else {
     ++droppedMessages_;
   }
+}
+
+SparseCounter& Metrics::loadMut(NodeId id) {
+  const std::uint32_t i = raw(id);
+  if (i >= load_.size()) {
+    load_.resize(i + 1);
+    hasLoad_.resize(i + 1, 0);
+  }
+  hasLoad_[i] = 1;
+  return load_[i];
 }
 
 void Metrics::onWrite(SimDuration delay, bool blocked) {
@@ -59,15 +69,15 @@ const NodeCounters& Metrics::node(NodeId id) const {
 
 double Metrics::avgStateBytes(NodeId server) const {
   if (horizon_ <= 0) return 0.0;
-  auto it = stateIntegral_.find(server);
-  if (it == stateIntegral_.end()) return 0.0;
-  return it->second / static_cast<double>(horizon_);
+  const std::uint32_t i = raw(server);
+  if (i >= stateIntegral_.size()) return 0.0;
+  return stateIntegral_[i] / static_cast<double>(horizon_);
 }
 
 const SparseCounter& Metrics::loadSeries(NodeId node) const {
   static const SparseCounter kEmpty;
-  auto it = load_.find(node);
-  return it == load_.end() ? kEmpty : it->second;
+  const std::uint32_t i = raw(node);
+  return hasLoadSeries(node) ? load_[i] : kEmpty;
 }
 
 std::vector<NodeId> Metrics::nodesByTraffic() const {

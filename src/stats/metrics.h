@@ -16,8 +16,6 @@
 
 #include <array>
 #include <cstdint>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "util/histogram.h"
@@ -64,13 +62,19 @@ class Metrics {
                  std::int64_t bytes, SimTime now, bool delivered);
 
   /// Enable the per-second load series for a node (servers, typically).
-  void trackLoad(NodeId node) { trackLoad_.insert(node); }
+  void trackLoad(NodeId node) {
+    const std::uint32_t i = raw(node);
+    if (i >= trackLoad_.size()) trackLoad_.resize(i + 1, 0);
+    trackLoad_[i] = 1;
+  }
 
   // ---- state accounting (called by protocol endpoints) ----
 
   /// Add byte-microseconds of consistency state at a server.
   void addStateIntegral(NodeId server, double byteMicros) {
-    stateIntegral_[server] += byteMicros;
+    const std::uint32_t i = raw(server);
+    if (i >= stateIntegral_.size()) stateIntegral_.resize(i + 1, 0.0);
+    stateIntegral_[i] += byteMicros;
   }
 
   // ---- read / write accounting ----
@@ -127,13 +131,21 @@ class Metrics {
 
   /// Per-second load series of a tracked node.
   const SparseCounter& loadSeries(NodeId node) const;
-  bool hasLoadSeries(NodeId node) const { return load_.count(node) > 0; }
+  bool hasLoadSeries(NodeId node) const {
+    const std::uint32_t i = raw(node);
+    return i < hasLoad_.size() && hasLoad_[i] != 0;
+  }
 
   /// Nodes ordered by total message traffic, busiest first.
   std::vector<NodeId> nodesByTraffic() const;
 
  private:
   NodeCounters& nodeMut(NodeId id);
+  SparseCounter& loadMut(NodeId id);
+  bool isTracked(NodeId id) const {
+    const std::uint32_t i = raw(id);
+    return i < trackLoad_.size() && trackLoad_[i] != 0;
+  }
 
   std::int64_t totalMessages_ = 0;
   std::int64_t totalBytes_ = 0;
@@ -142,10 +154,13 @@ class Metrics {
   std::array<std::int64_t, kMaxMsgTypes> byType_{};
   std::vector<NodeCounters> perNode_;
 
-  std::unordered_set<NodeId> trackLoad_;
-  std::unordered_map<NodeId, SparseCounter> load_;
+  /// Load tracking, all flat by raw node id: whether a node is tracked,
+  /// whether its series ever received a sample, and the series proper.
+  std::vector<std::uint8_t> trackLoad_;
+  std::vector<std::uint8_t> hasLoad_;
+  std::vector<SparseCounter> load_;
 
-  std::unordered_map<NodeId, double> stateIntegral_;
+  std::vector<double> stateIntegral_;  // by raw node id
 
   std::int64_t reads_ = 0;
   std::int64_t cacheLocalReads_ = 0;

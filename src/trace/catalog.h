@@ -20,11 +20,17 @@ struct ObjectInfo {
   VolumeId volume;
   NodeId server;
   std::int64_t sizeBytes;
+  /// Dense index of this object among its server's objects, assigned in
+  /// registration order: servers size their per-object state tables to
+  /// the objects they actually own instead of the global id space.
+  std::uint32_t localIndex = 0;
 };
 
 struct VolumeInfo {
   VolumeId id;
   NodeId server;
+  /// Dense index of this volume among its server's volumes.
+  std::uint32_t localIndex = 0;
 };
 
 /// Node-id layout: servers occupy [0, numServers), clients occupy
@@ -32,7 +38,10 @@ struct VolumeInfo {
 class Catalog {
  public:
   Catalog(std::uint32_t numServers, std::uint32_t numClients)
-      : numServers_(numServers), numClients_(numClients) {}
+      : numServers_(numServers),
+        numClients_(numClients),
+        objectsOnServer_(numServers, 0),
+        volumesOnServer_(numServers, 0) {}
 
   std::uint32_t numServers() const { return numServers_; }
   std::uint32_t numClients() const { return numClients_; }
@@ -55,7 +64,8 @@ class Catalog {
   VolumeId addVolume(NodeId server) {
     VL_CHECK(isServer(server));
     VolumeId id = makeVolumeId(volumes_.size());
-    volumes_.push_back(VolumeInfo{id, server});
+    volumes_.push_back(
+        VolumeInfo{id, server, volumesOnServer_[raw(server)]++});
     return id;
   }
 
@@ -63,8 +73,9 @@ class Catalog {
   ObjectId addObject(VolumeId volume, std::int64_t sizeBytes) {
     VL_CHECK(raw(volume) < volumes_.size());
     ObjectId id = makeObjectId(objects_.size());
-    objects_.push_back(
-        ObjectInfo{id, volume, volumes_[raw(volume)].server, sizeBytes});
+    const NodeId server = volumes_[raw(volume)].server;
+    objects_.push_back(ObjectInfo{id, volume, server, sizeBytes,
+                                  objectsOnServer_[raw(server)]++});
     return id;
   }
 
@@ -82,11 +93,24 @@ class Catalog {
   const std::vector<ObjectInfo>& objects() const { return objects_; }
   const std::vector<VolumeInfo>& volumes() const { return volumes_; }
 
+  /// How many objects / volumes live on `server` (sizes the server's
+  /// dense localIndex-addressed state tables).
+  std::uint32_t objectsOnServer(NodeId server) const {
+    VL_DCHECK(isServer(server));
+    return objectsOnServer_[raw(server)];
+  }
+  std::uint32_t volumesOnServer(NodeId server) const {
+    VL_DCHECK(isServer(server));
+    return volumesOnServer_[raw(server)];
+  }
+
  private:
   std::uint32_t numServers_;
   std::uint32_t numClients_;
   std::vector<ObjectInfo> objects_;
   std::vector<VolumeInfo> volumes_;
+  std::vector<std::uint32_t> objectsOnServer_;
+  std::vector<std::uint32_t> volumesOnServer_;
 };
 
 }  // namespace vlease::trace

@@ -1,0 +1,173 @@
+// Small open-addressing hash map keyed by 64-bit integers.
+//
+// The protocol layer keys per-(client, volume) state by a packed
+// uint64; node-based std::map/unordered_map spend most of their time in
+// allocation and pointer chasing for what is a handful of live entries.
+// FlatMap stores everything in two parallel vectors (control bytes +
+// slots), probes linearly from a mixed hash, and reuses tombstones on
+// insert, so steady-state insert/erase cycles never touch the heap.
+//
+// Iteration (forEach) walks the table in slot order: deterministic for
+// a given operation history, but NOT insertion order -- callers that
+// need an observable order (e.g. the server's holder fan-out) use
+// LifoIndexMap instead.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace vlease::util {
+
+template <typename V>
+class FlatMap {
+ public:
+  using Key = std::uint64_t;
+
+  FlatMap() = default;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  V* find(Key key) {
+    if (size_ == 0) return nullptr;
+    const std::size_t slot = findSlot(key);
+    return slot == kNotFound ? nullptr : &slots_[slot].value;
+  }
+  const V* find(Key key) const {
+    return const_cast<FlatMap*>(this)->find(key);
+  }
+
+  /// Insert a default-constructed value if absent. Returns the value
+  /// and whether it was inserted.
+  std::pair<V*, bool> tryEmplace(Key key) {
+    if ((size_ + tombstones_ + 1) * 8 > capacity() * 7) {
+      rehash(capacity() == 0 ? 8 : capacity() * 2);
+    }
+    const std::uint64_t h = mix(key);
+    const std::size_t mask = capacity() - 1;
+    std::size_t i = static_cast<std::size_t>(h) & mask;
+    std::size_t firstTombstone = kNotFound;
+    for (;;) {
+      const std::uint8_t c = control_[i];
+      if (c == kEmpty) {
+        std::size_t target = i;
+        if (firstTombstone != kNotFound) {
+          target = firstTombstone;
+          --tombstones_;
+        }
+        control_[target] = kFull;
+        slots_[target].key = key;
+        slots_[target].value = V{};
+        ++size_;
+        return {&slots_[target].value, true};
+      }
+      if (c == kTombstone) {
+        if (firstTombstone == kNotFound) firstTombstone = i;
+      } else if (slots_[i].key == key) {
+        return {&slots_[i].value, false};
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  V& operator[](Key key) { return *tryEmplace(key).first; }
+
+  bool erase(Key key) {
+    if (size_ == 0) return false;
+    const std::size_t slot = findSlot(key);
+    if (slot == kNotFound) return false;
+    control_[slot] = kTombstone;
+    slots_[slot].value = V{};  // drop resources; slot stays reusable
+    --size_;
+    ++tombstones_;
+    return true;
+  }
+
+  /// Visit every (key, value) pair in slot order.
+  template <typename Fn>
+  void forEach(Fn&& fn) {
+    for (std::size_t i = 0; i < capacity(); ++i) {
+      if (control_[i] == kFull) fn(slots_[i].key, slots_[i].value);
+    }
+  }
+  template <typename Fn>
+  void forEach(Fn&& fn) const {
+    for (std::size_t i = 0; i < capacity(); ++i) {
+      if (control_[i] == kFull) fn(slots_[i].key, slots_[i].value);
+    }
+  }
+
+  /// Drop every entry; keeps the table's capacity.
+  void clear() {
+    if (capacity() == 0) return;
+    for (std::size_t i = 0; i < capacity(); ++i) {
+      if (control_[i] == kFull) slots_[i].value = V{};
+      control_[i] = kEmpty;
+    }
+    size_ = 0;
+    tombstones_ = 0;
+  }
+
+  std::size_t capacity() const { return control_.size(); }
+
+ private:
+  static constexpr std::uint8_t kEmpty = 0;
+  static constexpr std::uint8_t kFull = 1;
+  static constexpr std::uint8_t kTombstone = 2;
+  static constexpr std::size_t kNotFound = ~static_cast<std::size_t>(0);
+
+  struct Slot {
+    Key key = 0;
+    V value{};
+  };
+
+  /// splitmix64 finalizer: packed keys are highly regular (small client
+  /// index << 32 | small volume id), so linear probing needs real
+  /// avalanche to avoid clustering.
+  static std::uint64_t mix(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  std::size_t findSlot(Key key) const {
+    const std::size_t mask = capacity() - 1;
+    std::size_t i = static_cast<std::size_t>(mix(key)) & mask;
+    for (;;) {
+      const std::uint8_t c = control_[i];
+      if (c == kEmpty) return kNotFound;
+      if (c == kFull && slots_[i].key == key) return i;
+      i = (i + 1) & mask;
+    }
+  }
+
+  void rehash(std::size_t newCapacity) {
+    VL_CHECK((newCapacity & (newCapacity - 1)) == 0);
+    std::vector<std::uint8_t> oldControl = std::move(control_);
+    std::vector<Slot> oldSlots = std::move(slots_);
+    control_.assign(newCapacity, kEmpty);
+    slots_.assign(newCapacity, Slot{});
+    tombstones_ = 0;
+    const std::size_t mask = newCapacity - 1;
+    for (std::size_t i = 0; i < oldControl.size(); ++i) {
+      if (oldControl[i] != kFull) continue;
+      std::size_t j = static_cast<std::size_t>(mix(oldSlots[i].key)) & mask;
+      while (control_[j] == kFull) j = (j + 1) & mask;
+      control_[j] = kFull;
+      slots_[j].key = oldSlots[i].key;
+      slots_[j].value = std::move(oldSlots[i].value);
+    }
+  }
+
+  std::vector<std::uint8_t> control_;
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+  std::size_t tombstones_ = 0;
+};
+
+}  // namespace vlease::util

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace vlease {
@@ -14,7 +15,38 @@ namespace vlease {
 /// empty, so a dense array would be wasteful.
 class SparseCounter {
  public:
-  void add(std::int64_t bucket, std::int64_t n = 1) { counts_[bucket] += n; }
+  SparseCounter() = default;
+  // The hot-bucket memo points into counts_; it must not follow a copy
+  // or move to a different map.
+  SparseCounter(const SparseCounter& other) : counts_(other.counts_) {}
+  SparseCounter(SparseCounter&& other) noexcept
+      : counts_(std::move(other.counts_)) {
+    other.hot_ = nullptr;
+  }
+  SparseCounter& operator=(const SparseCounter& other) {
+    counts_ = other.counts_;
+    hot_ = nullptr;
+    return *this;
+  }
+  SparseCounter& operator=(SparseCounter&& other) noexcept {
+    counts_ = std::move(other.counts_);
+    hot_ = nullptr;
+    other.hot_ = nullptr;
+    return *this;
+  }
+
+  void add(std::int64_t bucket, std::int64_t n = 1) {
+    // Samples arrive in bursts against one bucket (virtual time moves
+    // forward slowly relative to message rate), so memoize the node last
+    // touched -- std::map nodes are address-stable.
+    if (hot_ != nullptr && hot_->first == bucket) {
+      hot_->second += n;
+      return;
+    }
+    auto [it, inserted] = counts_.try_emplace(bucket, 0);
+    it->second += n;
+    hot_ = &*it;
+  }
 
   std::int64_t at(std::int64_t bucket) const;
   std::int64_t totalCount() const;
@@ -31,10 +63,14 @@ class SparseCounter {
   std::vector<std::int64_t> cumulativeAtLeast() const;
 
   void merge(const SparseCounter& other);
-  void clear() { counts_.clear(); }
+  void clear() {
+    counts_.clear();
+    hot_ = nullptr;
+  }
 
  private:
   std::map<std::int64_t, std::int64_t> counts_;
+  std::pair<const std::int64_t, std::int64_t>* hot_ = nullptr;
 };
 
 /// Simple streaming summary: count / mean / min / max / sum.

@@ -1,0 +1,139 @@
+// Dense, insertion-ordered map keyed by small dense indices.
+//
+// Replaces the per-lease unordered_map<NodeId, ...> holder tables of
+// the volume server. Three pieces:
+//
+//   * a slab of nodes with stable slots and an intrusive free list
+//     (erase never moves surviving nodes, so no index fixups);
+//   * a per-key slot index (`slotOf_`) giving O(1) find/insert/erase
+//     with zero hashing and zero rehash;
+//   * an intrusive doubly-linked list threading the live nodes in
+//     most-recently-inserted-first (LIFO) order.
+//
+// The LIFO iteration order is a compatibility contract, not an
+// accident: the simulator's per-send loss draws make the server's
+// invalidation fan-out order observable in the chaos goldens, and the
+// pre-refactor unordered_map iterated exactly LIFO in the regimes those
+// goldens exercise (libstdc++ prepends each insert that lands in an
+// empty bucket to its global element list; the golden runs stay under
+// the first rehash threshold with collision-free keys). Encoding the
+// order in the structure itself makes it platform-independent instead
+// of an artifact of one standard library. Erase preserves the relative
+// order of survivors; re-inserting an erased key moves it to the front,
+// both matching the hash map's observable behavior.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace vlease::util {
+
+inline constexpr std::uint32_t kNilIdx = 0xffffffffu;
+
+template <typename V>
+class LifoIndexMap {
+ public:
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  V* find(std::uint32_t key) {
+    if (key >= slotOf_.size() || slotOf_[key] == kNilIdx) return nullptr;
+    return &slab_[slotOf_[key]].value;
+  }
+  const V* find(std::uint32_t key) const {
+    return const_cast<LifoIndexMap*>(this)->find(key);
+  }
+  bool contains(std::uint32_t key) const { return find(key) != nullptr; }
+
+  /// Insert a value for `key` at the FRONT of the iteration order if
+  /// absent; returns the value and whether it was inserted. An existing
+  /// key keeps its position (try_emplace semantics).
+  std::pair<V*, bool> tryEmplace(std::uint32_t key) {
+    if (key >= slotOf_.size()) slotOf_.resize(key + 1, kNilIdx);
+    std::uint32_t slot = slotOf_[key];
+    if (slot != kNilIdx) return {&slab_[slot].value, false};
+    if (freeHead_ != kNilIdx) {
+      slot = freeHead_;
+      freeHead_ = slab_[slot].next;
+      slab_[slot].value = V{};  // reused slot: reset to a fresh value
+    } else {
+      slot = static_cast<std::uint32_t>(slab_.size());
+      slab_.emplace_back();
+    }
+    Node& node = slab_[slot];
+    node.key = key;
+    node.prev = kNilIdx;
+    node.next = head_;
+    if (head_ != kNilIdx) slab_[head_].prev = slot;
+    head_ = slot;
+    slotOf_[key] = slot;
+    ++size_;
+    return {&node.value, true};
+  }
+
+  bool erase(std::uint32_t key) {
+    if (key >= slotOf_.size() || slotOf_[key] == kNilIdx) return false;
+    const std::uint32_t slot = slotOf_[key];
+    Node& node = slab_[slot];
+    if (node.prev != kNilIdx) slab_[node.prev].next = node.next;
+    if (node.next != kNilIdx) slab_[node.next].prev = node.prev;
+    if (head_ == slot) head_ = node.next;
+    slotOf_[key] = kNilIdx;
+    node.next = freeHead_;  // free list reuses the link field
+    freeHead_ = slot;
+    --size_;
+    return true;
+  }
+
+  /// Visit (key, value) pairs newest-insertion-first. The visited
+  /// node may be erased by `fn`; other mutations of the map during
+  /// iteration are not supported.
+  template <typename Fn>
+  void forEach(Fn&& fn) {
+    std::uint32_t i = head_;
+    while (i != kNilIdx) {
+      const std::uint32_t next = slab_[i].next;
+      fn(slab_[i].key, slab_[i].value);
+      i = next;
+    }
+  }
+  template <typename Fn>
+  void forEach(Fn&& fn) const {
+    for (std::uint32_t i = head_; i != kNilIdx; i = slab_[i].next) {
+      fn(slab_[i].key, slab_[i].value);
+    }
+  }
+
+  /// Drop every entry; keeps slab and index capacity (no frees of the
+  /// backbone, though entry values release their own resources).
+  void clear() {
+    for (std::uint32_t i = head_; i != kNilIdx;) {
+      const std::uint32_t next = slab_[i].next;
+      slotOf_[slab_[i].key] = kNilIdx;
+      slab_[i].value = V{};
+      slab_[i].next = freeHead_;
+      freeHead_ = i;
+      i = next;
+    }
+    head_ = kNilIdx;
+    size_ = 0;
+  }
+
+ private:
+  struct Node {
+    V value{};
+    std::uint32_t key = 0;
+    std::uint32_t prev = kNilIdx;
+    std::uint32_t next = kNilIdx;
+  };
+
+  std::vector<Node> slab_;
+  std::vector<std::uint32_t> slotOf_;
+  std::uint32_t head_ = kNilIdx;
+  std::uint32_t freeHead_ = kNilIdx;
+  std::size_t size_ = 0;
+};
+
+}  // namespace vlease::util

@@ -27,7 +27,7 @@ TEST(CacheEntryTest, ValidityWindow) {
 }
 
 TEST(CacheEntryTest, InvalidateResets) {
-  CacheEntry entry{3, true, sec(10), sec(1)};
+  CacheEntry entry{.version = 3, .hasData = true, .validUntil = sec(10), .lastValidated = sec(1)};
   entry.invalidate();
   EXPECT_FALSE(entry.hasData);
   EXPECT_EQ(entry.version, kNoVersion);

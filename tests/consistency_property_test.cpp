@@ -378,6 +378,137 @@ TEST_F(OraclePlanChaosTest, BrokenInvalidationIsCaught) {
   }
 }
 
+// ---------------------------------------------------------------------
+// Poll-window bounding: the oracle does not exempt the Poll family from
+// staleness checks -- it bounds them. A read of a superseded version is
+// contractual until window + validationLatency + skewBound + slack past
+// the supersede, and a violation after.
+// ---------------------------------------------------------------------
+
+struct PollWindowParams {
+  proto::Algorithm algorithm;
+  /// The window the oracle must derive from the config below.
+  SimDuration window;
+};
+
+std::string pollWindowName(
+    const ::testing::TestParamInfo<PollWindowParams>& info) {
+  return proto::algorithmName(info.param.algorithm);
+}
+
+class PollWindowOracleTest : public ::testing::TestWithParam<PollWindowParams> {
+ protected:
+  static constexpr SimDuration kValidationLatency = msec(40);
+  static constexpr SimDuration kSlack = sec(1);
+
+  static proto::ProtocolConfig makeConfig(proto::Algorithm algorithm) {
+    proto::ProtocolConfig config;
+    config.algorithm = algorithm;
+    config.objectTimeout = sec(10);
+    config.adaptiveMaxTtl = sec(25);
+    return config;
+  }
+};
+
+/// Direct-drive control: supersede version 1 at a known instant, then
+/// serve it just inside and just past the allowance.
+TEST_P(PollWindowOracleTest, BoundsStalenessByWindow) {
+  const PollWindowParams& params = GetParam();
+  trace::Catalog catalog(1, 1);
+  VolumeId vol = catalog.addVolume(catalog.serverNode(0));
+  catalog.addObject(vol, 512);
+  const ObjectId obj = makeObjectId(0);
+  const NodeId client = catalog.clientNode(0);
+
+  stats::Metrics metrics;
+  driver::ConsistencyOracle::Options options;
+  options.validationLatency = kValidationLatency;
+  options.slack = kSlack;
+  driver::ConsistencyOracle oracle(catalog, makeConfig(params.algorithm),
+                                   metrics, options);
+
+  const SimTime supersededAt = sec(1);
+  oracle.onWriteIssued(obj, supersededAt);
+  oracle.onWriteComplete(obj, proto::WriteResult{0, false, 2}, supersededAt);
+
+  proto::ReadResult staleRead;
+  staleRead.ok = true;
+  staleRead.version = 1;
+  const SimTime deadline =
+      supersededAt + params.window + kValidationLatency + kSlack;
+  oracle.onRead(client, obj, staleRead, 2, deadline);
+  EXPECT_EQ(oracle.violations(), 0) << oracle.summary();
+  oracle.onRead(client, obj, staleRead, 2, deadline + 1);
+  EXPECT_EQ(oracle.violations(driver::ViolationKind::kStaleRead), 1);
+  // Fresh reads never flag, however late.
+  proto::ReadResult freshRead;
+  freshRead.ok = true;
+  freshRead.version = 2;
+  oracle.onRead(client, obj, freshRead, 2, deadline + sec(1000));
+  EXPECT_EQ(oracle.violations(), 1) << oracle.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Windows, PollWindowOracleTest,
+    ::testing::Values(
+        PollWindowParams{proto::Algorithm::kPollEachRead, 0},
+        PollWindowParams{proto::Algorithm::kPoll, sec(10)},
+        PollWindowParams{proto::Algorithm::kPollAdaptive, sec(25)}),
+    pollWindowName);
+
+/// BestEffortLease keeps its full exemption: arbitrarily old staleness
+/// never flags (the paper's point is exactly that it is unbounded).
+TEST(PollWindowOracleTest2, BestEffortStaysExempt) {
+  trace::Catalog catalog(1, 1);
+  VolumeId vol = catalog.addVolume(catalog.serverNode(0));
+  catalog.addObject(vol, 512);
+  const ObjectId obj = makeObjectId(0);
+  proto::ProtocolConfig config;
+  config.algorithm = proto::Algorithm::kBestEffortLease;
+  stats::Metrics metrics;
+  driver::ConsistencyOracle oracle(catalog, config, metrics);
+  oracle.onWriteIssued(obj, sec(1));
+  oracle.onWriteComplete(obj, proto::WriteResult{0, false, 2}, sec(1));
+  proto::ReadResult staleRead;
+  staleRead.ok = true;
+  staleRead.version = 1;
+  oracle.onRead(catalog.clientNode(0), obj, staleRead, 2, sec(100'000));
+  EXPECT_EQ(oracle.violations(), 0) << oracle.summary();
+}
+
+/// End-to-end negative control: a clean Poll run serves stale data
+/// inside its window (the weakness witness above) and the oracle,
+/// now auditing Poll, still reports zero violations.
+TEST(PollWindowOracleTest2, CleanPollRunHasNoViolations) {
+  for (proto::Algorithm algorithm :
+       {proto::Algorithm::kPollEachRead, proto::Algorithm::kPoll,
+        proto::Algorithm::kPollAdaptive}) {
+    trace::Catalog catalog(1, 2);
+    VolumeId vol = catalog.addVolume(catalog.serverNode(0));
+    catalog.addObject(vol, 512);
+    proto::ProtocolConfig config;
+    config.algorithm = algorithm;
+    config.objectTimeout = sec(30);
+    driver::SimOptions options;
+    options.networkLatency = msec(20);
+    options.enableOracle = true;
+    options.oracleAuditPeriod = sec(5);
+    driver::Simulation sim(catalog, config, options);
+    auto now = [&] { return sim.scheduler().now(); };
+    for (int round = 0; round < 20; ++round) {
+      sim.issueRead(catalog.clientNode(round % 2), makeObjectId(0));
+      sim.drainTo(now() + sec(2));
+      if (round % 3 == 0) sim.issueWrite(makeObjectId(0));
+      sim.drainTo(now() + sec(2));
+    }
+    sim.finish();
+    EXPECT_GT(sim.metrics().reads(), 0);
+    EXPECT_EQ(sim.metrics().oracleViolations(), 0)
+        << proto::algorithmName(algorithm) << ": "
+        << sim.oracle()->summary();
+  }
+}
+
 TEST(WeaknessWitnessTest, BestEffortServesStaleWhenPartitioned) {
   trace::Catalog catalog(1, 1);
   VolumeId vol = catalog.addVolume(catalog.serverNode(0));

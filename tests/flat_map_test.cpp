@@ -1,0 +1,185 @@
+// Tests for util::FlatMap -- the open-addressing uint64-keyed map behind
+// the server's per-(client, volume) session state.
+#include "util/flat_map.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vlease::util {
+namespace {
+
+TEST(FlatMapTest, EmptyMapFindsNothing) {
+  FlatMap<int> m;
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(0), nullptr);
+  EXPECT_EQ(m.find(42), nullptr);
+  EXPECT_FALSE(m.erase(42));
+}
+
+TEST(FlatMapTest, InsertFindErase) {
+  FlatMap<int> m;
+  auto [v, inserted] = m.tryEmplace(7);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(*v, 0);  // default-constructed
+  *v = 99;
+
+  auto [v2, inserted2] = m.tryEmplace(7);
+  EXPECT_FALSE(inserted2);
+  EXPECT_EQ(v2, v);
+  EXPECT_EQ(*v2, 99);
+  EXPECT_EQ(m.size(), 1u);
+
+  ASSERT_NE(m.find(7), nullptr);
+  EXPECT_EQ(*m.find(7), 99);
+  EXPECT_EQ(m.find(8), nullptr);
+
+  EXPECT_TRUE(m.erase(7));
+  EXPECT_EQ(m.find(7), nullptr);
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_FALSE(m.erase(7));
+}
+
+TEST(FlatMapTest, SubscriptInsertsDefault) {
+  FlatMap<std::int64_t> m;
+  m[5] += 10;
+  m[5] += 10;
+  EXPECT_EQ(m[5], 20);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMapTest, RehashPreservesAllEntries) {
+  FlatMap<std::uint64_t> m;
+  // Packed protocol-style keys: (client << 32) | volume. Regular enough
+  // to punish a weak hash; growth forces several rehashes.
+  constexpr std::uint64_t kClients = 64, kVols = 16;
+  for (std::uint64_t c = 0; c < kClients; ++c) {
+    for (std::uint64_t v = 0; v < kVols; ++v) {
+      m[(c << 32) | v] = c * 1000 + v;
+    }
+  }
+  EXPECT_EQ(m.size(), kClients * kVols);
+  // Power-of-two capacity with load factor <= 7/8.
+  EXPECT_EQ(m.capacity() & (m.capacity() - 1), 0u);
+  EXPECT_GE(m.capacity() * 7, m.size() * 8);
+  for (std::uint64_t c = 0; c < kClients; ++c) {
+    for (std::uint64_t v = 0; v < kVols; ++v) {
+      auto* p = m.find((c << 32) | v);
+      ASSERT_NE(p, nullptr) << "key " << ((c << 32) | v);
+      EXPECT_EQ(*p, c * 1000 + v);
+    }
+  }
+}
+
+TEST(FlatMapTest, EraseHalfKeepsOthersIntact) {
+  FlatMap<int> m;
+  for (std::uint64_t k = 0; k < 500; ++k) m[k] = static_cast<int>(k);
+  for (std::uint64_t k = 0; k < 500; k += 2) EXPECT_TRUE(m.erase(k));
+  EXPECT_EQ(m.size(), 250u);
+  for (std::uint64_t k = 0; k < 500; ++k) {
+    if (k % 2 == 0) {
+      EXPECT_EQ(m.find(k), nullptr) << k;
+    } else {
+      ASSERT_NE(m.find(k), nullptr) << k;
+      EXPECT_EQ(*m.find(k), static_cast<int>(k));
+    }
+  }
+}
+
+TEST(FlatMapTest, SameKeyChurnReusesTombstoneWithoutGrowth) {
+  FlatMap<int> m;
+  m[1] = 1;
+  m[2] = 2;
+  const std::size_t cap = m.capacity();
+  // Erase + reinsert of the same key lands on its own tombstone (the
+  // probe path passes it before any empty slot), so the tombstone count
+  // nets to zero and the table never rehashes.
+  for (int i = 0; i < 100'000; ++i) {
+    ASSERT_TRUE(m.erase(2));
+    auto [v, inserted] = m.tryEmplace(2);
+    ASSERT_TRUE(inserted);
+    *v = i;
+  }
+  EXPECT_EQ(m.capacity(), cap);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(*m.find(2), 99'999);
+  EXPECT_EQ(*m.find(1), 1);
+}
+
+TEST(FlatMapTest, EraseDropsHeldResources) {
+  FlatMap<std::vector<int>> m;
+  m[3] = std::vector<int>(1000, 7);
+  EXPECT_TRUE(m.erase(3));
+  // Reinserting finds a default-constructed value, not the old vector.
+  auto [v, inserted] = m.tryEmplace(3);
+  EXPECT_TRUE(inserted);
+  EXPECT_TRUE(v->empty());
+}
+
+TEST(FlatMapTest, ClearKeepsCapacity) {
+  FlatMap<int> m;
+  for (std::uint64_t k = 0; k < 100; ++k) m[k] = 1;
+  const std::size_t cap = m.capacity();
+  m.clear();
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.capacity(), cap);
+  for (std::uint64_t k = 0; k < 100; ++k) EXPECT_EQ(m.find(k), nullptr);
+  // Table is fully reusable after clear.
+  m[5] = 50;
+  EXPECT_EQ(*m.find(5), 50);
+}
+
+// forEach order is slot order: not insertion order, but a pure function
+// of the operation history. Two maps fed the same ops must iterate
+// identically -- simulation determinism leans on this.
+TEST(FlatMapTest, IterationIsDeterministicForSameHistory) {
+  const auto run = [] {
+    FlatMap<int> m;
+    for (std::uint64_t k = 0; k < 200; ++k) m[k * 31 + 7] = static_cast<int>(k);
+    for (std::uint64_t k = 0; k < 200; k += 3) m.erase(k * 31 + 7);
+    m[9999] = 1;
+    std::vector<std::uint64_t> keys;
+    m.forEach([&](std::uint64_t key, int&) { keys.push_back(key); });
+    return keys;
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.empty());
+}
+
+TEST(FlatMapTest, ForEachVisitsExactlyLiveEntries) {
+  FlatMap<int> m;
+  for (std::uint64_t k = 0; k < 50; ++k) m[k] = static_cast<int>(k * 2);
+  m.erase(10);
+  m.erase(20);
+  std::size_t visited = 0;
+  std::int64_t sum = 0;
+  m.forEach([&](std::uint64_t key, int& v) {
+    ++visited;
+    sum += v;
+    EXPECT_EQ(v, static_cast<int>(key * 2));
+  });
+  EXPECT_EQ(visited, 48u);
+  EXPECT_EQ(sum, 2 * (49 * 50 / 2 - 10 - 20));
+}
+
+TEST(FlatMapTest, ConstFindAndForEach) {
+  FlatMap<std::string> m;
+  m[1] = "one";
+  const FlatMap<std::string>& cm = m;
+  ASSERT_NE(cm.find(1), nullptr);
+  EXPECT_EQ(*cm.find(1), "one");
+  std::size_t n = 0;
+  cm.forEach([&](std::uint64_t, const std::string& v) {
+    EXPECT_EQ(v, "one");
+    ++n;
+  });
+  EXPECT_EQ(n, 1u);
+}
+
+}  // namespace
+}  // namespace vlease::util

@@ -1,5 +1,7 @@
-// Volume-lease server (paper §3, Figs. 2-3): the paper's primary
-// contribution.
+// REFERENCE COPY for the randomized differential test: the pre-dense
+// hash-map VolumeServer, frozen as-is. Do not optimize this file; its
+// job is to preserve the original node-based-container behavior that
+// core::VolumeServer must reproduce.
 //
 // The server grants long leases on objects and short leases on volumes;
 // a write may proceed as soon as EITHER lease has expired for every
@@ -35,31 +37,25 @@
 //     commit, so no lease is granted on a version about to change;
 //   * a client mid-flush (pending-list delivery) counts as an immediate
 //     invalidation target for concurrent writes.
-//
-// State layout (see DESIGN.md "Dense protocol state"): everything is
-// index-addressed. Objects and volumes map through the catalog's
-// per-server localIndex into direct vectors; holder sets, the Inactive
-// table, and the Unreachable set are keyed by the dense client index;
-// in-flight writes live in a recycled slot pool referenced from the
-// object's state; sessions use a packed (client, volume) 64-bit key in
-// a util::FlatMap. Steady-state protocol traffic allocates nothing.
 #pragma once
 
+#include <deque>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "core/volume_server.h"  // for core::InvalidationMode
 #include "proto/protocol.h"
-#include "util/flat_map.h"
-#include "util/inplace_function.h"
-#include "util/lifo_index_map.h"
 
-namespace vlease::core {
+namespace vlease::testref {
 
-enum class InvalidationMode { kImmediate, kDelayed };
-
-class VolumeServer final : public proto::ServerNode {
+class RefVolumeServer final : public proto::ServerNode {
  public:
-  VolumeServer(proto::ProtocolContext& ctx, NodeId id,
-               const proto::ProtocolConfig& config, InvalidationMode mode);
+  RefVolumeServer(proto::ProtocolContext& ctx, NodeId id,
+               const proto::ProtocolConfig& config, core::InvalidationMode mode)
+      : ServerNode(ctx, id), config_(config), mode_(mode) {}
 
   void write(ObjectId obj, proto::WriteCallback cb) override;
   Version currentVersion(ObjectId obj) const override;
@@ -77,11 +73,6 @@ class VolumeServer final : public proto::ServerNode {
   SimTime recoveryUntil() const { return recoveryUntil_; }
 
  private:
-  /// Inline capacity for deferred protocol actions: the largest closure
-  /// captures [this, net::Message, SimTime] (a deferred RenewObjLeases).
-  static constexpr std::size_t kDeferredClosureBytes = 96;
-  using DeferredFn = util::InplaceFunction<void(), kDeferredClosureBytes, 8>;
-
   struct LeaseRecord {
     SimTime expire = kSimTimeMin;
     SimTime lastAccounted = 0;
@@ -92,51 +83,32 @@ class VolumeServer final : public proto::ServerNode {
     SimTime discardAt;  // volExpiredAt + d (kNever when d = inf)
   };
   struct InactiveClient {
-    SimTime volExpiredAt = 0;
-    std::vector<PendingMsg> pending;  // capacity recycled via the pool
-  };
-  /// FIFO queue over a flat vector with a consumed-prefix cursor: the
-  /// deque's semantics without its per-chunk allocations. Actions
-  /// appended mid-drain land behind the cursor and run in order.
-  struct DeferredQueue {
-    std::vector<DeferredFn> items;
-    std::size_t head = 0;
-    bool empty() const { return head == items.size(); }
+    SimTime volExpiredAt;
+    std::vector<PendingMsg> pending;
   };
   struct VolState {
     Epoch epoch = 1;
     SimTime expire = kSimTimeMin;  // aggregate lease horizon
-    util::LifoIndexMap<LeaseRecord> holders;      // by client index
-    std::vector<std::uint8_t> unreachable;        // by client index
-    util::LifoIndexMap<InactiveClient> inactive;  // by client index
+    std::unordered_map<NodeId, LeaseRecord> holders;
+    std::unordered_set<NodeId> unreachable;
+    std::unordered_map<NodeId, InactiveClient> inactive;
     /// Writes currently in flight on objects of this volume; volume
     /// grant / reconnection traffic defers while > 0.
     int pendingWrites = 0;
-    DeferredQueue deferred;
-    /// Whether any protocol activity ever reached this volume. The old
-    /// hash-map state created entries lazily, and crashAndReboot bumped
-    /// the epoch of existing entries only; preserving that distinction
-    /// keeps epoch values bit-identical across the representations.
-    bool touched = false;
+    std::deque<std::function<void()>> deferred;
   };
   struct ObjState {
     Version version = 1;
     SimTime expire = kSimTimeMin;  // aggregate lease horizon
-    util::LifoIndexMap<LeaseRecord> holders;  // by client index
-    /// Slot of the in-flight write in pwPool_, kNilIdx when none.
-    std::uint32_t pendingWrite = util::kNilIdx;
+    std::unordered_map<NodeId, LeaseRecord> holders;
   };
-  /// Pool slot for an in-flight write. Slots are recycled; the byte-per-
-  /// client `waiting` mask is all-zero between uses (ack handling and
-  /// commit clear the bits they consume).
   struct PendingWrite {
     proto::WriteCallback cb;
     SimTime requestedAt = 0;
-    std::vector<std::uint8_t> waiting;  // by client index
-    std::uint32_t waitingCount = 0;
+    std::unordered_set<NodeId> waiting;
     sim::TimerHandle timer;
-    std::vector<net::Message> deferredObjRequests;
-    std::vector<proto::WriteCallback> queuedWrites;
+    std::deque<net::Message> deferredObjRequests;
+    std::deque<proto::WriteCallback> queuedWrites;
     /// Invalidate-by-waiting (writeByLeaseExpiry): no messages were
     /// sent; at commit, holders whose object leases are still valid owe
     /// an invalidation via the pending-list / Unreachable machinery.
@@ -146,12 +118,11 @@ class VolumeServer final : public proto::ServerNode {
     /// unreachable client with both leases valid can serve reads, so
     /// committing on acks alone would let it serve the old version.
     SimTime skipBound = kSimTimeMin;
-    bool active = false;
   };
   /// In-flight multi-step exchange with one client on one volume:
   /// reconnection (after MUST_RENEW_ALL) or pending-list flush.
   struct Session {
-    enum class Kind { kReconnect, kFlush } kind = Kind::kReconnect;
+    enum class Kind { kReconnect, kFlush } kind;
     bool awaitingAck = false;  // batch sent, ack not yet received
     /// When this exchange began. A RenewObjLeases that reached the
     /// server before this instant answers an EARLIER MustRenewAll (it
@@ -172,44 +143,10 @@ class VolumeServer final : public proto::ServerNode {
     return addSat(expire, config_.clockEpsilon);
   }
 
-  // ---- dense id plumbing ----
-  std::uint32_t clientIdx(NodeId client) const {
-    return raw(client) - numServers_;
-  }
-  NodeId clientNode(std::uint32_t idx) const {
-    return makeNodeId(numServers_ + idx);
-  }
-  static std::uint64_t sessionKey(std::uint32_t clientIdx, VolumeId vol) {
-    return (static_cast<std::uint64_t>(clientIdx) << 32) | raw(vol);
-  }
-  VolState& vol(VolumeId volId) {
-    const trace::VolumeInfo& info = ctx_.catalog.volume(volId);
-    VL_DCHECK(info.server == id());
-    VolState& v = volumes_[info.localIndex];
-    v.touched = true;
-    return v;
-  }
-  ObjState& objState(ObjectId obj) {
-    const trace::ObjectInfo& info = ctx_.catalog.object(obj);
-    VL_DCHECK(info.server == id());
-    return objects_[info.localIndex];
-  }
+  VolState& vol(VolumeId id) { return volumes_[id]; }
+  ObjState& objState(ObjectId id) { return objects_[id]; }
   VolumeId volumeOf(ObjectId obj) const {
     return ctx_.catalog.object(obj).volume;
-  }
-  /// Introspection-safe lookups: null for ids this server does not own
-  /// (the old map-based lookups answered those with defaults).
-  const VolState* volFind(VolumeId id) const;
-  const ObjState* objFind(ObjectId id) const;
-
-  bool isUnreach(const VolState& v, std::uint32_t ci) const {
-    return ci < v.unreachable.size() && v.unreachable[ci] != 0;
-  }
-  void setUnreach(VolState& v, std::uint32_t ci) {
-    if (v.unreachable.size() < numClients_) {
-      v.unreachable.resize(numClients_, 0);
-    }
-    v.unreachable[ci] = 1;
   }
 
   // message handlers
@@ -229,8 +166,8 @@ class VolumeServer final : public proto::ServerNode {
   void grantObject(const net::Message& msg);
   void startReconnect(NodeId client, VolumeId volId);
   void startFlush(NodeId client, VolumeId volId);
-  void endSession(std::uint32_t ci, VolumeId volId);
-  Session* findSession(std::uint32_t ci, VolumeId volId);
+  void endSession(NodeId client, VolumeId volId);
+  Session* findSession(NodeId client, VolumeId volId);
 
   void writeInternal(ObjectId obj, proto::WriteCallback cb,
                      SimTime requestedAt);
@@ -238,36 +175,19 @@ class VolumeServer final : public proto::ServerNode {
   void commitWrite(ObjectId obj);
   void drainVolumeDeferred(VolumeId volId);
 
-  void removeObjHolder(ObjState& st, std::uint32_t ci);
-  void removeVolHolder(VolState& st, std::uint32_t ci);
-  /// Accrue and drop a client's pending list, recycling its storage.
-  void discardPending(VolState& st, std::uint32_t ci);
-  /// Drop an (empty-pending) Inactive entry, recycling its storage.
-  void releaseInactive(VolState& st, std::uint32_t ci);
+  void removeObjHolder(ObjState& st, NodeId client);
+  void removeVolHolder(VolState& st, NodeId client);
+  void discardPending(VolState& st, NodeId client);
   /// Move an inactive-past-d client to Unreachable (lazy d enforcement).
-  void demoteIfExpired(VolState& st, std::uint32_t ci, SimTime now);
-
-  std::uint32_t acquirePendingWrite();
-  void releasePendingWrite(std::uint32_t slot);
-  void pushDeferred(VolState& v, DeferredFn fn);
+  void demoteIfExpired(VolState& st, NodeId client, SimTime now);
 
   const proto::ProtocolConfig config_;
-  const InvalidationMode mode_;
-  const std::uint32_t numServers_;
-  const std::uint32_t numClients_;
+  const core::InvalidationMode mode_;
 
-  std::vector<VolState> volumes_;  // by catalog localIndex
-  std::vector<ObjState> objects_;  // by catalog localIndex
-  std::vector<PendingWrite> pwPool_;
-  std::vector<std::uint32_t> pwFree_;
-  util::FlatMap<Session> sessions_;  // by sessionKey(client, volume)
-
-  // Recycled storage: scratch for the write fan-out target list and
-  // capacity pools for the per-entry vectors of released slots.
-  std::vector<NodeId> immediateScratch_;
-  std::vector<std::vector<PendingMsg>> pendingMsgPool_;
-  std::vector<std::vector<net::Message>> msgVecPool_;
-  std::vector<std::vector<proto::WriteCallback>> cbVecPool_;
+  std::unordered_map<VolumeId, VolState> volumes_;
+  std::unordered_map<ObjectId, ObjState> objects_;
+  std::unordered_map<ObjectId, PendingWrite> pendingWrites_;
+  std::map<std::pair<NodeId, VolumeId>, Session> sessions_;
 
   /// "Stable storage" (survives crashAndReboot): the high-water mark of
   /// granted volume leases, used to bound the recovery wait. Versions
@@ -277,4 +197,4 @@ class VolumeServer final : public proto::ServerNode {
   SimTime recoveryUntil_ = kSimTimeMin;
 };
 
-}  // namespace vlease::core
+}  // namespace vlease::testref
