@@ -6,6 +6,11 @@
 #   kernel   -> BENCH_kernel.json    scheduler/event-loop benches
 #   protocol -> BENCH_protocol.json  lease-protocol benches (fan-out,
 #                                    cold read, trace replay, sweep grid)
+#   scale    -> BENCH_scale.json     tools/vlease_scale streaming replay
+#                                    (gate config by default; --record
+#                                    runs the 1M-client / 100M-event
+#                                    configuration and stores its full
+#                                    JSON under the "record" key)
 #
 # Each tracked file holds two snapshots:
 #   "baseline" -- the recorded reference numbers a perf PR is judged
@@ -22,9 +27,9 @@
 # PCT percent below the recorded baseline. Used as a cheap smoke in
 # scripts/ci.sh (with a generous PCT -- best-of-few on a shared box).
 #
-# Usage: scripts/bench.sh [--suite kernel|protocol] [--set-baseline]
+# Usage: scripts/bench.sh [--suite kernel|protocol|scale] [--set-baseline]
 #                         [--check PCT] [--label TEXT] [--min-time SEC]
-#                         [--reps N] [--filter REGEX]
+#                         [--reps N] [--filter REGEX] [--record]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -35,6 +40,7 @@ LABEL=""
 MIN_TIME=0.4
 REPS=3
 FILTER=""
+RECORD=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --suite) SUITE="$2"; shift 2 ;;
@@ -44,9 +50,102 @@ while [[ $# -gt 0 ]]; do
     --min-time) MIN_TIME="$2"; shift 2 ;;
     --reps) REPS="$2"; shift 2 ;;
     --filter) FILTER="$2"; shift 2 ;;
+    --record) RECORD=1; shift ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
 done
+
+if [[ "$SUITE" == "scale" ]]; then
+  # The scale suite is not a google-benchmark micro bench: it times
+  # tools/vlease_scale, a streaming large-population replay. The gate
+  # configuration (50k clients / 5M events, a few seconds of wall time)
+  # feeds the baseline/current/--check machinery below under the name
+  # "ScaleReplay/gate"; --record additionally runs the full 1M-client /
+  # 100M-event configuration and stores its raw JSON as a completion
+  # record (not gated -- minutes of wall time, run deliberately).
+  PATH_JSON=BENCH_scale.json
+  cmake -B build -S . >/dev/null
+  cmake --build build -j --target vlease_scale >/dev/null
+
+  GATE_RAW=$(mktemp)
+  RECORD_RAW=$(mktemp)
+  trap 'rm -f "$GATE_RAW" "$RECORD_RAW"' EXIT
+  for ((r = 0; r < REPS; ++r)); do
+    build/tools/vlease_scale --clients 50000 --events 5000000
+  done >"$GATE_RAW"
+  if [[ "$RECORD" == 1 ]]; then
+    build/tools/vlease_scale --clients 1000000 --events 100000000 \
+      --progress | tee "$RECORD_RAW"
+  fi
+
+  SECTION="$SECTION" LABEL="$LABEL" GATE_RAW="$GATE_RAW" \
+    RECORD_RAW="$RECORD_RAW" RECORD="$RECORD" PATH_JSON="$PATH_JSON" \
+    CHECK_PCT="$CHECK_PCT" python3 - <<'PY'
+import json, os, subprocess, sys
+
+# Best-of-reps events_per_second, same estimator as the micro suites.
+# The gate file holds REPS concatenated JSON objects.
+runs, text, pos = [], open(os.environ["GATE_RAW"]).read(), 0
+decoder = json.JSONDecoder()
+while pos < len(text):
+    if text[pos].isspace():
+        pos += 1
+        continue
+    obj, pos = decoder.raw_decode(text, pos)
+    runs.append(obj)
+best = {"ScaleReplay/gate": max(r["events_per_second"] for r in runs)}
+
+path = os.environ["PATH_JSON"]
+doc = {}
+if os.path.exists(path):
+    doc = json.load(open(path))
+
+check_pct = os.environ["CHECK_PCT"]
+if check_pct:
+    tol = float(check_pct) / 100.0
+    base = doc.get("baseline", {}).get("items_per_second", {})
+    if not base:
+        sys.exit(f"{path}: no baseline recorded; run --set-baseline first")
+    failed = []
+    for name in sorted(base):
+        b, c = base[name], best.get(name)
+        if c is None:
+            continue
+        ratio = c / b
+        flag = "FAIL" if ratio < 1.0 - tol else "ok"
+        print(f"  {name:40s} base={b:>12.0f} cur={c:>12.0f} "
+              f"{ratio:5.2f}x  {flag}")
+        if ratio < 1.0 - tol:
+            failed.append(name)
+    if failed:
+        sys.exit(f"regression > {check_pct}% vs {path} baseline: "
+                 + ", ".join(failed))
+    print(f"check ok: within {check_pct}% of {path} baseline")
+    sys.exit(0)
+
+git_rev = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                         capture_output=True, text=True).stdout.strip()
+doc.setdefault("bench", "tools/vlease_scale (streaming replay)")
+doc.setdefault(
+    "method",
+    "best events_per_second over N gate runs; see scripts/bench.sh")
+doc[os.environ["SECTION"]] = {
+    "label": os.environ["LABEL"] or git_rev,
+    "git": git_rev,
+    "gate_config": "--clients 50000 --events 5000000",
+    "items_per_second": {k: round(v) for k, v in sorted(best.items())},
+}
+if os.environ["RECORD"] == "1":
+    doc["record"] = json.load(open(os.environ["RECORD_RAW"]))
+    doc["record"]["git"] = git_rev
+
+with open(path, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=False)
+    f.write("\n")
+print(f"wrote {path} [{os.environ['SECTION']}]")
+PY
+  exit 0
+fi
 
 case "$SUITE" in
   kernel)

@@ -18,6 +18,13 @@ build/tools/vlease_chaos --seeds 8 --intensity low
 # margin (the default --epsilon-ms -1) must stay violation-free.
 build/tools/vlease_chaos --seeds 8 --intensity low --skew medium
 
+# Batch lease-expiry sweep smoke: the sweep is observationally
+# equivalent by design (tests/determinism_golden_test.cpp proves byte
+# identity); this run additionally shows the oracle stays quiet with
+# the sweep active under faults + skew on the volume algorithms.
+build/tools/vlease_chaos --seeds 8 --intensity low --skew medium \
+  --sweep-ms 1000 --algorithms volume,delay
+
 # Bench smoke: every micro bench must run to completion. Timings are not
 # checked here (scripts/bench.sh tracks those in BENCH_kernel.json); the
 # tiny min_time just keeps the stage fast. NOTE: this google-benchmark
@@ -33,6 +40,9 @@ if [[ "${VLEASE_SANITIZE:-OFF}" != "ON" ]]; then
   # timings are meaningless.
   scripts/bench.sh --suite kernel --check 60 --reps 2 --min-time 0.1
   scripts/bench.sh --suite protocol --check 60 --reps 2 --min-time 0.1
+  # Scale gate: the streaming replay's 50k-client configuration must
+  # hold its events/second (deadline-lane timer churn + sweep active).
+  scripts/bench.sh --suite scale --check 60 --reps 2
 fi
 
 if [[ "${VLEASE_SANITIZE:-OFF}" == "ON" ]]; then

@@ -246,6 +246,8 @@ void VolumeServer::grantVolume(NodeId client, VolumeId volId) {
   rec->lastAccounted = now;
   v.expire = std::max(v.expire, rec->expire);
   maxVolExpireGranted_ = std::max(maxVolExpireGranted_, rec->expire);
+  clearSwept(v, clientIdx(client));
+  maybeArmSweep();
 
   ctx_.transport.send(net::Message{
       id(), client, net::VolLeaseGrant{volId, rec->expire, v.epoch}});
@@ -280,6 +282,7 @@ void VolumeServer::grantObject(const net::Message& msg) {
   rec->expire = addSat(now, config_.objectTimeout);
   rec->lastAccounted = now;
   st.expire = std::max(st.expire, rec->expire);
+  maybeArmSweep();
 
   net::ObjLeaseGrant grant{};
   grant.obj = req.obj;
@@ -313,6 +316,7 @@ void VolumeServer::grantObject(const net::Message& msg) {
       vRec->lastAccounted = now;
       v.expire = std::max(v.expire, vRec->expire);
       maxVolExpireGranted_ = std::max(maxVolExpireGranted_, vRec->expire);
+      clearSwept(v, ci);
       grant.grantsVolume = true;
       grant.volExpire = vRec->expire;
       grant.epoch = v.epoch;
@@ -334,8 +338,8 @@ void VolumeServer::startReconnect(NodeId client, VolumeId volId) {
   setUnreach(v, ci);  // stale-epoch clients enter here too
 
   Session session{Session::Kind::kReconnect, false, ctx_.scheduler.now(), {}};
-  session.timer =
-      ctx_.scheduler.scheduleAfter(config_.msgTimeout, [this, ci, volId]() {
+  session.timer = ctx_.scheduler.scheduleDeadlineAfter(
+      config_.msgTimeout, [this, ci, volId]() {
         // Client vanished mid-exchange; it stays unreachable.
         endSession(ci, volId);
       });
@@ -385,13 +389,14 @@ void VolumeServer::processRenewObjLeases(const net::Message& msg,
       rec->expire = addSat(now, config_.objectTimeout);
       rec->lastAccounted = now;
       st.expire = std::max(st.expire, rec->expire);
+      maybeArmSweep();
       batch.renew.push_back(
           net::BatchInvalRenew::Renewal{entry.obj, st.version, rec->expire});
     }
   }
   session->awaitingAck = true;
   session->timer.cancel();
-  session->timer = ctx_.scheduler.scheduleAfter(
+  session->timer = ctx_.scheduler.scheduleDeadlineAfter(
       config_.msgTimeout,
       [this, ci, volId = req.vol]() { endSession(ci, volId); });
   ctx_.transport.send(net::Message{id(), client, std::move(batch)});
@@ -414,8 +419,8 @@ void VolumeServer::startFlush(NodeId client, VolumeId volId) {
   in->pending.clear();
 
   Session session{Session::Kind::kFlush, true, now, {}};
-  session.timer =
-      ctx_.scheduler.scheduleAfter(config_.msgTimeout, [this, ci, volId]() {
+  session.timer = ctx_.scheduler.scheduleDeadlineAfter(
+      config_.msgTimeout, [this, ci, volId]() {
         // No ack: the client may have missed invalidations. Safe exit:
         // it becomes unreachable and must reconnect.
         VolState& vv = vol(volId);
@@ -498,7 +503,7 @@ void VolumeServer::writeInternal(ObjectId obj, WriteCallback cb,
     // granted before the crash have provably expired. Re-checked every
     // time the delayed write fires -- a second crash during recovery
     // pushes the write out again.
-    ctx_.scheduler.scheduleAt(
+    ctx_.scheduler.scheduleDeadline(
         recoveryUntil_, [this, obj, cb = std::move(cb), requestedAt]() mutable {
           writeInternal(obj, std::move(cb), requestedAt);
         });
@@ -543,8 +548,8 @@ void VolumeServer::startWrite(ObjectId obj, WriteCallback cb,
     const SimTime deadline =
         std::max(graceExpire(std::min(v.expire, st.expire)), now);
     st.pendingWrite = slot;
-    pw.timer = ctx_.scheduler.scheduleAt(deadline,
-                                         [this, obj]() { commitWrite(obj); });
+    pw.timer = ctx_.scheduler.scheduleDeadline(
+        deadline, [this, obj]() { commitWrite(obj); });
     return;
   }
 
@@ -586,7 +591,8 @@ void VolumeServer::startWrite(ObjectId obj, WriteCallback cb,
       immediate.push_back(clientNode(ci));
       return;
     }
-    const SimTime volExpiredAt = vRec != nullptr ? vRec->expire : now;
+    const SimTime volExpiredAt =
+        vRec != nullptr ? vRec->expire : sweptVolExpire(v, ci, now);
     if (config_.inactiveDiscard != kNever &&
         now > addSat(volExpiredAt, config_.inactiveDiscard)) {
       discardPending(v, ci);
@@ -636,8 +642,8 @@ void VolumeServer::startWrite(ObjectId obj, WriteCallback cb,
       immediate.empty() ? skipBound
                         : std::max(leaseBound, addSat(now, config_.msgTimeout));
   st.pendingWrite = slot;
-  pw.timer =
-      ctx_.scheduler.scheduleAt(deadline, [this, obj]() { commitWrite(obj); });
+  pw.timer = ctx_.scheduler.scheduleDeadline(
+      deadline, [this, obj]() { commitWrite(obj); });
   immediateScratch_ = std::move(immediate);
 }
 
@@ -673,7 +679,8 @@ void VolumeServer::commitWrite(ObjectId obj) {
       if (mode_ == InvalidationMode::kDelayed) {
         const LeaseRecord* vRec = v.holders.find(ci);
         const SimTime volExpiredAt =
-            vRec != nullptr ? std::min(vRec->expire, now) : now;
+            vRec != nullptr ? std::min(vRec->expire, now)
+                            : sweptVolExpire(v, ci, now);
         if (config_.inactiveDiscard != kNever &&
             now > addSat(volExpiredAt, config_.inactiveDiscard)) {
           discardPending(v, ci);
@@ -752,7 +759,7 @@ void VolumeServer::handleAckInvalidate(const net::Message& msg) {
   // still serve the old version until its leases drain; tighten the
   // commit timer from the aggregate deadline down to that instant.
   pw.timer.cancel();
-  pw.timer = ctx_.scheduler.scheduleAt(
+  pw.timer = ctx_.scheduler.scheduleDeadline(
       pw.skipBound, [this, obj = ack.obj]() { commitWrite(obj); });
 }
 
@@ -781,6 +788,8 @@ void VolumeServer::crashAndReboot() {
   sessions_.forEach(
       [](std::uint64_t, Session& session) { session.timer.cancel(); });
   sessions_.clear();
+  sweepTimer_.cancel();
+  sweepArmed_ = false;  // lease state is gone; the next grant re-arms
 
   for (VolState& v : volumes_) {
     v.holders.forEach([&](std::uint32_t, LeaseRecord& r) {
@@ -804,6 +813,7 @@ void VolumeServer::crashAndReboot() {
     v.deferred.head = 0;
     v.pendingWrites = 0;
     v.expire = kSimTimeMin;
+    std::fill(v.sweptExpire.begin(), v.sweptExpire.end(), kNever);
     if (v.touched) v.epoch += 1;  // persisted with the data
   }
   for (ObjState& st : objects_) {
@@ -819,6 +829,63 @@ void VolumeServer::crashAndReboot() {
   // expired -- epsilon-extended, so slow-clocked holders have stopped
   // serving too (the stable-storage high-water-mark scheme).
   recoveryUntil_ = std::max(now, graceExpire(maxVolExpireGranted_));
+}
+
+// ---------------------------------------------------------------------
+// batch lease-expiry sweep
+// ---------------------------------------------------------------------
+
+void VolumeServer::sweepExpiredLeases() {
+  // One branch per holder record: drop (accruing) everything whose
+  // grace-extended expiry has drained. Every consumer of these records
+  // applies the same graceExpire(expire) > now test before reading
+  // them, so removal is observationally invisible -- except for the
+  // delayed-invalidation paths, which read an EXPIRED volume record's
+  // expiry to stamp the Inactive entry; sweptExpire preserves exactly
+  // that datum. Accrual totals are unchanged too: accrueRecord clamps
+  // at the record's expiry, which is <= now for everything swept.
+  const SimTime now = ctx_.scheduler.now();
+  std::size_t remaining = 0;
+  for (VolState& v : volumes_) {
+    v.holders.forEach([&](std::uint32_t ci, LeaseRecord& rec) {
+      if (graceExpire(rec.expire) > now) {
+        ++remaining;
+        return;
+      }
+      stats::accrueRecord(ctx_.metrics, id(), rec.lastAccounted, rec.expire,
+                          now);
+      if (mode_ == InvalidationMode::kDelayed) {
+        if (v.sweptExpire.size() < numClients_) {
+          v.sweptExpire.resize(numClients_, kNever);
+        }
+        v.sweptExpire[ci] = rec.expire;
+      }
+      v.holders.erase(ci);
+    });
+  }
+  for (ObjState& st : objects_) {
+    st.holders.forEach([&](std::uint32_t ci, LeaseRecord& rec) {
+      if (graceExpire(rec.expire) > now) {
+        ++remaining;
+        return;
+      }
+      stats::accrueRecord(ctx_.metrics, id(), rec.lastAccounted, rec.expire,
+                          now);
+      st.holders.erase(ci);
+    });
+  }
+  if (remaining > 0 && !quiesced_) {
+    sweepTimer_ = ctx_.scheduler.scheduleDeadlineAfter(
+        config_.leaseSweepPeriod, [this]() { sweepExpiredLeases(); });
+  } else {
+    sweepArmed_ = false;  // next grant re-arms
+  }
+}
+
+void VolumeServer::quiesce() {
+  quiesced_ = true;
+  sweepTimer_.cancel();
+  sweepArmed_ = false;
 }
 
 void VolumeServer::finalizeAccounting(SimTime now) {

@@ -66,6 +66,7 @@ class VolumeServer final : public proto::ServerNode {
   void deliver(const net::Message& msg) override;
   void crashAndReboot() override;
   void finalizeAccounting(SimTime now) override;
+  void quiesce() override;
 
   // ---- introspection hooks for tests ----
   bool isUnreachable(NodeId client, VolumeId vol) const;
@@ -118,6 +119,13 @@ class VolumeServer final : public proto::ServerNode {
     /// the epoch of existing entries only; preserving that distinction
     /// keeps epoch values bit-identical across the representations.
     bool touched = false;
+    /// Delayed mode only, maintained while the expiry sweep is active:
+    /// the expiry of a client's last volume lease after the sweep
+    /// removed its (drained) holder record -- the one datum the
+    /// delayed-invalidation paths still read from expired records (the
+    /// Inactive entry's volExpiredAt). kNever = no swept record.
+    /// Invalidated by a fresh grant, cleared wholesale on crash.
+    std::vector<SimTime> sweptExpire;  // by client index
   };
   struct ObjState {
     Version version = 1;
@@ -251,6 +259,33 @@ class VolumeServer final : public proto::ServerNode {
   void releasePendingWrite(std::uint32_t slot);
   void pushDeferred(VolState& v, DeferredFn fn);
 
+  // ---- batch lease-expiry sweep (config_.leaseSweepPeriod > 0) ----
+  /// Arm the periodic sweep lazily on the first grant, so idle servers
+  /// never schedule anything; one branch on the granting fast path.
+  void maybeArmSweep() {
+    if (sweepArmed_ || quiesced_ || config_.leaseSweepPeriod == 0) return;
+    sweepArmed_ = true;
+    sweepTimer_ = ctx_.scheduler.scheduleDeadlineAfter(
+        config_.leaseSweepPeriod, [this]() { sweepExpiredLeases(); });
+  }
+  /// Scan every holder table, dropping (and accruing) records whose
+  /// grace-extended expiry has passed; re-arms while any records remain.
+  void sweepExpiredLeases();
+  /// The volume-expiry a delayed-mode path should use for a client with
+  /// no holder record: the swept record's expiry if the sweep removed
+  /// one, else `now` (the value the record-free baseline path uses).
+  SimTime sweptVolExpire(const VolState& v, std::uint32_t ci,
+                         SimTime now) const {
+    if (ci < v.sweptExpire.size() && v.sweptExpire[ci] != kNever) {
+      return v.sweptExpire[ci];
+    }
+    return now;
+  }
+  /// A fresh volume grant supersedes any swept-expiry memory.
+  static void clearSwept(VolState& v, std::uint32_t ci) {
+    if (ci < v.sweptExpire.size()) v.sweptExpire[ci] = kNever;
+  }
+
   const proto::ProtocolConfig config_;
   const InvalidationMode mode_;
   const std::uint32_t numServers_;
@@ -275,6 +310,12 @@ class VolumeServer final : public proto::ServerNode {
   /// is lost on a crash.
   SimTime maxVolExpireGranted_ = kSimTimeMin;
   SimTime recoveryUntil_ = kSimTimeMin;
+
+  /// Batch expiry-sweep state: one deadline-lane timer per server
+  /// replaces what would otherwise be one expiry timer per lease.
+  sim::TimerHandle sweepTimer_;
+  bool sweepArmed_ = false;
+  bool quiesced_ = false;
 };
 
 }  // namespace vlease::core

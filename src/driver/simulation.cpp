@@ -42,6 +42,8 @@ Simulation::~Simulation() = default;
 void Simulation::installFaultPlan(const net::FaultPlan& plan) {
   faultTimers_.reserve(plan.size());
   for (const net::FaultEvent& event : plan.events()) {
+    // Exact lane on purpose: fault plans are replayed bit-for-bit, so
+    // injection instants must order precisely against protocol events.
     faultTimers_.push_back(scheduler_.scheduleAt(
         event.at, [this, event]() { applyFault(event); }));
   }
@@ -95,7 +97,8 @@ void Simulation::applyFault(const net::FaultEvent& event) {
 void Simulation::scheduleAudit() {
   // Rescheduling is gated on finished_: finish() must be able to drain
   // the scheduler, and a timer that always re-arms itself would keep
-  // the queue nonempty forever.
+  // the queue nonempty forever. Exact lane on purpose: the audit is a
+  // measurement cadence, sampled at precise instants.
   auditTimer_ =
       scheduler_.scheduleAfter(options_.oracleAuditPeriod, [this]() {
         oracle_->audit(protocol_, scheduler_.now());
@@ -181,6 +184,11 @@ void Simulation::finish() {
   // their horizon, so draining them ends the run with a healed network
   // (and applies recoveries, whose cache drops the oracle relies on).
   auditTimer_.cancel();
+  // Like the audit timer, servers' self-rearming maintenance timers
+  // (the lease-expiry sweep) must stop or the drain never terminates;
+  // quiescing also keeps them from stretching now() past the last
+  // protocol event.
+  protocol_.quiesce();
   scheduler_.run();  // drain in-flight writes/timers/fault events
   const SimTime horizon =
       options_.horizon > 0

@@ -145,6 +145,18 @@ struct ProtocolConfig {
   int bestEffortRetries = 0;
   SimDuration retryInterval = sec(30);
 
+  /// Batch lease-expiry sweep period for VolumeServer: every period the
+  /// server scans its dense per-volume/per-object holder tables and
+  /// drops (accruing) records whose grace-extended expiry has passed,
+  /// instead of keeping expired soft state around until the next write
+  /// or crash walks over it. 0 (the default) disables the sweep; any
+  /// period is observationally equivalent -- every consumer of a holder
+  /// record already checks graceExpire(expire) > now first, so removing
+  /// a drained record can never change protocol behavior, only trim the
+  /// tables writes iterate. Driven by the scheduler's deadline lane
+  /// (one timer per server, not one per lease).
+  SimDuration leaseSweepPeriod = 0;
+
   /// Extension (paper §2.4's unexplored option): instead of sending
   /// invalidation messages, the server simply waits for all outstanding
   /// leases on the object (and, for volume algorithms, the volume) to
@@ -185,6 +197,11 @@ class ServerNode : public net::MessageSink {
 
   /// Flush time-weighted state accounting up to `now` (end of run).
   virtual void finalizeAccounting(SimTime now) { (void)now; }
+
+  /// Stop self-rearming maintenance timers (e.g. the lease-expiry
+  /// sweep) so the driver can drain the scheduler at end of run without
+  /// housekeeping extending the horizon. Irreversible for this node.
+  virtual void quiesce() {}
 
  protected:
   ProtocolContext& ctx_;
@@ -262,6 +279,10 @@ struct ProtocolInstance {
 
   void finalizeAccounting(SimTime now) {
     for (auto& s : servers) s->finalizeAccounting(now);
+  }
+
+  void quiesce() {
+    for (auto& s : servers) s->quiesce();
   }
 };
 

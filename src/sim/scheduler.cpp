@@ -1,6 +1,7 @@
 #include "sim/scheduler.h"
 
 #include <algorithm>
+#include <bit>
 
 namespace vlease::sim {
 
@@ -45,11 +46,15 @@ Scheduler::Scheduler() : ref_(new detail::SchedulerRef{this, 1}) {
   detail::takeBuf(pool.nodeBufs, fifo_);
   detail::takeBuf(pool.wordBufs, gens_);
   detail::takeBuf(pool.wordBufs, next_);
+  detail::takeBuf(pool.wordBufs, prev_);
+  detail::takeBuf(pool.wordBufs, wheelSeq_);
+  detail::takeBuf(pool.timeBufs, wheelAt_);
 }
 
 Scheduler::~Scheduler() {
   // Pending (never-fired) closures still hold their captures; destroy
-  // them before the chunks are recycled.
+  // them before the chunks are recycled. The parity scan covers both
+  // lanes -- wheel-resident slots are armed (odd) like heap ones.
   for (std::uint32_t i = 0; i < numSlots_; ++i) {
     if (gens_[i] & 1u) slot(i).action.reset();
   }
@@ -63,6 +68,9 @@ Scheduler::~Scheduler() {
   detail::giveBuf(pool.nodeBufs, fifo_);
   detail::giveBuf(pool.wordBufs, gens_);
   detail::giveBuf(pool.wordBufs, next_);
+  detail::giveBuf(pool.wordBufs, prev_);
+  detail::giveBuf(pool.wordBufs, wheelSeq_);
+  detail::giveBuf(pool.timeBufs, wheelAt_);
   ref_->scheduler = nullptr;
   if (--ref_->refs == 0) delete ref_;
 }
@@ -141,7 +149,8 @@ void Scheduler::siftDown(std::size_t i) {
 void Scheduler::compact() {
   // The run and the FIFO are cursor-drained in array order: filtering
   // preserves the relative order of the survivors, which is all their
-  // pop order depends on.
+  // pop order depends on. (The wheel holds no dead nodes -- deadline
+  // cancels unlink eagerly -- so only the exact-lane queues are swept.)
   const auto dropDead = [this](std::vector<Node>& v, std::size_t& cur) {
     std::size_t w = 0;
     for (std::size_t r = cur; r < v.size(); ++r) {
@@ -180,6 +189,55 @@ void Scheduler::compact() {
   dead_ = 0;
 }
 
+void Scheduler::promoteDueBucket() {
+  // Drain the earliest-due bucket into the heap in one pass. Promotion
+  // happens strictly before anything at/after the bucket's boundary
+  // fires (peekArmed's sync condition), and the boundary never trails a
+  // resident deadline by more than one bucket granularity, so every
+  // promoted node re-enters the global (time, seq) order in time to
+  // fire exactly at its key -- bucket layout never shows through.
+  const std::uint32_t bucket = wheelNextBucket_;
+  std::uint32_t index = bucketHead_[bucket];
+  while (index != kNoSlot) {
+    const std::uint32_t n = next_[index];
+    prev_[index] = kNoSlot;  // restore the not-on-wheel invariant
+    heapPush(Node{wheelAt_[index], wheelSeq_[index], index});
+    --wheelCount_;
+    index = n;
+  }
+  wheelOcc_[bucket >> kWheelSlotBits] &=
+      ~(1ull << (bucket & (kWheelSlots - 1)));
+  recomputeWheelNext();
+}
+
+void Scheduler::recomputeWheelNext() {
+  // Scan the occupancy bitmaps for the new earliest-due bucket. Bounded
+  // by the number of occupied buckets (<= 1280, usually a handful);
+  // runs only when the minimum bucket empties, never per event.
+  if (wheelCount_ == 0) {
+    wheelNextDue_ = kNever;
+    wheelNextBucket_ = 0;
+    return;
+  }
+  SimTime best = kNever;
+  std::uint32_t bestBucket = 0;
+  for (std::uint32_t level = 0; level < kWheelLevels; ++level) {
+    std::uint64_t occ = wheelOcc_[level];
+    while (occ != 0) {
+      const std::uint32_t bucket =
+          level * kWheelSlots +
+          static_cast<std::uint32_t>(std::countr_zero(occ));
+      occ &= occ - 1;
+      if (bucketDue_[bucket] < best) {
+        best = bucketDue_[bucket];
+        bestBucket = bucket;
+      }
+    }
+  }
+  wheelNextDue_ = best;
+  wheelNextBucket_ = bestBucket;
+}
+
 void Scheduler::rebuildSortedRun() {
   // Only called when the run is empty and the heap array is known to be
   // in ascending key order, so this is a buffer swap -- nothing is
@@ -195,7 +253,7 @@ void Scheduler::rebuildSortedRun() {
 std::int64_t Scheduler::run() {
   maybeRebuildSortedRun();
   std::int64_t n = 0;
-  while (peekArmed()) {
+  while (peekArmed(kNever)) {
     fireTop();
     ++n;
   }
@@ -205,7 +263,10 @@ std::int64_t Scheduler::run() {
 std::int64_t Scheduler::runUntil(SimTime until) {
   maybeRebuildSortedRun();
   std::int64_t n = 0;
-  while (peekArmed() && topNode()->at <= until) {
+  // promoteLimit = until: buckets due past the horizon stay parked on
+  // the wheel (a trace replay calls runUntil per injected event -- far
+  // lease deadlines must not be shoveled into the heap every time).
+  while (peekArmed(until) && topNode()->at <= until) {
     fireTop();
     ++n;
   }
@@ -214,7 +275,7 @@ std::int64_t Scheduler::runUntil(SimTime until) {
 }
 
 bool Scheduler::step() {
-  if (!peekArmed()) return false;
+  if (!peekArmed(kNever)) return false;
   fireTop();
   return true;
 }

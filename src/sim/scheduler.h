@@ -1,8 +1,30 @@
-// Discrete-event simulation kernel: a virtual clock plus an implicit
-// 4-ary min-heap of (time, sequence) keys over a slab-allocated event
-// arena.
+// Discrete-event simulation kernel: a virtual clock plus two timer
+// lanes over one slab-allocated event arena --
 //
-// Ordering guarantees:
+//   * an EXACT lane (implicit 4-ary min-heap of (time, sequence) keys)
+//     for events whose precise instant and ordering are part of the
+//     protocol's observable behavior, and
+//   * a DEADLINE lane (hierarchical timing wheel) for timers that mark
+//     "this period has provably drained" and are almost always
+//     cancelled before they fire -- lease expiries, ack-wait bounds,
+//     session timeouts, retransmission budgets.
+//
+// ---- Which lane does a new call site belong on? ----
+// Use scheduleAt/scheduleAfter (exact lane) when the event's firing
+// instant is itself protocol- or measurement-visible: message
+// deliveries, fault injections, audit sampling -- anything whose time
+// stamps a metric or orders against other events by design contract.
+// Use scheduleDeadline/scheduleDeadlineAfter (deadline lane) when the
+// timer expresses a deadline that is expected to be cancelled or whose
+// consumer only needs "not before the deadline, and not much after":
+// lease/grace expiry waits, per-request timeouts, inactivity bounds,
+// retry pacing. The deadline lane's contract is deliberately coarse --
+// a deadline at now+delta may fire up to delta/8 late (one wheel-bucket
+// granularity; see below) -- so callers must not encode exact-instant
+// semantics in it. The protocols' epsilon margin already pads every
+// lease deadline, which is what makes the coarse class safe there.
+//
+// Ordering guarantees (both lanes):
 //   * events fire in nondecreasing virtual time;
 //   * events scheduled for the same instant fire in FIFO order (the
 //     sequence number breaks ties). This makes the zero-latency network
@@ -19,9 +41,32 @@
 // The heap orders compact 16-byte nodes, so sift operations move 16
 // bytes instead of a closure. Cancellation is generation-counted: a
 // TimerHandle remembers (slot, generation); cancelling bumps the slot's
-// generation in place -- no atomics, no per-event control block. The
-// heap entry stays and is discarded when it reaches the top (lazy
-// deletion, same as the previous kernel).
+// generation in place -- no atomics, no per-event control block. On the
+// exact lane the heap entry stays and is discarded when it reaches the
+// top (lazy deletion); on the deadline lane the bucket node is unlinked
+// and the slot reclaimed immediately (O(1) eager deletion), so a
+// cancelled far-future deadline costs nothing beyond its insert.
+//
+// Timing-wheel lane (PR 7): kWheelLevels levels of kWheelSlots buckets
+// each; level L has bucket granularity 2^(3L) microseconds (8x coarser
+// per level, the Linux timer-wheel geometry), and a deadline at
+// now+delta lands in the lowest level whose span covers delta, i.e. its
+// bucket is never coarser than delta/8. Insert and cancel are O(1) and
+// hashless: the level is the position of delta's top bit, the slot is a
+// shift-and-mask of the absolute deadline, and the bucket is an
+// intrusive doubly-linked list threaded through per-slot side arrays.
+// Buckets are cascade-free: a bucket is visited exactly once, when the
+// kernel is about to advance past its boundary, and its surviving
+// entries are promoted -- in one step, never re-bucketed -- into the
+// exact heap keyed by their original (deadline, sequence). Fire order
+// is therefore normalized deterministically at expiry: the heap's total
+// (time, seq) order decides, bit-for-bit identical to the order the
+// exact lane alone would have produced, independent of bucket layout or
+// promotion batching. (That is also why enabling the wheel cannot
+// perturb the determinism goldens: the coarse buckets bound *bookkeeping*,
+// while firing instants stay exact. Callers still must not rely on
+// exactness -- the documented contract remains [deadline, deadline +
+// granularity) so the representation stays free to coarsen.)
 //
 // Further accelerations, all invisible to semantics:
 //   * Sorted-run drain: the kernel tracks (at O(1) per operation)
@@ -40,12 +85,12 @@
 //     minimum across ring, run, and heap, which is the exact total
 //     order the heap alone produced. Fan-out bursts become O(1) per
 //     event instead of a full-depth sift through resident timers.
-//   * Dead-node compaction: cancellation is lazy (the heap node stays),
-//     which in cancel-heavy runs strands dead nodes that deepen every
-//     sift and pin arena slots. When dead nodes outnumber live ones the
-//     kernel filters them out and re-heapifies in place. Pop order
-//     depends only on the (unique) keys, never on the array layout, so
-//     firing order is unchanged.
+//   * Dead-node compaction: exact-lane cancellation is lazy (the heap
+//     node stays), which in cancel-heavy runs strands dead nodes that
+//     deepen every sift and pin arena slots. When dead nodes outnumber
+//     live ones the kernel filters them out and re-heapifies in place.
+//     Pop order depends only on the (unique) keys, never on the array
+//     layout, so firing order is unchanged.
 //   * Per-thread storage recycling: destroyed schedulers donate their
 //     slot chunks and vector buffers to a thread-local pool that the
 //     next scheduler on that thread reuses (detail::SchedulerStoragePool),
@@ -59,6 +104,8 @@
 // sweeps give every run its own scheduler.)
 #pragma once
 
+#include <array>
+#include <bit>
 #include <cstdint>
 #include <memory>
 #include <utility>
@@ -71,6 +118,7 @@
 namespace vlease::sim {
 
 class Scheduler;
+struct SchedulerTestPeer;
 
 /// Inline capacity for event closures. Sized by the largest hot-path
 /// closure in the tree: SimNetwork's delivery closure captures `this`
@@ -96,10 +144,10 @@ struct EventNode {
   std::uint32_t slot;
 };
 
-/// Arena slot: just the closure. Slot metadata (generation counters
-/// and free-list links) lives in dense side arrays so the peek/cancel
-/// hot paths walk 4-byte-stride memory instead of pulling a whole
-/// closure-sized line per probe.
+/// Arena slot: just the closure. Slot metadata (generation counters,
+/// free-list links, and wheel-bucket links) lives in dense side arrays
+/// so the peek/cancel hot paths walk 4-byte-stride memory instead of
+/// pulling a whole closure-sized line per probe.
 struct EventSlot {
   EventAction action;
 };
@@ -116,6 +164,7 @@ struct SchedulerStoragePool {
   std::vector<std::unique_ptr<EventSlot[]>> chunks;
   std::vector<std::vector<EventNode>> nodeBufs;
   std::vector<std::vector<std::uint32_t>> wordBufs;
+  std::vector<std::vector<SimTime>> timeBufs;
 };
 SchedulerStoragePool& schedulerStoragePool();
 }  // namespace detail
@@ -162,6 +211,7 @@ class TimerHandle {
 
  private:
   friend class Scheduler;
+  friend struct SchedulerTestPeer;
   TimerHandle(detail::SchedulerRef* ref, std::uint32_t slot,
               std::uint32_t gen)
       : ref_(ref), slot_(slot), gen_(gen) {
@@ -190,8 +240,12 @@ class Scheduler {
 
   SimTime now() const { return now_; }
 
-  /// Schedule a callable at absolute virtual time `at` (>= now). The
-  /// closure is constructed directly in its arena slot.
+  /// EXACT lane: schedule a callable at absolute virtual time `at`
+  /// (>= now). The event fires at exactly `at`, ordered against every
+  /// other event by the global (time, sequence) total order. Use this
+  /// for events whose instant is protocol- or measurement-visible (see
+  /// the lane-selection rule in the file comment). The closure is
+  /// constructed directly in its arena slot.
   template <typename F>
   TimerHandle scheduleAt(SimTime at, F&& action) {
     VL_CHECK_MSG(at >= now_, "cannot schedule in the past");
@@ -207,11 +261,44 @@ class Scheduler {
     return TimerHandle(ref_, index, gen);
   }
 
-  /// Schedule a callable after `delay` (>= 0).
+  /// EXACT lane: schedule a callable after `delay` (>= 0).
   template <typename F>
   TimerHandle scheduleAfter(SimDuration delay, F&& action) {
     VL_CHECK(delay >= 0);
     return scheduleAt(addSat(now_, delay), std::forward<F>(action));
+  }
+
+  /// DEADLINE lane: schedule a callable for deadline `at` (>= now) on
+  /// the timing wheel. Contract: the callable fires no earlier than
+  /// `at` and no later than one wheel-bucket granularity past it --
+  /// strictly less than (at - now)/8 late -- at a deterministic instant
+  /// (the current implementation normalizes to exactly `at`; callers
+  /// must not rely on that). Insert is O(1); cancel is O(1) and
+  /// reclaims the slot immediately, so the expected-case
+  /// schedule-then-cancel lifecycle of lease and timeout timers never
+  /// touches the heap. Deadlines at the current instant take the
+  /// same-instant FIFO lane, exactly like scheduleAt.
+  template <typename F>
+  TimerHandle scheduleDeadline(SimTime at, F&& action) {
+    VL_CHECK_MSG(at >= now_, "cannot schedule in the past");
+    const std::uint32_t index = allocSlot();
+    this->slot(index).action.emplace(std::forward<F>(action));
+    const std::uint32_t gen = ++gens_[index];  // even -> odd: armed
+    const std::uint32_t seq = nextSeq_++;
+    if (at == now_) {
+      fifo_.push_back(Node{at, seq, index});
+    } else {
+      wheelLink(index, at, seq);
+    }
+    ++live_;
+    return TimerHandle(ref_, index, gen);
+  }
+
+  /// DEADLINE lane: schedule a callable for deadline now + `delay`.
+  template <typename F>
+  TimerHandle scheduleDeadlineAfter(SimDuration delay, F&& action) {
+    VL_CHECK(delay >= 0);
+    return scheduleDeadline(addSat(now_, delay), std::forward<F>(action));
   }
 
   /// Run until the queue drains. Returns the number of events fired
@@ -234,6 +321,7 @@ class Scheduler {
 
  private:
   friend class TimerHandle;
+  friend struct SchedulerTestPeer;
 
   static constexpr std::uint32_t kNoSlot = 0xffffffffu;
   static constexpr std::uint32_t kChunkShift = 9;  // 512 slots per chunk
@@ -243,6 +331,28 @@ class Scheduler {
   /// Compaction never triggers below this many dead nodes (small runs
   /// recycle dead entries through peekArmed fast enough).
   static constexpr std::size_t kCompactMinDead = 1024;
+  /// Generation-wraparound guard: once a slot's generation counter gets
+  /// within one lifecycle of wrapping 2^32, freeSlot() retires the slot
+  /// instead of recycling it, so a TimerHandle from ~2^31 lifecycles
+  /// ago can never alias a newly armed event with the same (slot, gen).
+  /// Reaching this takes ~2^31 schedule/finish cycles through ONE slot;
+  /// retiring (leaking) the rare slot that does is far cheaper than
+  /// widening every generation word.
+  static constexpr std::uint32_t kGenRetire = 0xfffffff0u;
+
+  // ---- timing-wheel geometry ----
+  /// 64 buckets per level, 8x coarser per level: level L has bucket
+  /// granularity 2^(3L) us, and a deadline delta lands on the lowest
+  /// level whose 64-bucket span still covers it, i.e. 2^(3L+3) <= delta
+  /// < 2^(3L+6) (level 0 takes everything below 64 us). 20 levels cover
+  /// the whole positive SimTime range.
+  static constexpr std::uint32_t kWheelSlotBits = 6;
+  static constexpr std::uint32_t kWheelSlots = 1u << kWheelSlotBits;
+  static constexpr std::uint32_t kWheelLevelShift = 3;  // 8x per level
+  static constexpr std::uint32_t kWheelLevels = 20;
+  static constexpr std::uint32_t kWheelBuckets = kWheelLevels * kWheelSlots;
+  /// prev_-link tag marking a node as the head of bucket (prev_ & ~flag).
+  static constexpr std::uint32_t kBucketFlag = 0x80000000u;
 
   using Node = detail::EventNode;
   using Slot = detail::EventSlot;
@@ -280,11 +390,15 @@ class Scheduler {
       }
       gens_.resize(numSlots_ + kChunkSize, 0);
       next_.resize(numSlots_ + kChunkSize, kNoSlot);
+      prev_.resize(numSlots_ + kChunkSize, kNoSlot);
+      wheelAt_.resize(numSlots_ + kChunkSize, 0);
+      wheelSeq_.resize(numSlots_ + kChunkSize, 0);
     }
     return numSlots_++;
   }
 
   void freeSlot(std::uint32_t index) {
+    if (gens_[index] >= kGenRetire) return;  // wraparound guard: retire
     next_[index] = freeHead_;
     freeHead_ = index;
   }
@@ -292,16 +406,103 @@ class Scheduler {
   void heapPush(Node node);
   void heapPopTop();
   void siftDown(std::size_t i);
-  /// Drop every disarmed node from all three queues, recycling their
-  /// slots, then restore the heap invariant in place.
+  /// Drop every disarmed node from all three exact-lane queues,
+  /// recycling their slots, then restore the heap invariant in place.
+  /// (Wheel buckets hold no dead nodes: deadline cancels unlink
+  /// eagerly.)
   void compact();
+
+  // ---- timing-wheel internals ----
+  /// Level for a strictly positive delta: lowest L whose 64-bucket span
+  /// (2^(3L+6) us) still covers it.
+  static std::uint32_t wheelLevelFor(SimDuration delta) {
+    const int top = 63 - std::countl_zero(static_cast<std::uint64_t>(delta));
+    return top < static_cast<int>(kWheelSlotBits)
+               ? 0u
+               : (static_cast<std::uint32_t>(top) - kWheelSlotBits + 3) /
+                     kWheelLevelShift;
+  }
+
+  /// O(1) hashless insert: the bucket index is a shift-and-mask of the
+  /// absolute deadline; the node is pushed at the list head (intra-
+  /// bucket order is irrelevant -- promotion re-keys through the heap).
+  /// bucketDue_ tracks the earliest boundary of any resident entry, so
+  /// a level-miscast wrap collision merely promotes a far entry early
+  /// (harmless: it still fires at its exact key via the heap).
+  void wheelLink(std::uint32_t index, SimTime at, std::uint32_t seq) {
+    wheelAt_[index] = at;
+    wheelSeq_[index] = seq;
+    const std::uint32_t level = wheelLevelFor(at - now_);
+    const std::uint32_t shift = level * kWheelLevelShift;
+    const SimTime boundary = (at >> shift) << shift;
+    const std::uint32_t bucket =
+        level * kWheelSlots +
+        (static_cast<std::uint32_t>(at >> shift) & (kWheelSlots - 1));
+    const std::uint64_t bit = 1ull << (bucket & (kWheelSlots - 1));
+    if (wheelOcc_[level] & bit) {
+      const std::uint32_t head = bucketHead_[bucket];
+      next_[index] = head;
+      prev_[head] = index;
+      if (boundary < bucketDue_[bucket]) bucketDue_[bucket] = boundary;
+    } else {
+      wheelOcc_[level] |= bit;
+      next_[index] = kNoSlot;
+      bucketDue_[bucket] = boundary;
+    }
+    bucketHead_[bucket] = index;
+    prev_[index] = kBucketFlag | bucket;
+    if (wheelCount_ == 0 || bucketDue_[bucket] < wheelNextDue_) {
+      wheelNextDue_ = bucketDue_[bucket];
+      wheelNextBucket_ = bucket;
+    }
+    ++wheelCount_;
+  }
+
+  /// O(1) cancel: unlink the node from its bucket list. The caller
+  /// reclaims the slot; no lazy-deletion debt is created.
+  void wheelUnlink(std::uint32_t index) {
+    const std::uint32_t p = prev_[index];
+    const std::uint32_t n = next_[index];
+    if (n != kNoSlot) prev_[n] = p;
+    if (p & kBucketFlag) {
+      const std::uint32_t bucket = p & ~kBucketFlag;
+      bucketHead_[bucket] = n;
+      if (n == kNoSlot) {
+        wheelOcc_[bucket >> kWheelSlotBits] &=
+            ~(1ull << (bucket & (kWheelSlots - 1)));
+        --wheelCount_;
+        if (bucket == wheelNextBucket_) recomputeWheelNext();
+        prev_[index] = kNoSlot;
+        return;
+      }
+    } else {
+      next_[p] = n;
+    }
+    prev_[index] = kNoSlot;
+    --wheelCount_;
+  }
+
+  bool slotOnWheel(std::uint32_t index) const {
+    return prev_[index] != kNoSlot;
+  }
+
+  /// Move every entry of the earliest-due bucket into the exact heap,
+  /// keyed by its original (deadline, insertion sequence). Called only
+  /// when the kernel is about to fire an event at or past the bucket's
+  /// boundary, so no promoted entry can be late -- and because the heap
+  /// then applies the global total order, firing is bit-for-bit what
+  /// the exact lane alone would have produced.
+  void promoteDueBucket();
+  /// Rescan the occupancy bitmaps for the new earliest-due bucket.
+  void recomputeWheelNext();
 
   /// Nodes already consumed from the sorted run.
   bool haveSorted() const { return sortedCur_ < sorted_.size(); }
   std::size_t sortedRemaining() const { return sorted_.size() - sortedCur_; }
   bool haveFifo() const { return fifoCur_ < fifo_.size(); }
 
-  /// Nodes resident in any of the three queues, dead or alive.
+  /// Nodes resident in any of the three exact-lane queues, dead or
+  /// alive (compaction-ratio denominator; wheel entries are never dead).
   std::size_t residentNodes() const {
     return heap_.size() + sortedRemaining() + (fifo_.size() - fifoCur_);
   }
@@ -359,18 +560,30 @@ class Scheduler {
     }
   }
 
-  /// Drop cancelled nodes until the queue's top is armed. Returns false
-  /// when the queue is exhausted. The single dead-entry-skipping
-  /// primitive shared by run/runUntil/step.
-  bool peekArmed() {
-    while (const Node* top = topNode()) {
+  /// Drop cancelled nodes (and promote due wheel buckets) until the
+  /// queues' top is armed. Returns false when everything fireable is
+  /// exhausted. `promoteLimit` bounds which wheel buckets may be
+  /// promoted while the exact queues are empty: run()/step() pass
+  /// kNever (drain the wheel too); runUntil(t) passes t so far-future
+  /// buckets stay untouched on the wheel. A bucket whose boundary is at
+  /// or before the current top key is always promoted -- it may hold
+  /// deadlines that precede (or tie) that key in the global order.
+  bool peekArmed(SimTime promoteLimit) {
+    while (true) {
+      const Node* top = topNode();
+      if (wheelCount_ != 0 &&
+          (top == nullptr ? wheelNextDue_ <= promoteLimit
+                          : wheelNextDue_ <= top->at)) {
+        promoteDueBucket();
+        continue;
+      }
+      if (top == nullptr) return false;
       const std::uint32_t index = top->slot;
       if (gens_[index] & 1u) return true;
       popTop(top);
       freeSlot(index);
       --dead_;
     }
-    return false;
   }
 
   /// Fire the (armed) top node: advance the clock, disarm the slot, pop
@@ -396,6 +609,14 @@ class Scheduler {
     slot(index).action.reset();       // release captures eagerly
     ++gens_[index];                   // odd -> even: disarmed
     --live_;
+    if (slotOnWheel(index)) {
+      // Deadline lane: unlink and reclaim immediately -- the whole
+      // point of the wheel is that the common cancelled-before-expiry
+      // lease timer costs O(1) and leaves nothing behind.
+      wheelUnlink(index);
+      freeSlot(index);
+      return;
+    }
     ++dead_;
     // The queue node stays; peekArmed() recycles the slot when it
     // surfaces -- unless dead nodes come to dominate, in which case
@@ -425,16 +646,42 @@ class Scheduler {
   /// by construction, consumed front-to-back via `fifoCur_`.
   std::vector<Node> fifo_;
   std::size_t fifoCur_ = 0;
-  /// Disarmed nodes still resident in a queue (lazy deletion debt).
+  /// Disarmed nodes still resident in an exact-lane queue (lazy
+  /// deletion debt).
   std::size_t dead_ = 0;
   std::vector<std::unique_ptr<Slot[]>> chunks_;
-  /// Per-slot generation counters; odd == armed. A stale handle could
-  /// only alias after 2^32 bumps of one slot -- accepted.
+  /// Per-slot generation counters; odd == armed. Slots whose counter
+  /// nears 2^32 are retired by freeSlot (kGenRetire), so a stale handle
+  /// can never alias a recycled slot across a generation wrap.
   std::vector<std::uint32_t> gens_;
-  /// Per-slot free-list links (kNoSlot terminated).
+  /// Per-slot links. For a free slot, next_ is the free-list link
+  /// (kNoSlot terminated). For a slot armed on the wheel, next_/prev_
+  /// are its bucket's doubly-linked list (prev_ of the head carries
+  /// kBucketFlag | bucket). prev_ == kNoSlot marks a slot as NOT on the
+  /// wheel -- the invariant every wheel exit path (unlink, promotion)
+  /// restores, so cancelSlot can dispatch lanes with one load.
   std::vector<std::uint32_t> next_;
+  std::vector<std::uint32_t> prev_;
+  /// Per-slot deadline key, valid while the slot is linked on the wheel
+  /// (promotion re-keys the heap node from these).
+  std::vector<SimTime> wheelAt_;
+  std::vector<std::uint32_t> wheelSeq_;
   std::uint32_t numSlots_ = 0;
   std::uint32_t freeHead_ = kNoSlot;
+
+  // ---- timing-wheel state ----
+  /// Per-level occupancy bitmaps are the source of truth: bucketHead_ /
+  /// bucketDue_ are read only for buckets whose bit is set, so none of
+  /// these arrays needs initialization.
+  std::uint64_t wheelOcc_[kWheelLevels] = {};
+  std::array<std::uint32_t, kWheelBuckets> bucketHead_;
+  std::array<SimTime, kWheelBuckets> bucketDue_;
+  /// Entries resident on the wheel, and the earliest due bucket
+  /// (wheelNextDue_ == kNever iff wheelCount_ == 0).
+  std::size_t wheelCount_ = 0;
+  SimTime wheelNextDue_ = kNever;
+  std::uint32_t wheelNextBucket_ = 0;
+
   detail::SchedulerRef* ref_;
 };
 

@@ -109,6 +109,40 @@ TEST(AllocFreeTest, SchedulerCancelIsAllocationFree) {
   EXPECT_TRUE(s.empty());
 }
 
+TEST(AllocFreeTest, SchedulerDeadlineLaneIsAllocationFree) {
+  // The timing-wheel lane: far deadlines that are mostly cancelled (the
+  // lease-renewal lifecycle), plus a drained remainder so promotion into
+  // the heap is exercised too. The wheel's bucket arrays are fixed
+  // members and cancels reclaim eagerly, so steady state allocates
+  // nothing.
+  sim::Scheduler s;
+  std::vector<sim::TimerHandle> handles(kEvents);
+  for (int round = 0; round < 2; ++round) {
+    for (int i = 0; i < kEvents; ++i) {
+      handles[static_cast<std::size_t>(i)] =
+          s.scheduleDeadlineAfter(sec(30) + i % 7, [] {});
+    }
+    for (int i = 0; i < kEvents; i += 2) {
+      handles[static_cast<std::size_t>(i)].cancel();
+    }
+    s.run();
+  }
+
+  const std::int64_t before = g_newCalls;
+  for (int i = 0; i < kEvents; ++i) {
+    handles[static_cast<std::size_t>(i)] =
+        s.scheduleDeadlineAfter(sec(30) + i % 7, [] {});
+  }
+  for (int i = 0; i < kEvents; i += 2) {
+    handles[static_cast<std::size_t>(i)].cancel();
+  }
+  s.run();
+  const std::int64_t after = g_newCalls;
+
+  EXPECT_EQ(after - before, 0) << "deadline lane allocated in steady state";
+  EXPECT_TRUE(s.empty());
+}
+
 class CountingSink final : public net::MessageSink {
  public:
   void deliver(const net::Message&) override { ++delivered; }

@@ -253,6 +253,89 @@ TEST(DeterminismGoldenTest, ChaosSeedWithSkewByteIdentical) {
   compareOrRegold("chaos_seed1_volume_skew.json", first);
 }
 
+/// The batch lease-expiry sweep (ProtocolConfig::leaseSweepPeriod) must
+/// be observationally invisible: it only drops holder records that every
+/// consumer already treats as dead (graceExpire <= now), accruing them
+/// with the same clamp later accrual would apply. Run the chaos point --
+/// faults, skew, epsilon margins, both volume algorithms -- with the
+/// sweep off and at two unrelated periods; every protocol-observable
+/// byte (messages, reads, writes, accrual totals, oracle verdicts,
+/// horizon) must be identical. firedEvents is deliberately excluded:
+/// the sweep timer itself fires.
+TEST(DeterminismGoldenTest, ExpirySweepIsObservationallyInvisible) {
+  driver::ChaosWorkloadOptions workloadOptions;
+  workloadOptions.duration = sec(900);
+  const driver::Workload workload =
+      driver::buildChaosWorkload(workloadOptions);
+  const trace::Catalog& catalog = workload.catalog;
+
+  std::vector<NodeId> clients, servers;
+  for (std::uint32_t c = 0; c < catalog.numClients(); ++c) {
+    clients.push_back(catalog.clientNode(c));
+  }
+  for (std::uint32_t s = 0; s < catalog.numServers(); ++s) {
+    servers.push_back(catalog.serverNode(s));
+  }
+
+  const SimDuration skewBudget = sec(5);
+  auto makePlan = [&]() {
+    Rng planRng(1);
+    net::FaultPlan::RandomOptions planOptions;
+    planOptions.intensity = 0.5;
+    planOptions.horizon = workloadOptions.duration;
+    planOptions.maxLossProbability = 0.25 * 0.5;
+    planOptions.maxClockSkew = skewBudget;
+    return std::make_shared<const net::FaultPlan>(
+        net::FaultPlan::random(planRng, planOptions, clients, servers));
+  };
+
+  auto runFingerprint = [&](proto::Algorithm algorithm,
+                            SimDuration sweepPeriod, bool byExpiry) {
+    proto::ProtocolConfig config;
+    config.algorithm = algorithm;
+    config.objectTimeout = sec(120);
+    config.volumeTimeout = sec(30);
+    config.msgTimeout = sec(5);
+    config.readTimeout = sec(15);
+    config.clockEpsilon = skewBudget;
+    config.leaseSweepPeriod = sweepPeriod;
+    config.writeByLeaseExpiry = byExpiry;
+
+    driver::SimOptions sim;
+    sim.networkLatency = msec(20);
+    sim.faultPlan = makePlan();
+    sim.enableOracle = true;
+    sim.oracleAuditPeriod = sec(10);
+    sim.oracleSkewBound = skewBudget;
+
+    driver::Simulation simulation(catalog, config, sim);
+    const stats::Metrics& metrics = simulation.run(workload.events);
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"finalNow\": " << simulation.scheduler().now() << ",\n"
+       << "  \"sent\": " << simulation.network().sentCount() << ",\n"
+       << "  \"delivered\": " << simulation.network().deliveredCount()
+       << ",\n";
+    fingerprintMetrics(os, metrics);
+    os << "}\n";
+    return os.str();
+  };
+
+  for (proto::Algorithm algorithm :
+       {proto::Algorithm::kVolumeLease,
+        proto::Algorithm::kVolumeDelayedInval}) {
+    for (bool byExpiry : {false, true}) {
+      const std::string base = runFingerprint(algorithm, 0, byExpiry);
+      for (SimDuration period : {msec(500), sec(7)}) {
+        EXPECT_EQ(base, runFingerprint(algorithm, period, byExpiry))
+            << "sweep period " << period << " changed observable behavior ("
+            << proto::algorithmName(algorithm)
+            << (byExpiry ? ", byExpiry)" : ")");
+      }
+    }
+  }
+}
+
 /// One sweep grid through the parallel runner (threads=2), rendered with
 /// the same Table JSON emitter the bench binaries use, plus the metrics
 /// fingerprint of one point.

@@ -110,7 +110,13 @@ struct EventSpec {
 
 class DifferentialDriver {
  public:
-  explicit DifferentialDriver(std::uint64_t seed) : rng_(seed) {}
+  /// `mixedLanes` routes a random half of the real scheduler's events
+  /// through scheduleDeadline (the timing-wheel lane) while the naive
+  /// reference keeps exact semantics for everything -- so the test
+  /// asserts the wheel's firing is indistinguishable, event for event,
+  /// from the exact lane.
+  explicit DifferentialDriver(std::uint64_t seed, bool mixedLanes = false)
+      : rng_(seed), mixedLanes_(mixedLanes) {}
 
   void scheduleTopLevel() {
     const SimDuration delay = static_cast<SimDuration>(rng_.nextBelow(50));
@@ -172,8 +178,10 @@ class DifferentialDriver {
   }
 
   void schedule(SimTime at, const std::shared_ptr<EventSpec>& spec) {
-    realHandles_.push_back(real_.scheduleAt(
-        at, [this, spec] { fire(*spec, firedReal_, /*isReal=*/true); }));
+    const bool viaWheel = mixedLanes_ && rng_.nextBelow(2) == 0;
+    auto realFn = [this, spec] { fire(*spec, firedReal_, /*isReal=*/true); };
+    realHandles_.push_back(viaWheel ? real_.scheduleDeadline(at, realFn)
+                                    : real_.scheduleAt(at, realFn));
     naiveHandles_.push_back(naive_.scheduleAt(
         at, [this, spec] { fire(*spec, firedNaive_, /*isReal=*/false); }));
   }
@@ -218,6 +226,7 @@ class DifferentialDriver {
   std::vector<int> firedNaive_;
   int nextId_ = 0;
   int scheduled_ = 0;
+  bool mixedLanes_ = false;
 };
 
 class SchedulerDifferentialTest
@@ -253,6 +262,78 @@ TEST_P(SchedulerDifferentialTest, MatchesNaiveReferenceOver1e5Events) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerDifferentialTest,
                          ::testing::Values(11, 23, 37, 59));
+
+/// Same differential harness, but half the real scheduler's events go
+/// through the timing-wheel lane (scheduleDeadline) while the naive
+/// reference stays exact. The firing sequences must still match event
+/// for event: the wheel normalizes fire order through the global
+/// (time, seq) heap at promotion, so coarse bucketing must be invisible.
+class SchedulerWheelDifferentialTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SchedulerWheelDifferentialTest, WheelLaneMatchesExactReference) {
+  DifferentialDriver driver(GetParam(), /*mixedLanes=*/true);
+  Rng opRng(GetParam() ^ 0xabad1deaull);
+
+  int op = 0;
+  while (driver.scheduled() < 100'000) {
+    ++op;
+    const std::uint64_t roll = opRng.nextBelow(100);
+    if (roll < 70) {
+      driver.scheduleTopLevel();
+    } else if (roll < 85) {
+      driver.cancelRandom();
+    } else if (roll < 95) {
+      driver.runUntilRandom();
+      driver.verify(op);
+    } else {
+      driver.stepBoth();
+    }
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+
+  driver.drain();
+  driver.verify(op);
+  EXPECT_TRUE(driver.real().empty());
+  EXPECT_GE(driver.firedReal().size(), 50'000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerWheelDifferentialTest,
+                         ::testing::Values(13, 29, 43, 61));
+
+/// Deadline-band contract fuzz: every surviving deadline must fire
+/// within [at, at + (at - scheduled)/8) -- one wheel-bucket granularity
+/// -- across delays spanning every wheel level (1us .. ~3 days),
+/// interleaved with renew-style cancellation churn.
+TEST(SchedulerWheelContractTest, DeadlinesFireWithinOneBucketGranularity) {
+  Rng rng(0xfeedull);
+  Scheduler s;
+  std::vector<TimerHandle> handles;
+  int checked = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    // Delay magnitude is log-uniform so far buckets get real coverage.
+    const int bits = 1 + static_cast<int>(rng.nextBelow(38));
+    const SimDuration delay =
+        static_cast<SimDuration>(1 + rng.nextBelow(1ull << bits));
+    const SimTime scheduledNow = s.now();
+    const SimTime at = scheduledNow + delay;
+    handles.push_back(s.scheduleDeadline(at, [&s, &checked, scheduledNow, at] {
+      const SimDuration slack = std::max<SimDuration>(1, (at - scheduledNow) / 8);
+      EXPECT_GE(s.now(), at);
+      EXPECT_LT(s.now(), at + slack);
+      ++checked;
+    }));
+    if (rng.nextBelow(3) == 0 && !handles.empty()) {
+      handles[rng.nextBelow(handles.size())].cancel();
+    }
+    if (rng.nextBelow(8) == 0) {
+      s.runUntil(s.now() + static_cast<SimDuration>(rng.nextBelow(1u << 20)));
+    }
+  }
+  s.run();
+  EXPECT_TRUE(s.empty());
+  EXPECT_GT(checked, 5'000);
+}
 
 TEST(SchedulerDirectedTest, CancelDuringCallbackSameInstant) {
   Scheduler s;

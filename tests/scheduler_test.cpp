@@ -158,5 +158,182 @@ TEST(SchedulerDeathTest, SchedulingInPastAborts) {
   EXPECT_DEATH(s.scheduleAt(5, [] {}), "cannot schedule in the past");
 }
 
+// ---- deadline (timing-wheel) lane ----
+
+TEST(SchedulerDeadlineTest, FiresAtExactDeadline) {
+  Scheduler s;
+  SimTime seen = -1;
+  s.scheduleDeadline(1'000'000, [&] { seen = s.now(); });
+  s.run();
+  EXPECT_EQ(seen, 1'000'000);
+  EXPECT_EQ(s.now(), 1'000'000);
+}
+
+TEST(SchedulerDeadlineTest, MixedLanesShareOneTotalOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  // Interleave lanes across a range that spans several wheel levels;
+  // firing must follow the global (time, seq) order regardless of lane.
+  s.scheduleDeadline(70, [&] { order.push_back(4); });
+  s.scheduleAt(70, [&] { order.push_back(5); });  // same t, later seq
+  s.scheduleAt(10, [&] { order.push_back(1); });
+  s.scheduleDeadline(1'000'000, [&] { order.push_back(6); });
+  s.scheduleDeadline(20, [&] { order.push_back(2); });
+  s.scheduleAt(30, [&] { order.push_back(3); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(SchedulerDeadlineTest, SameInstantDeadlineIsFifoWithExactLane) {
+  Scheduler s;
+  std::vector<int> order;
+  s.scheduleAt(5, [&] {
+    s.scheduleDeadline(5, [&] { order.push_back(2); });  // == now: FIFO lane
+    s.scheduleAt(5, [&] { order.push_back(3); });
+    order.push_back(1);
+  });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SchedulerDeadlineTest, CancelPreventsFiringAndReclaims) {
+  Scheduler s;
+  bool fired = false;
+  TimerHandle h = s.scheduleDeadline(hours(10), [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  EXPECT_EQ(s.pendingCount(), 1u);
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  EXPECT_EQ(s.pendingCount(), 0u);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.run(), 0);
+  EXPECT_FALSE(fired);
+}
+
+TEST(SchedulerDeadlineTest, RenewPatternScheduleCancelRepeat) {
+  // The lease-renewal lifecycle the wheel exists for: a far deadline is
+  // repeatedly cancelled and replaced; only the last one fires.
+  Scheduler s;
+  int fires = 0;
+  TimerHandle h;
+  for (int i = 0; i < 10'000; ++i) {
+    h.cancel();
+    h = s.scheduleDeadlineAfter(sec(30), [&] { ++fires; });
+  }
+  s.run();
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(s.now(), sec(30));
+}
+
+TEST(SchedulerDeadlineTest, RunUntilLeavesFarDeadlinesParked) {
+  Scheduler s;
+  bool fired = false;
+  s.scheduleDeadline(sec(100), [&] { fired = true; });
+  s.runUntil(sec(1));
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(s.now(), sec(1));
+  EXPECT_EQ(s.pendingCount(), 1u);
+  s.runUntil(sec(100));
+  EXPECT_TRUE(fired);
+}
+
+TEST(SchedulerDeadlineTest, CancelInsideCallbackSameInstant) {
+  Scheduler s;
+  std::vector<int> order;
+  TimerHandle b;
+  s.scheduleDeadline(5, [&] {
+    order.push_back(1);
+    b.cancel();
+  });
+  b = s.scheduleDeadline(5, [&] { order.push_back(2); });
+  s.scheduleDeadline(5, [&] { order.push_back(3); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(SchedulerDeadlineTest, HandleOutlivesSchedulerWithWheelEntry) {
+  TimerHandle kept;
+  {
+    Scheduler s;
+    kept = s.scheduleDeadline(sec(10), [] {});
+    EXPECT_TRUE(kept.pending());
+  }
+  EXPECT_FALSE(kept.pending());
+  kept.cancel();  // must be a safe no-op
+}
+
+TEST(SchedulerDeadlineDeathTest, SchedulingInPastAborts) {
+  Scheduler s;
+  s.scheduleAt(10, [] {});
+  s.run();
+  EXPECT_DEATH(s.scheduleDeadline(5, [] {}), "cannot schedule in the past");
+}
+
+}  // namespace
+
+// ---- generation-wraparound guard ----
+
+/// Test-only backdoor: lets the regression test below fast-forward a
+/// slot's generation counter to just below the retirement threshold
+/// instead of cycling one slot 2^31 times.
+struct SchedulerTestPeer {
+  static std::uint32_t slotOf(const TimerHandle& h) { return h.slot_; }
+  static std::uint32_t gen(const Scheduler& s, std::uint32_t slot) {
+    return s.gens_[slot];
+  }
+  static void setGen(Scheduler& s, std::uint32_t slot, std::uint32_t gen) {
+    s.gens_[slot] = gen;
+  }
+  static constexpr std::uint32_t genRetire() { return Scheduler::kGenRetire; }
+};
+
+namespace {
+
+TEST(SchedulerGenerationTest, SlotNearWrapIsRetiredNotRecycled) {
+  Scheduler s;
+  // Burn one lifecycle to learn which arena slot the scheduler hands out
+  // first (slot recycling is LIFO, so the next schedule reuses it).
+  TimerHandle h0 = s.scheduleAt(1, [] {});
+  const std::uint32_t slot = SchedulerTestPeer::slotOf(h0);
+  s.run();
+  // Fast-forward the slot to one lifecycle before the wrap guard.
+  SchedulerTestPeer::setGen(s, slot, SchedulerTestPeer::genRetire() - 2);
+  int fires = 0;
+  TimerHandle last = s.scheduleAt(2, [&] { ++fires; });
+  ASSERT_EQ(SchedulerTestPeer::slotOf(last), slot);  // recycled as usual
+  s.run();
+  EXPECT_EQ(fires, 1);
+  // The firing pushed the counter to the threshold: the slot is now
+  // retired. All later schedules must draw fresh slots, and the stale
+  // handle must stay dead forever.
+  EXPECT_EQ(SchedulerTestPeer::gen(s, slot), SchedulerTestPeer::genRetire());
+  for (int i = 0; i < 100; ++i) {
+    TimerHandle h = s.scheduleAt(s.now() + 1, [] {});
+    EXPECT_NE(SchedulerTestPeer::slotOf(h), slot);
+    s.run();
+  }
+  EXPECT_EQ(SchedulerTestPeer::gen(s, slot), SchedulerTestPeer::genRetire());
+  EXPECT_FALSE(last.pending());
+  last.cancel();  // no-op: may not disturb any live event
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SchedulerGenerationTest, DeadlineCancelAtWrapRetiresEagerly) {
+  Scheduler s;
+  TimerHandle h0 = s.scheduleAt(1, [] {});
+  const std::uint32_t slot = SchedulerTestPeer::slotOf(h0);
+  s.run();
+  SchedulerTestPeer::setGen(s, slot, SchedulerTestPeer::genRetire() - 2);
+  // Deadline-lane cancel reclaims eagerly; at the threshold it must
+  // retire the slot instead of re-listing it.
+  TimerHandle h = s.scheduleDeadline(sec(1), [] {});
+  ASSERT_EQ(SchedulerTestPeer::slotOf(h), slot);
+  h.cancel();
+  EXPECT_EQ(SchedulerTestPeer::gen(s, slot), SchedulerTestPeer::genRetire());
+  TimerHandle next = s.scheduleDeadline(sec(1), [] {});
+  EXPECT_NE(SchedulerTestPeer::slotOf(next), slot);
+  next.cancel();
+}
+
 }  // namespace
 }  // namespace vlease::sim

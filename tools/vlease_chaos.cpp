@@ -89,6 +89,10 @@ int main(int argc, char** argv) {
   flags.addBool("break-invalidation", false,
                 "fault-inject clients that ack invalidations without "
                 "applying them (the oracle MUST report violations)");
+  flags.addInt("sweep-ms", 0,
+               "batch lease-expiry sweep period in milliseconds for the "
+               "volume algorithms (0 = off); observationally equivalent, "
+               "so the oracle verdict must not change");
   driver::addRunnerFlags(flags);  // --threads --csv --json
   if (!flags.parse(argc, argv)) return 1;
 
@@ -148,6 +152,7 @@ int main(int argc, char** argv) {
   base.readTimeout = sec(15);
   base.clockEpsilon = epsilon;
   base.faultInjectIgnoreInvalidations = flags.getBool("break-invalidation");
+  base.leaseSweepPeriod = msec(flags.getInt("sweep-ms"));
 
   driver::SweepSpec spec;
   spec.name = "chaos";

@@ -1,0 +1,172 @@
+// vlease_scale: streaming large-population replay that exercises the
+// scheduler's deadline lane and the batch lease-expiry sweep at scale.
+//
+// The point is the timer plane, not the workload: a large client
+// population (up to millions) cycles reads against a small shared
+// object set, so every read renews volume/object leases, arms a
+// read-timeout deadline that the response cancels, and parks session
+// timers -- exactly the churn the timing-wheel lane absorbs in O(1).
+// Short lease timeouts relative to the inter-visit gap mean most
+// holder records are expired soft state, which the periodic sweep
+// (one deadline timer per server) trims instead of letting writes
+// walk ever-growing tables.
+//
+// Events are GENERATED AND INJECTED ONE AT A TIME through the
+// incremental Simulation interface (inject/drainTo/finish); the trace
+// is never materialized, so --events 100000000 costs no event memory.
+// Everything is seed-deterministic.
+//
+//   $ vlease_scale                                    # smoke config
+//   $ vlease_scale --clients 1000000 --events 100000000   # the big run
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "driver/simulation.h"
+#include "util/flags.h"
+#include "util/rng.h"
+
+using namespace vlease;
+
+namespace {
+
+/// Peak resident set in kilobytes from /proc/self/status (0 if the
+/// field is unavailable, e.g. on a non-Linux host).
+long peakRssKb() {
+  std::ifstream status("/proc/self/status");
+  std::string word;
+  while (status >> word) {
+    if (word == "VmHWM:") {
+      long kb = 0;
+      status >> kb;
+      return kb;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.addInt("clients", 20'000, "client population");
+  flags.addInt("events", 2'000'000, "trace events to stream");
+  flags.addInt("objects", 64, "shared objects (low ids keep tables small)");
+  flags.addInt("volumes", 4, "volumes on the single server");
+  flags.addInt("write-every", 8192, "one write per this many events");
+  flags.addInt("interarrival-us", 100, "fixed event spacing, microseconds");
+  flags.addInt("latency-ms", 1, "one-way network latency, milliseconds");
+  flags.addInt("sweep-ms", 1000, "lease-expiry sweep period (0 = off)");
+  flags.addInt("seed", 1, "event-stream seed");
+  flags.addBool("progress", false, "print progress ticks to stderr");
+  if (!flags.parse(argc, argv)) return 1;
+
+  const auto numClients = static_cast<std::uint32_t>(flags.getInt("clients"));
+  const auto numEvents = flags.getInt("events");
+  const auto numObjects = static_cast<std::uint64_t>(flags.getInt("objects"));
+  const auto numVolumes = static_cast<std::uint32_t>(flags.getInt("volumes"));
+  const auto writeEvery = flags.getInt("write-every");
+  const SimDuration interarrival = usec(flags.getInt("interarrival-us"));
+
+  trace::Catalog catalog(1, numClients);
+  std::vector<ObjectId> objects;
+  objects.reserve(numObjects);
+  {
+    std::vector<VolumeId> volumes;
+    for (std::uint32_t v = 0; v < numVolumes; ++v) {
+      volumes.push_back(catalog.addVolume(catalog.serverNode(0)));
+    }
+    for (std::uint64_t o = 0; o < numObjects; ++o) {
+      objects.push_back(catalog.addObject(volumes[o % numVolumes], 8 << 10));
+    }
+  }
+
+  // Short leases relative to a client's revisit gap (population x
+  // interarrival), so nearly every read is a renewal round trip and the
+  // holder tables are dominated by expired records for the sweep.
+  proto::ProtocolConfig config;
+  config.algorithm = proto::Algorithm::kVolumeLease;
+  config.objectTimeout = sec(120);
+  config.volumeTimeout = sec(30);
+  config.msgTimeout = sec(5);
+  config.readTimeout = sec(15);
+  config.piggybackVolumeLease = true;  // one round trip per cold read
+  config.leaseSweepPeriod = msec(flags.getInt("sweep-ms"));
+
+  driver::SimOptions sim;
+  sim.networkLatency = msec(flags.getInt("latency-ms"));
+  // No load series, no oracle: this is a throughput/footprint run and
+  // per-second series over millions of sim-seconds would swamp it.
+
+  driver::Simulation simulation(catalog, config,
+                                std::move(sim));
+
+  Rng rng(static_cast<std::uint64_t>(flags.getInt("seed")));
+  const bool progress = flags.getBool("progress");
+  const auto t0 = std::chrono::steady_clock::now();
+  SimTime at = 0;
+  for (std::int64_t i = 0; i < numEvents; ++i) {
+    at += interarrival;
+    trace::TraceEvent event;
+    event.at = at;
+    event.obj = objects[rng.nextBelow(numObjects)];
+    if (writeEvery > 0 && (i + 1) % writeEvery == 0) {
+      event.kind = trace::EventKind::kWrite;
+      event.client = catalog.serverNode(0);  // ignored for writes
+    } else {
+      event.kind = trace::EventKind::kRead;
+      event.client = catalog.clientNode(
+          static_cast<std::uint32_t>(rng.nextBelow(numClients)));
+    }
+    simulation.drainTo(at);
+    simulation.inject(event);
+    simulation.drainTo(at);
+    if (progress && numEvents >= 10 && (i + 1) % (numEvents / 10) == 0) {
+      std::fprintf(stderr, "  %3lld%%  (%lld events)\n",
+                   static_cast<long long>((i + 1) * 100 / numEvents),
+                   static_cast<long long>(i + 1));
+    }
+  }
+  simulation.finish();
+  const auto t1 = std::chrono::steady_clock::now();
+  const double wall =
+      std::chrono::duration<double>(t1 - t0).count();
+
+  const stats::Metrics& m = simulation.metrics();
+  // items_per_second mirrors the google-benchmark JSON key so
+  // scripts/bench.sh can gate on it the same way.
+  std::printf(
+      "{\n"
+      "  \"clients\": %u,\n"
+      "  \"events\": %lld,\n"
+      "  \"objects\": %llu,\n"
+      "  \"volumes\": %u,\n"
+      "  \"sweep_ms\": %lld,\n"
+      "  \"sim_horizon_sec\": %.0f,\n"
+      "  \"fired_events\": %lld,\n"
+      "  \"messages\": %lld,\n"
+      "  \"reads\": %lld,\n"
+      "  \"cache_local_reads\": %lld,\n"
+      "  \"writes\": %lld,\n"
+      "  \"failed_reads\": %lld,\n"
+      "  \"wall_seconds\": %.3f,\n"
+      "  \"events_per_second\": %.0f,\n"
+      "  \"fired_per_second\": %.0f,\n"
+      "  \"peak_rss_mb\": %.1f\n"
+      "}\n",
+      numClients, static_cast<long long>(numEvents),
+      static_cast<unsigned long long>(numObjects), numVolumes,
+      static_cast<long long>(flags.getInt("sweep-ms")),
+      static_cast<double>(simulation.scheduler().now()) / 1e6,
+      static_cast<long long>(simulation.scheduler().firedCount()),
+      static_cast<long long>(m.totalMessages()),
+      static_cast<long long>(m.reads()),
+      static_cast<long long>(m.cacheLocalReads()),
+      static_cast<long long>(m.writes()),
+      static_cast<long long>(m.failedReads()), wall,
+      static_cast<double>(numEvents) / wall,
+      static_cast<double>(simulation.scheduler().firedCount()) / wall,
+      static_cast<double>(peakRssKb()) / 1024.0);
+  return 0;
+}
