@@ -11,6 +11,9 @@
 #                                    runs the 1M-client / 100M-event
 #                                    configuration and stores its full
 #                                    JSON under the "record" key)
+#   rt       -> BENCH_rt.json        tools/vlease_rt --bench-loopback:
+#                                    framed messages/second between two
+#                                    real TcpTransports over localhost
 #
 # Each tracked file holds two snapshots:
 #   "baseline" -- the recorded reference numbers a perf PR is judged
@@ -27,7 +30,7 @@
 # PCT percent below the recorded baseline. Used as a cheap smoke in
 # scripts/ci.sh (with a generous PCT -- best-of-few on a shared box).
 #
-# Usage: scripts/bench.sh [--suite kernel|protocol|scale] [--set-baseline]
+# Usage: scripts/bench.sh [--suite kernel|protocol|scale|rt] [--set-baseline]
 #                         [--check PCT] [--label TEXT] [--min-time SEC]
 #                         [--reps N] [--filter REGEX] [--record]
 set -euo pipefail
@@ -147,6 +150,77 @@ PY
   exit 0
 fi
 
+if [[ "$SUITE" == "rt" ]]; then
+  # Real-socket throughput: tools/vlease_rt --bench-loopback ping-pongs
+  # framed protocol messages between two TcpTransports over localhost
+  # and prints one JSON object per run. Best-of-reps messages_per_second
+  # feeds the same baseline/current/--check machinery.
+  PATH_JSON=BENCH_rt.json
+  cmake -B build -S . >/dev/null
+  cmake --build build -j --target vlrt >/dev/null
+
+  GATE_RAW=$(mktemp)
+  trap 'rm -f "$GATE_RAW"' EXIT
+  for ((r = 0; r < REPS; ++r)); do
+    build/tools/vlease_rt --bench-loopback
+  done >"$GATE_RAW"
+
+  SECTION="$SECTION" LABEL="$LABEL" GATE_RAW="$GATE_RAW" \
+    PATH_JSON="$PATH_JSON" CHECK_PCT="$CHECK_PCT" python3 - <<'PY'
+import json, os, subprocess, sys
+
+runs = [json.loads(line)
+        for line in open(os.environ["GATE_RAW"]) if line.strip()]
+best = {"RtLoopback": max(r["messages_per_second"] for r in runs)}
+
+path = os.environ["PATH_JSON"]
+doc = {}
+if os.path.exists(path):
+    doc = json.load(open(path))
+
+check_pct = os.environ["CHECK_PCT"]
+if check_pct:
+    tol = float(check_pct) / 100.0
+    base = doc.get("baseline", {}).get("items_per_second", {})
+    if not base:
+        sys.exit(f"{path}: no baseline recorded; run --set-baseline first")
+    failed = []
+    for name in sorted(base):
+        b, c = base[name], best.get(name)
+        if c is None:
+            continue
+        ratio = c / b
+        flag = "FAIL" if ratio < 1.0 - tol else "ok"
+        print(f"  {name:40s} base={b:>12.0f} cur={c:>12.0f} "
+              f"{ratio:5.2f}x  {flag}")
+        if ratio < 1.0 - tol:
+            failed.append(name)
+    if failed:
+        sys.exit(f"regression > {check_pct}% vs {path} baseline: "
+                 + ", ".join(failed))
+    print(f"check ok: within {check_pct}% of {path} baseline")
+    sys.exit(0)
+
+git_rev = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                         capture_output=True, text=True).stdout.strip()
+doc.setdefault("bench", "tools/vlease_rt --bench-loopback (real sockets)")
+doc.setdefault(
+    "method",
+    "best messages_per_second over N runs; see scripts/bench.sh")
+doc[os.environ["SECTION"]] = {
+    "label": os.environ["LABEL"] or git_rev,
+    "git": git_rev,
+    "items_per_second": {k: round(v) for k, v in sorted(best.items())},
+}
+
+with open(path, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=False)
+    f.write("\n")
+print(f"wrote {path} [{os.environ['SECTION']}]")
+PY
+  exit 0
+fi
+
 case "$SUITE" in
   kernel)
     PATH_JSON=BENCH_kernel.json
@@ -156,7 +230,7 @@ case "$SUITE" in
     PATH_JSON=BENCH_protocol.json
     SUITE_FILTER='BM_VolumeWriteFanout|BM_VolumeLeaseColdRead|BM_TraceReplay|BM_SweepGrid'
     ;;
-  *) echo "unknown suite: $SUITE (kernel|protocol)" >&2; exit 2 ;;
+  *) echo "unknown suite: $SUITE (kernel|protocol|scale|rt)" >&2; exit 2 ;;
 esac
 # An explicit --filter narrows within the suite (intersection would need
 # real regex algebra; in practice callers pass a subset of suite names).

@@ -25,6 +25,29 @@ build/tools/vlease_chaos --seeds 8 --intensity low --skew medium
 build/tools/vlease_chaos --seeds 8 --intensity low --skew medium \
   --sweep-ms 1000 --algorithms volume,delay
 
+# Real-process chaos parity smoke: the SAME FaultPlan timeline executed
+# against live TcpTransport worker processes (SIGKILL + re-exec for
+# crashes, socket-level drop/truncate for loss, clock offsets for skew)
+# must produce oracle-clean runs AND a violation-free simulator replay
+# of the identical (workload, plan, seed). Two seeds at low intensity
+# keep the stage fast; the full 8-seed x 2-intensity sweep is a
+# pre-merge gate via `vlease_rt --seeds 8 --intensity low|medium`.
+build/tools/vlease_rt --seeds 2 --intensity low --duration-ms 4000
+
+# Deterministic crashed-server recovery: SIGKILL the server mid-run,
+# cold-restart it from its durable log, and require no write to commit
+# before one volume-lease term + epsilon of real wall-clock silence and
+# no stale read across the reboot.
+build/tools/vlease_rt --seeds 1 --scenario recovery --duration-ms 4000
+
+# Negative control: with clients acking invalidations without applying
+# them, the parity check MUST fail -- otherwise the gate is vacuous.
+if build/tools/vlease_rt --seeds 1 --intensity low --duration-ms 3000 \
+    --break-invalidation >/dev/null 2>&1; then
+  echo "negative control unexpectedly passed: parity gate is vacuous" >&2
+  exit 1
+fi
+
 # Bench smoke: every micro bench must run to completion. Timings are not
 # checked here (scripts/bench.sh tracks those in BENCH_kernel.json); the
 # tiny min_time just keeps the stage fast. NOTE: this google-benchmark
@@ -43,6 +66,8 @@ if [[ "${VLEASE_SANITIZE:-OFF}" != "ON" ]]; then
   # Scale gate: the streaming replay's 50k-client configuration must
   # hold its events/second (deadline-lane timer churn + sweep active).
   scripts/bench.sh --suite scale --check 60 --reps 2
+  # rt gate: loopback messages/second through two real TcpTransports.
+  scripts/bench.sh --suite rt --check 60 --reps 2
 fi
 
 if [[ "${VLEASE_SANITIZE:-OFF}" == "ON" ]]; then
@@ -58,4 +83,8 @@ if [[ "${VLEASE_SANITIZE:-OFF}" == "ON" ]]; then
   # messages through the slot pools and index maps; under ASan/UBSan it
   # doubles as a lifetime/OOB audit of the dense-state engine.
   build/tests/volume_differential_test
+  # Single-process loopback chaos under ASan: real sockets, injected
+  # loss/truncation, cross-thread post/stop -- the rt layer's lifetime
+  # and buffer handling under fire.
+  build/tests/rt_chaos_test
 fi

@@ -831,6 +831,26 @@ void VolumeServer::crashAndReboot() {
   recoveryUntil_ = std::max(now, graceExpire(maxVolExpireGranted_));
 }
 
+void VolumeServer::restoreAfterRestart(
+    const std::vector<std::pair<ObjectId, Version>>& versions, Epoch epoch,
+    SimTime recoverUntil) {
+  for (const auto& [obj, version] : versions) {
+    const trace::ObjectInfo& info = ctx_.catalog.object(obj);
+    if (info.server != id()) continue;
+    ObjState& st = objects_[info.localIndex];
+    st.version = std::max(st.version, version);
+  }
+  for (VolState& v : volumes_) {
+    v.epoch = std::max(v.epoch, epoch);
+    // Mark touched so a later in-process crash keeps bumping the epoch
+    // past the restored value.
+    v.touched = true;
+  }
+  // Ratchet only: a second restore with an older recovery point must not
+  // shorten a silence window already in force.
+  recoveryUntil_ = std::max(recoveryUntil_, recoverUntil);
+}
+
 // ---------------------------------------------------------------------
 // batch lease-expiry sweep
 // ---------------------------------------------------------------------

@@ -68,6 +68,20 @@ class VolumeServer final : public proto::ServerNode {
   void finalizeAccounting(SimTime now) override;
   void quiesce() override;
 
+  /// Cold process restart (tools/vlease_rt): a brand-new process resumes
+  /// this server from "stable storage" -- durably logged versions and the
+  /// epoch counter. All lease state was volatile and is gone; the epoch
+  /// is presented pre-bumped by the caller so reconnecting clients run
+  /// MUST_RENEW_ALL, and writes refuse to commit until `recoverUntil` on
+  /// the new process's clock. When even the granted-lease high-water
+  /// mark died with the old process, the caller must pass one full
+  /// volume-lease term + epsilon of silence -- the paper's §3.1.2
+  /// recovery rule executed on real wall-clock time. Restored versions
+  /// only ratchet upward (the constructor's defaults are the floor).
+  void restoreAfterRestart(
+      const std::vector<std::pair<ObjectId, Version>>& versions, Epoch epoch,
+      SimTime recoverUntil);
+
   // ---- introspection hooks for tests ----
   bool isUnreachable(NodeId client, VolumeId vol) const;
   bool isInactive(NodeId client, VolumeId vol) const;

@@ -138,16 +138,36 @@ bool FaultPlan::hasCrashes() const {
   });
 }
 
+std::vector<std::pair<SimTime, SimTime>> FaultPlan::crashWindows(
+    NodeId node) const {
+  std::vector<std::pair<SimTime, SimTime>> windows;
+  for (const FaultEvent& e : events()) {
+    if (e.a != node) continue;
+    if (e.kind == FaultEvent::Kind::kCrash) {
+      windows.emplace_back(e.at, kNever);
+    } else if (e.kind == FaultEvent::Kind::kRecover && !windows.empty() &&
+               windows.back().second == kNever) {
+      windows.back().second = e.at;
+    }
+  }
+  return windows;
+}
+
 namespace {
 
 /// Window start uniform in [0, horizon), length exponential with the
-/// given mean, clipped so the window closes by `horizon`.
+/// given mean (scaled by options.windowScale, floored at
+/// options.minWindow), clipped so the window closes by `horizon`. The
+/// scale multiplies the value of one fixed exponential draw, so the rng
+/// stream is independent of the scale.
 std::pair<SimTime, SimTime> randomWindow(Rng& rng, SimTime horizon,
-                                         double meanLenSeconds) {
+                                         double meanLenSeconds,
+                                         const FaultPlan::RandomOptions& o) {
   const SimTime from = static_cast<SimTime>(
       rng.nextBelow(static_cast<std::uint64_t>(std::max<SimTime>(horizon, 1))));
-  SimDuration len = secondsToSim(rng.nextExponential(meanLenSeconds));
-  if (len < sec(1)) len = sec(1);
+  SimDuration len =
+      secondsToSim(rng.nextExponential(meanLenSeconds) * o.windowScale);
+  if (len < o.minWindow) len = o.minWindow;
   const SimTime to = std::min<SimTime>(addSat(from, len), horizon);
   return {from, to};
 }
@@ -176,7 +196,7 @@ FaultPlan FaultPlan::random(Rng& rng, const RandomOptions& options,
     const int n = drawCount(intensity * static_cast<double>(clients.size()));
     for (int i = 0; i < n; ++i) {
       const NodeId c = clients[rng.nextBelow(clients.size())];
-      auto [from, to] = randomWindow(rng, horizon, /*meanLenSeconds=*/45.0);
+      auto [from, to] = randomWindow(rng, horizon, /*meanLenSeconds=*/45.0, options);
       plan.isolationWindow(from, to, c);
     }
   }
@@ -187,7 +207,7 @@ FaultPlan FaultPlan::random(Rng& rng, const RandomOptions& options,
         drawCount(intensity * 0.5 * static_cast<double>(clients.size()));
     for (int i = 0; i < n; ++i) {
       const NodeId c = clients[rng.nextBelow(clients.size())];
-      auto [from, to] = randomWindow(rng, horizon, /*meanLenSeconds=*/30.0);
+      auto [from, to] = randomWindow(rng, horizon, /*meanLenSeconds=*/30.0, options);
       plan.crashWindow(from, to, c);
     }
   }
@@ -198,7 +218,7 @@ FaultPlan FaultPlan::random(Rng& rng, const RandomOptions& options,
         drawCount(intensity * 0.75 * static_cast<double>(servers.size()));
     for (int i = 0; i < n; ++i) {
       const NodeId s = servers[rng.nextBelow(servers.size())];
-      auto [from, to] = randomWindow(rng, horizon, /*meanLenSeconds=*/20.0);
+      auto [from, to] = randomWindow(rng, horizon, /*meanLenSeconds=*/20.0, options);
       plan.crashWindow(from, to, s);
     }
   }
@@ -209,7 +229,7 @@ FaultPlan FaultPlan::random(Rng& rng, const RandomOptions& options,
     for (int i = 0; i < n; ++i) {
       const NodeId c = clients[rng.nextBelow(clients.size())];
       const NodeId s = servers[rng.nextBelow(servers.size())];
-      auto [from, to] = randomWindow(rng, horizon, /*meanLenSeconds=*/60.0);
+      auto [from, to] = randomWindow(rng, horizon, /*meanLenSeconds=*/60.0, options);
       plan.partitionWindow(from, to, c, s);
     }
   }
@@ -221,7 +241,7 @@ FaultPlan FaultPlan::random(Rng& rng, const RandomOptions& options,
     const int n = drawCount(intensity * 2.0);
     for (int i = 0; i < n; ++i) {
       const double p = options.maxLossProbability * rng.nextDouble();
-      auto [from, to] = randomWindow(rng, horizon, /*meanLenSeconds=*/90.0);
+      auto [from, to] = randomWindow(rng, horizon, /*meanLenSeconds=*/90.0, options);
       plan.lossWindow(from, to, p);
     }
   }

@@ -85,6 +85,11 @@ class FaultPlan {
   /// oracle to widen its write-delay bound with a recovery allowance.)
   bool hasCrashes() const;
 
+  /// The [crash, recover) windows of `node`, in time order. A crash with
+  /// no matching recover yields a window closing at kNever. Used by the
+  /// real-run parity checker to excuse losses that a crash explains.
+  std::vector<std::pair<SimTime, SimTime>> crashWindows(NodeId node) const;
+
   /// Seeded chaos-schedule generator: everything is derived from `rng`,
   /// so the same (seed, intensity) pair reproduces the same plan.
   ///
@@ -111,6 +116,15 @@ class FaultPlan {
     /// (the default) generates no skew events and leaves the rng stream
     /// identical to pre-skew plans.
     SimDuration maxClockSkew = 0;
+    /// Scale factor on fault-window lengths. Simulated chaos runs use
+    /// minutes-long horizons; real-process runs (tools/vlease_rt) last
+    /// seconds, so they shrink the windows to fit. 1.0 (the default)
+    /// reproduces historical plans byte-for-byte: the scale multiplies
+    /// the mean of the SAME exponential draw, so the rng stream is
+    /// untouched.
+    double windowScale = 1.0;
+    /// Floor on a fault window's length after scaling.
+    SimDuration minWindow = sec(1);
   };
   static FaultPlan random(Rng& rng, const RandomOptions& options,
                           const std::vector<NodeId>& clients,

@@ -1,0 +1,267 @@
+#include "rt/parity.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+namespace vlease::rt {
+
+void RunLog::merge(const RunLog& other) {
+  epochs.insert(epochs.end(), other.epochs.begin(), other.epochs.end());
+  issues.insert(issues.end(), other.issues.begin(), other.issues.end());
+  writes.insert(writes.end(), other.writes.begin(), other.writes.end());
+  reads.insert(reads.end(), other.reads.begin(), other.reads.end());
+}
+
+std::string formatEpochLine(Epoch epoch) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "E %" PRId64 "\n", epoch);
+  return buf;
+}
+
+std::string formatWriteIssueLine(ObjectId obj, SimTime issuedAt) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "w %" PRIu64 " %" PRId64 "\n",
+                static_cast<std::uint64_t>(raw(obj)), issuedAt);
+  return buf;
+}
+
+std::string formatWriteLine(const WriteRecord& w) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "W %" PRIu64 " %" PRId64 " %" PRId64 " %" PRId64 " %" PRId64
+                "\n",
+                static_cast<std::uint64_t>(raw(w.obj)), w.version, w.issuedAt,
+                w.completedAt, w.delay);
+  return buf;
+}
+
+std::string formatReadLine(const ReadRecord& r) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "R %u %" PRIu64 " %" PRId64 " %" PRId64 " %d %d %" PRId64
+                "\n",
+                raw(r.client), static_cast<std::uint64_t>(raw(r.obj)),
+                r.issuedAt, r.completedAt, r.ok ? 1 : 0,
+                r.usedNetwork ? 1 : 0, r.version);
+  return buf;
+}
+
+RunLog parseRunLog(const std::string& text) {
+  RunLog log;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    switch (line[0]) {
+      case 'E': {
+        Epoch epoch = 0;
+        if (std::sscanf(line.c_str(), "E %" SCNd64, &epoch) == 1) {
+          log.epochs.push_back(epoch);
+        }
+        break;
+      }
+      case 'w': {
+        std::uint64_t obj = 0;
+        SimTime issuedAt = 0;
+        if (std::sscanf(line.c_str(), "w %" SCNu64 " %" SCNd64, &obj,
+                        &issuedAt) == 2) {
+          log.issues.push_back({makeObjectId(obj), issuedAt});
+        }
+        break;
+      }
+      case 'W': {
+        std::uint64_t obj = 0;
+        WriteRecord w;
+        if (std::sscanf(line.c_str(),
+                        "W %" SCNu64 " %" SCNd64 " %" SCNd64 " %" SCNd64
+                        " %" SCNd64,
+                        &obj, &w.version, &w.issuedAt, &w.completedAt,
+                        &w.delay) == 5) {
+          w.obj = makeObjectId(obj);
+          log.writes.push_back(w);
+        }
+        break;
+      }
+      case 'R': {
+        std::uint32_t client = 0;
+        std::uint64_t obj = 0;
+        int ok = 0;
+        int usedNet = 0;
+        ReadRecord r;
+        if (std::sscanf(line.c_str(),
+                        "R %u %" SCNu64 " %" SCNd64 " %" SCNd64 " %d %d %" SCNd64,
+                        &client, &obj, &r.issuedAt, &r.completedAt, &ok,
+                        &usedNet, &r.version) == 7) {
+          r.client = makeNodeId(client);
+          r.obj = makeObjectId(obj);
+          r.ok = ok != 0;
+          r.usedNetwork = usedNet != 0;
+          log.reads.push_back(r);
+        }
+        break;
+      }
+      default:
+        break;  // unknown / truncated line: skip
+    }
+  }
+  return log;
+}
+
+RunLog loadRunLog(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream body;
+  body << in.rdbuf();
+  return parseRunLog(body.str());
+}
+
+ParityCounts checkRealRun(const RunLog& log, const CheckerOptions& options,
+                          std::vector<std::string>* notes) {
+  ParityCounts counts;
+  const auto note = [&](const std::string& s) {
+    if (notes != nullptr) notes->push_back(s);
+  };
+
+  // Crash windows across all servers, merged. The harness runs
+  // single-server deployments, so a window explains any write.
+  std::vector<std::pair<SimTime, SimTime>> crashes;
+  for (const NodeId s : options.servers) {
+    const auto windows = options.plan.crashWindows(s);
+    crashes.insert(crashes.end(), windows.begin(), windows.end());
+  }
+  const SimDuration recoverySilence =
+      options.volumeTimeout + options.clockEpsilon;
+  const SimDuration allowedDelay = options.writeWaitBase +
+                                   options.clockEpsilon + options.msgTimeout +
+                                   options.slack;
+
+  // Does a crash window (down time or the post-recovery silence) overlap
+  // the write's [issuedAt, completedAt] lifetime?
+  const auto crashExplains = [&](SimTime issuedAt, SimTime completedAt) {
+    for (const auto& [crashAt, recoverAt] : crashes) {
+      const SimTime end =
+          recoverAt == kNever
+              ? kNever
+              : addSat(recoverAt, recoverySilence + options.slack);
+      if (issuedAt <= end && completedAt >= crashAt - options.slack) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // ---- stale reads ----
+  // Per-object commit history sorted by commit time with a prefix-max
+  // version: the freshest version guaranteed visible to a read issued at
+  // T is the prefix max at T - allowance.
+  std::unordered_map<std::uint64_t, std::vector<std::pair<SimTime, Version>>>
+      history;
+  for (const WriteRecord& w : log.writes) {
+    history[raw(w.obj)].emplace_back(w.completedAt, w.version);
+  }
+  for (auto& [obj, commits] : history) {
+    std::sort(commits.begin(), commits.end());
+    Version prefixMax = 0;
+    for (auto& [at, version] : commits) {
+      prefixMax = std::max(prefixMax, version);
+      version = prefixMax;
+    }
+  }
+  const SimDuration allowance =
+      options.slack + options.clockEpsilon + options.skewBudget;
+  for (const ReadRecord& r : log.reads) {
+    if (!r.ok) continue;
+    auto it = history.find(raw(r.obj));
+    if (it == history.end()) continue;
+    const auto& commits = it->second;
+    const SimTime cutoff = r.issuedAt - allowance;
+    auto upper = std::upper_bound(
+        commits.begin(), commits.end(), cutoff,
+        [](SimTime t, const auto& c) { return t < c.first; });
+    if (upper == commits.begin()) continue;
+    const Version mustSee = std::prev(upper)->second;
+    if (r.version < mustSee) {
+      ++counts.staleReads;
+      note("stale read: client " + std::to_string(raw(r.client)) + " obj " +
+           std::to_string(raw(r.obj)) + " at " + formatSimTime(r.issuedAt) +
+           " saw v" + std::to_string(r.version) + " < committed v" +
+           std::to_string(mustSee));
+    }
+  }
+
+  // ---- lost writes ----
+  std::map<std::pair<std::uint64_t, SimTime>, int> committed;
+  for (const WriteRecord& w : log.writes) {
+    ++committed[{raw(w.obj), w.issuedAt}];
+  }
+  for (const WriteIssueRecord& issue : log.issues) {
+    auto it = committed.find({raw(issue.obj), issue.issuedAt});
+    if (it != committed.end() && it->second > 0) {
+      --it->second;
+      continue;
+    }
+    // Writes issued too close to the horizon never had time to finish.
+    if (addSat(issue.issuedAt, allowedDelay + options.slack) >=
+        options.horizon) {
+      continue;
+    }
+    // The crash must overlap the interval the write was plausibly in
+    // flight; a crash long after the write should have committed does
+    // not excuse the loss.
+    if (crashExplains(issue.issuedAt,
+                      addSat(issue.issuedAt, allowedDelay + options.slack))) {
+      continue;
+    }
+    ++counts.lostWrites;
+    note("lost write: obj " + std::to_string(raw(issue.obj)) + " issued " +
+         formatSimTime(issue.issuedAt) + " never committed");
+  }
+
+  // ---- write-delay bound ----
+  for (const WriteRecord& w : log.writes) {
+    if (w.delay <= allowedDelay) continue;
+    if (crashExplains(w.issuedAt, w.completedAt)) continue;
+    ++counts.writeDelays;
+    note("write delay: obj " + std::to_string(raw(w.obj)) + " waited " +
+         formatSimTime(w.delay) + " > bound " + formatSimTime(allowedDelay));
+  }
+
+  // ---- early-recovery writes (real-only) ----
+  // A rebooted server must stay write-silent for one volume-lease term +
+  // epsilon measured from its restart; its process cannot have started
+  // before the plan's recover instant, so any commit in the silence
+  // window (minus slack for the restart latency) breaks the paper's
+  // recovery rule.
+  for (const auto& [crashAt, recoverAt] : crashes) {
+    if (recoverAt == kNever) continue;
+    const SimTime silentUntil =
+        addSat(recoverAt, recoverySilence - options.slack);
+    for (const WriteRecord& w : log.writes) {
+      if (w.completedAt >= recoverAt && w.completedAt < silentUntil) {
+        ++counts.earlyRecoveryWrites;
+        note("early-recovery write: obj " + std::to_string(raw(w.obj)) +
+             " committed " + formatSimTime(w.completedAt) +
+             " inside silence window ending " + formatSimTime(silentUntil));
+      }
+    }
+  }
+
+  // ---- epoch ratchet (real-only) ----
+  for (std::size_t i = 1; i < log.epochs.size(); ++i) {
+    if (log.epochs[i] <= log.epochs[i - 1]) {
+      ++counts.epochRegressions;
+      note("epoch regression: incarnation " + std::to_string(i) +
+           " logged epoch " + std::to_string(log.epochs[i]) + " <= " +
+           std::to_string(log.epochs[i - 1]));
+    }
+  }
+
+  return counts;
+}
+
+}  // namespace vlease::rt

@@ -1,0 +1,135 @@
+// Sim-vs-real parity: the record format worker processes log, and the
+// offline checker that audits a merged real-run log the way
+// driver::ConsistencyOracle audits a simulation.
+//
+// Workers append one line per observable event to a per-node log file
+// (fflush'd per line so a SIGKILL loses at most the line being written;
+// the parser tolerates a truncated tail):
+//
+//   E <epoch>                                        server (re)start
+//   w <obj> <issuedAt>                               write issued
+//   W <obj> <version> <issuedAt> <completedAt> <delay>   write committed
+//   R <client> <obj> <issuedAt> <completedAt> <ok> <usedNet> <version>
+//
+// Times are microseconds on the shared raw timeline. The checker mirrors
+// the oracle's verdict kinds on these records:
+//
+//   * stale read     -- an ok read returned a version older than a write
+//                       that committed at least `allowance` before the
+//                       read was issued (allowance = slack + epsilon +
+//                       skew budget, covering propagation and boundary
+//                       races the oracle handles with exact sim times);
+//   * lost write     -- a write was issued, never committed, had time to
+//                       finish before the horizon, and no server crash
+//                       explains the loss;
+//   * write delay    -- a committed write waited longer than
+//                       min(t, t_v) + epsilon + msgTimeout + slack, with
+//                       crash-recovery intervals exempt (the oracle's
+//                       grace);
+//   * early-recovery write -- REAL-ONLY: a write committed inside
+//                       [recover, recover + t_v + epsilon - slack) after
+//                       a server crash, violating the paper's rule that
+//                       a rebooted server stays silent for one lease
+//                       term; the simulator enforces this structurally,
+//                       a real cold restart must prove it on wall clock;
+//   * epoch regression -- REAL-ONLY: a server incarnation logged an
+//                       epoch <= a previous incarnation's (stable
+//                       storage failed to ratchet).
+//
+// tools/vlease_rt replays the same (workload, FaultPlan, seed) through
+// driver::Simulation and diffs these counts against the oracle's.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/fault_plan.h"
+#include "util/ids.h"
+#include "util/time.h"
+
+namespace vlease::rt {
+
+struct WriteIssueRecord {
+  ObjectId obj = makeObjectId(0);
+  SimTime issuedAt = 0;
+};
+
+struct WriteRecord {
+  ObjectId obj = makeObjectId(0);
+  Version version = 0;
+  SimTime issuedAt = 0;
+  SimTime completedAt = 0;
+  SimDuration delay = 0;
+};
+
+struct ReadRecord {
+  NodeId client = makeNodeId(0);
+  ObjectId obj = makeObjectId(0);
+  SimTime issuedAt = 0;
+  SimTime completedAt = 0;
+  bool ok = false;
+  bool usedNetwork = false;
+  Version version = 0;
+};
+
+struct RunLog {
+  std::vector<Epoch> epochs;  // one per server (re)start, in order
+  std::vector<WriteIssueRecord> issues;
+  std::vector<WriteRecord> writes;
+  std::vector<ReadRecord> reads;
+
+  void merge(const RunLog& other);
+};
+
+// ---- record formatting (what workers write) ----
+std::string formatEpochLine(Epoch epoch);
+std::string formatWriteIssueLine(ObjectId obj, SimTime issuedAt);
+std::string formatWriteLine(const WriteRecord& w);
+std::string formatReadLine(const ReadRecord& r);
+
+/// Parse a log body. Malformed or truncated lines are skipped (a
+/// SIGKILLed worker's last line may be partial -- that is expected).
+RunLog parseRunLog(const std::string& text);
+
+/// Load + parse a log file; a missing file yields an empty log.
+RunLog loadRunLog(const std::string& path);
+
+/// Real-run verdict counts, one field per oracle-mirrored kind.
+struct ParityCounts {
+  std::int64_t staleReads = 0;
+  std::int64_t lostWrites = 0;
+  std::int64_t writeDelays = 0;
+  std::int64_t earlyRecoveryWrites = 0;
+  std::int64_t epochRegressions = 0;
+
+  std::int64_t total() const {
+    return staleReads + lostWrites + writeDelays + earlyRecoveryWrites +
+           epochRegressions;
+  }
+};
+
+struct CheckerOptions {
+  /// min(t, t_v): the base a write may wait for silent lease expiry.
+  SimDuration writeWaitBase = 0;
+  /// The volume-lease term t_v (recovery silence = t_v + epsilon).
+  SimDuration volumeTimeout = 0;
+  SimDuration clockEpsilon = 0;
+  SimDuration msgTimeout = 0;
+  /// Real-scheduling allowance added to every bound.
+  SimDuration slack = msec(500);
+  SimDuration skewBudget = 0;
+  /// End of the run on the shared timeline.
+  SimTime horizon = 0;
+  /// The plan that ran, for crash-window exemptions.
+  net::FaultPlan plan;
+  /// Server nodes (their crash windows gate write exemptions).
+  std::vector<NodeId> servers;
+};
+
+/// Audit a merged real-run log. Appends a human line per violation to
+/// `notes` when non-null.
+ParityCounts checkRealRun(const RunLog& log, const CheckerOptions& options,
+                          std::vector<std::string>* notes = nullptr);
+
+}  // namespace vlease::rt

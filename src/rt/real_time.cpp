@@ -3,6 +3,7 @@
 #include <poll.h>
 
 #include <algorithm>
+#include <iterator>
 
 #include "util/check.h"
 
@@ -11,10 +12,23 @@ namespace vlease::rt {
 RealTimeDriver::RealTimeDriver()
     : start_(std::chrono::steady_clock::now()) {}
 
-SimTime RealTimeDriver::elapsed() const {
+SimTime RealTimeDriver::rawElapsed() const {
   return std::chrono::duration_cast<std::chrono::microseconds>(
              std::chrono::steady_clock::now() - start_)
       .count();
+}
+
+SimTime RealTimeDriver::elapsed() const {
+  SimTime v = rawElapsed() + clockOffset_;
+  if (v < lastElapsed_) return lastElapsed_;
+  lastElapsed_ = v;
+  return v;
+}
+
+void RealTimeDriver::alignStart(std::int64_t steadyEpochMicros) {
+  start_ = std::chrono::steady_clock::time_point(
+      std::chrono::microseconds(steadyEpochMicros));
+  lastElapsed_ = 0;
 }
 
 void RealTimeDriver::watchFd(int fd, FdHandler onReadable) {
@@ -39,11 +53,27 @@ void RealTimeDriver::drainPosts() {
     std::lock_guard<std::mutex> lock(postMutex_);
     batch.swap(posts_);
   }
-  for (auto& fn : batch) fn();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (stopped_.load()) {
+      // Drain barrier: stop() was requested (possibly by batch[i-1]
+      // itself tearing the node down). Re-queue the remaining
+      // callbacks, in order and ahead of anything posted since, so
+      // they run on the next run() instead of against a half-torn-down
+      // node.
+      std::lock_guard<std::mutex> lock(postMutex_);
+      posts_.insert(posts_.begin(),
+                    std::make_move_iterator(batch.begin() +
+                                            static_cast<std::ptrdiff_t>(i)),
+                    std::make_move_iterator(batch.end()));
+      return;
+    }
+    batch[i]();
+  }
 }
 
 void RealTimeDriver::step(int pollTimeoutMs) {
   drainPosts();
+  if (stepHook_) stepHook_(rawElapsed());
   scheduler_.runUntil(elapsed());
 
   std::vector<pollfd> pfds;

@@ -13,6 +13,16 @@
 //
 // One RealTimeDriver == one protocol node's event loop thread. Nothing
 // in the endpoint code knows whether time is virtual or real.
+//
+// Multi-process deployments (tools/vlease_rt) need two extras:
+//   * alignStart() re-anchors the zero point to a steady-clock instant
+//     shared by every worker process (CLOCK_MONOTONIC is machine-wide
+//     on Linux), so all nodes agree on what "t = 0" means;
+//   * setClockOffset() skews THIS node's view of elapsed time -- the
+//     real-deployment analogue of sim::LocalClock, used to execute
+//     FaultPlan kSkew/kDrift events against live endpoints. elapsed()
+//     is clamped monotone so an offset step can never run time
+//     backwards under the scheduler.
 #pragma once
 
 #include <atomic>
@@ -34,9 +44,33 @@ class RealTimeDriver {
 
   sim::Scheduler& scheduler() { return scheduler_; }
 
-  /// Microseconds of wall time since the driver was constructed (the
-  /// value the scheduler's virtual clock tracks).
+  /// Microseconds of wall time since the start anchor, plus the clock
+  /// offset, clamped monotone (the value the scheduler's virtual clock
+  /// tracks). Loop thread only.
   SimTime elapsed() const;
+
+  /// Unskewed microseconds since the start anchor. May be negative if
+  /// the anchor was aligned into the future and it has not arrived yet.
+  SimTime rawElapsed() const;
+
+  /// Re-anchor "t = 0" to an absolute steady-clock instant, expressed
+  /// as microseconds since the steady clock's epoch. A parent process
+  /// picks one instant slightly in the future and passes it to every
+  /// worker so their timelines coincide. Call before running the loop.
+  void alignStart(std::int64_t steadyEpochMicros);
+
+  /// Skew this node's clock by `offset` (positive = clock runs ahead).
+  /// Loop thread only; elapsed() never moves backwards -- a negative
+  /// step freezes the clock until raw time catches up.
+  void setClockOffset(SimDuration offset) { clockOffset_ = offset; }
+  SimDuration clockOffset() const { return clockOffset_; }
+
+  /// Hook invoked once per loop iteration with the raw (unskewed)
+  /// elapsed time, before timers fire. The chaos shim uses this to
+  /// apply FaultPlan windows on the real timeline. Loop thread only.
+  void setStepHook(std::function<void(SimTime rawNow)> hook) {
+    stepHook_ = std::move(hook);
+  }
 
   /// Watch a file descriptor for readability.
   void watchFd(int fd, FdHandler onReadable);
@@ -48,6 +82,13 @@ class RealTimeDriver {
   /// Run the loop until stop() is called (from any thread) or
   /// `forMicros` of wall time elapse (0 = no bound).
   void run(SimDuration forMicros = 0);
+
+  /// Request the loop to exit. Acts as a drain barrier: once observed,
+  /// no further post() callbacks are invoked -- anything still queued
+  /// (including the rest of the batch being drained) is held until the
+  /// next run(). This makes "post stop-and-teardown, then more work"
+  /// safe: the work after the teardown callback never runs against the
+  /// half-torn-down node.
   void stop() { stopped_.store(true); }
 
   /// Single iteration (poll + timers + posts); exposed for tests.
@@ -62,6 +103,9 @@ class RealTimeDriver {
   std::mutex postMutex_;
   std::vector<std::function<void()>> posts_;
   std::atomic<bool> stopped_{false};
+  SimDuration clockOffset_ = 0;
+  mutable SimTime lastElapsed_ = 0;  // monotone clamp floor
+  std::function<void(SimTime)> stepHook_;
 };
 
 }  // namespace vlease::rt

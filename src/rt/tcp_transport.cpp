@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -43,7 +44,14 @@ std::vector<std::uint8_t> frameOf(const net::Message& msg) {
 
 TcpTransport::TcpTransport(RealTimeDriver& driver, stats::Metrics& metrics,
                            std::uint16_t port)
-    : driver_(driver), metrics_(metrics) {
+    : TcpTransport(driver, metrics, port, Options{}) {}
+
+TcpTransport::TcpTransport(RealTimeDriver& driver, stats::Metrics& metrics,
+                           std::uint16_t port, const Options& options)
+    : driver_(driver),
+      metrics_(metrics),
+      options_(options),
+      jitterState_(options.jitterSeed | 1) {
   listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   VL_CHECK_MSG(listenFd_ >= 0, "socket() failed");
   int one = 1;
@@ -83,7 +91,7 @@ TcpTransport::~TcpTransport() {
 
 void TcpTransport::addPeer(NodeId node, const std::string& host,
                            std::uint16_t port) {
-  peers_[node] = Peer{host, port, -1};
+  peers_[node] = Peer{host, port, -1, false};
 }
 
 void TcpTransport::attach(NodeId node, net::MessageSink* sink) {
@@ -121,6 +129,15 @@ void TcpTransport::readReady(int fd) {
   std::uint8_t chunk[4096];
   ssize_t n = ::recv(fd, chunk, sizeof(chunk), MSG_DONTWAIT);
   if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK)) {
+    // Connection died. A non-empty accumulator is a frame that can now
+    // never complete -- the sender aborted mid-write (or was killed):
+    // reject it so the loss is visible.
+    if (!conn.buffer.empty()) {
+      ++framesRejected_;
+      metrics_.onTransportFrameRejected();
+      VL_LOG_WARN << "tcp: connection died mid-frame, "
+                  << conn.buffer.size() << " byte prefix rejected";
+    }
     closeConnection(fd);
     return;
   }
@@ -136,6 +153,7 @@ void TcpTransport::readReady(int fd) {
     }
     if (len > (1u << 24)) {  // corrupt length: drop the connection
       ++framesRejected_;
+      metrics_.onTransportFrameRejected();
       closeConnection(fd);
       return;
     }
@@ -144,7 +162,12 @@ void TcpTransport::readReady(int fd) {
     offset += 4 + len;
     if (!msg.has_value()) {
       ++framesRejected_;
+      metrics_.onTransportFrameRejected();
       VL_LOG_WARN << "tcp: undecodable frame dropped";
+      continue;
+    }
+    if (faultHook_ != nullptr && faultHook_->dropInbound(msg->from, msg->to)) {
+      ++injectedDrops_;
       continue;
     }
     ++framesReceived_;
@@ -177,12 +200,34 @@ int TcpTransport::connectPeer(Peer& peer) {
     ::close(fd);
     return -1;
   }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+  // Nonblocking connect with a bounded deadline: a blocked-off or
+  // blackholed peer must not stall the event loop for the kernel's
+  // default SYN-retry minutes.
+  setNonBlocking(fd);
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno == EINPROGRESS) {
+    pollfd p{fd, POLLOUT, 0};
+    if (::poll(&p, 1, options_.connectTimeoutMs) <= 0) {
+      ::close(fd);
+      return -1;
+    }
+    int soerr = 0;
+    socklen_t slen = sizeof(soerr);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &slen) != 0 ||
+        soerr != 0) {
+      ::close(fd);
+      return -1;
+    }
+  } else if (rc != 0) {
     ::close(fd);
     return -1;
   }
   setNoDelay(fd);
-  setNonBlocking(fd);  // connect() completed while still blocking
+  if (peer.everConnected) {
+    ++reconnects_;
+    metrics_.onTransportReconnect();
+  }
+  peer.everConnected = true;
   peer.fd = fd;
   // Watch for replies arriving on the outbound connection too.
   connections_.emplace(fd, Connection{fd, {}});
@@ -190,34 +235,47 @@ int TcpTransport::connectPeer(Peer& peer) {
   return fd;
 }
 
-bool TcpTransport::writeFrame(int fd, const std::vector<std::uint8_t>& frame) {
+bool TcpTransport::writeBytes(int fd, const std::uint8_t* data,
+                              std::size_t size, std::size_t* writtenOut) {
   std::size_t written = 0;
+  while (written < size) {
+    ssize_t n = ::send(fd, data + written, size - written, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Nonblocking socket with a full buffer: wait for space, bounded.
+      // Frames are small (tens of bytes to a few KB) and peers drain
+      // continuously, so the configured stall timeout covers any
+      // scheduling hiccup on a loaded host without letting a truly
+      // wedged peer block the sender forever; on timeout the frame is
+      // dropped (Transport is best-effort).
+      pollfd p{fd, POLLOUT, 0};
+      if (::poll(&p, 1, options_.writeStallTimeoutMs) > 0) continue;
+      if (writtenOut != nullptr) *writtenOut = written;
+      return false;
+    }
+    if (n <= 0) {
+      if (writtenOut != nullptr) *writtenOut = written;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (writtenOut != nullptr) *writtenOut = written;
+  return true;
+}
+
+bool TcpTransport::writeFrame(int fd, const std::vector<std::uint8_t>& frame) {
   // On ANY failure return path the caller closes the connection, which
   // is what makes a retry safe: bytes already written (written > 0 --
   // counted as a partial-frame abort) form a strict prefix of the frame
   // on a connection the peer will tear down, so they can never combine
   // with the retried copy into a duplicate delivery.
-  while (written < frame.size()) {
-    ssize_t n = ::send(fd, frame.data() + written, frame.size() - written,
-                       MSG_NOSIGNAL);
-    if (n < 0 && errno == EINTR) continue;
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      // Nonblocking socket with a full buffer: wait for space, bounded.
-      // Frames are small (tens of bytes to a few KB) and peers drain
-      // continuously, so a second covers any scheduling hiccup on a
-      // loaded host without letting a truly wedged peer block the
-      // sender forever; on timeout the frame is dropped (Transport is
-      // best-effort).
-      pollfd p{fd, POLLOUT, 0};
-      if (::poll(&p, 1, /*timeout_ms=*/1000) > 0) continue;
-      if (written > 0) ++partialFrameAborts_;
-      return false;
+  std::size_t written = 0;
+  if (!writeBytes(fd, frame.data(), frame.size(), &written)) {
+    if (written > 0) {
+      ++partialFrameAborts_;
+      metrics_.onTransportFrameAbort();
     }
-    if (n <= 0) {
-      if (written > 0) ++partialFrameAborts_;
-      return false;
-    }
-    written += static_cast<std::size_t>(n);
+    return false;
   }
   return true;
 }
@@ -231,6 +289,41 @@ bool TcpTransport::trySendFrame(Peer& peer,
     return false;
   }
   return true;
+}
+
+void TcpTransport::backoffSleep(int attempt) {
+  std::int64_t delayMs = options_.retryBackoffBaseMs;
+  for (int i = 1; i < attempt && delayMs < options_.retryBackoffCapMs; ++i) {
+    delayMs *= 2;
+  }
+  delayMs = std::min<std::int64_t>(delayMs, options_.retryBackoffCapMs);
+  // xorshift jitter in [0.5, 1.5): decorrelates retry storms when many
+  // senders lose the same peer at once.
+  jitterState_ ^= jitterState_ << 13;
+  jitterState_ ^= jitterState_ >> 7;
+  jitterState_ ^= jitterState_ << 17;
+  const double jitter =
+      0.5 + static_cast<double>(jitterState_ >> 11) /
+                static_cast<double>(1ull << 53);
+  delayMs = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(static_cast<double>(delayMs) * jitter));
+  ::poll(nullptr, 0, static_cast<int>(delayMs));
+}
+
+void TcpTransport::injectTruncation(Peer& peer,
+                                    const std::vector<std::uint8_t>& frame,
+                                    const SendFault& fault) {
+  int fd = connectPeer(peer);
+  if (fd < 0) return;  // peer unreachable anyway; the frame is lost
+  const std::size_t prefix = std::min(fault.truncateAt, frame.size());
+  std::size_t written = 0;
+  writeBytes(fd, frame.data(), prefix, &written);
+  if (written > 0 && written < frame.size()) {
+    ++partialFrameAborts_;
+    metrics_.onTransportFrameAbort();
+  }
+  if (fault.halfClose) ::shutdown(fd, SHUT_WR);
+  closeConnection(fd);
 }
 
 void TcpTransport::send(net::Message msg) {
@@ -249,19 +342,43 @@ void TcpTransport::send(net::Message msg) {
     VL_LOG_WARN << "tcp: no route to node " << raw(msg.to);
     return;
   }
+  const std::vector<std::uint8_t> frame = frameOf(msg);
+
+  if (faultHook_ != nullptr) {
+    const SendFault fault = faultHook_->onSend(msg.from, msg.to, frame.size());
+    if (fault.kind == SendFault::Kind::kDrop) {
+      ++injectedDrops_;
+      metrics_.onMessage(msg.from, msg.to, net::payloadTypeIndex(msg.payload),
+                         net::wireBytes(msg.payload), driver_.elapsed(),
+                         /*delivered=*/false);
+      return;
+    }
+    if (fault.kind == SendFault::Kind::kTruncate) {
+      ++injectedTruncations_;
+      metrics_.onMessage(msg.from, msg.to, net::payloadTypeIndex(msg.payload),
+                         net::wireBytes(msg.payload), driver_.elapsed(),
+                         /*delivered=*/false);
+      // Injected mid-write death. No retry: the injected fault IS the
+      // loss, and the protocols must recover from it.
+      injectTruncation(peerIt->second, frame, fault);
+      return;
+    }
+  }
+
   metrics_.onMessage(msg.from, msg.to, net::payloadTypeIndex(msg.payload),
                      net::wireBytes(msg.payload), driver_.elapsed(),
                      /*delivered=*/true);
-  const std::vector<std::uint8_t> frame = frameOf(msg);
   bool sent = trySendFrame(peerIt->second, frame);
-  if (!sent) {
-    // Retry once on a fresh connection after a short backoff. The
-    // common transient failures -- a restarted peer answering a stale
-    // fd with RST, or a connect racing the peer's listen() -- heal on
-    // reconnect; anything still failing after that is treated as loss
-    // (Transport is best-effort and the protocols tolerate drops).
+  // Reconnect-and-resend under capped jittered exponential backoff. The
+  // common transient failures -- a restarted peer answering a stale fd
+  // with RST, or a connect racing the peer's listen() -- heal on
+  // reconnect; anything still failing after maxRetries attempts is
+  // treated as loss (Transport is best-effort and the protocols
+  // tolerate drops).
+  for (int attempt = 1; !sent && attempt <= options_.maxRetries; ++attempt) {
     ++sendRetries_;
-    ::poll(nullptr, 0, /*timeout_ms=*/2);
+    metrics_.onTransportRetry();
+    backoffSleep(attempt);
     sent = trySendFrame(peerIt->second, frame);
   }
   if (!sent) {

@@ -13,9 +13,11 @@
 // stay blocking for writes -- messages are small and peers drain
 // promptly; reads are level-triggered through the driver's poll loop).
 // A frame that fails decodeMessage() (truncated or corrupted beyond its
-// checksum) is dropped and counted in framesRejected(), never delivered.
+// checksum) is dropped and counted in framesRejected(), never delivered;
+// a connection that dies mid-frame (EOF or hard error with a partial
+// frame buffered) counts the abandoned prefix as a rejected frame too.
 //
-// Exactly-once per frame under the single-retry send path: a failed
+// Exactly-once per frame under the bounded-retry send path: a failed
 // write always closes its connection before the retry, so the peer
 // discards any half-received prefix with the connection; the retry
 // resends the WHOLE frame on a fresh connection -- i.e. transmission
@@ -23,9 +25,18 @@
 // can make the peer parse the same frame twice.
 //
 // Failure semantics match Transport's contract: best effort. A peer
-// that cannot be reached (connect/write failure) drops the message; the
-// protocols already tolerate loss (leases expire, reads time out, the
-// reconnection path repairs state).
+// that cannot be reached (connect/write failure after Options::maxRetries
+// reconnect attempts under capped jittered exponential backoff) drops
+// the message; the protocols already tolerate loss (leases expire, reads
+// time out, the reconnection path repairs state).
+//
+// Chaos shim: setFaultHook() interposes a FaultHook on the socket path.
+// The hook can drop an outbound frame, truncate it mid-write at an
+// injected byte offset (optionally half-closing so the peer reads the
+// prefix then EOF), or drop an inbound frame after decode -- this is how
+// tools/vlease_rt executes FaultPlan partition/isolate/loss windows
+// against live deployments. Injected faults are counted separately from
+// organic failures and are never retried (an injected drop IS the loss).
 #pragma once
 
 #include <cstdint>
@@ -39,21 +50,74 @@
 
 namespace vlease::rt {
 
+/// What a FaultHook tells the transport to do with one outbound frame.
+struct SendFault {
+  enum class Kind : std::uint8_t {
+    kDeliver,   // send normally
+    kDrop,      // do not send at all
+    kTruncate,  // write `truncateAt` bytes, then kill the connection
+  };
+  Kind kind = Kind::kDeliver;
+  /// For kTruncate: bytes of the frame to emit before dying. Clamped to
+  /// the frame size; a value >= frame size degrades to a full write
+  /// followed by a connection kill (the peer still gets the frame).
+  std::size_t truncateAt = 0;
+  /// For kTruncate: shutdown(SHUT_WR) first so the peer reads the
+  /// prefix then a clean EOF (vs. an abortive close).
+  bool halfClose = false;
+};
+
+/// Socket-level fault shim (see header comment). Implementations must
+/// be cheap; called on the loop thread for every remote frame.
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+  /// Decide the fate of an outbound frame of `frameBytes` total bytes.
+  virtual SendFault onSend(NodeId from, NodeId to, std::size_t frameBytes) = 0;
+  /// Drop a decoded inbound frame before delivery (models frames that
+  /// were already in flight when a partition window opened).
+  virtual bool dropInbound(NodeId from, NodeId to) = 0;
+};
+
 class TcpTransport final : public net::Transport {
  public:
+  /// Socket-path policy. Defaults preserve the historical behavior:
+  /// retry once after ~2 ms, give a stalled write a second to drain.
+  struct Options {
+    /// Deadline for establishing an outbound connection.
+    int connectTimeoutMs = 1000;
+    /// First retry backoff; attempt k sleeps
+    /// min(cap, base << (k-1)) * jitter, jitter uniform in [0.5, 1.5).
+    int retryBackoffBaseMs = 2;
+    int retryBackoffCapMs = 64;
+    /// Reconnect-and-resend attempts after the first failed send.
+    int maxRetries = 1;
+    /// How long a mid-frame write waits for POLLOUT before aborting the
+    /// frame (the old hard-coded 1000 ms).
+    int writeStallTimeoutMs = 1000;
+    /// Seed for the backoff jitter stream (deterministic per transport).
+    std::uint64_t jitterSeed = 0x9e3779b97f4a7c15ull;
+  };
+
   /// Listens on 127.0.0.1:`port` (port 0 picks a free port; see
   /// listenPort()). Registers with the driver's poll loop.
   TcpTransport(RealTimeDriver& driver, stats::Metrics& metrics,
                std::uint16_t port);
+  TcpTransport(RealTimeDriver& driver, stats::Metrics& metrics,
+               std::uint16_t port, const Options& options);
   ~TcpTransport() override;
 
   TcpTransport(const TcpTransport&) = delete;
   TcpTransport& operator=(const TcpTransport&) = delete;
 
   std::uint16_t listenPort() const { return listenPort_; }
+  const Options& options() const { return options_; }
 
   /// Declare where a remote node lives.
   void addPeer(NodeId node, const std::string& host, std::uint16_t port);
+
+  /// Install / clear the chaos shim (nullptr = none). Not owned.
+  void setFaultHook(FaultHook* hook) { faultHook_ = hook; }
 
   // net::Transport
   void attach(NodeId node, net::MessageSink* sink) override;
@@ -67,18 +131,27 @@ class TcpTransport final : public net::Transport {
   /// connection (successful or not; failures also bump sendFailures()).
   std::int64_t sendRetries() const { return sendRetries_; }
   /// Inbound frames dropped because they failed to decode (corrupt
-  /// length prefix or checksum/parse failure). Never delivered.
+  /// length prefix, checksum/parse failure, or a connection that died
+  /// leaving a partial frame). Never delivered.
   std::int64_t framesRejected() const { return framesRejected_; }
   /// Write attempts abandoned after some -- but not all -- of a frame's
   /// bytes entered the socket; the connection is closed so the prefix
   /// can never complete into a deliverable frame on the peer.
   std::int64_t partialFrameAborts() const { return partialFrameAborts_; }
+  /// Successful connects to a peer that had connected before (i.e. the
+  /// previous connection died and was reopened).
+  std::int64_t reconnects() const { return reconnects_; }
+  /// Frames suppressed by the fault hook (outbound + inbound drops).
+  std::int64_t injectedDrops() const { return injectedDrops_; }
+  /// Frames killed mid-write by the fault hook.
+  std::int64_t injectedTruncations() const { return injectedTruncations_; }
 
  private:
   struct Peer {
     std::string host;
     std::uint16_t port = 0;
     int fd = -1;
+    bool everConnected = false;
   };
   struct Connection {
     int fd;
@@ -88,15 +161,27 @@ class TcpTransport final : public net::Transport {
   void acceptReady();
   void readReady(int fd);
   void closeConnection(int fd);
+  bool writeBytes(int fd, const std::uint8_t* data, std::size_t size,
+                  std::size_t* writtenOut);
   bool writeFrame(int fd, const std::vector<std::uint8_t>& frame);
   int connectPeer(Peer& peer);
   /// One connect+write attempt; on write failure the connection is
   /// closed and the peer's fd forgotten so the next attempt reconnects.
   bool trySendFrame(Peer& peer, const std::vector<std::uint8_t>& frame);
   void deliverLocal(const net::Message& msg);
+  /// Sleep out the capped jittered exponential backoff before retry
+  /// attempt `attempt` (1-based).
+  void backoffSleep(int attempt);
+  /// Execute an injected truncation: write the prefix, kill the
+  /// connection. Returns after the connection is gone.
+  void injectTruncation(Peer& peer, const std::vector<std::uint8_t>& frame,
+                        const SendFault& fault);
 
   RealTimeDriver& driver_;
   stats::Metrics& metrics_;
+  Options options_;
+  std::uint64_t jitterState_;
+  FaultHook* faultHook_ = nullptr;
   int listenFd_ = -1;
   std::uint16_t listenPort_ = 0;
   std::unordered_map<NodeId, net::MessageSink*> sinks_;
@@ -108,6 +193,9 @@ class TcpTransport final : public net::Transport {
   std::int64_t sendRetries_ = 0;
   std::int64_t framesRejected_ = 0;
   std::int64_t partialFrameAborts_ = 0;
+  std::int64_t reconnects_ = 0;
+  std::int64_t injectedDrops_ = 0;
+  std::int64_t injectedTruncations_ = 0;
 };
 
 }  // namespace vlease::rt

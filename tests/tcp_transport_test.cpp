@@ -545,7 +545,9 @@ TEST(TcpTransportFraming, PeerDyingMidFrameDeliversNothingCorruptionCounted) {
   loop.join();
   EXPECT_EQ(sink.received.load(), 1);
   EXPECT_EQ(transport.framesReceived(), 1);
-  EXPECT_EQ(transport.framesRejected(), 1);
+  // Two rejections: the connection that died mid-frame (EOF with a
+  // partial frame buffered) and the corrupted frame.
+  EXPECT_EQ(transport.framesRejected(), 2);
 }
 
 TEST(TcpTransportRetry, PartialWriteRetryDeliversFrameExactlyOnce) {
