@@ -1,0 +1,74 @@
+// Readiness backend for the rt layer's event loops.
+//
+// One interface, two backends:
+//   * kEpoll (Linux): one epoll instance per loop; add/mod/del map to
+//     epoll_ctl and wait() to epoll_wait. Level-triggered on purpose --
+//     the transport drains sockets until EAGAIN anyway, and level
+//     triggering keeps the "handler didn't finish the job" case safe by
+//     construction (the fd simply reports ready again next wait).
+//   * kPoll (portable fallback): the pollfd array the rt layer started
+//     with, kept behind the same interface so a kqueue backend can slot
+//     in beside epoll later without touching the driver or transport.
+//
+// The configure-time default is epoll where <sys/epoll.h> exists
+// (VLEASE_HAVE_EPOLL, set by src/rt/CMakeLists.txt) and poll elsewhere;
+// EventLoop::create(Backend) overrides it at runtime so tests exercise
+// both backends on the same machine.
+//
+// Contract notes:
+//   * interest is level-triggered for both read and write;
+//   * wait() never returns an fd that was del()ed before the call, but a
+//     handler running off one wait() batch may del() an fd that is also
+//     in the same batch -- callers (the driver) re-check registration
+//     before dispatching each event;
+//   * del() on an fd that was never add()ed is a harmless no-op (the
+//     transport tears connections down from several paths).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace vlease::rt {
+
+class EventLoop {
+ public:
+  enum class Backend { kPoll, kEpoll };
+
+  /// One readiness report. `error` covers EPOLLERR/EPOLLHUP (POLLERR/
+  /// POLLHUP); callers treat it like readability so the read path
+  /// observes the EOF/error and closes the connection.
+  struct Event {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    bool error = false;
+  };
+
+  virtual ~EventLoop() = default;
+
+  /// Register `fd` with the given interest set. Registering an fd twice
+  /// is a programming error on the epoll backend; use mod().
+  virtual void add(int fd, bool read, bool write) = 0;
+  /// Change the interest set of a registered fd.
+  virtual void mod(int fd, bool read, bool write) = 0;
+  /// Remove an fd. No-op if it was never registered.
+  virtual void del(int fd) = 0;
+
+  /// Block up to `timeoutMs` (0 = poll, <0 = forever) and append every
+  /// ready fd to `out` (cleared first). Returns the number of events,
+  /// 0 on timeout; EINTR is treated as a timeout.
+  virtual int wait(std::vector<Event>& out, int timeoutMs) = 0;
+
+  virtual Backend backend() const = 0;
+  virtual const char* name() const = 0;
+
+  /// The configure-time default backend (epoll when compiled in).
+  static Backend defaultBackend();
+  static std::unique_ptr<EventLoop> create(Backend backend);
+  static std::unique_ptr<EventLoop> create() {
+    return create(defaultBackend());
+  }
+};
+
+}  // namespace vlease::rt

@@ -1,16 +1,48 @@
 #include "rt/real_time.h"
 
-#include <poll.h>
+#include <fcntl.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <iterator>
 
 #include "util/check.h"
 
+#if defined(__linux__)
+#include <sys/eventfd.h>
+#endif
+
 namespace vlease::rt {
 
-RealTimeDriver::RealTimeDriver()
-    : start_(std::chrono::steady_clock::now()) {}
+RealTimeDriver::RealTimeDriver() : RealTimeDriver(EventLoop::defaultBackend()) {}
+
+RealTimeDriver::RealTimeDriver(EventLoop::Backend backend)
+    : start_(std::chrono::steady_clock::now()),
+      loop_(EventLoop::create(backend)) {
+#if defined(__linux__)
+  wakeFd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  VL_CHECK_MSG(wakeFd_ >= 0, "eventfd() failed");
+  wakeWriteFd_ = wakeFd_;
+#else
+  int fds[2];
+  VL_CHECK_MSG(::pipe(fds) == 0, "pipe() failed");
+  for (const int fd : fds) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  }
+  wakeFd_ = fds[0];
+  wakeWriteFd_ = fds[1];
+#endif
+  // The wake fd is registered like any other watched fd; its handler
+  // just drains the counter. Its presence also means the readiness wait
+  // is never a bare sleep: a cross-thread post() interrupts it.
+  watchFd(wakeFd_, [this]() { drainWakeFd(); });
+}
+
+RealTimeDriver::~RealTimeDriver() {
+  ::close(wakeFd_);
+  if (wakeWriteFd_ != wakeFd_) ::close(wakeWriteFd_);
+}
 
 SimTime RealTimeDriver::rawElapsed() const {
   return std::chrono::duration_cast<std::chrono::microseconds>(
@@ -19,7 +51,7 @@ SimTime RealTimeDriver::rawElapsed() const {
 }
 
 SimTime RealTimeDriver::elapsed() const {
-  SimTime v = rawElapsed() + clockOffset_;
+  SimTime v = rawElapsed() + clockOffset_.load(std::memory_order_relaxed);
   if (v < lastElapsed_) return lastElapsed_;
   lastElapsed_ = v;
   return v;
@@ -33,18 +65,58 @@ void RealTimeDriver::alignStart(std::int64_t steadyEpochMicros) {
 
 void RealTimeDriver::watchFd(int fd, FdHandler onReadable) {
   VL_CHECK(fd >= 0);
-  fds_.emplace_back(fd, std::move(onReadable));
+  VL_CHECK(fds_.count(fd) == 0);
+  fds_.emplace(fd, FdHandlers{std::move(onReadable), nullptr, false});
+  loop_->add(fd, /*read=*/true, /*write=*/false);
 }
 
 void RealTimeDriver::unwatchFd(int fd) {
-  fds_.erase(std::remove_if(fds_.begin(), fds_.end(),
-                            [fd](const auto& p) { return p.first == fd; }),
-             fds_.end());
+  if (fds_.erase(fd) == 0) return;
+  loop_->del(fd);
+}
+
+void RealTimeDriver::setWriteHandler(int fd, FdHandler onWritable) {
+  auto it = fds_.find(fd);
+  VL_CHECK(it != fds_.end());
+  it->second.onWritable = std::move(onWritable);
+}
+
+void RealTimeDriver::setWriteInterest(int fd, bool enabled) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) return;  // connection already torn down
+  if (it->second.wantWrite == enabled) return;
+  it->second.wantWrite = enabled;
+  loop_->mod(fd, /*read=*/true, /*write=*/enabled);
+}
+
+void RealTimeDriver::addBeforeWaitHook(std::function<void()> hook) {
+  beforeWaitHooks_.push_back(std::move(hook));
+}
+
+void RealTimeDriver::runBeforeWaitHooks() {
+  for (const auto& hook : beforeWaitHooks_) hook();
+}
+
+void RealTimeDriver::wake() {
+  if (wakeWriteFd_ < 0) return;
+  const std::uint64_t one = 1;
+  // A full pipe / saturated counter already guarantees a pending wake.
+  [[maybe_unused]] ssize_t n =
+      ::write(wakeWriteFd_, &one, sizeof(one));
+}
+
+void RealTimeDriver::drainWakeFd() {
+  std::uint64_t buf[16];
+  while (::read(wakeFd_, buf, sizeof(buf)) > 0) {
+  }
 }
 
 void RealTimeDriver::post(std::function<void()> fn) {
-  std::lock_guard<std::mutex> lock(postMutex_);
-  posts_.push_back(std::move(fn));
+  {
+    std::lock_guard<std::mutex> lock(postMutex_);
+    posts_.push_back(std::move(fn));
+  }
+  wake();
 }
 
 void RealTimeDriver::drainPosts() {
@@ -71,38 +143,47 @@ void RealTimeDriver::drainPosts() {
   }
 }
 
-void RealTimeDriver::step(int pollTimeoutMs) {
+void RealTimeDriver::step(int waitTimeoutMs) {
+  const std::thread::id prevLoopThread =
+      loopThread_.load(std::memory_order_relaxed);
+  loopThread_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+
   drainPosts();
   if (stepHook_) stepHook_(rawElapsed());
   scheduler_.runUntil(elapsed());
 
-  std::vector<pollfd> pfds;
-  pfds.reserve(fds_.size());
-  for (const auto& [fd, handler] : fds_) {
-    pfds.push_back(pollfd{fd, POLLIN, 0});
-  }
-  if (pfds.empty()) {
-    // Nothing to poll; sleep out the timeout so the loop does not spin.
-    ::poll(nullptr, 0, pollTimeoutMs);
-  } else {
-    int ready = ::poll(pfds.data(), pfds.size(), pollTimeoutMs);
-    if (ready > 0) {
-      // Handlers may mutate fds_ (accept adds, close removes): snapshot
-      // the handlers for fds that are actually ready first.
-      std::vector<FdHandler> toRun;
-      for (const pollfd& p : pfds) {
-        if ((p.revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
-        for (const auto& [fd, handler] : fds_) {
-          if (fd == p.fd) {
-            toRun.push_back(handler);
-            break;
-          }
-        }
+  // Anything the posts or timers queued on the transport leaves now, so
+  // the wait below blocks with empty output buffers.
+  runBeforeWaitHooks();
+
+  const int ready = loop_->wait(ready_, waitTimeoutMs);
+  if (ready > 0) {
+    // Handlers may mutate the watch set (accept adds, close removes, a
+    // handler may even close a LATER fd of this same batch): re-check
+    // registration per event and copy the handler before invoking.
+    for (const EventLoop::Event& ev : ready_) {
+      if (ev.readable || ev.error) {
+        auto it = fds_.find(ev.fd);
+        if (it == fds_.end()) continue;
+        FdHandler handler = it->second.onReadable;
+        if (handler) handler();
       }
-      for (auto& handler : toRun) handler();
+      if (ev.writable) {
+        auto it = fds_.find(ev.fd);
+        if (it == fds_.end()) continue;  // closed by its own read handler
+        FdHandler handler = it->second.onWritable;
+        if (handler) handler();
+      }
     }
   }
   scheduler_.runUntil(elapsed());
+
+  // Replies generated by the dispatched handlers leave in this same
+  // iteration -- one gathered writev per connection, not one write per
+  // send() call.
+  runBeforeWaitHooks();
+
+  loopThread_.store(prevLoopThread, std::memory_order_relaxed);
 }
 
 void RealTimeDriver::run(SimDuration forMicros) {

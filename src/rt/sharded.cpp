@@ -1,0 +1,155 @@
+#include "rt/sharded.h"
+
+#include "util/check.h"
+#include "util/log.h"
+
+namespace vlease::rt {
+
+// ---------------------------------------------------------------------
+// BridgeTransport
+// ---------------------------------------------------------------------
+
+void ShardedNode::BridgeTransport::attach(NodeId node,
+                                          net::MessageSink* sink) {
+  VL_CHECK(sink != nullptr);
+  sinks_[node] = sink;
+}
+
+void ShardedNode::BridgeTransport::detach(NodeId node) { sinks_.erase(node); }
+
+void ShardedNode::BridgeTransport::send(net::Message msg) {
+  // Local recipient on this shard: scheduler hop, matching the
+  // TcpTransport local lane's asynchrony.
+  auto it = sinks_.find(msg.to);
+  if (it != sinks_.end()) {
+    net::MessageSink* sink = it->second;
+    shard_.driver.scheduler().scheduleAfter(
+        0, [sink, m = std::move(msg)]() { sink->deliver(m); });
+    return;
+  }
+  if (!shard_.outbound.tryPush(std::move(msg))) {
+    // Full queue = the I/O thread is saturated. Loss, counted -- same
+    // contract as the best-effort transport underneath.
+    ++shard_.outboundDropped;
+    return;
+  }
+  shard_.outboundSinceWake = true;
+}
+
+// ---------------------------------------------------------------------
+// ShardedNode
+// ---------------------------------------------------------------------
+
+ShardedNode::Shard::Shard(ShardedNode& owner_, std::size_t index_,
+                          const Options& options)
+    : owner(owner_),
+      index(index_),
+      driver(options.backend),
+      inbound(options.inboundCapacity),
+      outbound(options.outboundCapacity),
+      bridge(*this) {
+  if (options.alignT0Micros >= 0) driver.alignStart(options.alignT0Micros);
+}
+
+ShardedNode::ShardedNode(RealTimeDriver& io, net::Transport& egress,
+                         std::size_t numShards, ShardOf shardOf)
+    : ShardedNode(io, egress, numShards, std::move(shardOf), Options{}) {}
+
+ShardedNode::ShardedNode(RealTimeDriver& io, net::Transport& egress,
+                         std::size_t numShards, ShardOf shardOf,
+                         const Options& options)
+    : io_(io), egress_(egress), shardOf_(std::move(shardOf)) {
+  VL_CHECK(numShards >= 1);
+  VL_CHECK(shardOf_ != nullptr);
+  shards_.reserve(numShards);
+  for (std::size_t i = 0; i < numShards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(*this, i, options));
+  }
+  io_.addBeforeWaitHook([this]() { ioHook(); });
+}
+
+ShardedNode::~ShardedNode() { stop(); }
+
+void ShardedNode::start(AppFactory factory) {
+  VL_CHECK(!started_);
+  started_ = true;
+  for (auto& shard : shards_) {
+    Shard* s = shard.get();
+    s->thread = std::thread(
+        [this, s, factory]() mutable { shardMain(*s, factory); });
+  }
+}
+
+void ShardedNode::stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  for (auto& shard : shards_) shard->driver.stop();
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
+}
+
+void ShardedNode::shardMain(Shard& shard, AppFactory& factory) {
+  ShardContext ctx{shard.driver, shard.bridge, shard.metrics, shard.index,
+                   shards_.size()};
+  shard.app = factory(ctx);
+  VL_CHECK(shard.app != nullptr);
+  shard.driver.addBeforeWaitHook([this, &shard]() {
+    net::Message msg;
+    while (shard.inbound.tryPop(msg)) {
+      shard.app->sink().deliver(msg);
+    }
+    // One wake per iteration covers every outbound push it made.
+    if (shard.outboundSinceWake) {
+      shard.outboundSinceWake = false;
+      io_.wake();
+    }
+  });
+  shard.driver.run();
+  // Destroy protocol state on the thread that owned it.
+  shard.app.reset();
+}
+
+void ShardedNode::deliver(const net::Message& msg) {
+  const std::size_t i = shardOf_(msg) % shards_.size();
+  Shard& shard = *shards_[i];
+  net::Message copy = msg;
+  if (!shard.inbound.tryPush(std::move(copy))) {
+    ++inboundDropped_;
+    return;
+  }
+  shard.wakePending = true;
+}
+
+void ShardedNode::ioHook() {
+  const SimDuration offset = io_.clockOffset();
+  for (auto& shardPtr : shards_) {
+    Shard& shard = *shardPtr;
+    // Mirror injected clock skew so shard-side lease timers see the
+    // same (virtual) clock as the I/O side's fault shim.
+    shard.driver.setClockOffset(offset);
+    net::Message msg;
+    bool drained = false;
+    while (shard.outbound.tryPop(msg)) {
+      drained = true;
+      egress_.send(std::move(msg));  // loop thread: coalesced writev path
+    }
+    (void)drained;
+    if (shard.wakePending) {
+      shard.wakePending = false;
+      shard.driver.wake();
+    }
+  }
+}
+
+void ShardedNode::mergeMetricsInto(stats::Metrics& out) const {
+  for (const auto& shard : shards_) out.mergeFrom(shard->metrics);
+}
+
+std::int64_t ShardedNode::outboundDropped() const {
+  std::int64_t total = 0;
+  for (const auto& shard : shards_) total += shard->outboundDropped;
+  return total;
+}
+
+}  // namespace vlease::rt

@@ -1,0 +1,174 @@
+// Per-thread protocol shards behind one I/O thread.
+//
+// The paper's server is a single logical node, but nothing in the
+// protocol requires its volumes to share a thread: every message and
+// every piece of server state is keyed by (volume, object), so the
+// state partitions mechanically. ShardedNode runs that partition:
+//
+//             (sockets)              SPSC inbound              timers
+//   I/O thread: epoll loop  ---->  shard 0 thread: protocol endpoint
+//     TcpTransport             \->  shard 1 thread: protocol endpoint
+//         ^                              |
+//         +------ SPSC outbound  <-------+
+//
+//   * The I/O thread owns every socket. ShardedNode is the MessageSink
+//     the TcpTransport delivers to; deliver() routes each message to
+//     shardOf(msg) through that shard's single-producer/single-consumer
+//     inbound queue (lock-free; the I/O thread is the only producer).
+//   * Each shard thread runs its own RealTimeDriver -- real timers for
+//     lease expiry and ack timeouts -- and drains its inbound queue in
+//     a before-wait hook. The shard's protocol endpoints send through a
+//     bridge net::Transport that pushes onto the shard's outbound SPSC
+//     queue; the I/O thread drains those in ITS before-wait hook and
+//     hands the messages to the real transport on the loop thread, so
+//     shard replies ride the writev-coalesced send path.
+//   * Wakeups are batched: the I/O thread wakes a shard's eventfd once
+//     per loop iteration if it queued anything (not per message), and a
+//     shard wakes the I/O loop once per iteration likewise.
+//   * Back-pressure is loss, counted: a full queue drops the message
+//     (inboundDropped / outboundDropped), exactly like the best-effort
+//     transport underneath -- the protocols already tolerate it.
+//   * Each shard accumulates into its own stats::Metrics with no
+//     synchronization; mergeMetricsInto() folds them into the run-wide
+//     view after stop().
+//   * Injected clock skew propagates: every I/O iteration mirrors the
+//     I/O driver's clock offset into the shard drivers (atomic), so a
+//     FaultPlan kSkew window skews the whole node coherently.
+//
+// The shard application (protocol endpoints, logs, schedules) is built
+// by a factory ON the shard thread and destroyed there too, so all
+// protocol state stays thread-affine; the rt layer never learns what a
+// lease is.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/transport.h"
+#include "rt/real_time.h"
+#include "stats/metrics.h"
+#include "util/spsc_queue.h"
+
+namespace vlease::rt {
+
+/// What a shard hosts: the factory returns one of these, built on the
+/// shard thread. sink() receives the shard's routed inbound messages.
+class ShardApp {
+ public:
+  virtual ~ShardApp() = default;
+  virtual net::MessageSink& sink() = 0;
+};
+
+class ShardedNode final : public net::MessageSink {
+ public:
+  struct Options {
+    /// Per-shard queue bounds (rounded up to powers of two).
+    std::size_t inboundCapacity = 8192;
+    std::size_t outboundCapacity = 8192;
+    /// Readiness backend for the shard drivers.
+    EventLoop::Backend backend = EventLoop::defaultBackend();
+    /// Shared steady-clock zero instant for the shard drivers (worker
+    /// processes align all timelines); -1 = anchor at construction.
+    std::int64_t alignT0Micros = -1;
+  };
+
+  /// Everything a factory needs to build a shard's endpoints.
+  struct ShardContext {
+    RealTimeDriver& driver;        // shard-local timers + scheduler
+    net::Transport& transport;     // bridge: sends leave via the I/O thread
+    stats::Metrics& metrics;       // shard-local, merged on report
+    std::size_t index = 0;
+    std::size_t numShards = 1;
+  };
+
+  using ShardOf = std::function<std::size_t(const net::Message&)>;
+  using AppFactory = std::function<std::unique_ptr<ShardApp>(ShardContext&)>;
+
+  /// `io` is the I/O thread's driver (the one the `egress` transport is
+  /// registered on). `shardOf` maps a message to a shard index (modulo
+  /// is applied defensively); it runs on the I/O thread and must be
+  /// cheap -- the canonical map is "volume id mod numShards".
+  ShardedNode(RealTimeDriver& io, net::Transport& egress,
+              std::size_t numShards, ShardOf shardOf);
+  ShardedNode(RealTimeDriver& io, net::Transport& egress,
+              std::size_t numShards, ShardOf shardOf, const Options& options);
+  ~ShardedNode() override;
+
+  ShardedNode(const ShardedNode&) = delete;
+  ShardedNode& operator=(const ShardedNode&) = delete;
+
+  /// Spawn the shard threads; `factory` runs on each shard thread.
+  void start(AppFactory factory);
+  /// Stop the shard loops and join the threads (apps are destroyed on
+  /// their own threads). Idempotent. Call after the I/O loop is done.
+  void stop();
+
+  /// net::MessageSink -- attach this as the hosted node's sink on the
+  /// I/O transport. I/O loop thread only.
+  void deliver(const net::Message& msg) override;
+
+  std::size_t numShards() const { return shards_.size(); }
+  /// Fold every shard's metrics into `out`. Call after stop().
+  void mergeMetricsInto(stats::Metrics& out) const;
+  /// Messages lost to a full inbound / outbound queue.
+  std::int64_t inboundDropped() const { return inboundDropped_; }
+  std::int64_t outboundDropped() const;
+
+ private:
+  struct Shard;
+
+  /// Bridge transport handed to shard endpoints: local sinks deliver
+  /// through the shard scheduler (same asynchrony as TcpTransport's
+  /// local lane); everything else queues for the I/O thread.
+  class BridgeTransport final : public net::Transport {
+   public:
+    explicit BridgeTransport(Shard& shard) : shard_(shard) {}
+    void attach(NodeId node, net::MessageSink* sink) override;
+    void detach(NodeId node) override;
+    void send(net::Message msg) override;
+
+   private:
+    Shard& shard_;
+    std::unordered_map<NodeId, net::MessageSink*> sinks_;
+  };
+
+  struct Shard {
+    Shard(ShardedNode& owner, std::size_t index, const Options& options);
+
+    ShardedNode& owner;
+    std::size_t index;
+    RealTimeDriver driver;
+    stats::Metrics metrics;
+    SpscQueue<net::Message> inbound;
+    SpscQueue<net::Message> outbound;
+    BridgeTransport bridge;
+    std::unique_ptr<ShardApp> app;  // shard-thread lifetime
+    std::thread thread;
+    // Shard thread only: outbound pushes since the last I/O wake.
+    bool outboundSinceWake = false;
+    // I/O thread only: inbound pushes since the last shard wake.
+    bool wakePending = false;
+    // Shard thread writes, read after join().
+    std::int64_t outboundDropped = 0;
+  };
+
+  void shardMain(Shard& shard, AppFactory& factory);
+  /// I/O-side before-wait hook: mirror clock offset, drain outbound
+  /// queues into the egress transport, flush pending shard wakes.
+  void ioHook();
+
+  RealTimeDriver& io_;
+  net::Transport& egress_;
+  ShardOf shardOf_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  bool started_ = false;
+  bool stopped_ = false;
+  std::int64_t inboundDropped_ = 0;  // I/O thread only
+};
+
+}  // namespace vlease::rt

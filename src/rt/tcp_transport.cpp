@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <ctime>
 
 #include "net/wire.h"
 #include "util/check.h"
@@ -19,6 +20,15 @@
 namespace vlease::rt {
 
 namespace {
+
+/// Per-recv() chunk; large enough that one drain pass under load moves
+/// dozens of frames per syscall.
+constexpr std::size_t kReadChunk = 64 * 1024;
+/// Parsed-prefix bytes worth an erase-from-front compaction.
+constexpr std::size_t kCompactThreshold = 64 * 1024;
+/// Frames gathered per writev (IOV_MAX is >= 1024 everywhere; 64 keeps
+/// the stack frame small and one syscall already amortizes fine).
+constexpr int kMaxIov = 64;
 
 void setNoDelay(int fd) {
   int one = 1;
@@ -64,7 +74,10 @@ TcpTransport::TcpTransport(RealTimeDriver& driver, stats::Metrics& metrics,
   VL_CHECK_MSG(::bind(listenFd_, reinterpret_cast<sockaddr*>(&addr),
                       sizeof(addr)) == 0,
                "bind() failed");
-  VL_CHECK_MSG(::listen(listenFd_, 16) == 0, "listen() failed");
+  // Full backlog: a flash crowd's connect storm queues instead of
+  // eating RSTs (refusals that do happen are counted and healed by the
+  // sender's bounded retry).
+  VL_CHECK_MSG(::listen(listenFd_, SOMAXCONN) == 0, "listen() failed");
   setNonBlocking(listenFd_);
 
   socklen_t len = sizeof(addr);
@@ -73,6 +86,7 @@ TcpTransport::TcpTransport(RealTimeDriver& driver, stats::Metrics& metrics,
   listenPort_ = ntohs(addr.sin_port);
 
   driver_.watchFd(listenFd_, [this]() { acceptReady(); });
+  driver_.addBeforeWaitHook([this]() { flushDirty(); });
 }
 
 TcpTransport::~TcpTransport() {
@@ -107,18 +121,50 @@ void TcpTransport::acceptReady() {
     if (fd < 0) return;  // EAGAIN etc.: drained (listen fd is nonblocking)
     setNoDelay(fd);
     setNonBlocking(fd);
-    connections_.emplace(fd, Connection{fd, {}});
+    Connection conn;
+    conn.fd = fd;
+    connections_.emplace(fd, std::move(conn));
     driver_.watchFd(fd, [this, fd]() { readReady(fd); });
   }
 }
 
 void TcpTransport::closeConnection(int fd) {
+  auto it = connections_.find(fd);
+  if (it != connections_.end()) {
+    Connection& conn = it->second;
+    // Frames still queued die with the connection (read-path EOF races
+    // the flush); account them so every admitted frame ends up in
+    // framesSent or sendFailures.
+    if (conn.pendingHead > 0) {
+      ++partialFrameAborts_;
+      metrics_.onTransportFrameAbort();
+    }
+    sendFailures_ += static_cast<std::int64_t>(conn.pending.size());
+    connections_.erase(it);
+  }
   driver_.unwatchFd(fd);
-  connections_.erase(fd);
   for (auto& [node, peer] : peers_) {
     if (peer.fd == fd) peer.fd = -1;
   }
   ::close(fd);
+}
+
+std::deque<std::vector<std::uint8_t>> TcpTransport::abortConnection(int fd) {
+  std::deque<std::vector<std::uint8_t>> salvaged;
+  auto it = connections_.find(fd);
+  if (it != connections_.end()) {
+    Connection& conn = it->second;
+    if (conn.pendingHead > 0) {
+      ++partialFrameAborts_;
+      metrics_.onTransportFrameAbort();
+    }
+    salvaged = std::move(conn.pending);
+    conn.pending.clear();
+    conn.pendingHead = 0;
+    conn.pendingBytes = 0;
+  }
+  closeConnection(fd);
+  return salvaged;
 }
 
 void TcpTransport::readReady(int fd) {
@@ -126,36 +172,38 @@ void TcpTransport::readReady(int fd) {
   if (it == connections_.end()) return;
   Connection& conn = it->second;
 
-  std::uint8_t chunk[4096];
-  ssize_t n = ::recv(fd, chunk, sizeof(chunk), MSG_DONTWAIT);
-  if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK)) {
-    // Connection died. A non-empty accumulator is a frame that can now
-    // never complete -- the sender aborted mid-write (or was killed):
-    // reject it so the loss is visible.
-    if (!conn.buffer.empty()) {
-      ++framesRejected_;
-      metrics_.onTransportFrameRejected();
-      VL_LOG_WARN << "tcp: connection died mid-frame, "
-                  << conn.buffer.size() << " byte prefix rejected";
+  // Drain until EAGAIN (level-triggered backends report again if the
+  // peer keeps writing; a short read means the socket is empty now).
+  bool dead = false;
+  std::uint8_t chunk[kReadChunk];
+  for (;;) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), MSG_DONTWAIT);
+    if (n > 0) {
+      conn.buffer.insert(conn.buffer.end(), chunk, chunk + n);
+      if (static_cast<std::size_t>(n) == sizeof(chunk)) continue;
+      break;
     }
-    closeConnection(fd);
-    return;
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    dead = true;  // EOF or hard error
+    break;
   }
-  if (n < 0) return;
-  conn.buffer.insert(conn.buffer.end(), chunk, chunk + n);
 
-  // Peel complete frames off the front.
-  std::size_t offset = 0;
+  // Peel every complete frame into a batch. Delivery is deferred until
+  // the connection bookkeeping is done: a delivered handler may re-enter
+  // the transport (send, injected truncation) and tear this very
+  // connection down, so nothing below the batch loop may touch `conn`.
+  std::vector<net::Message> batch;
+  std::size_t offset = conn.head;
+  bool corrupt = false;
   while (conn.buffer.size() - offset >= 4) {
     std::uint32_t len = 0;
     for (int i = 0; i < 4; ++i) {
       len |= static_cast<std::uint32_t>(conn.buffer[offset + i]) << (8 * i);
     }
     if (len > (1u << 24)) {  // corrupt length: drop the connection
-      ++framesRejected_;
-      metrics_.onTransportFrameRejected();
-      closeConnection(fd);
-      return;
+      corrupt = true;
+      break;
     }
     if (conn.buffer.size() - offset - 4 < len) break;  // incomplete
     auto msg = net::decodeMessage(conn.buffer.data() + offset + 4, len);
@@ -166,15 +214,43 @@ void TcpTransport::readReady(int fd) {
       VL_LOG_WARN << "tcp: undecodable frame dropped";
       continue;
     }
-    if (faultHook_ != nullptr && faultHook_->dropInbound(msg->from, msg->to)) {
+    batch.push_back(std::move(*msg));
+  }
+
+  if (corrupt || dead) {
+    // Unconsumed bytes are a frame that can now never complete -- the
+    // sender aborted mid-write (or was killed), or the length prefix is
+    // garbage: reject the prefix so the loss is visible.
+    if (conn.buffer.size() - offset > 0) {
+      ++framesRejected_;
+      metrics_.onTransportFrameRejected();
+      if (dead) {
+        VL_LOG_WARN << "tcp: connection died mid-frame, "
+                    << (conn.buffer.size() - offset)
+                    << " byte prefix rejected";
+      }
+    }
+    closeConnection(fd);
+  } else if (offset == conn.buffer.size()) {
+    conn.buffer.clear();
+    conn.head = 0;
+  } else if (offset >= kCompactThreshold) {
+    conn.buffer.erase(
+        conn.buffer.begin(),
+        conn.buffer.begin() + static_cast<std::ptrdiff_t>(offset));
+    conn.head = 0;
+  } else {
+    conn.head = offset;
+  }
+
+  for (net::Message& msg : batch) {
+    if (faultHook_ != nullptr && faultHook_->dropInbound(msg.from, msg.to)) {
       ++injectedDrops_;
       continue;
     }
     ++framesReceived_;
-    deliverLocal(*msg);
+    deliverLocal(msg);
   }
-  conn.buffer.erase(conn.buffer.begin(),
-                    conn.buffer.begin() + static_cast<std::ptrdiff_t>(offset));
 }
 
 void TcpTransport::deliverLocal(const net::Message& msg) {
@@ -189,7 +265,7 @@ void TcpTransport::deliverLocal(const net::Message& msg) {
   it->second->deliver(msg);
 }
 
-int TcpTransport::connectPeer(Peer& peer) {
+int TcpTransport::connectPeer(NodeId node, Peer& peer) {
   if (peer.fd >= 0) return peer.fd;
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return -1;
@@ -215,10 +291,18 @@ int TcpTransport::connectPeer(Peer& peer) {
     socklen_t slen = sizeof(soerr);
     if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &slen) != 0 ||
         soerr != 0) {
+      if (soerr == ECONNREFUSED) {
+        ++connectRefusals_;
+        metrics_.onTransportConnectRefused();
+      }
       ::close(fd);
       return -1;
     }
   } else if (rc != 0) {
+    if (errno == ECONNREFUSED) {
+      ++connectRefusals_;
+      metrics_.onTransportConnectRefused();
+    }
     ::close(fd);
     return -1;
   }
@@ -229,10 +313,196 @@ int TcpTransport::connectPeer(Peer& peer) {
   }
   peer.everConnected = true;
   peer.fd = fd;
-  // Watch for replies arriving on the outbound connection too.
-  connections_.emplace(fd, Connection{fd, {}});
+  // Watch for replies arriving on the outbound connection too, and
+  // install the flush continuation for EPOLLOUT re-arms.
+  Connection conn;
+  conn.fd = fd;
+  conn.outbound = true;
+  conn.peerNode = node;
+  connections_.emplace(fd, std::move(conn));
   driver_.watchFd(fd, [this, fd]() { readReady(fd); });
+  driver_.setWriteHandler(fd, [this, fd]() { onWritable(fd); });
   return fd;
+}
+
+void TcpTransport::armWrite(Connection& conn, bool enabled) {
+  if (conn.writeArmed == enabled) return;
+  conn.writeArmed = enabled;
+  driver_.setWriteInterest(conn.fd, enabled);
+}
+
+void TcpTransport::markDirty(Connection& conn) {
+  if (conn.dirty) return;
+  conn.dirty = true;
+  dirty_.push_back(conn.fd);
+}
+
+TcpTransport::FlushResult TcpTransport::flushOnce(Connection& conn) {
+  while (!conn.pending.empty()) {
+    iovec iov[kMaxIov];
+    int iovCount = 0;
+    std::size_t head = conn.pendingHead;
+    for (const auto& f : conn.pending) {
+      if (iovCount == kMaxIov) break;
+      iov[iovCount].iov_base = const_cast<std::uint8_t*>(f.data() + head);
+      iov[iovCount].iov_len = f.size() - head;
+      head = 0;
+      ++iovCount;
+    }
+    msghdr mh{};
+    mh.msg_iov = iov;
+    mh.msg_iovlen = static_cast<std::size_t>(iovCount);
+    ssize_t n = ::sendmsg(conn.fd, &mh, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return FlushResult::kBlocked;
+      return FlushResult::kDead;
+    }
+    std::size_t left = static_cast<std::size_t>(n);
+    while (left > 0) {
+      std::vector<std::uint8_t>& front = conn.pending.front();
+      const std::size_t avail = front.size() - conn.pendingHead;
+      if (left >= avail) {
+        left -= avail;
+        conn.pendingBytes -= front.size();
+        conn.pendingHead = 0;
+        conn.pending.pop_front();
+        ++framesSent_;
+      } else {
+        conn.pendingHead += left;
+        left = 0;
+      }
+    }
+  }
+  return FlushResult::kDrained;
+}
+
+bool TcpTransport::syncDrain(Connection& conn) {
+  for (;;) {
+    const FlushResult r = flushOnce(conn);
+    if (r == FlushResult::kDrained) {
+      armWrite(conn, false);
+      return true;
+    }
+    if (r == FlushResult::kDead) return false;
+    // Nonblocking socket with a full buffer: wait for space, bounded.
+    // Frames are small (tens of bytes to a few KB) and peers drain
+    // continuously, so the configured stall timeout covers any
+    // scheduling hiccup on a loaded host without letting a truly
+    // wedged peer block the sender forever; on timeout the frame is
+    // dropped (Transport is best-effort).
+    pollfd p{conn.fd, POLLOUT, 0};
+    if (::poll(&p, 1, options_.writeStallTimeoutMs) <= 0) return false;
+  }
+}
+
+void TcpTransport::flushAsync(Connection& conn) {
+  const FlushResult r = flushOnce(conn);
+  if (r == FlushResult::kDrained) {
+    armWrite(conn, false);
+    return;
+  }
+  if (r == FlushResult::kBlocked) {
+    armWrite(conn, true);  // EPOLLOUT re-arm: the remainder flushes when
+    return;                // the socket drains
+  }
+  // The peer vanished with frames queued: salvage whole frames and
+  // retry them once on a fresh connection (mirrors the off-loop path's
+  // reconnect-and-resend).
+  const int fd = conn.fd;
+  const NodeId node = conn.peerNode;
+  retryFrames(node, abortConnection(fd));
+}
+
+void TcpTransport::flushDirty() {
+  if (dirty_.empty()) return;
+  std::vector<int> batch;
+  batch.swap(dirty_);  // flushing may re-dirty (retry path re-queues)
+  for (const int fd : batch) {
+    auto it = connections_.find(fd);
+    if (it == connections_.end()) continue;
+    it->second.dirty = false;
+    if (it->second.pending.empty() || it->second.writeArmed) continue;
+    flushAsync(it->second);
+  }
+}
+
+void TcpTransport::onWritable(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  flushAsync(it->second);
+}
+
+void TcpTransport::retryFrames(NodeId node,
+                               std::deque<std::vector<std::uint8_t>> frames) {
+  auto peerIt = peers_.find(node);
+  if (frames.empty()) return;
+  if (peerIt == peers_.end()) {
+    sendFailures_ += static_cast<std::int64_t>(frames.size());
+    return;
+  }
+  Peer& peer = peerIt->second;
+  for (int attempt = 1; attempt <= options_.maxRetries; ++attempt) {
+    ++sendRetries_;
+    metrics_.onTransportRetry();
+    backoffSleep(attempt);
+    const int fd = connectPeer(node, peer);
+    if (fd < 0) continue;
+    Connection& conn = connections_.at(fd);
+    for (auto& f : frames) {
+      conn.pendingBytes += f.size();
+      conn.pending.push_back(std::move(f));
+    }
+    frames.clear();
+    const FlushResult r = flushOnce(conn);
+    if (r == FlushResult::kDrained) {
+      armWrite(conn, false);
+      return;
+    }
+    if (r == FlushResult::kBlocked) {
+      armWrite(conn, true);  // queued on a live connection: in flight
+      return;
+    }
+    frames = abortConnection(fd);  // died again; next attempt
+  }
+  sendFailures_ += static_cast<std::int64_t>(frames.size());
+}
+
+bool TcpTransport::trySendFrame(NodeId node, Peer& peer,
+                                const std::vector<std::uint8_t>& frame,
+                                bool async) {
+  const int fd = connectPeer(node, peer);
+  if (fd < 0) return false;
+  Connection& conn = connections_.at(fd);
+  if (async && !conn.pending.empty() &&
+      conn.pendingBytes + frame.size() > options_.maxPendingWriteBytes) {
+    // Back-pressure wedge: the peer stopped draining and the queue hit
+    // its bound. Abort the connection (prefix dies with it), charge the
+    // backlog as failures, and let the caller's bounded retry reconnect
+    // fresh with just the new frame.
+    auto dropped = abortConnection(fd);
+    sendFailures_ += static_cast<std::int64_t>(dropped.size());
+    return false;
+  }
+  conn.pendingBytes += frame.size();
+  conn.pending.push_back(frame);  // copy: the caller retries from `frame`
+  if (async) {
+    // Coalesce: the frame leaves in the driver's next before-wait flush
+    // (same loop iteration), gathered with everything else this
+    // dispatch batch queued. If EPOLLOUT is armed the socket is full;
+    // the flush continuation picks the frame up instead.
+    if (!conn.writeArmed) markDirty(conn);
+    return true;
+  }
+  if (syncDrain(conn)) return true;
+  // Stall or death mid-drain. Close before retrying (exactly-once: the
+  // written prefix can never complete on the peer); older frames that
+  // were still queued are charged as failures, the caller retries THIS
+  // frame whole on a fresh connection.
+  auto salvaged = abortConnection(fd);
+  if (!salvaged.empty()) salvaged.pop_back();  // the caller's copy retries
+  sendFailures_ += static_cast<std::int64_t>(salvaged.size());
+  return false;
 }
 
 bool TcpTransport::writeBytes(int fd, const std::uint8_t* data,
@@ -242,12 +512,6 @@ bool TcpTransport::writeBytes(int fd, const std::uint8_t* data,
     ssize_t n = ::send(fd, data + written, size - written, MSG_NOSIGNAL);
     if (n < 0 && errno == EINTR) continue;
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      // Nonblocking socket with a full buffer: wait for space, bounded.
-      // Frames are small (tens of bytes to a few KB) and peers drain
-      // continuously, so the configured stall timeout covers any
-      // scheduling hiccup on a loaded host without letting a truly
-      // wedged peer block the sender forever; on timeout the frame is
-      // dropped (Transport is best-effort).
       pollfd p{fd, POLLOUT, 0};
       if (::poll(&p, 1, options_.writeStallTimeoutMs) > 0) continue;
       if (writtenOut != nullptr) *writtenOut = written;
@@ -260,34 +524,6 @@ bool TcpTransport::writeBytes(int fd, const std::uint8_t* data,
     written += static_cast<std::size_t>(n);
   }
   if (writtenOut != nullptr) *writtenOut = written;
-  return true;
-}
-
-bool TcpTransport::writeFrame(int fd, const std::vector<std::uint8_t>& frame) {
-  // On ANY failure return path the caller closes the connection, which
-  // is what makes a retry safe: bytes already written (written > 0 --
-  // counted as a partial-frame abort) form a strict prefix of the frame
-  // on a connection the peer will tear down, so they can never combine
-  // with the retried copy into a duplicate delivery.
-  std::size_t written = 0;
-  if (!writeBytes(fd, frame.data(), frame.size(), &written)) {
-    if (written > 0) {
-      ++partialFrameAborts_;
-      metrics_.onTransportFrameAbort();
-    }
-    return false;
-  }
-  return true;
-}
-
-bool TcpTransport::trySendFrame(Peer& peer,
-                                const std::vector<std::uint8_t>& frame) {
-  int fd = connectPeer(peer);
-  if (fd < 0) return false;
-  if (!writeFrame(fd, frame)) {
-    closeConnection(fd);  // forget the dead fd; a retry reconnects fresh
-    return false;
-  }
   return true;
 }
 
@@ -307,14 +543,36 @@ void TcpTransport::backoffSleep(int attempt) {
                 static_cast<double>(1ull << 53);
   delayMs = std::max<std::int64_t>(
       1, static_cast<std::int64_t>(static_cast<double>(delayMs) * jitter));
-  ::poll(nullptr, 0, static_cast<int>(delayMs));
+  // Absolute-deadline sleep: an injected signal gets EINTR and re-enters
+  // for the remainder instead of silently shortening the backoff (the
+  // old ::poll(nullptr, 0, ms) idiom returned early on any signal).
+  timespec deadline;
+  ::clock_gettime(CLOCK_MONOTONIC, &deadline);
+  deadline.tv_sec += delayMs / 1000;
+  deadline.tv_nsec += (delayMs % 1000) * 1000000L;
+  if (deadline.tv_nsec >= 1000000000L) {
+    deadline.tv_nsec -= 1000000000L;
+    ++deadline.tv_sec;
+  }
+  while (::clock_nanosleep(CLOCK_MONOTONIC, TIMER_ABSTIME, &deadline,
+                           nullptr) == EINTR) {
+  }
 }
 
-void TcpTransport::injectTruncation(Peer& peer,
+void TcpTransport::injectTruncation(NodeId node, Peer& peer,
                                     const std::vector<std::uint8_t>& frame,
                                     const SendFault& fault) {
-  int fd = connectPeer(peer);
+  const int fd = connectPeer(node, peer);
   if (fd < 0) return;  // peer unreachable anyway; the frame is lost
+  Connection& conn = connections_.at(fd);
+  // Drain the coalesced backlog first so the injected prefix lands at a
+  // frame boundary; if the backlog will not drain the connection dies
+  // here, which is a blunter version of the same injected fault.
+  if (!conn.pending.empty() && !syncDrain(conn)) {
+    auto dropped = abortConnection(fd);
+    sendFailures_ += static_cast<std::int64_t>(dropped.size());
+    return;
+  }
   const std::size_t prefix = std::min(fault.truncateAt, frame.size());
   std::size_t written = 0;
   writeBytes(fd, frame.data(), prefix, &written);
@@ -360,7 +618,7 @@ void TcpTransport::send(net::Message msg) {
                          /*delivered=*/false);
       // Injected mid-write death. No retry: the injected fault IS the
       // loss, and the protocols must recover from it.
-      injectTruncation(peerIt->second, frame, fault);
+      injectTruncation(msg.to, peerIt->second, frame, fault);
       return;
     }
   }
@@ -368,7 +626,10 @@ void TcpTransport::send(net::Message msg) {
   metrics_.onMessage(msg.from, msg.to, net::payloadTypeIndex(msg.payload),
                      net::wireBytes(msg.payload), driver_.elapsed(),
                      /*delivered=*/true);
-  bool sent = trySendFrame(peerIt->second, frame);
+  // Loop-thread sends coalesce (queue now, writev at the flush hook);
+  // off-loop sends keep the historical inline blocking semantics.
+  const bool async = driver_.onLoopThread();
+  bool sent = trySendFrame(msg.to, peerIt->second, frame, async);
   // Reconnect-and-resend under capped jittered exponential backoff. The
   // common transient failures -- a restarted peer answering a stale fd
   // with RST, or a connect racing the peer's listen() -- heal on
@@ -379,13 +640,9 @@ void TcpTransport::send(net::Message msg) {
     ++sendRetries_;
     metrics_.onTransportRetry();
     backoffSleep(attempt);
-    sent = trySendFrame(peerIt->second, frame);
+    sent = trySendFrame(msg.to, peerIt->second, frame, async);
   }
-  if (!sent) {
-    ++sendFailures_;
-    return;
-  }
-  ++framesSent_;
+  if (!sent) ++sendFailures_;
 }
 
 }  // namespace vlease::rt

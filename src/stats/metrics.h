@@ -106,6 +106,7 @@ class Metrics {
   void onTransportReconnect() { ++transportReconnects_; }
   void onTransportFrameAbort() { ++transportFrameAborts_; }
   void onTransportFrameRejected() { ++transportFramesRejected_; }
+  void onTransportConnectRefused() { ++transportConnectRefused_; }
 
   std::int64_t transportRetries() const { return transportRetries_; }
   std::int64_t transportReconnects() const { return transportReconnects_; }
@@ -113,6 +114,16 @@ class Metrics {
   std::int64_t transportFramesRejected() const {
     return transportFramesRejected_;
   }
+  std::int64_t transportConnectRefused() const {
+    return transportConnectRefused_;
+  }
+
+  /// Fold another Metrics into this one (sharded serving: each protocol
+  /// shard accumulates into its own instance with no synchronization;
+  /// the report path merges them into one run-wide view). Counters and
+  /// integrals add; per-node/per-type tables add elementwise; load
+  /// series merge bucketwise; the horizon takes the max.
+  void mergeFrom(const Metrics& other);
 
   /// Set once the run finishes; state averages divide by this.
   void setHorizon(SimTime end) { horizon_ = end; }
@@ -197,6 +208,7 @@ class Metrics {
   std::int64_t transportReconnects_ = 0;
   std::int64_t transportFrameAborts_ = 0;
   std::int64_t transportFramesRejected_ = 0;
+  std::int64_t transportConnectRefused_ = 0;
 
   SimTime horizon_ = 0;
 };

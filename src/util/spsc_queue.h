@@ -1,0 +1,84 @@
+// Single-producer single-consumer lock-free ring queue.
+//
+// The rt layer's sharded server moves messages between its I/O thread
+// and the protocol-shard threads through these: exactly one producer
+// (the I/O thread for inbound, the shard for outbound) and exactly one
+// consumer per queue, so a bounded ring with one release/acquire pair
+// per operation is enough -- no CAS loops, no locks, no allocation
+// after construction.
+//
+// Memory ordering: the producer writes the slot, then publishes with a
+// release store of tail_; the consumer observes tail_ with an acquire
+// load, so the slot write happens-before the read. Symmetrically the
+// consumer's release store of head_ is what licenses the producer to
+// reuse a slot. Capacity is rounded up to a power of two so the
+// index wrap is a mask.
+//
+// tryPush/tryPop never block: a full queue rejects the push (callers
+// count the drop -- the transport layer is best-effort and protocols
+// tolerate loss) and an empty queue rejects the pop (consumers wait on
+// their event loop's wake fd, not on the queue).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace vlease {
+
+template <typename T>
+class SpscQueue {
+ public:
+  /// `capacity` is rounded up to the next power of two (minimum 2).
+  explicit SpscQueue(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Producer side. False if the queue is full (the value is untouched).
+  bool tryPush(T&& value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    if (tail - head > mask_) return false;  // full
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. False if the queue is empty.
+  bool tryPop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) return false;  // empty
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Approximate (racy by nature); exact when called by the consumer
+  /// with the producer quiesced or vice versa.
+  std::size_t size() const {
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    return tail - head;
+  }
+  bool empty() const { return size() == 0; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  // Producer and consumer cursors on separate cache lines so the two
+  // threads don't false-share.
+  alignas(64) std::atomic<std::size_t> head_{0};  // next pop
+  alignas(64) std::atomic<std::size_t> tail_{0};  // next push
+};
+
+}  // namespace vlease

@@ -164,18 +164,25 @@ TEST(MidFrameDeath, EveryTruncationOffsetRejectsAndDeliversNothing) {
       frame.size() - 1,  // inside the trailing CRC seal
   };
 
+  // The loop thread owns the counters; read them there (a raw read
+  // from this thread would race the transport's bookkeeping).
+  const auto rejectedOnLoop = [&]() {
+    std::promise<std::int64_t> promise;
+    auto future = promise.get_future();
+    driver.post([&]() { promise.set_value(transport.framesRejected()); });
+    return future.get();
+  };
+
   std::int64_t expectRejected = 0;
   for (const std::size_t offset : offsets) {
     int fd = rawsock::connectTo(transport.listenPort());
     rawsock::writeAll(fd, frame.data(), offset);
     ::close(fd);
     ++expectRejected;
-    for (int i = 0;
-         i < 2000 && transport.framesRejected() < expectRejected; ++i) {
+    for (int i = 0; i < 2000 && rejectedOnLoop() < expectRejected; ++i) {
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
-    ASSERT_EQ(transport.framesRejected(), expectRejected)
-        << "offset " << offset;
+    ASSERT_EQ(rejectedOnLoop(), expectRejected) << "offset " << offset;
   }
 
   driver.stop();

@@ -126,12 +126,15 @@ TEST(TcpDeployment, EndToEndLeaseProtocolOverSockets) {
   EXPECT_TRUE(first.fetchedData);
   EXPECT_EQ(first.version, 1);
 
-  // 2. Immediate re-read: pure cache hit, zero frames.
-  const std::int64_t framesBefore = clientHost.transport.framesSent();
+  // 2. Immediate re-read: pure cache hit, zero frames. Counters are
+  //    loop-thread-owned, so read them via call() while the loop runs.
+  const std::int64_t framesBefore =
+      clientHost.call([&]() { return clientHost.transport.framesSent(); });
   proto::ReadResult second = readBlocking(objA);
   EXPECT_TRUE(second.ok);
   EXPECT_FALSE(second.usedNetwork);
-  EXPECT_EQ(clientHost.transport.framesSent(), framesBefore);
+  EXPECT_EQ(clientHost.call([&]() { return clientHost.transport.framesSent(); }),
+            framesBefore);
 
   // 3. Second object in the same volume: object lease only.
   proto::ReadResult third = readBlocking(objB);
@@ -167,15 +170,15 @@ TEST(TcpDeployment, EndToEndLeaseProtocolOverSockets) {
   EXPECT_FALSE(fifth.fetchedData);
 
   // Sanity on the transport counters: real frames moved in both
-  // directions and nothing was undeliverable.
+  // directions and nothing was undeliverable. Joining first gives the
+  // main thread a synchronized view of the loop-thread-owned counters.
+  clientHost.stopAndJoin();
+  serverHost.stopAndJoin();
   EXPECT_GT(clientHost.transport.framesSent(), 0);
   EXPECT_GT(clientHost.transport.framesReceived(), 0);
   EXPECT_GT(serverHost.transport.framesSent(), 0);
   EXPECT_EQ(clientHost.transport.sendFailures(), 0);
   EXPECT_EQ(serverHost.transport.sendFailures(), 0);
-
-  clientHost.stopAndJoin();
-  serverHost.stopAndJoin();
 }
 
 TEST(TcpDeployment, InvalidationFanOutToTwoClientLoops) {
