@@ -73,8 +73,14 @@ if [[ "$SUITE" == "scale" ]]; then
   GATE_RAW=$(mktemp)
   RECORD_RAW=$(mktemp)
   trap 'rm -f "$GATE_RAW" "$RECORD_RAW"' EXIT
+  # Two tracked points: the single-server gate, and a federated
+  # servers x volumes grid point (4 servers x 4 volumes each) with one
+  # online migration mid-run, so routing-table dispatch and the handoff
+  # path are on the perf-gated line.
   for ((r = 0; r < REPS; ++r)); do
     build/tools/vlease_scale --clients 50000 --events 5000000
+    build/tools/vlease_scale --clients 50000 --events 5000000 \
+      --servers 4 --volumes 4 --migrate
   done >"$GATE_RAW"
   if [[ "$RECORD" == 1 ]]; then
     build/tools/vlease_scale --clients 1000000 --events 100000000 \
@@ -96,7 +102,11 @@ while pos < len(text):
         continue
     obj, pos = decoder.raw_decode(text, pos)
     runs.append(obj)
-best = {"ScaleReplay/gate": max(r["events_per_second"] for r in runs)}
+best = {}
+for r in runs:
+    name = ("ScaleReplay/federation" if r.get("servers", 1) > 1
+            else "ScaleReplay/gate")
+    best[name] = max(best.get(name, 0.0), r["events_per_second"])
 
 path = os.environ["PATH_JSON"]
 doc = {}

@@ -45,6 +45,22 @@ build/tools/vlease_chaos --seeds 8 --intensity low --skew medium
 build/tools/vlease_chaos --seeds 8 --intensity low --skew medium \
   --sweep-ms 1000 --algorithms volume,delay
 
+# Federation smoke: 2 servers, online migrations (server 0's first
+# volume leaves and comes home mid-run) riding the same seeded fault
+# schedules -- the oracle must stay clean straight through both
+# handoffs and the MUST_RENEW_ALL reconnections they force.
+build/tools/vlease_chaos --seeds 8 --intensity low --migrate \
+  --algorithms volume,delay
+
+# Negative control: the identical migrations with the adopter's epoch
+# bump skipped leave pre-migration leases valid, so the oracle MUST
+# report violations -- otherwise the federation gate is vacuous.
+if build/tools/vlease_chaos --seeds 4 --intensity low --migrate \
+    --break-epoch-handoff --algorithms volume,delay >/dev/null 2>&1; then
+  echo "epoch-handoff negative control unexpectedly passed" >&2
+  exit 1
+fi
+
 # Real-process chaos parity smoke: the SAME FaultPlan timeline executed
 # against live TcpTransport worker processes (SIGKILL + re-exec for
 # crashes, socket-level drop/truncate for loss, clock offsets for skew)

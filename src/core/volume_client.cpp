@@ -166,7 +166,7 @@ void VolumeClient::ensureVolume(VolumeId vol) {
     }
   }
   volReqOutstanding_[v] = now;
-  ctx_.transport.send(net::Message{id(), ctx_.catalog.volume(vol).server,
+  ctx_.transport.send(net::Message{id(), ctx_.serverOf(vol),
                                    net::ReqVolLease{vol, knownEpoch(vol)}});
 }
 
@@ -188,7 +188,7 @@ void VolumeClient::ensureObject(ObjectId obj) {
     req.wantVolume = true;
     req.haveEpoch = knownEpoch(ctx_.catalog.object(obj).volume);
   }
-  ctx_.transport.send(net::Message{id(), ctx_.catalog.object(obj).server, req});
+  ctx_.transport.send(net::Message{id(), ctx_.serverOf(obj), req});
 }
 
 // ---------------------------------------------------------------------

@@ -19,7 +19,9 @@ VolumeServer::VolumeServer(proto::ProtocolContext& ctx, NodeId id,
       numServers_(ctx.catalog.numServers()),
       numClients_(ctx.catalog.numClients()),
       volumes_(ctx.catalog.volumesOnServer(id)),
-      objects_(ctx.catalog.objectsOnServer(id)) {}
+      objects_(ctx.catalog.objectsOnServer(id)),
+      volOwnedNative_(volumes_.size(), 1),
+      objOwnedNative_(objects_.size(), 1) {}
 
 // ---------------------------------------------------------------------
 // small helpers
@@ -27,14 +29,16 @@ VolumeServer::VolumeServer(proto::ProtocolContext& ctx, NodeId id,
 
 const VolumeServer::VolState* VolumeServer::volFind(VolumeId volId) const {
   const trace::VolumeInfo& info = ctx_.catalog.volume(volId);
-  if (info.server != id()) return nullptr;
-  return &volumes_[info.localIndex];
+  if (info.server == id()) return &volumes_[info.localIndex];
+  const std::uint32_t* slot = adoptedVolSlot_.find(raw(volId));
+  return slot == nullptr ? nullptr : &adoptedVols_[*slot];
 }
 
 const VolumeServer::ObjState* VolumeServer::objFind(ObjectId obj) const {
   const trace::ObjectInfo& info = ctx_.catalog.object(obj);
-  if (info.server != id()) return nullptr;
-  return &objects_[info.localIndex];
+  if (info.server == id()) return &objects_[info.localIndex];
+  const std::uint32_t* slot = adoptedObjSlot_.find(raw(obj));
+  return slot == nullptr ? nullptr : &adoptedObjs_[*slot];
 }
 
 Version VolumeServer::currentVersion(ObjectId obj) const {
@@ -194,7 +198,30 @@ void VolumeServer::pushDeferred(VolState& v, DeferredFn fn) {
 // dispatch
 // ---------------------------------------------------------------------
 
+VolumeId VolumeServer::payloadVolume(const net::Message& msg) const {
+  switch (msg.payload.index()) {
+    case net::payloadIndex<net::ReqVolLease>():
+      return std::get<net::ReqVolLease>(msg.payload).vol;
+    case net::payloadIndex<net::ReqObjLease>():
+      return volumeOf(std::get<net::ReqObjLease>(msg.payload).obj);
+    case net::payloadIndex<net::RenewObjLeases>():
+      return std::get<net::RenewObjLeases>(msg.payload).vol;
+    case net::payloadIndex<net::AckInvalidate>():
+      return volumeOf(std::get<net::AckInvalidate>(msg.payload).obj);
+    case net::payloadIndex<net::AckBatch>():
+      return std::get<net::AckBatch>(msg.payload).vol;
+    default:
+      VL_CHECK_MSG(false, "VolumeServer: unexpected message type");
+      return VolumeId{};
+  }
+}
+
 void VolumeServer::deliver(const net::Message& msg) {
+  // Federation: a message for a volume this server no longer owns is a
+  // straggler that was in flight when the volume migrated out (or a
+  // client still routing via a stale table entry). Drop it; the sender's
+  // request times out and re-issues against the current routing table.
+  if (volLookup(payloadVolume(msg)) == nullptr) return;
   switch (msg.payload.index()) {
     case net::payloadIndex<net::ReqVolLease>():
       return handleReqVolLease(msg);
@@ -502,9 +529,18 @@ void VolumeServer::writeInternal(ObjectId obj, WriteCallback cb,
     // Post-crash recovery: delay every write until all volume leases
     // granted before the crash have provably expired. Re-checked every
     // time the delayed write fires -- a second crash during recovery
-    // pushes the write out again.
+    // pushes the write out again. The parked write is counted on its
+    // volume so a migration cannot strand it (volumeQuiescent waits);
+    // volLookup (not vol()) keeps the volume's `touched` bit unchanged
+    // until the write actually starts.
+    VolState* vp = volLookup(volumeOf(obj));
+    VL_CHECK_MSG(vp != nullptr, "VolumeServer: write for un-owned volume");
+    ++vp->recoveryWrites;
     ctx_.scheduler.scheduleDeadline(
         recoveryUntil_, [this, obj, cb = std::move(cb), requestedAt]() mutable {
+          VolState* v = volLookup(volumeOf(obj));
+          VL_CHECK_MSG(v != nullptr, "VolumeServer: write for un-owned volume");
+          --v->recoveryWrites;
           writeInternal(obj, std::move(cb), requestedAt);
         });
     return;
@@ -533,6 +569,10 @@ void VolumeServer::startWrite(ObjectId obj, WriteCallback cb,
     st.holders.forEach([&](std::uint32_t, LeaseRecord& record) {
       if (graceExpire(record.expire) > now) anyValid = true;
     });
+    // Holders granted by the previous owner before a migration are not
+    // in our tables, but their (volume, object) lease pairs stay valid
+    // until the handoff bound drains; until then the write must wait.
+    if (graceExpire(v.handoffBound) > now) anyValid = true;
     if (!anyValid) {
       ++st.version;
       ctx_.metrics.onWrite(now - requestedAt, false);
@@ -545,8 +585,8 @@ void VolumeServer::startWrite(ObjectId obj, WriteCallback cb,
     pw.requestedAt = requestedAt;
     pw.byExpiry = true;
     ++v.pendingWrites;
-    const SimTime deadline =
-        std::max(graceExpire(std::min(v.expire, st.expire)), now);
+    const SimTime deadline = std::max({graceExpire(std::min(v.expire, st.expire)),
+                                       graceExpire(v.handoffBound), now});
     st.pendingWrite = slot;
     pw.timer = ctx_.scheduler.scheduleDeadline(
         deadline, [this, obj]() { commitWrite(obj); });
@@ -555,7 +595,12 @@ void VolumeServer::startWrite(ObjectId obj, WriteCallback cb,
 
   std::vector<NodeId> immediate = std::move(immediateScratch_);
   immediate.clear();
-  SimTime skipBound = kSimTimeMin;
+  // Pre-migration holders granted by the previous owner are invisible
+  // to our holder tables; treat them as one skipped Unreachable holder
+  // whose min(volume, object) expiry is the handoff bound.
+  SimTime skipBound = graceExpire(v.handoffBound) > now
+                          ? graceExpire(v.handoffBound)
+                          : kSimTimeMin;
   st.holders.forEach([&](std::uint32_t ci, LeaseRecord& record) {
     if (graceExpire(record.expire) <= now) return;  // lease expired
 
@@ -633,14 +678,17 @@ void VolumeServer::startWrite(ObjectId obj, WriteCallback cb,
 
   // T_f = min(volume expiry, object expiry) + epsilon, floored by
   // msgTimeout (paper Fig. 3). Whichever lease family drains first
-  // unblocks us. skipBound <= leaseBound (each skipped client's
-  // expiries are under the aggregate maxima, both epsilon-extended), so
-  // the timer also covers skipped clients. With nobody to contact, only
-  // the skipped clients' drain matters.
+  // unblocks us. For in-table holders skipBound <= leaseBound (each
+  // skipped client's expiries are under the aggregate maxima, both
+  // epsilon-extended) -- but a freshly adopted volume's handoff bound
+  // can exceed the aggregates (its holders are not in the tables), so
+  // the deadline takes skipBound explicitly. With nobody to contact,
+  // only the skipped clients' drain matters.
   const SimTime leaseBound = graceExpire(std::min(v.expire, st.expire));
   const SimTime deadline =
-      immediate.empty() ? skipBound
-                        : std::max(leaseBound, addSat(now, config_.msgTimeout));
+      immediate.empty()
+          ? skipBound
+          : std::max({leaseBound, addSat(now, config_.msgTimeout), skipBound});
   st.pendingWrite = slot;
   pw.timer = ctx_.scheduler.scheduleDeadline(
       deadline, [this, obj]() { commitWrite(obj); });
@@ -764,6 +812,154 @@ void VolumeServer::handleAckInvalidate(const net::Message& msg) {
 }
 
 // ---------------------------------------------------------------------
+// online volume migration (federation)
+// ---------------------------------------------------------------------
+
+VolumeServer::VolState& VolumeServer::migrationVolSlot(
+    VolumeId volId, std::uint8_t** ownedFlag) {
+  const trace::VolumeInfo& info = ctx_.catalog.volume(volId);
+  if (info.server == id()) {
+    *ownedFlag = &volOwnedNative_[info.localIndex];
+    return volumes_[info.localIndex];
+  }
+  auto [slot, inserted] = adoptedVolSlot_.tryEmplace(raw(volId));
+  if (inserted) {
+    *slot = static_cast<std::uint32_t>(adoptedVols_.size());
+    adoptedVols_.emplace_back();
+    adoptedVolOwned_.push_back(0);
+  }
+  *ownedFlag = &adoptedVolOwned_[*slot];
+  return adoptedVols_[*slot];
+}
+
+VolumeServer::ObjState& VolumeServer::migrationObjSlot(
+    ObjectId obj, std::uint8_t** ownedFlag) {
+  const trace::ObjectInfo& info = ctx_.catalog.object(obj);
+  if (info.server == id()) {
+    *ownedFlag = &objOwnedNative_[info.localIndex];
+    return objects_[info.localIndex];
+  }
+  auto [slot, inserted] = adoptedObjSlot_.tryEmplace(raw(obj));
+  if (inserted) {
+    *slot = static_cast<std::uint32_t>(adoptedObjs_.size());
+    adoptedObjs_.emplace_back();
+    adoptedObjOwned_.push_back(0);
+  }
+  *ownedFlag = &adoptedObjOwned_[*slot];
+  return adoptedObjs_[*slot];
+}
+
+bool VolumeServer::volumeQuiescent(VolumeId volId) const {
+  const VolState* v = volLookup(volId);
+  if (v == nullptr) return false;
+  return v->pendingWrites == 0 && v->deferred.empty() &&
+         v->recoveryWrites == 0;
+}
+
+proto::VolumeHandoff VolumeServer::migrateOut(VolumeId volId) {
+  std::uint8_t* owned = nullptr;
+  VolState& v = migrationVolSlot(volId, &owned);
+  VL_CHECK_MSG(*owned != 0, "migrateOut: volume not owned here");
+  VL_CHECK_MSG(
+      v.pendingWrites == 0 && v.deferred.empty() && v.recoveryWrites == 0,
+      "migrateOut: volume not quiescent");
+  const SimTime now = ctx_.scheduler.now();
+
+  proto::VolumeHandoff handoff;
+  handoff.vol = volId;
+  handoff.epoch = v.epoch;
+  // Holders we are about to forget stay bounded by the volume's
+  // aggregate lease horizon; after a crash wiped v.expire, the
+  // stable-storage high-water mark is the bound that survives. No grace
+  // applied here -- the adopter adds epsilon when it compares.
+  handoff.volLeaseBound = std::max(v.expire, maxVolExpireGranted_);
+
+  // Accrue and drop every piece of volume soft state: a migration is a
+  // controlled crash for this volume's lease bookkeeping. Holders learn
+  // of the move when their next request times out and re-routes; the
+  // epoch bump at the adopter forces them through MUST_RENEW_ALL.
+  v.holders.forEach([&](std::uint32_t, LeaseRecord& r) {
+    stats::accrueRecord(ctx_.metrics, id(), r.lastAccounted, r.expire, now);
+  });
+  v.holders.clear();
+  v.inactive.forEach([&](std::uint32_t, InactiveClient& in) {
+    for (PendingMsg& pm : in.pending) {
+      stats::accrueRecord(ctx_.metrics, id(), pm.lastAccounted, pm.discardAt,
+                          now);
+    }
+    in.pending.clear();
+    if (in.pending.capacity() > 0) {
+      pendingMsgPool_.push_back(std::move(in.pending));
+    }
+  });
+  v.inactive.clear();
+  std::fill(v.unreachable.begin(), v.unreachable.end(), 0);
+  std::fill(v.sweptExpire.begin(), v.sweptExpire.end(), kNever);
+  v.expire = kSimTimeMin;
+
+  // In-flight reconnection / flush exchanges on this volume die with the
+  // handoff; the client's retry re-routes and reconnects at the adopter.
+  std::vector<std::uint64_t> staleSessions;
+  sessions_.forEach([&](std::uint64_t key, Session& session) {
+    if ((key & 0xffffffffull) != raw(volId)) return;
+    session.timer.cancel();
+    staleSessions.push_back(key);
+  });
+  for (std::uint64_t key : staleSessions) sessions_.erase(key);
+
+  for (const trace::ObjectInfo& info : ctx_.catalog.objects()) {
+    if (info.volume != volId) continue;
+    std::uint8_t* objOwned = nullptr;
+    ObjState& st = migrationObjSlot(info.id, &objOwned);
+    VL_CHECK(st.pendingWrite == util::kNilIdx);
+    st.holders.forEach([&](std::uint32_t, LeaseRecord& r) {
+      stats::accrueRecord(ctx_.metrics, id(), r.lastAccounted, r.expire, now);
+    });
+    st.holders.clear();
+    st.expire = kSimTimeMin;
+    handoff.objects.push_back(
+        proto::VolumeHandoff::ObjectEntry{info.id, st.version});
+    *objOwned = 0;  // slot stays: durable memory for a possible return
+  }
+
+  *owned = 0;  // epoch stays in the slot: the return path ratchets on it
+  return handoff;
+}
+
+void VolumeServer::adoptVolume(const proto::VolumeHandoff& handoff,
+                               bool bumpEpoch) {
+  std::uint8_t* owned = nullptr;
+  VolState& v = migrationVolSlot(handoff.vol, &owned);
+  VL_CHECK_MSG(*owned == 0, "adoptVolume: volume already owned here");
+
+  // Epoch ratchet: this slot may hold durable memory of an earlier stay
+  // (migrate-away-then-return); never regress below either side's log.
+  // The bump on top forces every pre-migration holder through the
+  // MUST_RENEW_ALL reconnection exchange on its next volume renewal.
+  v.epoch = std::max(v.epoch, handoff.epoch);
+  if (bumpEpoch) v.epoch += 1;
+  v.touched = true;
+
+  // Writes here must respect leases the previous owner granted, which
+  // are invisible to our holder tables; the handoff bound stands in for
+  // them until it drains.
+  v.handoffBound = std::max(v.handoffBound, handoff.volLeaseBound);
+
+  for (const auto& entry : handoff.objects) {
+    std::uint8_t* objOwned = nullptr;
+    ObjState& st = migrationObjSlot(entry.obj, &objOwned);
+    st.version = std::max(st.version, entry.version);  // ratchet, never back
+    *objOwned = 1;
+  }
+
+  // A crash at this server must also stay silent past the handoff
+  // bound: fold it into the stable-storage high-water mark that sizes
+  // the post-crash recovery window.
+  maxVolExpireGranted_ = std::max(maxVolExpireGranted_, handoff.volLeaseBound);
+  *owned = 1;
+}
+
+// ---------------------------------------------------------------------
 // crash recovery (paper §3.1.2)
 // ---------------------------------------------------------------------
 
@@ -791,7 +987,9 @@ void VolumeServer::crashAndReboot() {
   sweepTimer_.cancel();
   sweepArmed_ = false;  // lease state is gone; the next grant re-arms
 
-  for (VolState& v : volumes_) {
+  // Owned state only: a migrated-away volume's slot is durable memory of
+  // another server's volume now -- its epoch must not advance here.
+  forEachOwnedVol([&](VolState& v) {
     v.holders.forEach([&](std::uint32_t, LeaseRecord& r) {
       stats::accrueRecord(ctx_.metrics, id(), r.lastAccounted, r.expire, now);
     });
@@ -815,15 +1013,15 @@ void VolumeServer::crashAndReboot() {
     v.expire = kSimTimeMin;
     std::fill(v.sweptExpire.begin(), v.sweptExpire.end(), kNever);
     if (v.touched) v.epoch += 1;  // persisted with the data
-  }
-  for (ObjState& st : objects_) {
+  });
+  forEachOwnedObj([&](ObjState& st) {
     st.holders.forEach([&](std::uint32_t, LeaseRecord& r) {
       stats::accrueRecord(ctx_.metrics, id(), r.lastAccounted, r.expire, now);
     });
     st.holders.clear();
     st.expire = kSimTimeMin;
     st.pendingWrite = util::kNilIdx;
-  }
+  });
 
   // Delay writes until every volume lease granted before the crash has
   // expired -- epsilon-extended, so slow-clocked holders have stopped
@@ -832,7 +1030,8 @@ void VolumeServer::crashAndReboot() {
 }
 
 void VolumeServer::restoreAfterRestart(
-    const std::vector<std::pair<ObjectId, Version>>& versions, Epoch epoch,
+    const std::vector<std::pair<ObjectId, Version>>& versions,
+    const std::vector<std::pair<VolumeId, Epoch>>& epochs,
     SimTime recoverUntil) {
   for (const auto& [obj, version] : versions) {
     const trace::ObjectInfo& info = ctx_.catalog.object(obj);
@@ -840,12 +1039,18 @@ void VolumeServer::restoreAfterRestart(
     ObjState& st = objects_[info.localIndex];
     st.version = std::max(st.version, version);
   }
-  for (VolState& v : volumes_) {
+  for (const auto& [volId, epoch] : epochs) {
+    const trace::VolumeInfo& info = ctx_.catalog.volume(volId);
+    if (info.server != id()) continue;
+    // Per-volume ratchet only: a volume whose durable log holds an
+    // older epoch (it migrated away and came back, or the log lagged)
+    // must move forward, never regress.
+    VolState& v = volumes_[info.localIndex];
     v.epoch = std::max(v.epoch, epoch);
-    // Mark touched so a later in-process crash keeps bumping the epoch
-    // past the restored value.
-    v.touched = true;
   }
+  // Mark every owned volume touched so a later in-process crash keeps
+  // bumping epochs past the restored values.
+  forEachOwnedVol([](VolState& v) { v.touched = true; });
   // Ratchet only: a second restore with an older recovery point must not
   // shorten a silence window already in force.
   recoveryUntil_ = std::max(recoveryUntil_, recoverUntil);
@@ -866,7 +1071,7 @@ void VolumeServer::sweepExpiredLeases() {
   // at the record's expiry, which is <= now for everything swept.
   const SimTime now = ctx_.scheduler.now();
   std::size_t remaining = 0;
-  for (VolState& v : volumes_) {
+  forEachOwnedVol([&](VolState& v) {
     v.holders.forEach([&](std::uint32_t ci, LeaseRecord& rec) {
       if (graceExpire(rec.expire) > now) {
         ++remaining;
@@ -882,8 +1087,8 @@ void VolumeServer::sweepExpiredLeases() {
       }
       v.holders.erase(ci);
     });
-  }
-  for (ObjState& st : objects_) {
+  });
+  forEachOwnedObj([&](ObjState& st) {
     st.holders.forEach([&](std::uint32_t ci, LeaseRecord& rec) {
       if (graceExpire(rec.expire) > now) {
         ++remaining;
@@ -893,7 +1098,7 @@ void VolumeServer::sweepExpiredLeases() {
                           now);
       st.holders.erase(ci);
     });
-  }
+  });
   if (remaining > 0 && !quiesced_) {
     sweepTimer_ = ctx_.scheduler.scheduleDeadlineAfter(
         config_.leaseSweepPeriod, [this]() { sweepExpiredLeases(); });
@@ -909,7 +1114,9 @@ void VolumeServer::quiesce() {
 }
 
 void VolumeServer::finalizeAccounting(SimTime now) {
-  for (VolState& v : volumes_) {
+  // Un-owned slots were accrued and emptied when the volume migrated
+  // out, so visiting owned state covers everything outstanding.
+  forEachOwnedVol([&](VolState& v) {
     v.holders.forEach([&](std::uint32_t, LeaseRecord& r) {
       stats::accrueRecord(ctx_.metrics, id(), r.lastAccounted, r.expire, now);
     });
@@ -919,12 +1126,12 @@ void VolumeServer::finalizeAccounting(SimTime now) {
                             now);
       }
     });
-  }
-  for (ObjState& st : objects_) {
+  });
+  forEachOwnedObj([&](ObjState& st) {
     st.holders.forEach([&](std::uint32_t, LeaseRecord& r) {
       stats::accrueRecord(ctx_.metrics, id(), r.lastAccounted, r.expire, now);
     });
-  }
+  });
 }
 
 }  // namespace vlease::core

@@ -68,18 +68,30 @@ class VolumeServer final : public proto::ServerNode {
   void finalizeAccounting(SimTime now) override;
   void quiesce() override;
 
+  // ---- online volume migration (federation) ----
+  bool supportsMigration() const override { return true; }
+  bool volumeQuiescent(VolumeId vol) const override;
+  proto::VolumeHandoff migrateOut(VolumeId vol) override;
+  void adoptVolume(const proto::VolumeHandoff& handoff,
+                   bool bumpEpoch) override;
+  /// Whether this server currently owns `vol` (native or adopted).
+  bool ownsVolume(VolumeId vol) const { return volLookup(vol) != nullptr; }
+
   /// Cold process restart (tools/vlease_rt): a brand-new process resumes
   /// this server from "stable storage" -- durably logged versions and the
-  /// epoch counter. All lease state was volatile and is gone; the epoch
-  /// is presented pre-bumped by the caller so reconnecting clients run
-  /// MUST_RENEW_ALL, and writes refuse to commit until `recoverUntil` on
-  /// the new process's clock. When even the granted-lease high-water
-  /// mark died with the old process, the caller must pass one full
-  /// volume-lease term + epsilon of silence -- the paper's §3.1.2
-  /// recovery rule executed on real wall-clock time. Restored versions
-  /// only ratchet upward (the constructor's defaults are the floor).
+  /// per-volume epoch counters. All lease state was volatile and is gone;
+  /// the epochs are presented pre-bumped by the caller so reconnecting
+  /// clients run MUST_RENEW_ALL, and writes refuse to commit until
+  /// `recoverUntil` on the new process's clock. When even the
+  /// granted-lease high-water mark died with the old process, the caller
+  /// must pass one full volume-lease term + epsilon of silence -- the
+  /// paper's §3.1.2 recovery rule executed on real wall-clock time.
+  /// Restored versions and epochs only ratchet upward (the constructor's
+  /// defaults are the floor; a volume returning to a server whose
+  /// durable log holds an older epoch must never regress).
   void restoreAfterRestart(
-      const std::vector<std::pair<ObjectId, Version>>& versions, Epoch epoch,
+      const std::vector<std::pair<ObjectId, Version>>& versions,
+      const std::vector<std::pair<VolumeId, Epoch>>& epochs,
       SimTime recoverUntil);
 
   // ---- introspection hooks for tests ----
@@ -140,6 +152,18 @@ class VolumeServer final : public proto::ServerNode {
     /// Inactive entry's volExpiredAt). kNever = no swept record.
     /// Invalidated by a fresh grant, cleared wholesale on crash.
     std::vector<SimTime> sweptExpire;  // by client index
+    /// Migration handoff bound: holders granted by the PREVIOUS owner
+    /// are invisible to this server's holder tables, but their
+    /// min(volume, object) lease pairs all expire by this instant (the
+    /// source's aggregate volume-lease horizon at handoff). Until
+    /// graceExpire(handoffBound) passes, writes must treat the volume as
+    /// if an unreachable holder with that expiry existed. Never reset:
+    /// comparisons are against `now`, so it ages out naturally.
+    SimTime handoffBound = kSimTimeMin;
+    /// Writes parked on the crash-recovery delay timer (not yet in the
+    /// pending-write pool). Migration must wait for these too: the
+    /// parked closure re-enters writeInternal on this server.
+    int recoveryWrites = 0;
   };
   struct ObjState {
     Version version = 1;
@@ -204,25 +228,76 @@ class VolumeServer final : public proto::ServerNode {
   static std::uint64_t sessionKey(std::uint32_t clientIdx, VolumeId vol) {
     return (static_cast<std::uint64_t>(clientIdx) << 32) | raw(vol);
   }
-  VolState& vol(VolumeId volId) {
+  /// Ownership-aware lookup: the volume's state iff this server
+  /// currently owns it (native home volume not migrated away, or an
+  /// adopted volume). Null otherwise.
+  const VolState* volLookup(VolumeId volId) const {
     const trace::VolumeInfo& info = ctx_.catalog.volume(volId);
-    VL_DCHECK(info.server == id());
-    VolState& v = volumes_[info.localIndex];
-    v.touched = true;
-    return v;
+    if (info.server == id()) {
+      return volOwnedNative_[info.localIndex] != 0 ? &volumes_[info.localIndex]
+                                                   : nullptr;
+    }
+    const std::uint32_t* slot = adoptedVolSlot_.find(raw(volId));
+    if (slot == nullptr || adoptedVolOwned_[*slot] == 0) return nullptr;
+    return &adoptedVols_[*slot];
+  }
+  VolState* volLookup(VolumeId volId) {
+    return const_cast<VolState*>(
+        static_cast<const VolumeServer*>(this)->volLookup(volId));
+  }
+  VolState& vol(VolumeId volId) {
+    VolState* v = volLookup(volId);
+    VL_CHECK_MSG(v != nullptr, "VolumeServer: volume not owned here");
+    v->touched = true;
+    return *v;
   }
   ObjState& objState(ObjectId obj) {
     const trace::ObjectInfo& info = ctx_.catalog.object(obj);
-    VL_DCHECK(info.server == id());
-    return objects_[info.localIndex];
+    if (info.server == id()) {
+      VL_DCHECK(objOwnedNative_[info.localIndex] != 0);
+      return objects_[info.localIndex];
+    }
+    const std::uint32_t* slot = adoptedObjSlot_.find(raw(obj));
+    VL_CHECK_MSG(slot != nullptr, "VolumeServer: object not owned here");
+    return adoptedObjs_[*slot];
   }
   VolumeId volumeOf(ObjectId obj) const {
     return ctx_.catalog.object(obj).volume;
   }
-  /// Introspection-safe lookups: null for ids this server does not own
-  /// (the old map-based lookups answered those with defaults).
+  /// Introspection-safe lookups: null for ids this server holds no state
+  /// for. A slot that exists but is currently un-owned (the volume
+  /// migrated away) IS returned -- it is this server's durable memory of
+  /// the volume (epoch, versions) and tests inspect it.
   const VolState* volFind(VolumeId id) const;
   const ObjState* objFind(ObjectId id) const;
+
+  /// The volume a message's payload addresses; used by deliver() to
+  /// drop stragglers for volumes this server no longer owns (the client
+  /// self-heals: its request times out and re-routes via the table).
+  VolumeId payloadVolume(const net::Message& msg) const;
+
+  /// Visit every volume/object state this server currently owns:
+  /// native slots not migrated away plus adopted slots. Crash, sweep,
+  /// and accounting loops use these so a migrated-away volume's durable
+  /// memory is never mutated.
+  template <typename Fn>
+  void forEachOwnedVol(Fn&& fn) {
+    for (std::size_t i = 0; i < volumes_.size(); ++i) {
+      if (volOwnedNative_[i] != 0) fn(volumes_[i]);
+    }
+    for (std::size_t i = 0; i < adoptedVols_.size(); ++i) {
+      if (adoptedVolOwned_[i] != 0) fn(adoptedVols_[i]);
+    }
+  }
+  template <typename Fn>
+  void forEachOwnedObj(Fn&& fn) {
+    for (std::size_t i = 0; i < objects_.size(); ++i) {
+      if (objOwnedNative_[i] != 0) fn(objects_[i]);
+    }
+    for (std::size_t i = 0; i < adoptedObjs_.size(); ++i) {
+      if (adoptedObjOwned_[i] != 0) fn(adoptedObjs_[i]);
+    }
+  }
 
   bool isUnreach(const VolState& v, std::uint32_t ci) const {
     return ci < v.unreachable.size() && v.unreachable[ci] != 0;
@@ -307,6 +382,27 @@ class VolumeServer final : public proto::ServerNode {
 
   std::vector<VolState> volumes_;  // by catalog localIndex
   std::vector<ObjState> objects_;  // by catalog localIndex
+
+  // ---- federation ownership ----
+  // Native slots (above) stay addressed by catalog localIndex so the
+  // common no-migration case costs one byte-flag load; volumes adopted
+  // from other servers live in overflow stores keyed by raw global id.
+  // Un-owned slots of either kind are retained as durable memory: the
+  // epoch and versions a returning volume must ratchet against.
+  std::vector<std::uint8_t> volOwnedNative_;  // by catalog localIndex
+  std::vector<std::uint8_t> objOwnedNative_;  // by catalog localIndex
+  util::FlatMap<std::uint32_t> adoptedVolSlot_;  // raw(vol) -> adoptedVols_
+  util::FlatMap<std::uint32_t> adoptedObjSlot_;  // raw(obj) -> adoptedObjs_
+  std::vector<VolState> adoptedVols_;
+  std::vector<ObjState> adoptedObjs_;
+  std::vector<std::uint8_t> adoptedVolOwned_;
+  std::vector<std::uint8_t> adoptedObjOwned_;
+  /// Find-or-create the (possibly un-owned) slot for a volume/object,
+  /// native or adopted; also returns whether the caller must flip the
+  /// matching owned flag. Used only on migration paths.
+  VolState& migrationVolSlot(VolumeId volId, std::uint8_t** ownedFlag);
+  ObjState& migrationObjSlot(ObjectId obj, std::uint8_t** ownedFlag);
+
   std::vector<PendingWrite> pwPool_;
   std::vector<std::uint32_t> pwFree_;
   util::FlatMap<Session> sessions_;  // by sessionKey(client, volume)

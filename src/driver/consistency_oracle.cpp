@@ -105,7 +105,7 @@ SimDuration ConsistencyOracle::recoveryBound() const {
 bool ConsistencyOracle::callbackExempt(ObjectId obj) const {
   if (config_.algorithm != proto::Algorithm::kCallback) return false;
   if (taintedObjects_.count(obj) > 0) return true;
-  return taintedServers_.count(catalog_.object(obj).server) > 0;
+  return taintedServers_.count(serverOf(obj)) > 0;
 }
 
 bool ConsistencyOracle::skewExempt(NodeId client, SimTime now) const {
@@ -208,7 +208,7 @@ void ConsistencyOracle::onWriteComplete(ObjectId obj,
     supersededAt_.try_emplace(versionKey(obj, result.newVersion - 1), now);
   }
 
-  const NodeId server = catalog_.object(obj).server;
+  const NodeId server = serverOf(obj);
   const ServerFaults* faults = nullptr;
   auto fIt = serverFaults_.find(server);
   if (fIt != serverFaults_.end()) faults = &fIt->second;
@@ -287,7 +287,7 @@ void ConsistencyOracle::onFault(const net::FaultEvent& event, SimTime now) {
         // completion with a pre-crash issue time would inflate its
         // apparent wait into a false delay-bound violation.
         for (auto& [obj, track] : writes_) {
-          if (catalog_.object(obj).server != event.a) continue;
+          if (serverOf(obj) != event.a) continue;
           if (track.outstanding.empty()) continue;
           record(now, "write tracking reset obj=" +
                           std::to_string(raw(obj)) + " dropped=" +
@@ -319,7 +319,7 @@ void ConsistencyOracle::audit(proto::ProtocolInstance& protocol, SimTime now) {
       const auto view = client.cacheView(info.id, now);
       if (!view.wouldServe) continue;
       const Version actual =
-          protocol.serverFor(catalog_, info.id).currentVersion(info.id);
+          protocol.serverAt(serverOf(info.id)).currentVersion(info.id);
       if (view.version == actual) continue;
       if (!strong_ && now <= pollServeDeadline(info.id, view.version)) {
         continue;  // stale but inside the Poll window: contractual
@@ -343,7 +343,7 @@ void ConsistencyOracle::finalAudit(proto::ProtocolInstance& protocol,
   audit(protocol, now);
   for (const auto& [obj, track] : writes_) {
     if (track.outstanding.empty()) continue;
-    const NodeId server = catalog_.object(obj).server;
+    const NodeId server = serverOf(obj);
     auto fIt = serverFaults_.find(server);
     if (fIt != serverFaults_.end() && fIt->second.everCrashed) {
       // Crashes kill in-flight and queued writes; that is modeled

@@ -103,6 +103,10 @@ class ConsistencyOracle {
     /// held when it sent it). Simulation sets this to a full round
     /// trip, 2 x networkLatency; 0 reproduces the sequential model.
     SimDuration validationLatency = 0;
+    /// Federation: the driver's live volume -> server table, so the
+    /// oracle asks the *current* owner for authoritative versions after
+    /// an online migration. Null = the catalog home assignment.
+    const proto::Routing* routing = nullptr;
   };
 
   ConsistencyOracle(const trace::Catalog& catalog,
@@ -177,6 +181,13 @@ class ConsistencyOracle {
   /// the Poll contract; kNever when the superseding write was never
   /// observed (nothing to anchor the bound on).
   SimTime pollServeDeadline(ObjectId obj, Version served) const;
+  /// Current owner of `obj`'s volume (routing-aware; falls back to the
+  /// catalog home server when no table is installed).
+  NodeId serverOf(ObjectId obj) const {
+    const trace::ObjectInfo& info = catalog_.object(obj);
+    return options_.routing != nullptr ? options_.routing->serverOf(info.volume)
+                                       : info.server;
+  }
 
   void record(SimTime at, std::string text);
   void reportViolation(ViolationKind kind, SimTime now,

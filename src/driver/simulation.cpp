@@ -12,7 +12,8 @@ Simulation::Simulation(const trace::Catalog& catalog,
                        SimOptions options)
     : catalog_(catalog),
       network_(std::make_unique<net::SimNetwork>(scheduler_, metrics_)),
-      ctx_{scheduler_, *network_, metrics_, catalog_, &clocks_},
+      routing_(catalog),
+      ctx_{scheduler_, *network_, metrics_, catalog_, &clocks_, &routing_},
       protocol_(core::makeProtocol(config, ctx_)),
       options_(std::move(options)) {
   network_->setLatency(options_.networkLatency);
@@ -30,11 +31,13 @@ Simulation::Simulation(const trace::Catalog& catalog,
     // A Poll validation's answer is already a round trip old when it
     // lands; the Poll staleness bound must allow for it.
     oracleOptions.validationLatency = 2 * options_.networkLatency;
+    oracleOptions.routing = &routing_;
     oracle_ = std::make_unique<ConsistencyOracle>(catalog_, config, metrics_,
                                                   oracleOptions);
     scheduleAudit();
   }
   if (options_.faultPlan != nullptr) installFaultPlan(*options_.faultPlan);
+  if (!options_.migrations.empty()) installMigrations();
 }
 
 Simulation::~Simulation() = default;
@@ -94,6 +97,51 @@ void Simulation::applyFault(const net::FaultEvent& event) {
   }
 }
 
+void Simulation::installMigrations() {
+  migrationTimers_.reserve(options_.migrations.size());
+  for (const MigrationEvent& event : options_.migrations) {
+    // Exact lane, like fault events: migration instants must order
+    // precisely against protocol activity for replays to be bit-exact.
+    migrationTimers_.push_back(scheduler_.scheduleAt(
+        event.at, [this, event]() { applyMigration(event); }));
+  }
+}
+
+void Simulation::applyMigration(const MigrationEvent& event) {
+  const NodeId src = routing_.serverOf(event.vol);
+  const NodeId dst = event.dstServer;
+  if (src == dst) {
+    ++migrationsApplied_;  // already there; nothing to move
+    return;
+  }
+  proto::ServerNode& srcServer = protocol_.serverAt(src);
+  proto::ServerNode& dstServer = protocol_.serverAt(dst);
+  VL_CHECK_MSG(
+      srcServer.supportsMigration() && dstServer.supportsMigration(),
+      "online migration requires servers with epoch handoff support");
+  // The handoff needs both endpoints alive (the source to drain and
+  // serialize, the destination to adopt) and the volume write-quiet at
+  // the source. Otherwise retry on a short deterministic cadence -- a
+  // migration scheduled inside a crash window simply slides past it.
+  const net::FailureModel& failures = network_->failures();
+  if (failures.isCrashed(src) || failures.isCrashed(dst) ||
+      !srcServer.volumeQuiescent(event.vol)) {
+    if (finished_) {
+      // End of run and still blocked (e.g. a crash window the plan
+      // never closed): drop it, or the drain would never terminate.
+      ++migrationsDropped_;
+      return;
+    }
+    migrationTimers_.push_back(scheduler_.scheduleAfter(
+        msec(100), [this, event]() { applyMigration(event); }));
+    return;
+  }
+  proto::VolumeHandoff handoff = srcServer.migrateOut(event.vol);
+  routing_.setServerOf(event.vol, dst);
+  dstServer.adoptVolume(handoff, event.bumpEpoch);
+  ++migrationsApplied_;
+}
+
 void Simulation::scheduleAudit() {
   // Rescheduling is gated on finished_: finish() must be able to drain
   // the scheduler, and a timer that always re-arms itself would keep
@@ -124,11 +172,14 @@ void Simulation::issueRead(NodeId client, ObjectId obj,
     return;
   }
   proto::ClientNode& node = protocol_.client(catalog_, client);
-  proto::ServerNode& server = protocol_.serverFor(catalog_, obj);
-  node.read(obj, [this, &server, client, obj, extra = std::move(extra)](
+  // The owner is resolved at completion time, not capture time: a
+  // migration may move the volume while the read is in flight, and the
+  // authoritative version then lives at the new owner.
+  node.read(obj, [this, client, obj, extra = std::move(extra)](
                      const proto::ReadResult& result) {
     if (result.ok) {
-      const Version actual = server.currentVersion(obj);
+      const Version actual =
+          protocol_.serverFor(ctx_, obj).currentVersion(obj);
       metrics_.onRead(result.usedNetwork, result.version != actual);
       if (oracle_) {
         oracle_->onRead(client, obj, result, actual, scheduler_.now());
@@ -145,16 +196,16 @@ void Simulation::issueRead(NodeId client, ObjectId obj,
 
 void Simulation::issueWrite(ObjectId obj, proto::WriteCallback extra) {
   if (options_.faultPlan != nullptr &&
-      network_->failures().isCrashed(catalog_.object(obj).server)) {
-    // The home server is down; the write never happens.
+      network_->failures().isCrashed(ctx_.serverOf(obj))) {
+    // The owning server is down; the write never happens.
     return;
   }
   if (!oracle_) {
-    protocol_.serverFor(catalog_, obj).write(obj, std::move(extra));
+    protocol_.serverFor(ctx_, obj).write(obj, std::move(extra));
     return;
   }
   oracle_->onWriteIssued(obj, scheduler_.now());
-  protocol_.serverFor(catalog_, obj)
+  protocol_.serverFor(ctx_, obj)
       .write(obj, [this, obj, extra = std::move(extra)](
                       const proto::WriteResult& result) {
         oracle_->onWriteComplete(obj, result, scheduler_.now());

@@ -26,6 +26,7 @@
 #include "net/fault_plan.h"
 #include "net/sim_network.h"
 #include "proto/protocol.h"
+#include "proto/routing.h"
 #include "sim/local_clock.h"
 #include "sim/scheduler.h"
 #include "stats/metrics.h"
@@ -35,6 +36,20 @@
 namespace vlease::driver {
 
 class ConsistencyOracle;
+
+/// One online volume migration. At `at` the current owner drains the
+/// volume (the driver retries deterministically while writes are
+/// pending or either endpoint is crashed), hands off its durable facts,
+/// and the destination adopts it with an epoch bump that forces every
+/// pre-migration holder through the MUST_RENEW_ALL reconnection.
+struct MigrationEvent {
+  SimTime at = 0;
+  VolumeId vol{};
+  NodeId dstServer{};
+  /// Negative-control hook: false skips the adopter's epoch bump, so
+  /// stale pre-migration leases survive and the oracle must fire.
+  bool bumpEpoch = true;
+};
 
 struct SimOptions {
   /// One-way message latency (0 = the paper's sequential model).
@@ -56,6 +71,9 @@ struct SimOptions {
   /// a client whose |skew| exceeds this bound is out-of-contract and
   /// not flagged. Set it to the fault plan's maxClockSkew.
   SimDuration oracleSkewBound = 0;
+  /// Online volume migrations applied against the sim clock. Only the
+  /// volume-lease algorithms support them (the driver CHECKs).
+  std::vector<MigrationEvent> migrations;
 };
 
 class Simulation {
@@ -86,6 +104,12 @@ class Simulation {
   /// Fault-plan timers not yet fired (introspection for tests).
   std::size_t pendingFaultEvents() const;
 
+  /// Current volume -> server ownership (updated by migrations).
+  const proto::Routing& routing() const { return routing_; }
+  /// Migrations applied so far / dropped as unappliable at finish.
+  std::size_t migrationsApplied() const { return migrationsApplied_; }
+  std::size_t migrationsDropped() const { return migrationsDropped_; }
+
   /// Issue a read from `client` right now, with the staleness oracle
   /// applied to the result (also used internally for trace reads).
   void issueRead(NodeId client, ObjectId obj,
@@ -96,6 +120,8 @@ class Simulation {
  private:
   void installFaultPlan(const net::FaultPlan& plan);
   void applyFault(const net::FaultEvent& event);
+  void installMigrations();
+  void applyMigration(const MigrationEvent& event);
   void scheduleAudit();
 
   const trace::Catalog& catalog_;
@@ -105,13 +131,20 @@ class Simulation {
   /// Per-node clock views mutated by kSkew/kDrift fault events; the
   /// scheduler's global clock stays the single source of event order.
   sim::ClockMap clocks_;
+  /// Dynamic volume ownership; starts as the catalog assignment and is
+  /// updated by applyMigration. Declared before ctx_, which points at
+  /// it.
+  proto::Routing routing_;
   proto::ProtocolContext ctx_;
   proto::ProtocolInstance protocol_;
   SimOptions options_;
   std::unique_ptr<ConsistencyOracle> oracle_;
   std::vector<sim::TimerHandle> faultTimers_;
+  std::vector<sim::TimerHandle> migrationTimers_;
   sim::TimerHandle auditTimer_;
   SimTime lastEventTime_ = 0;
+  std::size_t migrationsApplied_ = 0;
+  std::size_t migrationsDropped_ = 0;
   bool ran_ = false;
   bool finished_ = false;
 };

@@ -41,11 +41,16 @@ Workload buildWorkload(const WorkloadOptions& options) {
 Workload buildChaosWorkload(const ChaosWorkloadOptions& options) {
   VL_CHECK(options.numClients > 0 && options.numServers > 0);
   VL_CHECK(options.objectsPerServer > 0 && options.duration > 0);
+  VL_CHECK(options.volumesPerServer > 0);
   trace::Catalog catalog(options.numServers, options.numClients);
   for (std::uint32_t s = 0; s < options.numServers; ++s) {
-    const VolumeId vol = catalog.addVolume(catalog.serverNode(s));
+    std::vector<VolumeId> vols;
+    vols.reserve(options.volumesPerServer);
+    for (std::uint32_t k = 0; k < options.volumesPerServer; ++k) {
+      vols.push_back(catalog.addVolume(catalog.serverNode(s)));
+    }
     for (std::uint32_t o = 0; o < options.objectsPerServer; ++o) {
-      catalog.addObject(vol, /*sizeBytes=*/4096);
+      catalog.addObject(vols[o % vols.size()], /*sizeBytes=*/4096);
     }
   }
 

@@ -312,8 +312,7 @@ void LeaseClient::read(ObjectId obj, ReadCallback cb) {
   if (!alreadyAsking) {
     const Version have = entry != nullptr && entry->hasData ? entry->version
                                                             : kNoVersion;
-    ctx_.transport.send(net::Message{id(),
-                                     ctx_.catalog.object(obj).server,
+    ctx_.transport.send(net::Message{id(), ctx_.serverOf(obj),
                                      net::ReqObjLease{obj, have}});
   }
 }

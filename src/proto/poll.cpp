@@ -61,8 +61,7 @@ void PollClient::read(ObjectId obj, ReadCallback cb) {
   if (!alreadyAsking) {
     const Version have = entry != nullptr && entry->hasData ? entry->version
                                                             : kNoVersion;
-    ctx_.transport.send(net::Message{id(),
-                                     ctx_.catalog.object(obj).server,
+    ctx_.transport.send(net::Message{id(), ctx_.serverOf(obj),
                                      net::PollRequest{obj, have}});
   }
 }

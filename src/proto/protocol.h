@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "net/transport.h"
+#include "proto/routing.h"
 #include "sim/local_clock.h"
 #include "sim/scheduler.h"
 #include "stats/metrics.h"
@@ -31,6 +32,20 @@ struct ProtocolContext {
   /// Per-node clock views for skew experiments; null (the default) means
   /// every node reads the scheduler's global clock exactly.
   const sim::ClockMap* clocks = nullptr;
+  /// Volume -> server routing table for federation; null (the default)
+  /// means the catalog's static home-server assignment is authoritative
+  /// (single-server bindings, rt workers). The driver that performs
+  /// online migration owns the table and installs a pointer here.
+  const Routing* routing = nullptr;
+
+  /// Current owner of a volume / of an object's volume.
+  NodeId serverOf(VolumeId vol) const {
+    return routing != nullptr ? routing->serverOf(vol)
+                              : catalog.volume(vol).server;
+  }
+  NodeId serverOf(ObjectId obj) const {
+    return serverOf(catalog.object(obj).volume);
+  }
 };
 
 /// Outcome of a client read.
@@ -167,6 +182,28 @@ struct ProtocolConfig {
   bool writeByLeaseExpiry = false;
 };
 
+/// Everything a server hands over when a volume migrates to another
+/// server. Holder/lease soft state deliberately stays behind: the
+/// epoch bump forces every old holder through the MUST_RENEW_ALL
+/// reconnection exchange at the new owner, and `volLeaseBound` tells
+/// the new owner how long it must treat unknown pre-migration holders
+/// as possibly live before committing a write (the same conservatism
+/// the paper's crash recovery applies server-wide).
+struct VolumeHandoff {
+  VolumeId vol{};
+  /// Source's epoch for the volume at handoff (pre-bump; the adopter
+  /// ratchets against its own durable memory and applies the bump).
+  Epoch epoch = 0;
+  /// Upper bound on every pre-migration holder's volume-lease expiry
+  /// (grace NOT applied; the adopter applies its own epsilon).
+  SimTime volLeaseBound = kSimTimeMin;
+  struct ObjectEntry {
+    ObjectId obj{};
+    Version version = kNoVersion;
+  };
+  std::vector<ObjectEntry> objects;
+};
+
 /// Server endpoint: owns the authoritative copies of the objects in its
 /// volumes and drives invalidations.
 class ServerNode : public net::MessageSink {
@@ -202,6 +239,39 @@ class ServerNode : public net::MessageSink {
   /// sweep) so the driver can drain the scheduler at end of run without
   /// housekeeping extending the horizon. Irreversible for this node.
   virtual void quiesce() {}
+
+  // ---- online volume migration (federation) ----
+  // Only the volume-lease server implements these; the baselines have
+  // no epoch machinery to hand off safely, so the driver restricts
+  // migration to algorithms that advertise support.
+
+  virtual bool supportsMigration() const { return false; }
+
+  /// True when `vol` can be handed off right now: no write is pending
+  /// or deferred against it. The driver polls and retries until quiet.
+  virtual bool volumeQuiescent(VolumeId vol) const {
+    (void)vol;
+    return true;
+  }
+
+  /// Release ownership of `vol`: discard its lease soft state (accruing
+  /// the state integral, like a crash would) and return the durable
+  /// facts the new owner needs. Requires volumeQuiescent(vol).
+  virtual VolumeHandoff migrateOut(VolumeId vol) {
+    (void)vol;
+    VL_CHECK_MSG(false, "this server type does not support migration");
+    return {};
+  }
+
+  /// Take ownership of a migrated volume. The epoch ratchets to
+  /// max(local durable epoch, handoff epoch) and -- unless `bumpEpoch`
+  /// is false (negative-control hook) -- is bumped past both, so every
+  /// pre-migration holder fails the epoch check and reconnects.
+  virtual void adoptVolume(const VolumeHandoff& handoff, bool bumpEpoch) {
+    (void)handoff;
+    (void)bumpEpoch;
+    VL_CHECK_MSG(false, "this server type does not support migration");
+  }
 
  protected:
   ProtocolContext& ctx_;
@@ -270,9 +340,16 @@ struct ProtocolInstance {
   std::vector<std::unique_ptr<ServerNode>> servers;  // by server index
   std::vector<std::unique_ptr<ClientNode>> clients;  // by client index
 
+  /// Static (catalog home-server) lookup; correct whenever no routing
+  /// table is installed or no migration has happened.
   ServerNode& serverFor(const trace::Catalog& catalog, ObjectId obj) {
     return *servers[raw(catalog.object(obj).server)];
   }
+  /// Routing-aware lookup: the current owner of the object's volume.
+  ServerNode& serverFor(const ProtocolContext& ctx, ObjectId obj) {
+    return *servers[raw(ctx.serverOf(obj))];
+  }
+  ServerNode& serverAt(NodeId node) { return *servers[raw(node)]; }
   ClientNode& client(const trace::Catalog& catalog, NodeId node) {
     return *clients[raw(node) - catalog.numServers()];
   }

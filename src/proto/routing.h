@@ -1,0 +1,49 @@
+// Volume -> server routing table (the federation layer's map).
+//
+// The catalog records each volume's *home* server -- a static fact of
+// the workload. Online migration makes ownership dynamic: a Routing
+// instance starts as a copy of the catalog assignment and is updated by
+// the driver when a volume moves, so clients (and the oracle) always
+// address the current owner instead of the home server. Endpoints reach
+// it through ProtocolContext::serverOf(); a null routing pointer (the
+// default, and what every single-server binding uses) falls back to the
+// catalog assignment, byte-identical to the pre-federation behavior.
+#pragma once
+
+#include <vector>
+
+#include "trace/catalog.h"
+#include "util/check.h"
+#include "util/ids.h"
+
+namespace vlease::proto {
+
+class Routing {
+ public:
+  explicit Routing(const trace::Catalog& catalog) { reset(catalog); }
+
+  /// Re-derive the table from the catalog's static assignment (also
+  /// picks up volumes added to the catalog after construction).
+  void reset(const trace::Catalog& catalog) {
+    table_.clear();
+    table_.reserve(catalog.numVolumes());
+    for (const auto& info : catalog.volumes()) table_.push_back(info.server);
+  }
+
+  NodeId serverOf(VolumeId vol) const {
+    VL_DCHECK(raw(vol) < table_.size());
+    return table_[raw(vol)];
+  }
+
+  void setServerOf(VolumeId vol, NodeId server) {
+    VL_DCHECK(raw(vol) < table_.size());
+    table_[raw(vol)] = server;
+  }
+
+  std::size_t numVolumes() const { return table_.size(); }
+
+ private:
+  std::vector<NodeId> table_;  // by raw(VolumeId)
+};
+
+}  // namespace vlease::proto

@@ -17,9 +17,10 @@ void RunLog::merge(const RunLog& other) {
   reads.insert(reads.end(), other.reads.begin(), other.reads.end());
 }
 
-std::string formatEpochLine(Epoch epoch) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "E %" PRId64 "\n", epoch);
+std::string formatEpochLine(VolumeId vol, Epoch epoch) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "E %" PRIu64 " %" PRId64 "\n",
+                static_cast<std::uint64_t>(raw(vol)), epoch);
   return buf;
 }
 
@@ -59,9 +60,11 @@ RunLog parseRunLog(const std::string& text) {
     if (line.empty()) continue;
     switch (line[0]) {
       case 'E': {
+        std::uint64_t vol = 0;
         Epoch epoch = 0;
-        if (std::sscanf(line.c_str(), "E %" SCNd64, &epoch) == 1) {
-          log.epochs.push_back(epoch);
+        if (std::sscanf(line.c_str(), "E %" SCNu64 " %" SCNd64, &vol,
+                        &epoch) == 2) {
+          log.epochs.push_back({makeVolumeId(vol), epoch});
         }
         break;
       }
@@ -251,13 +254,24 @@ ParityCounts checkRealRun(const RunLog& log, const CheckerOptions& options,
     }
   }
 
-  // ---- epoch ratchet (real-only) ----
-  for (std::size_t i = 1; i < log.epochs.size(); ++i) {
-    if (log.epochs[i] <= log.epochs[i - 1]) {
-      ++counts.epochRegressions;
-      note("epoch regression: incarnation " + std::to_string(i) +
-           " logged epoch " + std::to_string(log.epochs[i]) + " <= " +
-           std::to_string(log.epochs[i - 1]));
+  // ---- epoch ratchet (real-only), per volume ----
+  // Each volume's successive incarnation records must strictly
+  // increase. Grouping by volume (instead of flattening every record
+  // into one sequence) is what makes the check correct for multi-volume
+  // servers and for a volume that migrates away and returns: another
+  // volume's independent counter must never mask -- or fake -- a
+  // regression of this one.
+  std::unordered_map<std::uint64_t, Epoch> lastEpoch;
+  for (const EpochRecord& rec : log.epochs) {
+    auto [it, inserted] = lastEpoch.try_emplace(raw(rec.vol), rec.epoch);
+    if (!inserted) {
+      if (rec.epoch <= it->second) {
+        ++counts.epochRegressions;
+        note("epoch regression: volume " + std::to_string(raw(rec.vol)) +
+             " logged epoch " + std::to_string(rec.epoch) + " <= " +
+             std::to_string(it->second));
+      }
+      it->second = rec.epoch;
     }
   }
 

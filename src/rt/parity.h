@@ -6,7 +6,8 @@
 // (fflush'd per line so a SIGKILL loses at most the line being written;
 // the parser tolerates a truncated tail):
 //
-//   E <epoch>                                        server (re)start
+//   E <vol> <epoch>                                  server (re)start,
+//                                                    one line per volume
 //   w <obj> <issuedAt>                               write issued
 //   W <obj> <version> <issuedAt> <completedAt> <delay>   write committed
 //   R <client> <obj> <issuedAt> <completedAt> <ok> <usedNet> <version>
@@ -32,9 +33,12 @@
 //                       a rebooted server stays silent for one lease
 //                       term; the simulator enforces this structurally,
 //                       a real cold restart must prove it on wall clock;
-//   * epoch regression -- REAL-ONLY: a server incarnation logged an
-//                       epoch <= a previous incarnation's (stable
-//                       storage failed to ratchet).
+//   * epoch regression -- REAL-ONLY: a server incarnation logged a
+//                       volume epoch <= a previous incarnation's for the
+//                       SAME volume (stable storage failed to ratchet;
+//                       checked per volume so a migrate-away-then-return
+//                       or multi-volume server can never regress one
+//                       volume behind another's counter).
 //
 // tools/vlease_rt replays the same (workload, FaultPlan, seed) through
 // driver::Simulation and diffs these counts against the oracle's.
@@ -73,8 +77,14 @@ struct ReadRecord {
   Version version = 0;
 };
 
+struct EpochRecord {
+  VolumeId vol = makeVolumeId(0);
+  Epoch epoch = 0;
+};
+
 struct RunLog {
-  std::vector<Epoch> epochs;  // one per server (re)start, in order
+  /// One record per (server (re)start, owned volume), in log order.
+  std::vector<EpochRecord> epochs;
   std::vector<WriteIssueRecord> issues;
   std::vector<WriteRecord> writes;
   std::vector<ReadRecord> reads;
@@ -83,7 +93,7 @@ struct RunLog {
 };
 
 // ---- record formatting (what workers write) ----
-std::string formatEpochLine(Epoch epoch);
+std::string formatEpochLine(VolumeId vol, Epoch epoch);
 std::string formatWriteIssueLine(ObjectId obj, SimTime issuedAt);
 std::string formatWriteLine(const WriteRecord& w);
 std::string formatReadLine(const ReadRecord& r);

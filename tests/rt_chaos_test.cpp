@@ -404,13 +404,13 @@ TEST(ColdRestart, RestoredServerRefusesWritesUntilSilenceElapses) {
                             core::InvalidationMode::kImmediate);
 
   // Restored stable storage: the pre-crash log said v5 / epoch 3.
-  server.restoreAfterRestart({{obj, 5}}, /*epoch=*/4,
+  server.restoreAfterRestart({{obj, 5}}, {{vol, 4}},
                              /*recoverUntil=*/sec(3));
   EXPECT_GE(server.currentVersion(obj), 5);
   EXPECT_GE(server.volumeEpoch(vol), 4);
 
   // A ratchet, not an overwrite: stale restore data cannot regress.
-  server.restoreAfterRestart({{obj, 2}}, /*epoch=*/1, /*recoverUntil=*/0);
+  server.restoreAfterRestart({{obj, 2}}, {{vol, 1}}, /*recoverUntil=*/0);
   EXPECT_GE(server.currentVersion(obj), 5);
   EXPECT_GE(server.volumeEpoch(vol), 4);
 
@@ -526,21 +526,43 @@ TEST(ParityChecker, FlagsEarlyRecoveryWritesAndEpochRegressions) {
   RunLog log;
   log.writes.push_back(makeWrite(1, 3, sec(8), sec(8) + msec(200)));
   log.writes.push_back(makeWrite(1, 4, sec(9), sec(9) + msec(100)));  // fine
-  log.epochs = {2, 3, 3};  // third incarnation failed to ratchet
+  // Volume 0's third incarnation failed to ratchet; volume 1's counter
+  // interleaves lower values legally (independent per-volume sequences).
+  log.epochs = {{makeVolumeId(0), 2}, {makeVolumeId(1), 1},
+                {makeVolumeId(0), 3}, {makeVolumeId(1), 2},
+                {makeVolumeId(0), 3}};
 
   const ParityCounts counts = checkRealRun(log, options);
   EXPECT_EQ(counts.earlyRecoveryWrites, 1);
   EXPECT_EQ(counts.epochRegressions, 1);
 }
 
+TEST(ParityChecker, EpochRatchetIsPerVolume) {
+  // A volume that migrates away and returns resumes from ITS OWN last
+  // epoch. A flat cross-volume sequence would flag the interleaving
+  // below as regressions (3,1,4,2 non-monotonic) -- per-volume it is
+  // clean -- and, conversely, a true regression on one volume must be
+  // caught even when a busier volume keeps the flat sequence rising.
+  CheckerOptions options = basicChecker();
+  RunLog clean;
+  clean.epochs = {{makeVolumeId(0), 3}, {makeVolumeId(1), 1},
+                  {makeVolumeId(0), 4}, {makeVolumeId(1), 2}};
+  EXPECT_EQ(checkRealRun(clean, options).epochRegressions, 0);
+
+  RunLog regressed;
+  regressed.epochs = {{makeVolumeId(0), 1}, {makeVolumeId(1), 5},
+                      {makeVolumeId(0), 1}, {makeVolumeId(1), 6}};
+  EXPECT_EQ(checkRealRun(regressed, options).epochRegressions, 1);
+}
+
 TEST(ParityChecker, RunLogRoundTripsAndToleratesTruncatedTail) {
   RunLog log;
-  log.epochs.push_back(7);
+  log.epochs.push_back({makeVolumeId(2), 7});
   log.issues.push_back({makeObjectId(3), msec(1500)});
   log.writes.push_back(makeWrite(3, 9, msec(1500), msec(1700)));
   log.reads.push_back(makeRead(4, 3, msec(2000), 9));
 
-  std::string text = formatEpochLine(log.epochs[0]);
+  std::string text = formatEpochLine(log.epochs[0].vol, log.epochs[0].epoch);
   text += formatWriteIssueLine(log.issues[0].obj, log.issues[0].issuedAt);
   text += formatWriteLine(log.writes[0]);
   text += formatReadLine(log.reads[0]);
@@ -549,7 +571,8 @@ TEST(ParityChecker, RunLogRoundTripsAndToleratesTruncatedTail) {
 
   const RunLog parsed = parseRunLog(text);
   ASSERT_EQ(parsed.epochs.size(), 1u);
-  EXPECT_EQ(parsed.epochs[0], 7);
+  EXPECT_EQ(raw(parsed.epochs[0].vol), 2u);
+  EXPECT_EQ(parsed.epochs[0].epoch, 7);
   ASSERT_EQ(parsed.issues.size(), 1u);
   EXPECT_EQ(parsed.issues[0].issuedAt, msec(1500));
   ASSERT_EQ(parsed.writes.size(), 1u);

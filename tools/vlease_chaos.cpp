@@ -13,10 +13,13 @@
 //   $ vlease_chaos --seeds 4 --break-invalidation   # oracle must bark
 //   $ vlease_chaos --seeds 16 --skew high           # |skew| <= epsilon: clean
 //   $ vlease_chaos --seeds 16 --skew high --epsilon-ms 0  # must bark
+//   $ vlease_chaos --seeds 8 --migrate              # online handoff: clean
+//   $ vlease_chaos --seeds 4 --migrate --break-epoch-handoff  # must bark
 #include <cstdio>
 #include <iostream>
 #include <map>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -24,6 +27,7 @@
 #include "driver/consistency_oracle.h"
 #include "driver/sweep.h"
 #include "net/fault_plan.h"
+#include "util/check.h"
 #include "util/flags.h"
 
 using namespace vlease;
@@ -89,6 +93,20 @@ int main(int argc, char** argv) {
   flags.addBool("break-invalidation", false,
                 "fault-inject clients that ack invalidations without "
                 "applying them (the oracle MUST report violations)");
+  flags.addInt("servers", 2, "federated volume servers in the workload");
+  flags.addInt("volumes-per-server", 2,
+               "volumes per server; >= 2 exercises cross-volume dispatch "
+               "(objects spread round-robin, so traffic is no longer "
+               "keyed to each server's volume 0)");
+  flags.addBool("migrate", false,
+                "online volume migration: move server 0's first volume "
+                "to server 1 a third of the way in and back at two "
+                "thirds (volume algorithms only; the oracle must stay "
+                "clean through both handoffs)");
+  flags.addBool("break-epoch-handoff", false,
+                "with --migrate: skip the adopter's epoch bump, so "
+                "pre-migration leases survive the handoff (negative "
+                "control: the oracle MUST report violations)");
   flags.addInt("sweep-ms", 0,
                "batch lease-expiry sweep period in milliseconds for the "
                "volume algorithms (0 = off); observationally equivalent, "
@@ -127,13 +145,42 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  const bool migrate = flags.getBool("migrate");
+  const bool breakEpochHandoff = flags.getBool("break-epoch-handoff");
+  if (breakEpochHandoff && !migrate) {
+    std::fprintf(stderr, "--break-epoch-handoff requires --migrate\n");
+    return 1;
+  }
+
   // One shared workload: every (algorithm, seed) point replays the same
   // reads and writes, so differences come only from faults + protocol.
   driver::ChaosWorkloadOptions workloadOptions;
   workloadOptions.duration = sec(flags.getInt("duration-sec"));
+  workloadOptions.numServers =
+      static_cast<std::uint32_t>(flags.getInt("servers"));
+  workloadOptions.volumesPerServer =
+      static_cast<std::uint32_t>(flags.getInt("volumes-per-server"));
+  if (workloadOptions.numServers < 1 ||
+      (migrate && workloadOptions.numServers < 2)) {
+    std::fprintf(stderr, "--migrate needs at least 2 servers\n");
+    return 1;
+  }
   const driver::Workload workload =
       driver::buildChaosWorkload(workloadOptions);
   const trace::Catalog& catalog = workload.catalog;
+
+  // Regression guard for the old "everything keys to volume 0" bug:
+  // with >= 2 volumes per server the merged trace must actually reach
+  // at least two distinct volumes.
+  if (workloadOptions.volumesPerServer >= 2 &&
+      workloadOptions.objectsPerServer >= 2) {
+    std::set<std::uint64_t> touched;
+    for (const trace::TraceEvent& e : workload.events) {
+      touched.insert(raw(catalog.object(e.obj).volume));
+    }
+    VL_CHECK_MSG(touched.size() >= 2,
+                 "vlease_chaos: chaos traffic reached fewer than 2 volumes");
+  }
 
   std::vector<NodeId> clients, servers;
   for (std::uint32_t c = 0; c < catalog.numClients(); ++c) {
@@ -153,6 +200,30 @@ int main(int argc, char** argv) {
   base.clockEpsilon = epsilon;
   base.faultInjectIgnoreInvalidations = flags.getBool("break-invalidation");
   base.leaseSweepPeriod = msec(flags.getInt("sweep-ms"));
+
+  // Fixed migration schedule shared by every seed (the fault plans
+  // vary per seed, so across the sweep the handoffs land inside many
+  // different crash/partition/skew windows): server 0's first volume
+  // moves out a third of the way in and comes home at two thirds,
+  // which also exercises the migrate-away-then-return epoch ratchet.
+  std::vector<driver::MigrationEvent> migrations;
+  if (migrate) {
+    VolumeId migratedVol{};
+    bool found = false;
+    for (const trace::VolumeInfo& info : catalog.volumes()) {
+      if (info.server == catalog.serverNode(0)) {
+        migratedVol = info.id;
+        found = true;
+        break;
+      }
+    }
+    VL_CHECK_MSG(found, "server 0 owns no volume to migrate");
+    const SimDuration third = workloadOptions.duration / 3;
+    migrations.push_back(
+        {third, migratedVol, catalog.serverNode(1), !breakEpochHandoff});
+    migrations.push_back(
+        {2 * third, migratedVol, catalog.serverNode(0), !breakEpochHandoff});
+  }
 
   driver::SweepSpec spec;
   spec.name = "chaos";
@@ -185,6 +256,13 @@ int main(int argc, char** argv) {
                     " seed=" + std::to_string(seed);
       point.config = config;
       point.sim = sim;
+      // Migration is a volume-algorithm feature (the baselines have no
+      // epoch machinery to hand off); other rows run unmigrated.
+      if (!migrations.empty() &&
+          (algorithm == proto::Algorithm::kVolumeLease ||
+           algorithm == proto::Algorithm::kVolumeDelayedInval)) {
+        point.sim.migrations = migrations;
+      }
       point.row = proto::algorithmName(algorithm);
       point.col = "s" + std::to_string(seed);
       spec.points.push_back(std::move(point));
@@ -207,12 +285,16 @@ int main(int argc, char** argv) {
 
   driver::emitTable(driver::toTable(spec, results), flags);
   if (!flags.getBool("csv") && !flags.getBool("json")) {
-    std::printf("\nintensity=%s skew=%s epsilon=%s seeds=%lld..%lld  "
+    std::printf("\nintensity=%s skew=%s epsilon=%s servers=%lld "
+                "volumes/server=%lld migrate=%s seeds=%lld..%lld  "
                 "(%zu plans x %zu "
                 "algorithms, %lld reads, %lld writes)\n",
                 flags.getString("intensity").c_str(),
                 flags.getString("skew").c_str(),
                 formatSimTime(epsilon).c_str(),
+                static_cast<long long>(flags.getInt("servers")),
+                static_cast<long long>(flags.getInt("volumes-per-server")),
+                migrate ? (breakEpochHandoff ? "broken" : "on") : "off",
                 static_cast<long long>(seedBase),
                 static_cast<long long>(seedBase + seeds - 1),
                 static_cast<std::size_t>(seeds), algorithms.size(),

@@ -111,6 +111,8 @@ HarnessRun buildRun(std::uint64_t seed, const Flags& flags) {
   w.numClients = static_cast<std::uint32_t>(flags.getInt("clients"));
   w.numServers = 1;
   w.objectsPerServer = static_cast<std::uint32_t>(flags.getInt("objects"));
+  w.volumesPerServer =
+      static_cast<std::uint32_t>(flags.getInt("volumes-per-server"));
   w.duration = duration;
   // Dense enough that second-scale fault windows overlap plenty of
   // reads, writes, renewals, and reconnections.
@@ -118,6 +120,24 @@ HarnessRun buildRun(std::uint64_t seed, const Flags& flags) {
   w.writesPerObjectPerSec = 0.4;
 
   HarnessRun run(driver::buildChaosWorkload(w));
+
+  // Regression guard: with a multi-volume server the generated traffic
+  // must actually reach >= 2 volumes, or the sharded dispatch and the
+  // per-volume epoch machinery run untested (the old harness keyed every
+  // message to volume 0).
+  if (w.volumesPerServer >= 2 && w.objectsPerServer >= 2) {
+    std::vector<std::uint8_t> seen(run.workload.catalog.numVolumes(), 0);
+    std::size_t distinct = 0;
+    for (const trace::TraceEvent& ev : run.workload.events) {
+      std::uint8_t& hit = seen[raw(run.workload.catalog.object(ev.obj).volume)];
+      if (hit == 0) {
+        hit = 1;
+        ++distinct;
+      }
+    }
+    VL_CHECK_MSG(distinct >= 2,
+                 "vlease_rt: chaos traffic reached fewer than 2 volumes");
+  }
   run.seed = seed;
   run.duration = duration;
   run.skewBudget = msec(flags.getInt("skew-ms"));
@@ -282,7 +302,7 @@ int workerMain(const Flags& flags) {
     // sharded server hands the same snapshot to every shard (each only
     // ever touches the volumes routed to it).
     std::vector<std::pair<ObjectId, Version>> versions;
-    Epoch epoch = 1;
+    std::vector<std::pair<VolumeId, Epoch>> epochs;
     SimTime recoverUntil = 0;
     if (coldRestart) {
       const rt::RunLog prior = rt::loadRunLog(logPath);
@@ -300,7 +320,19 @@ int workerMain(const Flags& flags) {
       for (const auto& [obj, v] : maxV) {
         versions.emplace_back(makeObjectId(obj), v + 2);
       }
-      epoch = (prior.epochs.empty() ? Epoch{1} : prior.epochs.back()) + 1;
+      // Per-volume epoch resume: each volume continues from ITS last
+      // logged value (+1 for the crash), not a server-wide scalar -- a
+      // shared counter would let a quiet volume's epoch ride a busy
+      // volume's crashes and mask a real regression.
+      for (std::size_t v = 0; v < catalog.numVolumes(); ++v) {
+        const VolumeId volId = makeVolumeId(v);
+        if (catalog.volume(volId).server != self) continue;
+        Epoch last = 1;
+        for (const rt::EpochRecord& rec : prior.epochs) {
+          if (rec.vol == volId) last = rec.epoch;  // log order: latest wins
+        }
+        epochs.emplace_back(volId, last + 1);
+      }
       recoverUntil = addSat(std::max<SimTime>(driver.elapsed(), 0),
                             run.config.volumeTimeout + run.config.clockEpsilon);
     }
@@ -379,14 +411,14 @@ int workerMain(const Flags& flags) {
         auto app = std::make_unique<ServerShard>(sctx, self, run.config, mode);
         sc.transport.attach(self, &app->server);
         if (coldRestart) {
-          app->server.restoreAfterRestart(versions, epoch, recoverUntil);
+          app->server.restoreAfterRestart(versions, epochs, recoverUntil);
         }
         // Each shard reports the epochs of the volumes it owns.
         for (std::size_t v = 0; v < catalog.numVolumes(); ++v) {
           const VolumeId vol = makeVolumeId(v);
           if (catalog.volume(vol).server != self) continue;
           if (v % static_cast<std::size_t>(threads) != sc.index) continue;
-          appendLocked(rt::formatEpochLine(app->server.volumeEpoch(vol)));
+          appendLocked(rt::formatEpochLine(vol, app->server.volumeEpoch(vol)));
         }
         scheduleWrites(sc.driver.scheduler(), app->server, appendLocked,
                        static_cast<int>(sc.index), threads);
@@ -400,9 +432,15 @@ int workerMain(const Flags& flags) {
       core::VolumeServer server(ctx, self, run.config, mode);
       transport.attach(self, &server);
       if (coldRestart) {
-        server.restoreAfterRestart(versions, epoch, recoverUntil);
+        server.restoreAfterRestart(versions, epochs, recoverUntil);
       }
-      append(rt::formatEpochLine(server.volumeEpoch(makeVolumeId(0))));
+      // One epoch line per owned volume (the old harness logged only
+      // volume 0, hiding every other volume from the ratchet check).
+      for (std::size_t v = 0; v < catalog.numVolumes(); ++v) {
+        const VolumeId vol = makeVolumeId(v);
+        if (catalog.volume(vol).server != self) continue;
+        append(rt::formatEpochLine(vol, server.volumeEpoch(vol)));
+      }
       scheduleWrites(driver.scheduler(), server, append, 0, 1);
       driver.scheduler().scheduleAt(stopAt, [&driver]() { driver.stop(); });
       driver.run();
@@ -550,6 +588,8 @@ SeedVerdict runSeed(std::uint64_t seed, const Flags& flags,
       "--skew-ms",       std::to_string(flags.getInt("skew-ms")),
       "--clients",       std::to_string(flags.getInt("clients")),
       "--objects",       std::to_string(flags.getInt("objects")),
+      "--volumes-per-server",
+      std::to_string(flags.getInt("volumes-per-server")),
       "--ports",         portsCsv,
       "--t0-micros",     std::to_string(t0),
       "--log-dir",       logDir,
@@ -827,6 +867,10 @@ int main(int argc, char** argv) {
                "RealTimeDriver clocks (0 = off)");
   flags.addInt("clients", 3, "client processes per seed");
   flags.addInt("objects", 5, "objects on the server");
+  flags.addInt("volumes-per-server", 2,
+               "volumes on the server; objects spread round-robin, so the "
+               "default exercises cross-volume dispatch and per-volume "
+               "epochs (1 = the old single-volume harness)");
   flags.addBool("break-invalidation", false,
                 "negative control: clients ack invalidations without "
                 "applying them; the parity check MUST fail");

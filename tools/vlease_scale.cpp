@@ -53,7 +53,11 @@ int main(int argc, char** argv) {
   flags.addInt("clients", 20'000, "client population");
   flags.addInt("events", 2'000'000, "trace events to stream");
   flags.addInt("objects", 64, "shared objects (low ids keep tables small)");
-  flags.addInt("volumes", 4, "volumes on the single server");
+  flags.addInt("servers", 1, "federated volume servers");
+  flags.addInt("volumes", 4, "volumes per server");
+  flags.addBool("migrate", false,
+                "online migration: halfway through, move server 0's "
+                "first volume to server 1 (needs --servers >= 2)");
   flags.addInt("write-every", 8192, "one write per this many events");
   flags.addInt("interarrival-us", 100, "fixed event spacing, microseconds");
   flags.addInt("latency-ms", 1, "one-way network latency, milliseconds");
@@ -65,20 +69,30 @@ int main(int argc, char** argv) {
   const auto numClients = static_cast<std::uint32_t>(flags.getInt("clients"));
   const auto numEvents = flags.getInt("events");
   const auto numObjects = static_cast<std::uint64_t>(flags.getInt("objects"));
+  const auto numServers = static_cast<std::uint32_t>(flags.getInt("servers"));
   const auto numVolumes = static_cast<std::uint32_t>(flags.getInt("volumes"));
   const auto writeEvery = flags.getInt("write-every");
   const SimDuration interarrival = usec(flags.getInt("interarrival-us"));
+  const bool migrate = flags.getBool("migrate");
+  if (numServers < 1 || (migrate && numServers < 2)) {
+    std::fprintf(stderr, "--migrate needs --servers >= 2\n");
+    return 1;
+  }
 
-  trace::Catalog catalog(1, numClients);
+  // Objects spread round-robin across all servers' volumes, so a
+  // multi-server run drives the routing table on every read.
+  trace::Catalog catalog(numServers, numClients);
   std::vector<ObjectId> objects;
   objects.reserve(numObjects);
   {
     std::vector<VolumeId> volumes;
-    for (std::uint32_t v = 0; v < numVolumes; ++v) {
-      volumes.push_back(catalog.addVolume(catalog.serverNode(0)));
+    for (std::uint32_t s = 0; s < numServers; ++s) {
+      for (std::uint32_t v = 0; v < numVolumes; ++v) {
+        volumes.push_back(catalog.addVolume(catalog.serverNode(s)));
+      }
     }
     for (std::uint64_t o = 0; o < numObjects; ++o) {
-      objects.push_back(catalog.addObject(volumes[o % numVolumes], 8 << 10));
+      objects.push_back(catalog.addObject(volumes[o % volumes.size()], 8 << 10));
     }
   }
 
@@ -98,6 +112,13 @@ int main(int argc, char** argv) {
   sim.networkLatency = msec(flags.getInt("latency-ms"));
   // No load series, no oracle: this is a throughput/footprint run and
   // per-second series over millions of sim-seconds would swamp it.
+  if (migrate) {
+    driver::MigrationEvent m;
+    m.at = interarrival * (numEvents / 2);
+    m.vol = catalog.volumes().front().id;  // server 0's first volume
+    m.dstServer = catalog.serverNode(1);
+    sim.migrations.push_back(m);
+  }
 
   driver::Simulation simulation(catalog, config,
                                 std::move(sim));
@@ -141,6 +162,8 @@ int main(int argc, char** argv) {
       "  \"clients\": %u,\n"
       "  \"events\": %lld,\n"
       "  \"objects\": %llu,\n"
+      "  \"servers\": %u,\n"
+      "  \"migrations\": %zu,\n"
       "  \"volumes\": %u,\n"
       "  \"sweep_ms\": %lld,\n"
       "  \"sim_horizon_sec\": %.0f,\n"
@@ -156,7 +179,8 @@ int main(int argc, char** argv) {
       "  \"peak_rss_mb\": %.1f\n"
       "}\n",
       numClients, static_cast<long long>(numEvents),
-      static_cast<unsigned long long>(numObjects), numVolumes,
+      static_cast<unsigned long long>(numObjects), numServers,
+      simulation.migrationsApplied(), numVolumes,
       static_cast<long long>(flags.getInt("sweep-ms")),
       static_cast<double>(simulation.scheduler().now()) / 1e6,
       static_cast<long long>(simulation.scheduler().firedCount()),
