@@ -103,10 +103,15 @@ while pos < len(text):
     obj, pos = decoder.raw_decode(text, pos)
     runs.append(obj)
 best = {}
+rss = {}
 for r in runs:
     name = ("ScaleReplay/federation" if r.get("servers", 1) > 1
             else "ScaleReplay/gate")
     best[name] = max(best.get(name, 0.0), r["events_per_second"])
+    # Min-of-reps is the least-interference RSS estimate, mirroring the
+    # best-of-reps throughput estimator above.
+    if "peak_rss_mb" in r:
+        rss[name] = min(rss.get(name, float("inf")), r["peak_rss_mb"])
 
 path = os.environ["PATH_JSON"]
 doc = {}
@@ -130,6 +135,19 @@ if check_pct:
               f"{ratio:5.2f}x  {flag}")
         if ratio < 1.0 - tol:
             failed.append(name)
+    # Memory gate, opposite direction: peak RSS must not grow more than
+    # PCT above the recorded baseline (lower is better).
+    base_rss = doc.get("baseline", {}).get("peak_rss_mb", {})
+    for name in sorted(base_rss):
+        b, c = base_rss[name], rss.get(name)
+        if c is None:
+            continue
+        ratio = c / b
+        flag = "FAIL" if ratio > 1.0 + tol else "ok"
+        print(f"  {name + ' rss_mb':40s} base={b:>12.1f} cur={c:>12.1f} "
+              f"{ratio:5.2f}x  {flag}")
+        if ratio > 1.0 + tol:
+            failed.append(name + "/rss")
     if failed:
         sys.exit(f"regression > {check_pct}% vs {path} baseline: "
                  + ", ".join(failed))
@@ -147,6 +165,7 @@ doc[os.environ["SECTION"]] = {
     "git": git_rev,
     "gate_config": "--clients 50000 --events 5000000",
     "items_per_second": {k: round(v) for k, v in sorted(best.items())},
+    "peak_rss_mb": {k: round(v, 1) for k, v in sorted(rss.items())},
 }
 if os.environ["RECORD"] == "1":
     doc["record"] = json.load(open(os.environ["RECORD_RAW"]))

@@ -96,6 +96,27 @@ if build/tools/vlease_rt --seeds 1 --intensity low --duration-ms 3000 \
   exit 1
 fi
 
+# Workload-engine smoke: a Zipfian run with a 2000-client flash crowd
+# must push windowed server load well above the SAME seed and window
+# with the storm disabled -- proving the generator's flash event
+# actually moves renewal load onto the server, not just event counts.
+# (The no-flash run doubles as the negative control: at this low base
+# rate its flash-window load sits far below the storm's, so an engine
+# that silently dropped the flash events would fail the ratio.) The low
+# base rate matters: at the default interarrival, total load *declines*
+# as caches warm, which would swamp the storm's step.
+FLASH_ARGS=(--clients 10000 --events 1000000 --interarrival-us 1000
+            --zipf 0.99 --track-load)
+FLASH_LOAD=$(build/tools/vlease_scale "${FLASH_ARGS[@]}" --flash-crowd 2000 |
+  python3 -c 'import json,sys; print(json.load(sys.stdin)["flash_window_load"])')
+QUIET_LOAD=$(build/tools/vlease_scale "${FLASH_ARGS[@]}" |
+  python3 -c 'import json,sys; print(json.load(sys.stdin)["flash_window_load"])')
+if (( FLASH_LOAD * 10 < QUIET_LOAD * 15 )); then  # require >= 1.5x
+  echo "flash-crowd smoke: storm window load $FLASH_LOAD not >= 1.5x" \
+       "quiet window load $QUIET_LOAD" >&2
+  exit 1
+fi
+
 # Bench smoke: every micro bench must run to completion. Timings are not
 # checked here (scripts/bench.sh tracks those in BENCH_kernel.json); the
 # tiny min_time just keeps the stage fast. NOTE: this google-benchmark

@@ -1,5 +1,7 @@
 #include "core/factory.h"
 
+#include <memory>
+
 #include "core/volume_client.h"
 #include "core/volume_server.h"
 #include "proto/lease.h"
@@ -17,11 +19,15 @@ ProtocolInstance makeProtocol(const ProtocolConfig& config,
                               ProtocolContext& ctx) {
   ProtocolInstance instance;
   instance.config = config;
-  // Poll Each Read is Poll with a zero window.
-  ProtocolConfig effective = config;
+  // Poll Each Read is Poll with a zero window. The effective config
+  // lives on the instance (shared, immutable): clients reference it
+  // instead of each holding a copy.
+  auto effectivePtr = std::make_shared<ProtocolConfig>(config);
   if (config.algorithm == Algorithm::kPollEachRead) {
-    effective.objectTimeout = 0;
+    effectivePtr->objectTimeout = 0;
   }
+  instance.sharedConfig = effectivePtr;
+  const ProtocolConfig& effective = *instance.sharedConfig;
 
   const auto& catalog = ctx.catalog;
   instance.servers.reserve(catalog.numServers());

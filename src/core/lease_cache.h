@@ -1,0 +1,225 @@
+// Dense per-client object cache for the volume-lease client.
+//
+// proto::ClientCache keys entries through a std::unordered_map; at a
+// million clients the map nodes, buckets, and slot-pool indirection are
+// the single largest slice of per-client RSS (~5 KB/client on the scale
+// record config). Catalog object ids are small dense integers, so the
+// volume client can index entries directly by raw id instead: one lazily
+// grown vector of 24-byte entries, no hashing, no per-entry allocation.
+//
+// Iteration-order contract: forEach visits entries newest-first in
+// insertion order (an intrusive LIFO list threaded through the entries).
+// That is the order libstdc++'s unordered_map produces in the regime the
+// determinism goldens pin (collision-free keys below the first rehash
+// threshold; see util::LifoIndexMap for the precedent and argument), and
+// the reconnection exchange (-> RenewObjLeases message order -> loss-roll
+// consumption) makes the order observable, so it must not change.
+//
+// LRU semantics mirror proto::ClientCache exactly when capacity > 0:
+// entry() and touch() refresh recency, inserting beyond capacity evicts
+// the least recently used entry. The LRU links live in a side table that
+// is only allocated for bounded caches, so the capacity == 0 fleet (the
+// paper's infinite caches, every large-scale config) never pays for them.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+#include "util/ids.h"
+#include "util/time.h"
+
+namespace vlease::core {
+
+class LeaseCache {
+ public:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  /// 24 bytes: the volume client never reads CacheEntry::lastValidated,
+  /// and object versions are write counters that fit 32 bits with room
+  /// to spare (checked on store).
+  struct Entry {
+    SimTime validUntil = kSimTimeMin;
+    std::int32_t version32 = static_cast<std::int32_t>(kNoVersion);
+    std::uint32_t prev = kNil;  // insertion-order links, newest at head
+    std::uint32_t next = kNil;
+    bool present = false;
+    bool hasData = false;
+    /// Whether the most recent object-lease grant carried data (vs. a
+    /// version-check-only renewal); see proto::CacheEntry.
+    bool lastGrantCarriedData = false;
+
+    Version version() const { return version32; }
+    void setVersion(Version v) {
+      VL_DCHECK(v >= INT32_MIN && v <= INT32_MAX);
+      version32 = static_cast<std::int32_t>(v);
+    }
+    bool valid(SimTime now) const { return hasData && validUntil > now; }
+    void invalidate() {
+      hasData = false;
+      version32 = static_cast<std::int32_t>(kNoVersion);
+      validUntil = kSimTimeMin;
+    }
+  };
+
+  /// `sizeHint`: expected id-space size (catalog object count); the
+  /// first growth reserves exactly this much so a million clients don't
+  /// each overshoot geometrically.
+  explicit LeaseCache(std::size_t capacity = 0, std::size_t sizeHint = 0)
+      : capacity_(capacity), sizeHint_(sizeHint) {}
+
+  const Entry* find(ObjectId obj) const {
+    const std::size_t i = raw(obj);
+    if (i >= entries_.size() || !entries_[i].present) return nullptr;
+    return &entries_[i];
+  }
+
+  /// Mutable find WITHOUT refreshing LRU recency (bookkeeping writes
+  /// such as clearing lastGrantCarriedData must not count as a use).
+  Entry* findMutable(ObjectId obj) {
+    return const_cast<Entry*>(
+        static_cast<const LeaseCache*>(this)->find(obj));
+  }
+
+  /// Find-or-insert, refreshing LRU recency; inserting beyond capacity
+  /// evicts the least recently used entry (never the one just added).
+  Entry& entry(ObjectId obj) {
+    const std::size_t i = raw(obj);
+    growTo(i);
+    Entry& e = entries_[i];
+    if (e.present) {
+      if (capacity_ > 0) lruMoveToFront(static_cast<std::uint32_t>(i));
+      return e;
+    }
+    e = Entry{};
+    e.present = true;
+    insLinkFront(static_cast<std::uint32_t>(i));
+    ++size_;
+    if (capacity_ > 0) {
+      lruLinkFront(static_cast<std::uint32_t>(i));
+      if (size_ > capacity_) evictLru();
+    }
+    return e;
+  }
+
+  /// Refresh LRU recency (cache-hit path).
+  void touch(ObjectId obj) {
+    const std::size_t i = raw(obj);
+    if (capacity_ == 0 || i >= entries_.size() || !entries_[i].present) return;
+    lruMoveToFront(static_cast<std::uint32_t>(i));
+  }
+
+  /// Forget every entry; keeps the storage (dropCache happens mid-run).
+  void clear() {
+    for (std::uint32_t i = insHead_; i != kNil;) {
+      const std::uint32_t next = entries_[i].next;
+      entries_[i] = Entry{};
+      if (capacity_ > 0) lru_[i] = LruLink{};
+      i = next;
+    }
+    insHead_ = kNil;
+    lruHead_ = kNil;
+    lruTail_ = kNil;
+    size_ = 0;
+  }
+
+  /// Release the storage too (client churn: a departed client returns
+  /// its memory; re-arrival regrows lazily).
+  void releaseMemory() {
+    std::vector<Entry>().swap(entries_);
+    std::vector<LruLink>().swap(lru_);
+    insHead_ = kNil;
+    lruHead_ = kNil;
+    lruTail_ = kNil;
+    size_ = 0;
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return capacity_; }
+  std::int64_t evictions() const { return evictions_; }
+
+  /// Visit every (id, entry) pair, newest insertion first (the
+  /// reconnection exchange enumerates the cache; order is observable).
+  template <typename Fn>
+  void forEach(Fn&& fn) const {
+    for (std::uint32_t i = insHead_; i != kNil; i = entries_[i].next) {
+      fn(makeObjectId(i), entries_[i]);
+    }
+  }
+
+ private:
+  struct LruLink {
+    std::uint32_t prev = kNil;
+    std::uint32_t next = kNil;
+  };
+
+  void growTo(std::size_t i) {
+    if (i < entries_.size()) return;
+    const std::size_t target = std::max(i + 1, sizeHint_);
+    entries_.reserve(target);
+    entries_.resize(i + 1);
+    if (capacity_ > 0) {
+      lru_.reserve(target);
+      lru_.resize(i + 1);
+    }
+  }
+
+  void insLinkFront(std::uint32_t i) {
+    entries_[i].prev = kNil;
+    entries_[i].next = insHead_;
+    if (insHead_ != kNil) entries_[insHead_].prev = i;
+    insHead_ = i;
+  }
+  void insUnlink(std::uint32_t i) {
+    Entry& e = entries_[i];
+    if (e.prev != kNil) entries_[e.prev].next = e.next;
+    if (e.next != kNil) entries_[e.next].prev = e.prev;
+    if (insHead_ == i) insHead_ = e.next;
+    e.prev = kNil;
+    e.next = kNil;
+  }
+
+  void lruLinkFront(std::uint32_t i) {
+    lru_[i].prev = kNil;
+    lru_[i].next = lruHead_;
+    if (lruHead_ != kNil) lru_[lruHead_].prev = i;
+    lruHead_ = i;
+    if (lruTail_ == kNil) lruTail_ = i;
+  }
+  void lruUnlink(std::uint32_t i) {
+    LruLink& l = lru_[i];
+    if (l.prev != kNil) lru_[l.prev].next = l.next;
+    if (l.next != kNil) lru_[l.next].prev = l.prev;
+    if (lruHead_ == i) lruHead_ = l.next;
+    if (lruTail_ == i) lruTail_ = l.prev;
+    l.prev = kNil;
+    l.next = kNil;
+  }
+  void lruMoveToFront(std::uint32_t i) {
+    if (lruHead_ == i) return;
+    lruUnlink(i);
+    lruLinkFront(i);
+  }
+  void evictLru() {
+    const std::uint32_t victim = lruTail_;
+    VL_DCHECK(victim != kNil);
+    lruUnlink(victim);
+    insUnlink(victim);
+    entries_[victim].present = false;
+    --size_;
+    ++evictions_;
+  }
+
+  std::size_t capacity_;
+  std::size_t sizeHint_;
+  std::int64_t evictions_ = 0;
+  std::vector<Entry> entries_;  // by raw object id, lazily grown
+  std::vector<LruLink> lru_;    // allocated only when capacity_ > 0
+  std::uint32_t insHead_ = kNil;
+  std::uint32_t lruHead_ = kNil;  // most recently used
+  std::uint32_t lruTail_ = kNil;  // least recently used
+  std::size_t size_ = 0;
+};
+
+}  // namespace vlease::core

@@ -4,7 +4,6 @@
 
 namespace vlease::core {
 
-using proto::CacheEntry;
 using proto::ReadCallback;
 using proto::ReadResult;
 
@@ -18,7 +17,7 @@ bool VolumeClient::hasValidVolumeLease(VolumeId vol) const {
 }
 
 bool VolumeClient::hasValidObjectLease(ObjectId obj) const {
-  const CacheEntry* e = cache_.find(obj);
+  const LeaseCache::Entry* e = cache_.find(obj);
   return e != nullptr && e->valid(leaseGuard(ctx_.scheduler.now()));
 }
 
@@ -32,9 +31,9 @@ proto::ClientNode::CacheView VolumeClient::cacheView(ObjectId obj,
   // Mirrors read(): a local hit needs BOTH a valid object lease and a
   // valid lease on the enclosing volume.
   if (!volumeValid(ctx_.catalog.object(obj).volume, now)) return {};
-  const CacheEntry* entry = cache_.find(obj);
+  const LeaseCache::Entry* entry = cache_.find(obj);
   if (entry == nullptr || !entry->valid(leaseGuard(now))) return {};
-  return {true, entry->version};
+  return {true, entry->version()};
 }
 
 void VolumeClient::dropCache() {
@@ -43,7 +42,20 @@ void VolumeClient::dropCache() {
   // Outstanding request markers refer to replies that may still arrive;
   // clearing them lets the restarted client issue fresh requests.
   std::fill(volReqOutstanding_.begin(), volReqOutstanding_.end(), kSimTimeMin);
-  std::fill(objReqOutstanding_.begin(), objReqOutstanding_.end(), kSimTimeMin);
+  objReq_.clear();
+}
+
+void VolumeClient::retire() {
+  // Graceful departure (distinct from a crash, which is abrupt and
+  // leaves memory in place for the reboot): forget all lease state AND
+  // return the storage. The server is not told; its holder records
+  // simply expire and the sweep reclaims them. waiting_ is kept -- reads
+  // still in flight resolve or time out through the normal machinery.
+  dropCache();
+  cache_.releaseMemory();
+  std::vector<VolLease>().swap(volumes_);
+  std::vector<SimTime>().swap(volReqOutstanding_);
+  std::vector<ObjReq>().swap(objReq_);
 }
 
 // ---------------------------------------------------------------------
@@ -51,33 +63,23 @@ void VolumeClient::dropCache() {
 // ---------------------------------------------------------------------
 
 void VolumeClient::pendingInsert(VolumeId vol, ObjectId obj) {
-  const std::size_t v = raw(vol);
-  const std::uint32_t o = raw(obj);
-  ensureVolSlot(v);
-  ensureObjSlot(o);
-  if (pendingIn_[o] != 0) return;
-  pendingIn_[o] = 1;
-  pendingPrev_[o] = util::kNilIdx;
-  pendingNext_[o] = pendingHead_[v];
-  if (pendingHead_[v] != util::kNilIdx) pendingPrev_[pendingHead_[v]] = o;
-  pendingHead_[v] = o;
+  VL_DCHECK(raw(vol) <= 0xffffffffull && raw(obj) <= 0xffffffffull);
+  const std::uint32_t o = static_cast<std::uint32_t>(raw(obj));
+  for (const Waiting& w : waiting_) {
+    if (w.obj == o) return;
+  }
+  waiting_.push_back(Waiting{static_cast<std::uint32_t>(raw(vol)), o});
 }
 
 void VolumeClient::pendingErase(VolumeId vol, ObjectId obj) {
-  const std::size_t v = raw(vol);
-  const std::uint32_t o = raw(obj);
-  if (v >= pendingHead_.size() || o >= pendingIn_.size()) return;
-  if (pendingIn_[o] == 0) return;
-  pendingIn_[o] = 0;
-  if (pendingPrev_[o] != util::kNilIdx) {
-    pendingNext_[pendingPrev_[o]] = pendingNext_[o];
+  (void)vol;
+  const std::uint32_t o = static_cast<std::uint32_t>(raw(obj));
+  for (std::size_t i = 0; i < waiting_.size(); ++i) {
+    if (waiting_[i].obj == o) {
+      waiting_.erase(waiting_.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
   }
-  if (pendingNext_[o] != util::kNilIdx) {
-    pendingPrev_[pendingNext_[o]] = pendingPrev_[o];
-  }
-  if (pendingHead_[v] == o) pendingHead_[v] = pendingNext_[o];
-  pendingNext_[o] = util::kNilIdx;
-  pendingPrev_[o] = util::kNilIdx;
 }
 
 // ---------------------------------------------------------------------
@@ -87,22 +89,24 @@ void VolumeClient::pendingErase(VolumeId vol, ObjectId obj) {
 void VolumeClient::read(ObjectId obj, ReadCallback cb) {
   const SimTime now = ctx_.scheduler.now();
   const VolumeId vol = ctx_.catalog.object(obj).volume;
-  const CacheEntry* entry = cache_.find(obj);
-  if (volumeValid(vol, now) && entry != nullptr &&
-      entry->valid(leaseGuard(now))) {
+  const LeaseCache::Entry* entry = cache_.find(obj);
+  if (entry != nullptr && entry->valid(leaseGuard(now)) &&
+      volumeValid(vol, now)) {
     cache_.touch(obj);
     ReadResult result;
     result.ok = true;
     result.usedNetwork = false;
     result.fetchedData = false;
-    result.version = entry->version;
+    result.version = entry->version();
     cb(result);
     return;
   }
   // Track fetches for this op only: the flag rides on the cache entry
   // (if any) and is set again by the next grant.
-  if (CacheEntry* e = cache_.findMutable(obj)) e->lastGrantCarriedData = false;
-  pending_.add(obj, config_.readTimeout, std::move(cb));
+  if (LeaseCache::Entry* e = cache_.findMutable(obj)) {
+    e->lastGrantCarriedData = false;
+  }
+  pending_.add(obj, config_->readTimeout, std::move(cb));
   pendingInsert(vol, obj);
   pump(obj);
 }
@@ -110,7 +114,7 @@ void VolumeClient::read(ObjectId obj, ReadCallback cb) {
 void VolumeClient::pump(ObjectId obj) {
   const SimTime now = ctx_.scheduler.now();
   const VolumeId vol = ctx_.catalog.object(obj).volume;
-  const CacheEntry* entry = cache_.find(obj);
+  const LeaseCache::Entry* entry = cache_.find(obj);
   const bool volOk = volumeValid(vol, now);
   const bool objOk = entry != nullptr && entry->valid(leaseGuard(now));
 
@@ -119,7 +123,7 @@ void VolumeClient::pump(ObjectId obj) {
     result.ok = true;
     result.usedNetwork = true;
     result.fetchedData = entry->lastGrantCarriedData;
-    result.version = entry->version;
+    result.version = entry->version();
     pending_.resolveAll(obj, result);
     pendingErase(vol, obj);
     return;
@@ -130,15 +134,13 @@ void VolumeClient::pump(ObjectId obj) {
 }
 
 void VolumeClient::pumpVolume(VolumeId vol) {
-  const std::size_t v = raw(vol);
-  if (v >= pendingHead_.size() || pendingHead_[v] == util::kNilIdx) return;
-  // pump() mutates the list; iterate a snapshot (newest-first, the same
-  // order the old unordered_set produced).
+  const std::uint32_t v = static_cast<std::uint32_t>(raw(vol));
+  // pump() mutates the index; iterate a snapshot (newest-first, the
+  // same order the old unordered_set produced).
   std::vector<ObjectId> objs = std::move(pumpScratch_);
   objs.clear();
-  for (std::uint32_t o = pendingHead_[v]; o != util::kNilIdx;
-       o = pendingNext_[o]) {
-    objs.push_back(makeObjectId(o));
+  for (std::size_t i = waiting_.size(); i-- > 0;) {
+    if (waiting_[i].vol == v) objs.push_back(makeObjectId(waiting_[i].obj));
   }
   for (ObjectId obj : objs) pump(obj);
   objs.clear();
@@ -150,16 +152,16 @@ void VolumeClient::ensureVolume(VolumeId vol) {
   const std::size_t v = raw(vol);
   ensureVolSlot(v);
   if (volReqOutstanding_[v] != kSimTimeMin &&
-      now < addSat(volReqOutstanding_[v], config_.msgTimeout)) {
+      now < addSat(volReqOutstanding_[v], config_->msgTimeout)) {
     return;  // a request is in flight
   }
-  if (config_.piggybackVolumeLease) {
+  if (config_->piggybackVolumeLease) {
     // The object request carries the volume renewal; only send a bare
     // volume request if no object request is going out (pure volume
     // refresh, e.g. during reconnection retry).
-    for (std::uint32_t o = pendingHead_[v]; o != util::kNilIdx;
-         o = pendingNext_[o]) {
-      const CacheEntry* e = cache_.find(makeObjectId(o));
+    for (std::size_t i = waiting_.size(); i-- > 0;) {
+      if (waiting_[i].vol != v) continue;
+      const LeaseCache::Entry* e = cache_.find(makeObjectId(waiting_[i].obj));
       if (e == nullptr || !e->valid(leaseGuard(ctx_.scheduler.now()))) {
         return;
       }
@@ -172,19 +174,22 @@ void VolumeClient::ensureVolume(VolumeId vol) {
 
 void VolumeClient::ensureObject(ObjectId obj) {
   const SimTime now = ctx_.scheduler.now();
-  const std::size_t o = raw(obj);
-  ensureObjSlot(o);
-  if (objReqOutstanding_[o] != kSimTimeMin &&
-      now < addSat(objReqOutstanding_[o], config_.msgTimeout)) {
-    return;  // a request is in flight
+  VL_DCHECK(raw(obj) <= 0xffffffffull);
+  const std::uint32_t o = static_cast<std::uint32_t>(raw(obj));
+  if (ObjReq* req = findObjReq(o)) {
+    if (now < addSat(req->sent, config_->msgTimeout)) {
+      return;  // a request is in flight
+    }
+    req->sent = now;
+  } else {
+    objReq_.push_back(ObjReq{o, now});
   }
-  objReqOutstanding_[o] = now;
-  const CacheEntry* entry = cache_.find(obj);
+  const LeaseCache::Entry* entry = cache_.find(obj);
   net::ReqObjLease req{};
   req.obj = obj;
   req.haveVersion =
-      entry != nullptr && entry->hasData ? entry->version : kNoVersion;
-  if (config_.piggybackVolumeLease) {
+      entry != nullptr && entry->hasData ? entry->version() : kNoVersion;
+  if (config_->piggybackVolumeLease) {
     req.wantVolume = true;
     req.haveEpoch = knownEpoch(ctx_.catalog.object(obj).volume);
   }
@@ -215,7 +220,12 @@ void VolumeClient::deliver(const net::Message& msg) {
 void VolumeClient::handleVolGrant(const net::Message& msg) {
   const auto& grant = std::get<net::VolLeaseGrant>(msg.payload);
   const std::size_t v = raw(grant.vol);
-  ensureVolSlot(v);
+  // Same unmatched-reply rule as handleObjGrant: no outstanding request
+  // marker means dropCache()/retire() disowned this exchange.
+  if (v >= volReqOutstanding_.size() ||
+      volReqOutstanding_[v] == kSimTimeMin) {
+    return;
+  }
   volumes_[v].expire = grant.expire;
   volumes_[v].epoch = grant.epoch;
   volReqOutstanding_[v] = kSimTimeMin;
@@ -224,15 +234,19 @@ void VolumeClient::handleVolGrant(const net::Message& msg) {
 
 void VolumeClient::handleObjGrant(const net::Message& msg) {
   const auto& grant = std::get<net::ObjLeaseGrant>(msg.payload);
-  CacheEntry& entry = cache_.entry(grant.obj);
-  entry.version = grant.version;
+  // A grant installs only while its request is still outstanding. The
+  // network is FIFO per node pair, so in steady state every grant finds
+  // its marker; the marker is gone exactly when dropCache()/retire()
+  // discarded the request context, and such a grant must be dropped --
+  // installing it would hand a departed-and-returned client a lease the
+  // server believes it already dealt with (see eraseObjReq).
+  const bool vtrMatched = eraseObjReq(static_cast<std::uint32_t>(raw(grant.obj)));
+  if (!vtrMatched) return;
+  LeaseCache::Entry& entry = cache_.entry(grant.obj);
+  entry.setVersion(grant.version);
   if (grant.carriesData) entry.hasData = true;
   entry.validUntil = grant.expire;
-  entry.lastValidated = ctx_.scheduler.now();
   entry.lastGrantCarriedData = grant.carriesData;
-  const std::size_t o = raw(grant.obj);
-  ensureObjSlot(o);
-  objReqOutstanding_[o] = kSimTimeMin;
   if (grant.grantsVolume) {
     const VolumeId vol = ctx_.catalog.object(grant.obj).volume;
     const std::size_t v = raw(vol);
@@ -242,13 +256,27 @@ void VolumeClient::handleObjGrant(const net::Message& msg) {
     volReqOutstanding_[v] = kSimTimeMin;
     pumpVolume(vol);
   } else {
+    // Epoch learning without a volume grant: adopt the grant's epoch,
+    // but only from the "never held one" state. A client whose crash
+    // or retirement erased its epoch memory repopulates its cache
+    // through exactly this path; labeling the entries with the epoch
+    // they were granted under preserves the invariant the servers rely
+    // on -- haveEpoch == 0 implies nothing cached for the volume -- so
+    // the epoch-0 reconnection skip stays sound. A known nonzero epoch
+    // is never overwritten here: advancing it must go through the
+    // volume-lease path, where a stale epoch triggers MUST_RENEW_ALL
+    // and the OTHER cached objects of the volume get reconciled too.
+    const VolumeId vol = ctx_.catalog.object(grant.obj).volume;
+    const std::size_t v = raw(vol);
+    ensureVolSlot(v);
+    if (volumes_[v].epoch == 0) volumes_[v].epoch = grant.epoch;
     pump(grant.obj);
   }
 }
 
 void VolumeClient::handleInvalidate(const net::Message& msg) {
   const auto& inval = std::get<net::Invalidate>(msg.payload);
-  if (!config_.faultInjectIgnoreInvalidations) {
+  if (!config_->faultInjectIgnoreInvalidations) {
     cache_.entry(inval.obj).invalidate();
   }
   ctx_.transport.send(
@@ -266,27 +294,26 @@ void VolumeClient::handleMustRenewAll(const net::Message& msg) {
   // unmodified ones and invalidate the rest. (Fig. 4's pseudocode says
   // "expired leases only", which contradicts the prose and the safety
   // argument; see DESIGN.md §6.)
-  cache_.forEach([&](ObjectId obj, const CacheEntry& entry) {
+  cache_.forEach([&](ObjectId obj, const LeaseCache::Entry& entry) {
     if (!entry.hasData) return;
     if (ctx_.catalog.object(obj).volume != mra.vol) return;
-    renew.leases.push_back(net::RenewObjLeases::Entry{obj, entry.version});
+    renew.leases.push_back(
+        net::RenewObjLeases::Entry{obj, entry.version()});
   });
   ctx_.transport.send(net::Message{id(), msg.from, std::move(renew)});
 }
 
 void VolumeClient::handleBatch(const net::Message& msg) {
   const auto& batch = std::get<net::BatchInvalRenew>(msg.payload);
-  if (!config_.faultInjectIgnoreInvalidations) {
+  if (!config_->faultInjectIgnoreInvalidations) {
     for (ObjectId obj : batch.invalidate) {
       cache_.entry(obj).invalidate();
     }
   }
-  const SimTime now = ctx_.scheduler.now();
   for (const auto& renewal : batch.renew) {
-    CacheEntry& entry = cache_.entry(renewal.obj);
-    VL_DCHECK(entry.version == renewal.version);
+    LeaseCache::Entry& entry = cache_.entry(renewal.obj);
+    VL_DCHECK(entry.version() == renewal.version);
     entry.validUntil = renewal.expire;
-    entry.lastValidated = now;
   }
   ctx_.transport.send(net::Message{id(), msg.from, net::AckBatch{batch.vol}});
   // Reads blocked on invalidated objects must re-request them; the

@@ -10,40 +10,39 @@
 // MUST_RENEW_ALL -> send every cached object of the volume with its
 // version -> apply the server's invalidate/renew batch -> ack.
 //
-// State layout (see DESIGN.md "Dense protocol state"): per-volume lease
-// and request-dedup state live in vectors indexed by raw volume id,
-// per-object dedup state by raw object id, and the "objects with reads
-// waiting, by volume" index is an intrusive LIFO list threaded through
-// per-object link arrays -- the same newest-first order the old
-// unordered_set produced in the regimes the determinism goldens pin.
+// State layout (see DESIGN.md "Dense protocol state" and "Workload
+// engine"): the cache is a dense-by-object-id LeaseCache; per-volume
+// lease state lives in lazily grown vectors indexed by raw volume id;
+// the outstanding-request dedup table and the "reads waiting" index are
+// small flat vectors sized by what is actually in flight (a handful of
+// entries), not by the catalog. A freshly constructed client allocates
+// nothing -- at a million clients, cold clients are (nearly) free, and
+// retire() returns a departed client's storage.
 #pragma once
 
 #include <vector>
 
+#include "core/lease_cache.h"
 #include "proto/client_cache.h"
 #include "proto/protocol.h"
-#include "util/lifo_index_map.h"
 
 namespace vlease::core {
 
 class VolumeClient final : public proto::ClientNode {
  public:
+  /// `config` is captured by reference and must outlive the client (the
+  /// factory parks the effective config on ProtocolInstance; direct
+  /// constructions keep it in an enclosing scope).
   VolumeClient(proto::ProtocolContext& ctx, NodeId id,
                const proto::ProtocolConfig& config)
       : ClientNode(ctx, id),
-        config_(config),
-        cache_(config.clientCacheCapacity),
-        pending_(ctx.scheduler),
-        volumes_(ctx.catalog.numVolumes()),
-        volReqOutstanding_(ctx.catalog.numVolumes(), kSimTimeMin),
-        objReqOutstanding_(ctx.catalog.numObjects(), kSimTimeMin),
-        pendingHead_(ctx.catalog.numVolumes(), util::kNilIdx),
-        pendingNext_(ctx.catalog.numObjects(), util::kNilIdx),
-        pendingPrev_(ctx.catalog.numObjects(), util::kNilIdx),
-        pendingIn_(ctx.catalog.numObjects(), 0) {}
+        config_(&config),
+        cache_(config.clientCacheCapacity, ctx.catalog.numObjects()),
+        pending_(ctx.scheduler) {}
 
   void read(ObjectId obj, proto::ReadCallback cb) override;
   void dropCache() override;
+  void retire() override;
   void deliver(const net::Message& msg) override;
   CacheView cacheView(ObjectId obj, SimTime now) const override;
 
@@ -51,12 +50,27 @@ class VolumeClient final : public proto::ClientNode {
   bool hasValidVolumeLease(VolumeId vol) const;
   bool hasValidObjectLease(ObjectId obj) const;
   Epoch knownEpoch(VolumeId vol) const;
-  const proto::ClientCache& cache() const { return cache_; }
+  const LeaseCache& cache() const { return cache_; }
 
  private:
   struct VolLease {
     SimTime expire = kSimTimeMin;
     Epoch epoch = 0;  // 0 = never held one (server skips epoch check)
+  };
+  /// One outstanding object-lease renewal (dedup: at most one per
+  /// object; a request older than msgTimeout is considered lost and may
+  /// be reissued).
+  struct ObjReq {
+    std::uint32_t obj;
+    SimTime sent;
+  };
+  /// One object with reads waiting, tagged with its volume so a volume
+  /// grant can pump it. Append-only order; pumps iterate newest-first
+  /// (the order the old head-inserted intrusive list produced, which
+  /// the determinism goldens pin).
+  struct Waiting {
+    std::uint32_t vol;
+    std::uint32_t obj;
   };
 
   /// Client-conservative expiry clock: lease-validity comparisons happen
@@ -65,30 +79,46 @@ class VolumeClient final : public proto::ClientNode {
   /// its nominal expiry on the local clock. See ProtocolConfig::
   /// clockEpsilon for the safety argument.
   SimTime leaseGuard(SimTime globalNow) const {
-    return addSat(localTime(globalNow), config_.clockEpsilon);
+    return addSat(localTime(globalNow), config_->clockEpsilon);
   }
 
   bool volumeValid(VolumeId vol, SimTime now) const;
 
   // Catalogs can in principle grow after the protocol is built (the
-  // harness tests do); the dense tables grow lazily to match.
+  // harness tests do); the dense per-volume tables grow lazily to match
+  // -- and a cold client that never reads allocates nothing at all.
   void ensureVolSlot(std::size_t i) {
     if (i < volumes_.size()) return;
     volumes_.resize(i + 1);
     volReqOutstanding_.resize(i + 1, kSimTimeMin);
-    pendingHead_.resize(i + 1, util::kNilIdx);
-  }
-  void ensureObjSlot(std::size_t i) {
-    if (i < objReqOutstanding_.size()) return;
-    objReqOutstanding_.resize(i + 1, kSimTimeMin);
-    pendingNext_.resize(i + 1, util::kNilIdx);
-    pendingPrev_.resize(i + 1, util::kNilIdx);
-    pendingIn_.resize(i + 1, 0);
   }
 
-  /// LIFO "reads waiting" index: pendingHead_[vol] heads a doubly
-  /// linked list whose links are stored per object (an object waits in
-  /// at most one volume's list -- its own volume's).
+  ObjReq* findObjReq(std::uint32_t o) {
+    for (ObjReq& r : objReq_) {
+      if (r.obj == o) return &r;
+    }
+    return nullptr;
+  }
+  /// False if no request for `o` was outstanding -- the caller must then
+  /// DROP the grant it is handling: an unmatched grant is a reply whose
+  /// request context was discarded by dropCache()/retire(), and
+  /// installing it would resurrect lease state the client deliberately
+  /// forgot (a departed client's in-flight grant landing after retire()
+  /// is exactly the race that turns into an uninvalidatable stale read).
+  bool eraseObjReq(std::uint32_t o) {
+    for (ObjReq& r : objReq_) {
+      if (r.obj == o) {
+        r = objReq_.back();  // lookup table: order is not observable
+        objReq_.pop_back();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// "Reads waiting" index; an object waits at most once (in its own
+  /// volume's set). Erase preserves relative order: pumps walk the
+  /// vector backwards and their newest-first order is observable.
   void pendingInsert(VolumeId vol, ObjectId obj);
   void pendingErase(VolumeId vol, ObjectId obj);
 
@@ -105,26 +135,18 @@ class VolumeClient final : public proto::ClientNode {
   void handleMustRenewAll(const net::Message& msg);
   void handleBatch(const net::Message& msg);
 
-  const proto::ProtocolConfig config_;
-  proto::ClientCache cache_;
+  const proto::ProtocolConfig* config_;
+  LeaseCache cache_;
   proto::PendingReads pending_;
-  std::vector<VolLease> volumes_;  // by raw(VolumeId)
+  std::vector<VolLease> volumes_;  // by raw(VolumeId), lazily grown
 
-  /// Request dedup: at most one outstanding renewal per volume / object.
-  /// Slots hold the send time (kSimTimeMin = none outstanding); a
-  /// request older than msgTimeout is considered lost and may be
-  /// reissued (otherwise a dropped request would permanently suppress
-  /// renewals for that volume/object).
+  /// Request dedup: at most one outstanding renewal per volume (dense
+  /// by raw volume id; kSimTimeMin = none outstanding) / per object
+  /// (flat ObjReq vector: only what is actually in flight).
   std::vector<SimTime> volReqOutstanding_;  // by raw(VolumeId)
-  std::vector<SimTime> objReqOutstanding_;  // by raw(ObjectId)
+  std::vector<ObjReq> objReq_;
 
-  /// Objects with reads waiting, indexed by volume (so a volume grant
-  /// can pump them); see pendingInsert/pendingErase.
-  std::vector<std::uint32_t> pendingHead_;  // by raw(VolumeId)
-  std::vector<std::uint32_t> pendingNext_;  // by raw(ObjectId)
-  std::vector<std::uint32_t> pendingPrev_;  // by raw(ObjectId)
-  std::vector<std::uint8_t> pendingIn_;     // by raw(ObjectId)
-
+  std::vector<Waiting> waiting_;       // oldest first; iterated backwards
   std::vector<ObjectId> pumpScratch_;  // recycled pumpVolume snapshot
 };
 

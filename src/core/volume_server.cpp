@@ -272,6 +272,7 @@ void VolumeServer::grantVolume(NodeId client, VolumeId volId) {
   rec->expire = addSat(now, config_.volumeTimeout);
   rec->lastAccounted = now;
   v.expire = std::max(v.expire, rec->expire);
+  v.sweepFloor = std::min(v.sweepFloor, rec->expire);
   maxVolExpireGranted_ = std::max(maxVolExpireGranted_, rec->expire);
   clearSwept(v, clientIdx(client));
   maybeArmSweep();
@@ -309,6 +310,7 @@ void VolumeServer::grantObject(const net::Message& msg) {
   rec->expire = addSat(now, config_.objectTimeout);
   rec->lastAccounted = now;
   st.expire = std::max(st.expire, rec->expire);
+  st.sweepFloor = std::min(st.sweepFloor, rec->expire);
   maybeArmSweep();
 
   net::ObjLeaseGrant grant{};
@@ -318,6 +320,19 @@ void VolumeServer::grantObject(const net::Message& msg) {
   grant.carriesData = st.version != req.haveVersion;
   grant.dataBytes =
       grant.carriesData ? ctx_.catalog.object(req.obj).sizeBytes : 0;
+  // Every grant is stamped with the volume's current epoch, volume
+  // lease or not: a client whose crash or departure erased its epoch
+  // memory relearns it together with the data it is caching. Without
+  // this, such a client holds real entries while still presenting the
+  // "fresh client" epoch 0 -- and haveEpoch == 0 skips the staleness
+  // check, so a later epoch bump (migration, server crash) would hand
+  // it a volume lease without the reconnection exchange that is the
+  // only thing standing between its un-invalidated entries and a stale
+  // read. (volLookup, not vol(): stamping must not flip `touched` for
+  // configs whose grants never otherwise reach the volume state.)
+  const VolState* volForEpoch = volLookup(volumeOf(req.obj));
+  VL_DCHECK(volForEpoch != nullptr);  // deliver() gates on ownership
+  grant.epoch = volForEpoch->epoch;
 
   if (req.wantVolume && config_.piggybackVolumeLease) {
     // Piggyback ablation: renew the volume in the same reply iff it is
@@ -342,6 +357,7 @@ void VolumeServer::grantObject(const net::Message& msg) {
       vRec->expire = addSat(now, config_.volumeTimeout);
       vRec->lastAccounted = now;
       v.expire = std::max(v.expire, vRec->expire);
+      v.sweepFloor = std::min(v.sweepFloor, vRec->expire);
       maxVolExpireGranted_ = std::max(maxVolExpireGranted_, vRec->expire);
       clearSwept(v, ci);
       grant.grantsVolume = true;
@@ -416,6 +432,7 @@ void VolumeServer::processRenewObjLeases(const net::Message& msg,
       rec->expire = addSat(now, config_.objectTimeout);
       rec->lastAccounted = now;
       st.expire = std::max(st.expire, rec->expire);
+      st.sweepFloor = std::min(st.sweepFloor, rec->expire);
       maybeArmSweep();
       batch.renew.push_back(
           net::BatchInvalRenew::Renewal{entry.obj, st.version, rec->expire});
@@ -896,6 +913,7 @@ proto::VolumeHandoff VolumeServer::migrateOut(VolumeId volId) {
   std::fill(v.unreachable.begin(), v.unreachable.end(), 0);
   std::fill(v.sweptExpire.begin(), v.sweptExpire.end(), kNever);
   v.expire = kSimTimeMin;
+  v.sweepFloor = kNever;
 
   // In-flight reconnection / flush exchanges on this volume die with the
   // handoff; the client's retry re-routes and reconnects at the adopter.
@@ -917,6 +935,7 @@ proto::VolumeHandoff VolumeServer::migrateOut(VolumeId volId) {
     });
     st.holders.clear();
     st.expire = kSimTimeMin;
+    st.sweepFloor = kNever;
     handoff.objects.push_back(
         proto::VolumeHandoff::ObjectEntry{info.id, st.version});
     *objOwned = 0;  // slot stays: durable memory for a possible return
@@ -1011,6 +1030,7 @@ void VolumeServer::crashAndReboot() {
     v.deferred.head = 0;
     v.pendingWrites = 0;
     v.expire = kSimTimeMin;
+    v.sweepFloor = kNever;
     std::fill(v.sweptExpire.begin(), v.sweptExpire.end(), kNever);
     if (v.touched) v.epoch += 1;  // persisted with the data
   });
@@ -1020,6 +1040,7 @@ void VolumeServer::crashAndReboot() {
     });
     st.holders.clear();
     st.expire = kSimTimeMin;
+    st.sweepFloor = kNever;
     st.pendingWrite = util::kNilIdx;
   });
 
@@ -1069,12 +1090,24 @@ void VolumeServer::sweepExpiredLeases() {
   // expiry to stamp the Inactive entry; sweptExpire preserves exactly
   // that datum. Accrual totals are unchanged too: accrueRecord clamps
   // at the record's expiry, which is <= now for everything swept.
+  // Whole tables are skipped via sweepFloor, a lower bound on every
+  // record's expiry: if even the earliest possible expiry is still in
+  // the future, the walk would erase nothing, so skipping it changes
+  // nothing observable. The bound only goes stale LOW (a renewal lifts
+  // a record past it), so a skip is always sound; each full walk
+  // re-tightens it to the exact minimum of the survivors.
   const SimTime now = ctx_.scheduler.now();
   std::size_t remaining = 0;
   forEachOwnedVol([&](VolState& v) {
+    if (graceExpire(v.sweepFloor) > now) {
+      remaining += v.holders.size();
+      return;
+    }
+    SimTime floor = kNever;
     v.holders.forEach([&](std::uint32_t ci, LeaseRecord& rec) {
       if (graceExpire(rec.expire) > now) {
         ++remaining;
+        floor = std::min(floor, rec.expire);
         return;
       }
       stats::accrueRecord(ctx_.metrics, id(), rec.lastAccounted, rec.expire,
@@ -1087,17 +1120,25 @@ void VolumeServer::sweepExpiredLeases() {
       }
       v.holders.erase(ci);
     });
+    v.sweepFloor = floor;
   });
   forEachOwnedObj([&](ObjState& st) {
+    if (graceExpire(st.sweepFloor) > now) {
+      remaining += st.holders.size();
+      return;
+    }
+    SimTime floor = kNever;
     st.holders.forEach([&](std::uint32_t ci, LeaseRecord& rec) {
       if (graceExpire(rec.expire) > now) {
         ++remaining;
+        floor = std::min(floor, rec.expire);
         return;
       }
       stats::accrueRecord(ctx_.metrics, id(), rec.lastAccounted, rec.expire,
                           now);
       st.holders.erase(ci);
     });
+    st.sweepFloor = floor;
   });
   if (remaining > 0 && !quiesced_) {
     sweepTimer_ = ctx_.scheduler.scheduleDeadlineAfter(

@@ -133,6 +133,11 @@ class VolumeServer final : public proto::ServerNode {
   struct VolState {
     Epoch epoch = 1;
     SimTime expire = kSimTimeMin;  // aggregate lease horizon
+    /// Lower bound on every holder's expiry (lowered on grant, exact
+    /// again after each sweep walk): while graceExpire(sweepFloor) is
+    /// in the future the sweep can skip the whole table -- nothing in
+    /// it could be erased, so skipping is observationally invisible.
+    SimTime sweepFloor = kNever;
     util::LifoIndexMap<LeaseRecord> holders;      // by client index
     std::vector<std::uint8_t> unreachable;        // by client index
     util::LifoIndexMap<InactiveClient> inactive;  // by client index
@@ -168,6 +173,7 @@ class VolumeServer final : public proto::ServerNode {
   struct ObjState {
     Version version = 1;
     SimTime expire = kSimTimeMin;  // aggregate lease horizon
+    SimTime sweepFloor = kNever;   // see VolState::sweepFloor
     util::LifoIndexMap<LeaseRecord> holders;  // by client index
     /// Slot of the in-flight write in pwPool_, kNilIdx when none.
     std::uint32_t pendingWrite = util::kNilIdx;

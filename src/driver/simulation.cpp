@@ -162,6 +162,25 @@ std::size_t Simulation::pendingFaultEvents() const {
   return n;
 }
 
+void Simulation::onReadComplete(NodeId client, ObjectId obj,
+                                const proto::ReadResult& result) {
+  // The owner is resolved at completion time, not capture time: a
+  // migration may move the volume while the read is in flight, and the
+  // authoritative version then lives at the new owner.
+  if (result.ok) {
+    const Version actual = protocol_.serverFor(ctx_, obj).currentVersion(obj);
+    metrics_.onRead(result.usedNetwork, result.version != actual);
+    if (oracle_) {
+      oracle_->onRead(client, obj, result, actual, scheduler_.now());
+    }
+  } else {
+    metrics_.onReadFailed();
+    if (oracle_) {
+      oracle_->onRead(client, obj, result, kNoVersion, scheduler_.now());
+    }
+  }
+}
+
 void Simulation::issueRead(NodeId client, ObjectId obj,
                            proto::ReadCallback extra) {
   if (options_.faultPlan != nullptr &&
@@ -172,25 +191,24 @@ void Simulation::issueRead(NodeId client, ObjectId obj,
     return;
   }
   proto::ClientNode& node = protocol_.client(catalog_, client);
-  // The owner is resolved at completion time, not capture time: a
-  // migration may move the volume while the read is in flight, and the
-  // authoritative version then lives at the new owner.
+  if (!extra) {
+    // Trace-replay fast path: pack (client, obj) into one word so the
+    // closure is 16 bytes and std::function stores it inline -- no heap
+    // allocation per injected read.
+    VL_DCHECK(raw(obj) <= 0xffffffffull);
+    const std::uint64_t packed = (static_cast<std::uint64_t>(raw(client))
+                                  << 32) |
+                                 static_cast<std::uint32_t>(raw(obj));
+    node.read(obj, [this, packed](const proto::ReadResult& result) {
+      onReadComplete(makeNodeId(static_cast<std::uint32_t>(packed >> 32)),
+                     makeObjectId(packed & 0xffffffffull), result);
+    });
+    return;
+  }
   node.read(obj, [this, client, obj, extra = std::move(extra)](
                      const proto::ReadResult& result) {
-    if (result.ok) {
-      const Version actual =
-          protocol_.serverFor(ctx_, obj).currentVersion(obj);
-      metrics_.onRead(result.usedNetwork, result.version != actual);
-      if (oracle_) {
-        oracle_->onRead(client, obj, result, actual, scheduler_.now());
-      }
-    } else {
-      metrics_.onReadFailed();
-      if (oracle_) {
-        oracle_->onRead(client, obj, result, kNoVersion, scheduler_.now());
-      }
-    }
-    if (extra) extra(result);
+    onReadComplete(client, obj, result);
+    extra(result);
   });
 }
 
@@ -218,10 +236,24 @@ void Simulation::inject(const trace::TraceEvent& event) {
                "Simulation::inject() after finish() would corrupt the "
                "frozen metrics");
   lastEventTime_ = std::max(lastEventTime_, event.at);
-  if (event.kind == trace::EventKind::kRead) {
-    issueRead(event.client, event.obj);
-  } else {
-    issueWrite(event.obj);
+  switch (event.kind) {
+    case trace::EventKind::kRead:
+      issueRead(event.client, event.obj);
+      break;
+    case trace::EventKind::kWrite:
+      issueWrite(event.obj);
+      break;
+    case trace::EventKind::kArrive:
+      // A new client starts cold and lazily; nothing to do until its
+      // first read. The event exists so generators, logs, and oracles
+      // see churn explicitly.
+      break;
+    case trace::EventKind::kDepart:
+      // Graceful departure, distinct from a crash: no fault is
+      // injected, the client just forgets its leases and returns its
+      // storage; the server lets the holder records expire.
+      protocol_.client(catalog_, event.client).retire();
+      break;
   }
 }
 

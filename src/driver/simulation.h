@@ -118,6 +118,13 @@ class Simulation {
   void issueWrite(ObjectId obj, proto::WriteCallback extra = nullptr);
 
  private:
+  /// Completion half of issueRead: ground-truth version check, metrics,
+  /// oracle. Split out so the no-extra-callback fast path can capture
+  /// (this, client, obj) packed into 16 bytes -- inside std::function's
+  /// inline buffer, keeping the per-event hot path allocation-free.
+  void onReadComplete(NodeId client, ObjectId obj,
+                      const proto::ReadResult& result);
+
   void installFaultPlan(const net::FaultPlan& plan);
   void applyFault(const net::FaultEvent& event);
   void installMigrations();

@@ -83,6 +83,43 @@ Workload buildChaosWorkload(const ChaosWorkloadOptions& options) {
     t += rng.nextExponential(1.0 / writeRate);
   }
 
+  // Flash crowd: distinct clients storm the coldest object (the last
+  // catalog id, bottom of the Zipf ranking) over a short burst. Appended
+  // after the base draws with no rng use, so the base trace above stays
+  // bit-identical whether or not the storm is enabled.
+  if (options.flashClients > 0) {
+    VL_CHECK(options.flashClients <= options.numClients);
+    const ObjectId coldest = makeObjectId(catalog.numObjects() - 1);
+    const SimDuration spacing =
+        options.flashDuration /
+        std::max<std::uint32_t>(1, options.flashClients);
+    for (std::uint32_t i = 0; i < options.flashClients; ++i) {
+      reads.push_back(trace::TraceEvent{
+          options.flashAt + static_cast<SimTime>(i) * spacing,
+          trace::EventKind::kRead, catalog.clientNode(i), coldest});
+    }
+    trace::sortEvents(reads);
+  }
+
+  // Churn: a rotating client departs every churnPeriod and re-arrives
+  // churnDowntime later. While down it keeps its scheduled reads -- a
+  // departed client that reads again simply comes back cold, which is
+  // exactly the lazy re-growth path the churn knob is meant to stress.
+  std::vector<trace::TraceEvent> churn;
+  if (options.churnPeriod > 0) {
+    std::uint32_t k = 0;
+    for (SimTime t = options.churnPeriod; t < options.duration;
+         t += options.churnPeriod, ++k) {
+      const NodeId client = catalog.clientNode(k % options.numClients);
+      churn.push_back(trace::TraceEvent{t, trace::EventKind::kDepart,
+                                        client, makeObjectId(0)});
+      churn.push_back(trace::TraceEvent{t + options.churnDowntime,
+                                        trace::EventKind::kArrive, client,
+                                        makeObjectId(0)});
+    }
+    trace::sortEvents(churn);
+  }
+
   Workload out{std::move(catalog), {}, 0, 0, {}};
   out.readCount = static_cast<std::int64_t>(reads.size());
   out.writeCount = static_cast<std::int64_t>(writes.size());
@@ -91,6 +128,10 @@ Workload buildChaosWorkload(const ChaosWorkloadOptions& options) {
     ++out.readsPerServer[raw(out.catalog.object(e.obj).server)];
   }
   out.events = trace::mergeEvents(std::move(reads), std::move(writes));
+  if (!churn.empty()) {
+    out.events.insert(out.events.end(), churn.begin(), churn.end());
+    trace::sortEvents(out.events);
+  }
   return out;
 }
 

@@ -55,6 +55,20 @@ struct ChaosWorkloadOptions {
   SimDuration duration = minutes(30);
   double readsPerClientPerSec = 0.5;
   double writesPerObjectPerSec = 0.02;
+  /// Flash crowd: this many distinct clients read the coldest object
+  /// (the last catalog id, the bottom Zipf rank) in a burst spread over
+  /// flashDuration from flashAt. 0 = off. Flash reads are appended
+  /// after the base draws and consume no base randomness, so enabling
+  /// them leaves the base trace -- and every pre-existing golden --
+  /// bit-identical.
+  std::uint32_t flashClients = 0;
+  SimTime flashAt = minutes(10);
+  SimDuration flashDuration = sec(5);
+  /// Client churn: every churnPeriod one client departs gracefully
+  /// (EventKind::kDepart -> ClientNode::retire(), distinct from a
+  /// FaultPlan crash) and re-arrives churnDowntime later. 0 = off.
+  SimDuration churnPeriod = 0;
+  SimDuration churnDowntime = minutes(2);
 };
 
 Workload buildChaosWorkload(const ChaosWorkloadOptions& options);

@@ -84,19 +84,13 @@ PendingReads::Token PendingReads::add(ObjectId obj, SimDuration timeout,
     resolveOne(token, failed);
   });
 
-  const std::size_t i = raw(obj);
-  if (i >= headByObj_.size()) {
-    headByObj_.resize(i + 1, kNil);
-    tailByObj_.resize(i + 1, kNil);
-  }
-  const std::uint32_t tail = tailByObj_[i];
-  if (tail == kNil) {
-    headByObj_[i] = slot;
+  if (liveTail_ == kNil) {
+    liveHead_ = slot;
   } else {
-    pool_[tail].next = slot;
-    op.prev = tail;
+    pool_[liveTail_].next = slot;
+    op.prev = liveTail_;
   }
-  tailByObj_[i] = slot;
+  liveTail_ = slot;
   ++size_;
   return token;
 }
@@ -113,11 +107,7 @@ PendingReads::Op* PendingReads::lookup(Token token) {
 void PendingReads::finish(std::uint32_t slot, const ReadResult& result) {
   Op& op = pool_[slot];
   if (op.inLive) {
-    const std::size_t i = raw(op.obj);
-    if (op.prev != kNil) pool_[op.prev].next = op.next;
-    if (op.next != kNil) pool_[op.next].prev = op.prev;
-    if (headByObj_[i] == slot) headByObj_[i] = op.next;
-    if (tailByObj_[i] == slot) tailByObj_[i] = op.prev;
+    unlink(slot);
     op.inLive = false;
   }
   op.timer.cancel();
@@ -130,21 +120,33 @@ void PendingReads::finish(std::uint32_t slot, const ReadResult& result) {
   cb(result);
 }
 
+void PendingReads::unlink(std::uint32_t slot) {
+  Op& op = pool_[slot];
+  if (op.prev != kNil) pool_[op.prev].next = op.next;
+  if (op.next != kNil) pool_[op.next].prev = op.prev;
+  if (liveHead_ == slot) liveHead_ = op.next;
+  if (liveTail_ == slot) liveTail_ = op.prev;
+  op.prev = kNil;
+  op.next = kNil;
+}
+
 void PendingReads::resolveAll(ObjectId obj, const ReadResult& result) {
-  const std::size_t i = raw(obj);
-  if (i >= headByObj_.size() || headByObj_[i] == kNil) return;
   // Detach first: callbacks may issue new reads on the same object,
-  // which start a fresh live list. Snapshot tokens (not slots) so an op
-  // resolved out from under us mid-loop -- and its possibly recycled
-  // slot -- is skipped by the generation check.
+  // which join the live list fresh (and are not visited: the snapshot
+  // below is taken before any callback runs). Snapshot tokens (not
+  // slots) so an op resolved out from under us mid-loop -- and its
+  // possibly recycled slot -- is skipped by the generation check.
   std::vector<Token> tokens = std::move(resolveScratch_);
   tokens.clear();
-  for (std::uint32_t s = headByObj_[i]; s != kNil; s = pool_[s].next) {
-    pool_[s].inLive = false;
-    tokens.push_back(makeToken(s, pool_[s].gen));
+  for (std::uint32_t s = liveHead_; s != kNil;) {
+    const std::uint32_t next = pool_[s].next;
+    if (pool_[s].obj == obj) {
+      tokens.push_back(makeToken(s, pool_[s].gen));
+      unlink(s);
+      pool_[s].inLive = false;
+    }
+    s = next;
   }
-  headByObj_[i] = kNil;
-  tailByObj_[i] = kNil;
   for (Token token : tokens) {
     Op* op = lookup(token);
     if (op == nullptr) continue;
@@ -156,10 +158,8 @@ void PendingReads::resolveAll(ObjectId obj, const ReadResult& result) {
 
 std::vector<PendingReads::Token> PendingReads::tokensFor(ObjectId obj) const {
   std::vector<Token> out;
-  const std::size_t i = raw(obj);
-  if (i >= headByObj_.size()) return out;
-  for (std::uint32_t s = headByObj_[i]; s != kNil; s = pool_[s].next) {
-    out.push_back(makeToken(s, pool_[s].gen));
+  for (std::uint32_t s = liveHead_; s != kNil; s = pool_[s].next) {
+    if (pool_[s].obj == obj) out.push_back(makeToken(s, pool_[s].gen));
   }
   return out;
 }

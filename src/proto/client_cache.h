@@ -129,9 +129,14 @@ class ClientCache {
 ///
 /// Storage is a recycled slot pool: each op lives in a stable slot,
 /// tokens are (generation << 32) | slot so a recycled slot invalidates
-/// outstanding tokens, and the per-object FIFO is an intrusive doubly
-/// linked list threaded through the pool. Steady-state add/resolve
-/// cycles never touch the heap.
+/// outstanding tokens, and live ops form ONE intrusive FIFO list in
+/// arrival order -- per-object lookups filter it, which is O(live ops)
+/// but live ops per client are a handful, and dropping the old dense
+/// per-object head/tail arrays (2 x 4 bytes x catalog objects PER
+/// CLIENT) is what the million-client RSS budget needs. Per-object
+/// FIFO order is unchanged: a filtered scan of a global FIFO preserves
+/// relative order. Steady-state add/resolve cycles never touch the
+/// heap.
 class PendingReads {
  public:
   using Token = std::uint64_t;
@@ -144,8 +149,10 @@ class PendingReads {
 
   /// Is anything waiting on this object?
   bool waitingOn(ObjectId obj) const {
-    const std::size_t i = raw(obj);
-    return i < headByObj_.size() && headByObj_[i] != kNil;
+    for (std::uint32_t s = liveHead_; s != kNil; s = pool_[s].next) {
+      if (pool_[s].obj == obj) return true;
+    }
+    return false;
   }
 
   /// Resolve every op waiting on `obj` with `result`, oldest first.
@@ -179,6 +186,8 @@ class PendingReads {
     return (static_cast<Token>(gen) << 32) | slot;
   }
   Op* lookup(Token token);
+  /// Remove a slot from the global live list.
+  void unlink(std::uint32_t slot);
   /// Unlink (if live), release the slot, cancel the timer, run the
   /// callback. The slot is recycled BEFORE the callback runs, so
   /// reentrant add() calls can reuse it (mirrors the erase-then-call
@@ -188,9 +197,9 @@ class PendingReads {
   sim::Scheduler& scheduler_;
   std::vector<Op> pool_;
   std::vector<std::uint32_t> free_;
-  /// Per raw(obj) FIFO list heads/tails, lazily grown.
-  std::vector<std::uint32_t> headByObj_;
-  std::vector<std::uint32_t> tailByObj_;
+  /// Global live-op FIFO (arrival order), filtered by object on lookup.
+  std::uint32_t liveHead_ = kNil;
+  std::uint32_t liveTail_ = kNil;
   std::vector<Token> resolveScratch_;
   std::size_t size_ = 0;
 };

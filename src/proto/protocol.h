@@ -301,6 +301,13 @@ class ClientNode : public net::MessageSink {
   /// Drop all cached data and leases (simulates a client restart).
   virtual void dropCache() = 0;
 
+  /// Graceful departure (client churn): like dropCache(), but the
+  /// client is expected to stay cold for a while, so implementations
+  /// should also return lazily grown storage. Distinct from a crash --
+  /// nothing is abrupt, no fault is injected, and the server simply
+  /// lets the departed client's leases expire.
+  virtual void retire() { dropCache(); }
+
   /// What a read of `obj` issued at `now` would return without any
   /// messages: {true, version} when the client would serve it straight
   /// from cache, {false, kNoVersion} otherwise. Pure inspection -- must
@@ -337,6 +344,11 @@ class ClientNode : public net::MessageSink {
 /// server, one client endpoint per catalog client.
 struct ProtocolInstance {
   ProtocolConfig config;
+  /// Stable home of the effective (post-ablation) config: client
+  /// endpoints hold pointers into it instead of per-client copies, so
+  /// it must outlive them -- shared_ptr keeps the storage put even when
+  /// the instance itself is moved.
+  std::shared_ptr<const ProtocolConfig> sharedConfig;
   std::vector<std::unique_ptr<ServerNode>> servers;  // by server index
   std::vector<std::unique_ptr<ClientNode>> clients;  // by client index
 

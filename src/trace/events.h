@@ -12,13 +12,19 @@
 
 namespace vlease::trace {
 
-enum class EventKind : std::uint8_t { kRead, kWrite };
+/// kArrive/kDepart are client-churn markers (first-class generator
+/// events, distinct from FaultPlan crashes): a departing client
+/// gracefully forgets its leases and returns its lazily grown storage
+/// (ClientNode::retire()); an arriving client simply starts cold. The
+/// values extend the original {kRead, kWrite} pair so existing kind
+/// comparisons (reads sort before writes) are untouched.
+enum class EventKind : std::uint8_t { kRead, kWrite, kArrive, kDepart };
 
 struct TraceEvent {
   SimTime at;
   EventKind kind;
-  /// Reader for kRead; ignored for kWrite (writes happen at the object's
-  /// home server).
+  /// Reader for kRead, the churning client for kArrive/kDepart; ignored
+  /// for kWrite (writes happen at the object's home server).
   NodeId client;
   ObjectId obj;
 };

@@ -1,0 +1,133 @@
+#include "trace/stream.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace vlease::trace {
+
+EventStream::EventStream(const StreamOptions& options, const Catalog& catalog,
+                         const std::vector<ObjectId>& objects)
+    : opt_(options),
+      catalog_(catalog),
+      objects_(objects),
+      rng_(options.seed),
+      zipf_(std::max<std::uint64_t>(1, objects.size()), options.zipfSkew) {
+  VL_CHECK(opt_.numClients > 0 && opt_.numClients <= catalog_.numClients());
+  VL_CHECK(!objects_.empty());
+  VL_CHECK(opt_.events >= 0 && opt_.interarrival > 0);
+  VL_CHECK(opt_.zipfSkew >= 0);
+  VL_CHECK(opt_.diurnalAmplitude >= 0 && opt_.diurnalAmplitude < 1);
+  VL_CHECK(opt_.diurnalPeriod > 0);
+  VL_CHECK(opt_.churnActiveFraction > 0 && opt_.churnActiveFraction <= 1);
+  if (opt_.flashObject == UINT64_MAX) {
+    opt_.flashObject = objects_.size() - 1;
+  }
+  VL_CHECK(opt_.flashObject < objects_.size());
+  VL_CHECK(opt_.flashClients <= opt_.numClients);
+  active_ = opt_.numClients;
+  if (opt_.churnEvery > 0) {
+    // Keep headroom between the active window and the id space, so an
+    // arrival is a genuinely fresh client rather than the one that just
+    // departed; ids recycle only once the window wraps all the way.
+    active_ = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               static_cast<double>(opt_.numClients) *
+               opt_.churnActiveFraction));
+  }
+  at_ = opt_.interarrival;  // first base event, matching the legacy loop
+}
+
+std::uint32_t EventStream::activeClient(std::uint64_t pick) const {
+  return static_cast<std::uint32_t>((churnLo_ + pick) % opt_.numClients);
+}
+
+void EventStream::advanceClock() {
+  if (opt_.diurnalAmplitude == 0) {
+    at_ += opt_.interarrival;  // exact integer cadence (legacy stream)
+    return;
+  }
+  // Rate multiplier 1 + A*sin(2*pi*t/period): interarrivals compress at
+  // the diurnal peak, stretch in the trough. The step is recomputed from
+  // the current instant, so the curve is phase-exact regardless of rate.
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  const double phase = kTwoPi * static_cast<double>(at_) /
+                       static_cast<double>(opt_.diurnalPeriod);
+  const double rate = 1.0 + opt_.diurnalAmplitude * std::sin(phase);
+  const auto step = static_cast<SimDuration>(
+      std::llround(static_cast<double>(opt_.interarrival) / rate));
+  at_ += std::max<SimDuration>(1, step);
+}
+
+void EventStream::nextBase(TraceEvent& out) {
+  out.at = at_;
+  // Draw order matches the legacy replay exactly: object first, then --
+  // only for reads -- the client. Zipf off means the raw uniform pick, so
+  // the default stream is bit-identical to the pre-engine loop.
+  const std::uint64_t rank = opt_.zipfSkew > 0
+                                 ? zipf_(rng_)
+                                 : rng_.nextBelow(objects_.size());
+  out.obj = objects_[rank];
+  if (opt_.writeEvery > 0 && (baseEmitted_ + 1) % opt_.writeEvery == 0) {
+    out.kind = EventKind::kWrite;
+    out.client = catalog_.serverNode(0);  // ignored for writes
+  } else {
+    out.kind = EventKind::kRead;
+    out.client = catalog_.clientNode(
+        activeClient(rng_.nextBelow(active_)));
+  }
+  ++baseEmitted_;
+  advanceClock();
+  if (opt_.churnEvery > 0 && ++sinceChurn_ >= opt_.churnEvery) {
+    sinceChurn_ = 0;
+    pendingDepart_ = true;
+  }
+}
+
+bool EventStream::next(TraceEvent& out) {
+  // Churn markers are stamped at the time of the event that triggered
+  // them (lastAt_), so the merged stream stays time-sorted even when a
+  // flash-crowd event is due in between.
+  if (pendingDepart_) {
+    pendingDepart_ = false;
+    pendingArrive_ = true;
+    out = TraceEvent{lastAt_, EventKind::kDepart,
+                     catalog_.clientNode(activeClient(0)), objects_[0]};
+    ++emitted_;
+    return true;
+  }
+  if (pendingArrive_) {
+    pendingArrive_ = false;
+    out = TraceEvent{lastAt_, EventKind::kArrive,
+                     catalog_.clientNode(activeClient(active_)), objects_[0]};
+    ++churnLo_;  // slide the window: the departed id is now outside it
+    ++emitted_;
+    return true;
+  }
+  if (flashNext_ < opt_.flashClients) {
+    const SimDuration spacing =
+        opt_.flashDuration / std::max<std::int64_t>(1, opt_.flashClients);
+    const SimTime flashTime = opt_.flashAt + flashNext_ * spacing;
+    if (flashTime <= at_ || baseEmitted_ >= opt_.events) {
+      // Distinct clients storm the cold object: consecutive window
+      // offsets, no randomness consumed, base draws unperturbed.
+      out = TraceEvent{
+          std::max(flashTime, lastAt_), EventKind::kRead,
+          catalog_.clientNode(activeClient(
+              static_cast<std::uint64_t>(flashNext_) % active_)),
+          objects_[opt_.flashObject]};
+      ++flashNext_;
+      lastAt_ = out.at;
+      ++emitted_;
+      return true;
+    }
+  }
+  if (baseEmitted_ >= opt_.events) return false;
+  nextBase(out);
+  lastAt_ = out.at;
+  ++emitted_;
+  return true;
+}
+
+}  // namespace vlease::trace

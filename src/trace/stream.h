@@ -1,0 +1,127 @@
+// Streaming workload engine: an O(1)-memory event source for the
+// large-population replays (tools/vlease_scale). Events are produced one
+// at a time -- the trace is never materialized, so a hundred-million-event
+// run costs no event memory -- and the stream is bit-for-bit deterministic
+// from the seed.
+//
+// The base stream reproduces the original fixed-cadence replay exactly
+// (uniform object pick, uniform client pick, one write every writeEvery
+// events). On top of it, independently composable:
+//
+//   - Zipfian popularity (zipfSkew > 0): objects are picked by rank
+//     through the O(1) rejection-inversion sampler (util::ZipfianRng),
+//     so a configurable head of hot objects dominates while the tail
+//     stays cold. Rank r maps to the caller's objects[r], making
+//     objects.back() the coldest object in the catalog.
+//
+//   - Flash crowd (flashClients > 0): at flashAt, flashClients distinct
+//     clients read one cold object, evenly spread over flashDuration --
+//     the paper's load-spike scenario, a renewal storm the server must
+//     absorb. Flash events consume no randomness, so enabling a flash
+//     crowd perturbs none of the base stream's draws.
+//
+//   - Diurnal rate curve (diurnalAmplitude > 0): the event cadence is
+//     modulated by 1 + A*sin(2*pi*t/period), compressing interarrivals
+//     at the peak and stretching them in the trough.
+//
+//   - Client churn (churnEvery > 0): every churnEvery base events the
+//     oldest active client departs (EventKind::kDepart -- a graceful
+//     retire, distinct from a FaultPlan crash) and a fresh one arrives
+//     cold (kArrive). The active population is a sliding window over the
+//     client id space, so churn state is O(1); reads draw only from the
+//     active window. Departed ids eventually re-arrive once the window
+//     wraps, exercising lazy re-growth of reclaimed client storage.
+//
+// next() performs no heap allocation (asserted by a tier-1 test), so the
+// generator itself never shows up in the replay's RSS or its hot path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/catalog.h"
+#include "trace/events.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace vlease::trace {
+
+struct StreamOptions {
+  std::uint64_t seed = 1;
+  /// Base read/write events to emit (churn markers and flash-crowd reads
+  /// are extra, interleaved by timestamp).
+  std::int64_t events = 0;
+  std::uint32_t numClients = 0;
+  SimDuration interarrival = usec(100);
+  /// One write per this many base events (0 = reads only).
+  std::int64_t writeEvery = 0;
+
+  /// Zipf skew for object popularity; 0 = uniform (the legacy stream).
+  double zipfSkew = 0;
+
+  /// Flash crowd: this many distinct clients read `flashObject` (an
+  /// index into the objects vector) evenly over flashDuration starting
+  /// at flashAt. 0 = off.
+  std::int64_t flashClients = 0;
+  SimTime flashAt = 0;
+  SimDuration flashDuration = sec(2);
+  /// Default UINT64_MAX = the last object, coldest under Zipf ranking.
+  std::uint64_t flashObject = UINT64_MAX;
+
+  /// Every churnEvery base events, one kDepart + one kArrive. 0 = off.
+  std::int64_t churnEvery = 0;
+  /// Active fraction of the client population when churn is on; the
+  /// remainder is the headroom arrivals draw from before ids recycle.
+  double churnActiveFraction = 0.5;
+
+  /// Diurnal modulation amplitude in [0, 1); 0 = fixed cadence.
+  double diurnalAmplitude = 0;
+  SimDuration diurnalPeriod = hours(24);
+};
+
+class EventStream {
+ public:
+  /// `objects` maps popularity rank -> ObjectId (rank 0 hottest under
+  /// Zipf); held by reference, must outlive the stream.
+  EventStream(const StreamOptions& options, const Catalog& catalog,
+              const std::vector<ObjectId>& objects);
+
+  /// Produce the next event; false when the stream is exhausted. Never
+  /// allocates.
+  bool next(TraceEvent& out);
+
+  /// Total events handed out so far (base + flash + churn markers).
+  std::int64_t emitted() const { return emitted_; }
+  /// Base read/write events handed out so far.
+  std::int64_t baseEmitted() const { return baseEmitted_; }
+
+ private:
+  void nextBase(TraceEvent& out);
+  void advanceClock();
+  std::uint32_t activeClient(std::uint64_t pick) const;
+
+  StreamOptions opt_;
+  const Catalog& catalog_;
+  const std::vector<ObjectId>& objects_;
+  Rng rng_;
+  ZipfianRng zipf_;
+
+  SimTime at_ = 0;      // timestamp of the next base event
+  SimTime lastAt_ = 0;  // timestamp of the last emitted event
+  std::int64_t baseEmitted_ = 0;
+  std::int64_t emitted_ = 0;
+
+  // Flash-crowd sub-stream cursor.
+  std::int64_t flashNext_ = 0;
+
+  // Churn window [churnLo_, churnLo_ + active_) over the id space,
+  // reduced mod numClients when picking; pendingDepart_/pendingArrive_
+  // sequence the two markers of one churn tick.
+  std::uint64_t churnLo_ = 0;
+  std::uint64_t active_ = 0;
+  std::int64_t sinceChurn_ = 0;
+  bool pendingDepart_ = false;
+  bool pendingArrive_ = false;
+};
+
+}  // namespace vlease::trace

@@ -133,4 +133,63 @@ double ZipfSampler::pmf(std::size_t k) const {
   return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
 }
 
+// ---------------------------------------------------------------------
+// ZipfianRng: Hormann-Derflinger rejection-inversion
+// ---------------------------------------------------------------------
+
+double ZipfianRng::h(double x) const {
+  // Antiderivative of t^-s evaluated at x, shifted so both branches are
+  // continuous in s: (x^(1-s) - 1)/(1-s), with the s -> 1 limit ln(x).
+  if (s_ == 1.0) return std::log(x);
+  return (std::pow(x, 1.0 - s_) - 1.0) / (1.0 - s_);
+}
+
+double ZipfianRng::hInv(double u) const {
+  if (s_ == 1.0) return std::exp(u);
+  return std::pow(1.0 + u * (1.0 - s_), 1.0 / (1.0 - s_));
+}
+
+ZipfianRng::ZipfianRng(std::uint64_t n, double s) : n_(n), s_(s) {
+  VL_CHECK(n >= 1);
+  VL_CHECK(s >= 0.0);
+  // The u range for rank 1 starts at h(1.5) - f(1), not h(0.5): the hat
+  // integral over [0.5, 1.5] overshoots f(1) (x^-s explodes toward the
+  // left edge), and truncating the range assigns rank 1 exactly f(1) of
+  // u measure -- rank 1 is then sampled without rejection and the
+  // fast-accept branch below (whose bound is derived from rank 2) can
+  // never over-accept it.
+  hx0_ = h(1.5) - 1.0;
+  hxn_ = h(static_cast<double>(n) + 0.5);
+  // Accept-without-h() distance, valid for every rank >= 2 (the bound
+  // is tightest at rank 2 and monotone beyond).
+  threshold_ = 2.0 - hInv(h(2.5) - std::pow(2.0, -s_));
+}
+
+std::uint64_t ZipfianRng::operator()(Rng& rng) const {
+  for (;;) {
+    const double u = hxn_ + rng.nextDouble() * (hx0_ - hxn_);
+    const double x = hInv(u);
+    // Candidate rank in [1, n] (clamped; x can graze the open edges).
+    double k = std::floor(x + 0.5);
+    if (k < 1.0) k = 1.0;
+    if (k > static_cast<double>(n_)) k = static_cast<double>(n_);
+    if (k - x <= threshold_ ||
+        u >= h(k + 0.5) - std::pow(k, -s_)) {
+      return static_cast<std::uint64_t>(k) - 1;  // back to 0-based
+    }
+  }
+}
+
+double ZipfianRng::pmf(std::uint64_t k) const {
+  VL_CHECK(k < n_);
+  if (norm_ == 0) {
+    double sum = 0;
+    for (std::uint64_t i = 0; i < n_; ++i) {
+      sum += std::pow(static_cast<double>(i + 1), -s_);
+    }
+    norm_ = sum;
+  }
+  return std::pow(static_cast<double>(k + 1), -s_) / norm_;
+}
+
 }  // namespace vlease

@@ -74,4 +74,39 @@ class ZipfSampler {
   std::vector<double> cdf_;  // cdf_[k] = P(rank <= k)
 };
 
+/// O(1)-memory bounded Zipf(s) sampler over ranks {0, ..., n-1} with
+/// P(rank k) proportional to 1/(k+1)^s, by Hormann-Derflinger
+/// rejection-inversion (the scheme Gray et al.'s "Quickly generating
+/// billion-record synthetic databases" popularized). Unlike ZipfSampler
+/// there is no CDF table, so a streaming generator can hold one per
+/// workload regardless of catalog size; construction is O(1) and each
+/// sample draws an expected O(1) uniforms. s = 0 degenerates to uniform.
+/// Bit-for-bit deterministic given the Rng stream (pinned by a golden in
+/// rng_test.cpp).
+class ZipfianRng {
+ public:
+  /// n >= 1, s >= 0. s != 1 and s == 1 use the matching H integrals.
+  ZipfianRng(std::uint64_t n, double s);
+
+  std::uint64_t operator()(Rng& rng) const;
+
+  std::uint64_t size() const { return n_; }
+  double skew() const { return s_; }
+
+  /// P(rank k). The generalized-harmonic normalizer is computed (O(n))
+  /// on first use and cached; sampling never needs it.
+  double pmf(std::uint64_t k) const;
+
+ private:
+  double h(double x) const;     // integral of x^-s (shifted antiderivative)
+  double hInv(double u) const;  // inverse of h
+
+  std::uint64_t n_;
+  double s_;
+  double hx0_;        // h(1.5) - 1: lower edge of the inversion range
+  double hxn_;        // h(n + 0.5): upper edge
+  double threshold_;  // fast-accept distance bound, valid for ranks >= 2
+  mutable double norm_ = 0;  // lazily computed pmf normalizer
+};
+
 }  // namespace vlease

@@ -437,5 +437,182 @@ TEST(DeterminismGoldenTest, SweepPointByteIdentical) {
   compareOrRegold("sweep_grid.json", os.str());
 }
 
+/// Flash crowd + client churn under chaos, pinned to a golden the way
+/// the base chaos seed is: the storm's renewal burst, the graceful
+/// depart/arrive markers (ClientNode::retire + lazy re-growth), and the
+/// fault plan must interleave identically run to run -- checked against
+/// the golden, an in-process rerun, and the same point through the
+/// parallel sweep runner with threads=3.
+TEST(DeterminismGoldenTest, FlashChurnChaosByteIdentical) {
+  driver::ChaosWorkloadOptions workloadOptions;
+  workloadOptions.duration = sec(900);
+  workloadOptions.flashClients = 4;  // every chaos client joins the storm
+  workloadOptions.flashAt = sec(300);
+  workloadOptions.flashDuration = sec(5);
+  workloadOptions.churnPeriod = sec(90);
+  workloadOptions.churnDowntime = sec(30);
+  const driver::Workload workload =
+      driver::buildChaosWorkload(workloadOptions);
+  const trace::Catalog& catalog = workload.catalog;
+
+  std::vector<NodeId> clients, servers;
+  for (std::uint32_t c = 0; c < catalog.numClients(); ++c) {
+    clients.push_back(catalog.clientNode(c));
+  }
+  for (std::uint32_t s = 0; s < catalog.numServers(); ++s) {
+    servers.push_back(catalog.serverNode(s));
+  }
+
+  auto makePlan = [&]() {
+    Rng planRng(1);
+    net::FaultPlan::RandomOptions planOptions;
+    planOptions.intensity = 0.5;
+    planOptions.horizon = workloadOptions.duration;
+    planOptions.maxLossProbability = 0.25 * 0.5;
+    return std::make_shared<const net::FaultPlan>(
+        net::FaultPlan::random(planRng, planOptions, clients, servers));
+  };
+
+  proto::ProtocolConfig config;
+  config.algorithm = proto::Algorithm::kVolumeLease;
+  config.objectTimeout = sec(120);
+  config.volumeTimeout = sec(30);
+  config.msgTimeout = sec(5);
+  config.readTimeout = sec(15);
+
+  auto makeSim = [&]() {
+    driver::SimOptions sim;
+    sim.networkLatency = msec(20);
+    sim.faultPlan = makePlan();
+    sim.enableOracle = true;
+    sim.oracleAuditPeriod = sec(10);
+    return sim;
+  };
+
+  auto runDirect = [&]() {
+    driver::Simulation simulation(catalog, config, makeSim());
+    const stats::Metrics& metrics = simulation.run(workload.events);
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"firedEvents\": " << simulation.scheduler().firedCount()
+       << ",\n"
+       << "  \"finalNow\": " << simulation.scheduler().now() << ",\n"
+       << "  \"sent\": " << simulation.network().sentCount() << ",\n"
+       << "  \"delivered\": " << simulation.network().deliveredCount()
+       << ",\n";
+    fingerprintMetrics(os, metrics);
+    os << "}\n";
+    return os.str();
+  };
+
+  const std::string first = runDirect();
+  EXPECT_EQ(first, runDirect())
+      << "flash+churn run not reproducible in-process";
+
+  // Same point through the parallel sweep runner: churn retirements and
+  // the storm must not depend on worker scheduling.
+  driver::SweepSpec spec;
+  spec.name = "flash_churn_determinism";
+  for (proto::Algorithm a :
+       {proto::Algorithm::kVolumeLease,
+        proto::Algorithm::kVolumeDelayedInval}) {
+    driver::SweepPoint point;
+    point.label = std::string(proto::algorithmName(a)) + " flash+churn";
+    point.config = config;
+    point.config.algorithm = a;
+    point.sim = makeSim();
+    point.row = proto::algorithmName(a);
+    point.col = "s1";
+    spec.points.push_back(std::move(point));
+  }
+  spec.gridCell = [](const stats::Metrics& m) {
+    return driver::Table::num(m.oracleViolations());
+  };
+  driver::ParallelOptions parallel;
+  parallel.threads = 3;
+  const auto results = driver::runSweep(spec, workload, parallel);
+  ASSERT_EQ(results.size(), 2u);
+  std::ostringstream sweepFp;
+  fingerprintMetrics(sweepFp, results.front().metrics);
+  std::ostringstream directFp;
+  {
+    driver::Simulation simulation(catalog, config, makeSim());
+    fingerprintMetrics(directFp, simulation.run(workload.events));
+  }
+  EXPECT_EQ(sweepFp.str(), directFp.str())
+      << "sweep-runner flash+churn run diverged from the direct run";
+
+  compareOrRegold("chaos_flash_churn_volume.json", first);
+}
+
+/// The full composition -- Zipf-skewed chaos workload, flash-crowd
+/// storm, client churn, online migrations there and back, random fault
+/// plans -- must stay oracle-clean across at least 8 seeds. Graceful
+/// departures (retire) discard leases a departed client might otherwise
+/// rely on; the storm piles renewals onto one cold object; migrations
+/// bump epochs under both: none of it may ever surface a stale read.
+TEST(DeterminismGoldenTest, FlashChurnMigrationOracleCleanAcrossSeeds) {
+  driver::ChaosWorkloadOptions workloadOptions;
+  workloadOptions.duration = sec(600);
+  workloadOptions.volumesPerServer = 2;
+  workloadOptions.flashClients = 4;
+  workloadOptions.flashAt = sec(200);
+  workloadOptions.flashDuration = sec(5);
+  workloadOptions.churnPeriod = sec(60);
+  workloadOptions.churnDowntime = sec(20);
+  const driver::Workload workload =
+      driver::buildChaosWorkload(workloadOptions);
+  const trace::Catalog& catalog = workload.catalog;
+
+  std::vector<NodeId> clients, servers;
+  for (std::uint32_t c = 0; c < catalog.numClients(); ++c) {
+    clients.push_back(catalog.clientNode(c));
+  }
+  for (std::uint32_t s = 0; s < catalog.numServers(); ++s) {
+    servers.push_back(catalog.serverNode(s));
+  }
+
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    // Alternate algorithms so both volume variants see 4 seeds each.
+    const proto::Algorithm algorithm = (seed % 2 == 1)
+                                           ? proto::Algorithm::kVolumeLease
+                                           : proto::Algorithm::kVolumeDelayedInval;
+    Rng planRng(seed);
+    net::FaultPlan::RandomOptions planOptions;
+    planOptions.intensity = 0.5;
+    planOptions.horizon = workloadOptions.duration;
+    planOptions.maxLossProbability = 0.25 * 0.5;
+    auto plan = std::make_shared<const net::FaultPlan>(
+        net::FaultPlan::random(planRng, planOptions, clients, servers));
+
+    proto::ProtocolConfig config;
+    config.algorithm = algorithm;
+    config.objectTimeout = sec(120);
+    config.volumeTimeout = sec(30);
+    config.msgTimeout = sec(5);
+    config.readTimeout = sec(15);
+
+    driver::SimOptions sim;
+    sim.networkLatency = msec(20);
+    sim.faultPlan = plan;
+    sim.enableOracle = true;
+    sim.oracleAuditPeriod = sec(10);
+    // Server 0's first volume migrates away a third of the way in and
+    // comes home at two thirds (the vlease_chaos --migrate shape).
+    const VolumeId vol = catalog.volumes().front().id;
+    sim.migrations.push_back({workloadOptions.duration / 3, vol,
+                              catalog.serverNode(1), true});
+    sim.migrations.push_back({2 * workloadOptions.duration / 3, vol,
+                              catalog.serverNode(0), true});
+
+    driver::Simulation simulation(catalog, config, sim);
+    const stats::Metrics& metrics = simulation.run(workload.events);
+    EXPECT_EQ(metrics.oracleViolations(), 0)
+        << proto::algorithmName(algorithm) << " seed " << seed;
+    EXPECT_EQ(metrics.staleReads(), 0)
+        << proto::algorithmName(algorithm) << " seed " << seed;
+  }
+}
+
 }  // namespace
 }  // namespace vlease

@@ -210,6 +210,18 @@ void RefVolumeServer::grantObject(const net::Message& msg) {
   grant.carriesData = st.version != req.haveVersion;
   grant.dataBytes =
       grant.carriesData ? ctx_.catalog.object(req.obj).sizeBytes : 0;
+  // Mirrors core::VolumeServer: every grant carries the volume's
+  // current epoch so a client whose crash erased its epoch memory
+  // relearns it with the data (keeps haveEpoch == 0 meaning "nothing
+  // cached", which is what the reconnection skip relies on). Read-only
+  // lookup: the dense server stamps via volLookup() without flipping
+  // `touched`, and here the map entry must likewise not be created --
+  // a lazily created entry would get its epoch bumped by a later server
+  // crash where the dense server's untouched slot would not.
+  {
+    auto volIt = volumes_.find(volumeOf(req.obj));
+    grant.epoch = volIt == volumes_.end() ? 1 : volIt->second.epoch;
+  }
 
   if (req.wantVolume && config_.piggybackVolumeLease) {
     // Piggyback ablation: renew the volume in the same reply iff it is

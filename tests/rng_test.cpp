@@ -171,5 +171,95 @@ TEST(ZipfSamplerTest, ZeroExponentIsUniform) {
   for (std::size_t k = 0; k < 10; ++k) EXPECT_NEAR(zipf.pmf(k), 0.1, 1e-9);
 }
 
+TEST(ZipfianRngTest, PmfSumsToOne) {
+  ZipfianRng zipf(1000, 1.0);
+  double sum = 0;
+  for (std::uint64_t k = 0; k < zipf.size(); ++k) sum += zipf.pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfianRngTest, MatchesTableSamplerPmf) {
+  // Rejection-inversion targets exactly the distribution the CDF-table
+  // sampler realizes; the two pmfs must agree to rounding.
+  for (double s : {0.0, 0.5, 0.8, 1.0, 1.3}) {
+    ZipfianRng a(200, s);
+    ZipfSampler b(200, s);
+    for (std::uint64_t k = 0; k < 200; ++k) {
+      EXPECT_NEAR(a.pmf(k), b.pmf(k), 1e-12) << "s=" << s << " k=" << k;
+    }
+  }
+}
+
+TEST(ZipfianRngTest, ChiSquareGoodnessOfFit) {
+  // Pearson chi-square against the exact pmf, head ranks individually
+  // and the tail pooled. Critical value for alpha = 0.001 at the listed
+  // degrees of freedom -- a fixed seed keeps the test deterministic, so
+  // this never flakes; it fails only if the sampler is actually wrong.
+  struct Case {
+    std::uint64_t n;
+    double s;
+  };
+  for (const Case c : {Case{64, 0.8}, Case{1000, 1.0}, Case{50, 1.3}}) {
+    ZipfianRng zipf(c.n, c.s);
+    Rng rng(97);
+    const int kSamples = 400'000;
+    const std::uint64_t kHead = std::min<std::uint64_t>(c.n, 20);
+    std::vector<double> observed(kHead + 1, 0.0);
+    for (int i = 0; i < kSamples; ++i) {
+      const std::uint64_t k = zipf(rng);
+      ASSERT_LT(k, c.n);
+      observed[std::min(k, kHead)] += 1.0;
+    }
+    double tailP = 1.0;
+    double chi2 = 0;
+    for (std::uint64_t k = 0; k < kHead; ++k) {
+      const double e = zipf.pmf(k) * kSamples;
+      tailP -= zipf.pmf(k);
+      chi2 += (observed[k] - e) * (observed[k] - e) / e;
+    }
+    if (tailP > 0) {
+      const double e = tailP * kSamples;
+      chi2 += (observed[kHead] - e) * (observed[kHead] - e) / e;
+    }
+    // df = 20 (21 cells - 1); chi2_{0.999,20} = 45.3.
+    EXPECT_LT(chi2, 45.3) << "n=" << c.n << " s=" << c.s;
+  }
+}
+
+TEST(ZipfianRngTest, ZeroExponentIsUniform) {
+  ZipfianRng zipf(10, 0.0);
+  Rng rng(3);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100'000; ++i) counts[zipf(rng)] += 1;
+  for (int c : counts) EXPECT_NEAR(c / 100'000.0, 0.1, 0.01);
+}
+
+TEST(ZipfianRngTest, SingleElement) {
+  ZipfianRng zipf(1, 1.2);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf(rng), 0u);
+}
+
+TEST(ZipfianRngTest, DeterministicAcrossInstances) {
+  ZipfianRng a(4096, 0.99), b(4096, 0.99);
+  Rng ra(123), rb(123);
+  for (int i = 0; i < 10'000; ++i) EXPECT_EQ(a(ra), b(rb));
+}
+
+TEST(ZipfianRngTest, DeterminismGolden) {
+  // Pinned first samples for a fixed (n, s, seed): the streaming
+  // workload goldens depend on this exact draw sequence, so any change
+  // to the sampler's arithmetic or uniform consumption shows up here
+  // before it silently invalidates the workload goldens.
+  ZipfianRng zipf(64, 0.8);
+  Rng rng(2026);
+  const std::uint64_t expected[] = {6,  24, 1, 0,  1,  1,  1,  1,
+                                    0,  28, 0, 21, 0,  2,  10, 2,
+                                    30, 34, 2, 15, 49, 26, 3,  31};
+  for (std::uint64_t want : expected) {
+    EXPECT_EQ(zipf(rng), want);
+  }
+}
+
 }  // namespace
 }  // namespace vlease

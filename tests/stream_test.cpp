@@ -1,0 +1,283 @@
+// trace::EventStream: the streaming workload engine behind
+// tools/vlease_scale. Pins the contracts the scale replay depends on:
+// the default stream is bit-identical to the original hand-rolled loop,
+// every composition (zipf, flash crowd, churn, diurnal) is rerun- and
+// seed-deterministic, timestamps never go backwards, churn markers obey
+// the sliding-window semantics, and the flash crowd is exactly the
+// promised storm (N distinct clients, one cold object, bounded window).
+#include "trace/stream.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "trace/catalog.h"
+#include "util/rng.h"
+
+namespace vlease::trace {
+namespace {
+
+struct Fixture {
+  Catalog catalog;
+  std::vector<ObjectId> objects;
+
+  explicit Fixture(std::uint32_t numClients = 500,
+                   std::uint64_t numObjects = 16,
+                   std::uint32_t numServers = 1,
+                   std::uint32_t volumesPerServer = 4)
+      : catalog(numServers, numClients) {
+    std::vector<VolumeId> volumes;
+    for (std::uint32_t s = 0; s < numServers; ++s) {
+      for (std::uint32_t v = 0; v < volumesPerServer; ++v) {
+        volumes.push_back(catalog.addVolume(catalog.serverNode(s)));
+      }
+    }
+    for (std::uint64_t o = 0; o < numObjects; ++o) {
+      objects.push_back(catalog.addObject(volumes[o % volumes.size()], 8192));
+    }
+  }
+};
+
+std::vector<TraceEvent> drain(EventStream& stream) {
+  std::vector<TraceEvent> out;
+  TraceEvent event;
+  while (stream.next(event)) out.push_back(event);
+  return out;
+}
+
+bool sameEvent(const TraceEvent& a, const TraceEvent& b) {
+  return a.at == b.at && a.kind == b.kind && a.client == b.client &&
+         a.obj == b.obj;
+}
+
+TEST(EventStreamTest, DefaultStreamMatchesLegacyLoopBitForBit) {
+  Fixture f;
+  StreamOptions opt;
+  opt.seed = 42;
+  opt.events = 20'000;
+  opt.numClients = 500;
+  opt.interarrival = usec(100);
+  opt.writeEvery = 512;
+  EventStream stream(opt, f.catalog, f.objects);
+
+  // The original tools/vlease_scale generation loop, verbatim: same rng,
+  // same draw order (object, then client for reads only).
+  Rng rng(42);
+  SimTime at = 0;
+  for (std::int64_t i = 0; i < opt.events; ++i) {
+    at += opt.interarrival;
+    TraceEvent expect;
+    expect.at = at;
+    expect.obj = f.objects[rng.nextBelow(f.objects.size())];
+    if ((i + 1) % opt.writeEvery == 0) {
+      expect.kind = EventKind::kWrite;
+      expect.client = f.catalog.serverNode(0);
+    } else {
+      expect.kind = EventKind::kRead;
+      expect.client = f.catalog.clientNode(
+          static_cast<std::uint32_t>(rng.nextBelow(opt.numClients)));
+    }
+    TraceEvent got;
+    ASSERT_TRUE(stream.next(got)) << "stream ended early at " << i;
+    ASSERT_TRUE(sameEvent(expect, got)) << "diverged at event " << i;
+  }
+  TraceEvent extra;
+  EXPECT_FALSE(stream.next(extra));
+  EXPECT_EQ(stream.emitted(), opt.events);
+  EXPECT_EQ(stream.baseEmitted(), opt.events);
+}
+
+TEST(EventStreamTest, FullCompositionIsRerunDeterministic) {
+  Fixture f;
+  StreamOptions opt;
+  opt.seed = 7;
+  opt.events = 30'000;
+  opt.numClients = 500;
+  opt.writeEvery = 1000;
+  opt.zipfSkew = 0.8;
+  opt.flashClients = 200;
+  opt.flashAt = sec(1);
+  opt.flashDuration = msec(500);
+  opt.churnEvery = 250;
+  opt.diurnalAmplitude = 0.5;
+  opt.diurnalPeriod = sec(2);
+
+  EventStream a(opt, f.catalog, f.objects);
+  EventStream b(opt, f.catalog, f.objects);
+  const std::vector<TraceEvent> ea = drain(a);
+  const std::vector<TraceEvent> eb = drain(b);
+  ASSERT_EQ(ea.size(), eb.size());
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    ASSERT_TRUE(sameEvent(ea[i], eb[i])) << "rerun diverged at " << i;
+  }
+  // A different seed must actually change the stream.
+  StreamOptions other = opt;
+  other.seed = 8;
+  EventStream c(other, f.catalog, f.objects);
+  const std::vector<TraceEvent> ec = drain(c);
+  bool differs = ec.size() != ea.size();
+  for (std::size_t i = 0; !differs && i < ea.size(); ++i) {
+    differs = !sameEvent(ea[i], ec[i]);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(EventStreamTest, TimestampsAreMonotoneUnderAllCompositions) {
+  Fixture f;
+  StreamOptions opt;
+  opt.seed = 3;
+  opt.events = 30'000;
+  opt.numClients = 500;
+  opt.writeEvery = 777;
+  opt.zipfSkew = 1.1;
+  opt.flashClients = 300;
+  opt.flashAt = 0;  // storm before the first base event
+  opt.flashDuration = msec(100);
+  opt.churnEvery = 100;
+  opt.diurnalAmplitude = 0.9;
+  opt.diurnalPeriod = msec(400);
+
+  EventStream stream(opt, f.catalog, f.objects);
+  const std::vector<TraceEvent> events = drain(stream);
+  ASSERT_FALSE(events.empty());
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    ASSERT_GE(events[i].at, events[i - 1].at) << "time went backwards at "
+                                              << i;
+  }
+  EXPECT_TRUE(isSorted(events));
+}
+
+TEST(EventStreamTest, FlashCrowdIsDistinctClientsOnOneColdObject) {
+  Fixture f;
+  StreamOptions opt;
+  opt.seed = 5;
+  opt.events = 50'000;
+  opt.numClients = 500;
+  opt.flashClients = 400;
+  opt.flashAt = sec(2);
+  opt.flashDuration = sec(1);
+  // flashObject defaults to objects.back(): coldest rank under Zipf.
+  opt.zipfSkew = 0.8;
+
+  EventStream stream(opt, f.catalog, f.objects);
+  const std::vector<TraceEvent> events = drain(stream);
+
+  // Flash reads are the reads of the cold object inside the window that
+  // the base stream would essentially never produce (the cold rank has
+  // vanishing mass); identify them by object + window.
+  std::set<NodeId> stormClients;
+  std::int64_t stormReads = 0;
+  for (const TraceEvent& e : events) {
+    if (e.kind != EventKind::kRead || e.obj != f.objects.back()) continue;
+    if (e.at >= opt.flashAt && e.at <= opt.flashAt + opt.flashDuration) {
+      ++stormReads;
+      stormClients.insert(e.client);
+    }
+  }
+  EXPECT_GE(stormReads, opt.flashClients);
+  // Distinct clients: the storm is N different caches renewing, not one
+  // client hammering.
+  EXPECT_GE(static_cast<std::int64_t>(stormClients.size()),
+            opt.flashClients);
+  EXPECT_EQ(stream.emitted(), opt.events + opt.flashClients);
+}
+
+TEST(EventStreamTest, ChurnSlidesTheActiveWindow) {
+  Fixture f;
+  StreamOptions opt;
+  opt.seed = 11;
+  opt.events = 10'000;
+  opt.numClients = 500;
+  opt.churnEvery = 100;
+  opt.churnActiveFraction = 0.5;
+
+  EventStream stream(opt, f.catalog, f.objects);
+  const std::vector<TraceEvent> events = drain(stream);
+
+  std::int64_t arrivals = 0, departs = 0;
+  std::set<NodeId> active;
+  for (std::uint32_t c = 0; c < 250; ++c) {
+    active.insert(f.catalog.clientNode(c));  // initial window [0, 250)
+  }
+  for (const TraceEvent& e : events) {
+    switch (e.kind) {
+      case EventKind::kDepart:
+        ++departs;
+        ASSERT_TRUE(active.count(e.client))
+            << "departed a client that was not active";
+        active.erase(e.client);
+        break;
+      case EventKind::kArrive:
+        ++arrivals;
+        ASSERT_FALSE(active.count(e.client))
+            << "arrived a client that was already active";
+        active.insert(e.client);
+        break;
+      case EventKind::kRead:
+        ASSERT_TRUE(active.count(e.client))
+            << "read from a departed client";
+        break;
+      case EventKind::kWrite:
+        break;
+    }
+  }
+  EXPECT_EQ(departs, opt.events / opt.churnEvery);
+  EXPECT_EQ(arrivals, departs);
+  EXPECT_EQ(stream.emitted(), opt.events + arrivals + departs);
+}
+
+TEST(EventStreamTest, DiurnalCurveModulatesTheCadence) {
+  Fixture f;
+  StreamOptions flat;
+  flat.seed = 2;
+  flat.events = 5'000;
+  flat.numClients = 100;
+  StreamOptions wavy = flat;
+  wavy.diurnalAmplitude = 0.8;
+  wavy.diurnalPeriod = msec(200);
+
+  EventStream a(flat, f.catalog, f.objects);
+  EventStream b(wavy, f.catalog, f.objects);
+  const std::vector<TraceEvent> fa = drain(a);
+  const std::vector<TraceEvent> fb = drain(b);
+  ASSERT_EQ(fa.size(), fb.size());
+
+  // Flat cadence: every gap identical. Diurnal: gaps both above and
+  // below the nominal interarrival (compressed at the peak, stretched in
+  // the trough), same event count.
+  std::set<SimDuration> flatGaps, wavyGaps;
+  for (std::size_t i = 1; i < fa.size(); ++i) {
+    flatGaps.insert(fa[i].at - fa[i - 1].at);
+    wavyGaps.insert(fb[i].at - fb[i - 1].at);
+  }
+  EXPECT_EQ(flatGaps.size(), 1u);
+  EXPECT_GT(wavyGaps.size(), 1u);
+  EXPECT_LT(*wavyGaps.begin(), flat.interarrival);
+  EXPECT_GT(*wavyGaps.rbegin(), flat.interarrival);
+}
+
+TEST(EventStreamTest, ZipfSkewConcentratesOnHotRanks) {
+  Fixture f(/*numClients=*/200, /*numObjects=*/64);
+  StreamOptions opt;
+  opt.seed = 13;
+  opt.events = 50'000;
+  opt.numClients = 200;
+  opt.zipfSkew = 1.0;
+
+  EventStream stream(opt, f.catalog, f.objects);
+  std::vector<std::int64_t> hits(f.objects.size(), 0);
+  TraceEvent event;
+  while (stream.next(event)) {
+    for (std::size_t r = 0; r < f.objects.size(); ++r) {
+      if (f.objects[r] == event.obj) ++hits[r];
+    }
+  }
+  // Rank 0 must dominate the tail decisively (Zipf s=1: ~21% of mass on
+  // the head rank vs ~0.3% on rank 63).
+  EXPECT_GT(hits[0], 8 * hits[63] + 100);
+  EXPECT_GT(hits[0], hits[10]);
+}
+
+}  // namespace
+}  // namespace vlease::trace

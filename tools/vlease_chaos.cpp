@@ -111,6 +111,13 @@ int main(int argc, char** argv) {
                "batch lease-expiry sweep period in milliseconds for the "
                "volume algorithms (0 = off); observationally equivalent, "
                "so the oracle verdict must not change");
+  flags.addInt("flash-crowd", 0,
+               "flash crowd: this many distinct clients storm the "
+               "coldest object ten minutes in (0 = off); appended after "
+               "the base draws, so the base trace stays bit-identical");
+  flags.addInt("churn-sec", 0,
+               "client churn period in seconds: one graceful depart + "
+               "re-arrive per period (0 = off)");
   driver::addRunnerFlags(flags);  // --threads --csv --json
   if (!flags.parse(argc, argv)) return 1;
 
@@ -160,6 +167,9 @@ int main(int argc, char** argv) {
       static_cast<std::uint32_t>(flags.getInt("servers"));
   workloadOptions.volumesPerServer =
       static_cast<std::uint32_t>(flags.getInt("volumes-per-server"));
+  workloadOptions.flashClients =
+      static_cast<std::uint32_t>(flags.getInt("flash-crowd"));
+  workloadOptions.churnPeriod = sec(flags.getInt("churn-sec"));
   if (workloadOptions.numServers < 1 ||
       (migrate && workloadOptions.numServers < 2)) {
     std::fprintf(stderr, "--migrate needs at least 2 servers\n");

@@ -11,19 +11,25 @@
 // (one deadline timer per server) trims instead of letting writes
 // walk ever-growing tables.
 //
-// Events are GENERATED AND INJECTED ONE AT A TIME through the
-// incremental Simulation interface (inject/drainTo/finish); the trace
-// is never materialized, so --events 100000000 costs no event memory.
-// Everything is seed-deterministic.
+// Events come from trace::EventStream, an O(1)-memory generator: they
+// are produced and injected one at a time through the incremental
+// Simulation interface (inject/drainTo/finish), so --events 100000000
+// costs no event memory. Everything is seed-deterministic. On top of
+// the fixed-cadence base stream the engine composes Zipfian popularity
+// (--zipf), a flash-crowd renewal storm (--flash-crowd), client churn
+// (--churn), and a diurnal rate curve (--diurnal); all default off,
+// which reproduces the original replay bit for bit.
 //
 //   $ vlease_scale                                    # smoke config
 //   $ vlease_scale --clients 1000000 --events 100000000   # the big run
+//   $ vlease_scale --zipf 0.8 --flash-crowd 2000 --track-load
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <string>
 
 #include "driver/simulation.h"
+#include "trace/stream.h"
 #include "util/flags.h"
 #include "util/rng.h"
 
@@ -46,6 +52,23 @@ long peakRssKb() {
   return 0;
 }
 
+/// Sum of all tracked servers' per-second load buckets over the window
+/// [from, to) (whole-second buckets of sim time).
+std::int64_t windowLoad(const stats::Metrics& m, const trace::Catalog& catalog,
+                        SimTime from, SimTime to) {
+  std::int64_t total = 0;
+  for (std::uint32_t s = 0; s < catalog.numServers(); ++s) {
+    const NodeId node = catalog.serverNode(s);
+    if (!m.hasLoadSeries(node)) continue;
+    for (const auto& [bucket, count] : m.loadSeries(node).buckets()) {
+      if (bucket >= secondBucket(from) && bucket < secondBucket(to)) {
+        total += count;
+      }
+    }
+  }
+  return total;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -63,6 +86,22 @@ int main(int argc, char** argv) {
   flags.addInt("latency-ms", 1, "one-way network latency, milliseconds");
   flags.addInt("sweep-ms", 1000, "lease-expiry sweep period (0 = off)");
   flags.addInt("seed", 1, "event-stream seed");
+  flags.addDouble("zipf", 0.0,
+                  "Zipf skew for object popularity (0 = uniform)");
+  flags.addInt("flash-crowd", 0,
+               "flash crowd: this many distinct clients storm the "
+               "coldest object (0 = off)");
+  flags.addInt("flash-at-sec", -1,
+               "flash-crowd start, sim seconds (-1 = run midpoint)");
+  flags.addInt("flash-duration-ms", 2000, "flash-crowd spread");
+  flags.addInt("churn", 0,
+               "client churn: one depart + one arrive every this many "
+               "events (0 = off)");
+  flags.addDouble("diurnal", 0.0,
+                  "diurnal rate-curve amplitude in [0, 1) (0 = flat)");
+  flags.addInt("diurnal-period-sec", 3600, "diurnal period, sim seconds");
+  flags.addBool("track-load", false,
+                "per-second server load series (flash-window reporting)");
   flags.addBool("progress", false, "print progress ticks to stderr");
   if (!flags.parse(argc, argv)) return 1;
 
@@ -74,6 +113,7 @@ int main(int argc, char** argv) {
   const auto writeEvery = flags.getInt("write-every");
   const SimDuration interarrival = usec(flags.getInt("interarrival-us"));
   const bool migrate = flags.getBool("migrate");
+  const bool trackLoad = flags.getBool("track-load");
   if (numServers < 1 || (migrate && numServers < 2)) {
     std::fprintf(stderr, "--migrate needs --servers >= 2\n");
     return 1;
@@ -96,6 +136,22 @@ int main(int argc, char** argv) {
     }
   }
 
+  trace::StreamOptions stream;
+  stream.seed = static_cast<std::uint64_t>(flags.getInt("seed"));
+  stream.events = numEvents;
+  stream.numClients = numClients;
+  stream.interarrival = interarrival;
+  stream.writeEvery = writeEvery;
+  stream.zipfSkew = flags.getDouble("zipf");
+  stream.flashClients = flags.getInt("flash-crowd");
+  const std::int64_t flashAtSec = flags.getInt("flash-at-sec");
+  stream.flashAt = flashAtSec >= 0 ? sec(flashAtSec)
+                                   : interarrival * (numEvents / 2);
+  stream.flashDuration = msec(flags.getInt("flash-duration-ms"));
+  stream.churnEvery = flags.getInt("churn");
+  stream.diurnalAmplitude = flags.getDouble("diurnal");
+  stream.diurnalPeriod = sec(flags.getInt("diurnal-period-sec"));
+
   // Short leases relative to a client's revisit gap (population x
   // interarrival), so nearly every read is a renewal round trip and the
   // holder tables are dominated by expired records for the sweep.
@@ -110,8 +166,9 @@ int main(int argc, char** argv) {
 
   driver::SimOptions sim;
   sim.networkLatency = msec(flags.getInt("latency-ms"));
-  // No load series, no oracle: this is a throughput/footprint run and
-  // per-second series over millions of sim-seconds would swamp it.
+  // No oracle: this is a throughput/footprint run. The load series is
+  // opt-in (--track-load) for the flash-crowd window reporting.
+  sim.trackServerLoad = trackLoad;
   if (migrate) {
     driver::MigrationEvent m;
     m.at = interarrival * (numEvents / 2);
@@ -123,30 +180,24 @@ int main(int argc, char** argv) {
   driver::Simulation simulation(catalog, config,
                                 std::move(sim));
 
-  Rng rng(static_cast<std::uint64_t>(flags.getInt("seed")));
+  trace::EventStream events(stream, catalog, objects);
   const bool progress = flags.getBool("progress");
   const auto t0 = std::chrono::steady_clock::now();
-  SimTime at = 0;
-  for (std::int64_t i = 0; i < numEvents; ++i) {
-    at += interarrival;
-    trace::TraceEvent event;
-    event.at = at;
-    event.obj = objects[rng.nextBelow(numObjects)];
-    if (writeEvery > 0 && (i + 1) % writeEvery == 0) {
-      event.kind = trace::EventKind::kWrite;
-      event.client = catalog.serverNode(0);  // ignored for writes
-    } else {
-      event.kind = trace::EventKind::kRead;
-      event.client = catalog.clientNode(
-          static_cast<std::uint32_t>(rng.nextBelow(numClients)));
-    }
-    simulation.drainTo(at);
+  std::int64_t arrivals = 0, departs = 0;
+  trace::TraceEvent event;
+  while (events.next(event)) {
+    simulation.drainTo(event.at);
     simulation.inject(event);
-    simulation.drainTo(at);
-    if (progress && numEvents >= 10 && (i + 1) % (numEvents / 10) == 0) {
-      std::fprintf(stderr, "  %3lld%%  (%lld events)\n",
-                   static_cast<long long>((i + 1) * 100 / numEvents),
-                   static_cast<long long>(i + 1));
+    simulation.drainTo(event.at);
+    if (event.kind == trace::EventKind::kArrive) ++arrivals;
+    if (event.kind == trace::EventKind::kDepart) ++departs;
+    if (progress && numEvents >= 10 &&
+        events.baseEmitted() % (numEvents / 10) == 0 &&
+        event.kind == trace::EventKind::kRead) {
+      std::fprintf(
+          stderr, "  %3lld%%  (%lld events)\n",
+          static_cast<long long>(events.baseEmitted() * 100 / numEvents),
+          static_cast<long long>(events.baseEmitted()));
     }
   }
   simulation.finish();
@@ -155,17 +206,38 @@ int main(int argc, char** argv) {
       std::chrono::duration<double>(t1 - t0).count();
 
   const stats::Metrics& m = simulation.metrics();
+  // The flash window and a same-width control window immediately before
+  // it: a real storm shows up as windowed server load far above the
+  // control, and a no-flash run of the same seed shows no such step.
+  std::int64_t flashLoad = -1, controlLoad = -1;
+  if (trackLoad) {
+    const SimDuration width =
+        std::max<SimDuration>(stream.flashDuration, sec(1));
+    flashLoad = windowLoad(m, catalog, stream.flashAt,
+                           stream.flashAt + width);
+    controlLoad = windowLoad(m, catalog, stream.flashAt - width,
+                             stream.flashAt);
+  }
   // items_per_second mirrors the google-benchmark JSON key so
   // scripts/bench.sh can gate on it the same way.
   std::printf(
       "{\n"
       "  \"clients\": %u,\n"
       "  \"events\": %lld,\n"
+      "  \"emitted_events\": %lld,\n"
+      "  \"arrivals\": %lld,\n"
+      "  \"departs\": %lld,\n"
       "  \"objects\": %llu,\n"
       "  \"servers\": %u,\n"
       "  \"migrations\": %zu,\n"
       "  \"volumes\": %u,\n"
       "  \"sweep_ms\": %lld,\n"
+      "  \"zipf\": %.2f,\n"
+      "  \"flash_crowd\": %lld,\n"
+      "  \"flash_window_load\": %lld,\n"
+      "  \"control_window_load\": %lld,\n"
+      "  \"churn\": %lld,\n"
+      "  \"diurnal\": %.2f,\n"
       "  \"sim_horizon_sec\": %.0f,\n"
       "  \"fired_events\": %lld,\n"
       "  \"messages\": %lld,\n"
@@ -179,9 +251,14 @@ int main(int argc, char** argv) {
       "  \"peak_rss_mb\": %.1f\n"
       "}\n",
       numClients, static_cast<long long>(numEvents),
+      static_cast<long long>(events.emitted()),
+      static_cast<long long>(arrivals), static_cast<long long>(departs),
       static_cast<unsigned long long>(numObjects), numServers,
       simulation.migrationsApplied(), numVolumes,
       static_cast<long long>(flags.getInt("sweep-ms")),
+      stream.zipfSkew, static_cast<long long>(stream.flashClients),
+      static_cast<long long>(flashLoad), static_cast<long long>(controlLoad),
+      static_cast<long long>(stream.churnEvery), stream.diurnalAmplitude,
       static_cast<double>(simulation.scheduler().now()) / 1e6,
       static_cast<long long>(simulation.scheduler().firedCount()),
       static_cast<long long>(m.totalMessages()),
